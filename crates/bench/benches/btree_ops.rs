@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the mutable B+-Tree: the building block of
+//! the single-index baseline and of the PIM-Tree's mutable partitions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pimtree_btree::BTreeIndex;
+use pimtree_common::KeyRange;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn populated(n: usize, seed: u64) -> (BTreeIndex, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tree = BTreeIndex::new();
+    let keys: Vec<i64> = (0..n).map(|_| rng.gen_range(0..1_000_000_000)).collect();
+    for (i, &k) in keys.iter().enumerate() {
+        tree.insert(k, i as u64);
+    }
+    (tree, keys)
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("btree");
+    group.sample_size(20);
+    for &n in &[1usize << 14, 1 << 17] {
+        let (tree, keys) = populated(n, 7);
+        group.bench_with_input(BenchmarkId::new("point_probe", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(11);
+            b.iter(|| {
+                let k = keys[rng.gen_range(0..keys.len())];
+                tree.range_collect(KeyRange::new(k - 100, k + 100)).len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sliding_insert_delete", n), &n, |b, _| {
+            let (mut tree, keys) = populated(n, 13);
+            let mut next = n as u64;
+            b.iter(|| {
+                let idx = (next as usize) % keys.len();
+                tree.insert(keys[idx].wrapping_add(1), next);
+                tree.remove(keys[idx], (next - n as u64) % next.max(1));
+                next += 1;
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_btree);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion micro-benchmarks for the immutable B+-Tree (CSS-Tree): bulk
+//! construction (the merge's dominant cost) and point lookups.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pimtree_btree::Entry;
+use pimtree_css::CssTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn sorted_entries(n: usize) -> Vec<Entry> {
+    (0..n as i64).map(|i| Entry::new(i * 3, i as u64)).collect()
+}
+
+fn bench_css(c: &mut Criterion) {
+    let mut group = c.benchmark_group("css_tree");
+    group.sample_size(20);
+    for &n in &[1usize << 16, 1 << 20] {
+        let entries = sorted_entries(n);
+        group.bench_with_input(BenchmarkId::new("bulk_build", n), &n, |b, _| {
+            b.iter(|| CssTree::from_sorted(entries.clone()).len())
+        });
+        let tree = CssTree::from_sorted(entries);
+        group.bench_with_input(BenchmarkId::new("lower_bound", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| tree.lower_bound_key(rng.gen_range(0..(3 * n as i64))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_css);
+criterion_main!(benches);

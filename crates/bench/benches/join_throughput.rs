@@ -1,0 +1,48 @@
+//! Criterion benchmarks of end-to-end join throughput for the main operator
+//! configurations (single-threaded B+-Tree / PIM-Tree, parallel PIM-Tree).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pimtree_bench::harness::{pim_config, run_parallel, run_single, two_way_workload};
+use pimtree_common::IndexKind;
+use pimtree_join::SharedIndexKind;
+use pimtree_workload::KeyDistribution;
+
+fn bench_join(c: &mut Criterion) {
+    let w = 1usize << 15;
+    let n = 1usize << 17;
+    let (tuples, predicate) =
+        two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, 42);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8).min(8);
+
+    let mut group = c.benchmark_group("join_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function(BenchmarkId::new("single_btree", w), |b| {
+        b.iter(|| {
+            run_single(
+                IndexKind::BTree, w, 2, pim_config(w).with_merge_ratio(0.125), predicate, &tuples, 2 * w, false,
+            )
+            .results
+        })
+    });
+    group.bench_function(BenchmarkId::new("single_pim", w), |b| {
+        b.iter(|| {
+            run_single(
+                IndexKind::PimTree, w, 2, pim_config(w).with_merge_ratio(0.125), predicate, &tuples, 2 * w, false,
+            )
+            .results
+        })
+    });
+    group.bench_function(BenchmarkId::new("parallel_pim", w), |b| {
+        b.iter(|| {
+            run_parallel(
+                SharedIndexKind::PimTree, w, w, threads, 8, pim_config(w), predicate, &tuples, false,
+            )
+            .results
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the PIM-Tree: inserts, range probes and the
+//! merge operation that rebuilds the immutable component.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pimtree_common::{KeyRange, PimConfig};
+use pimtree_core::PimTree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn populated(w: usize, seed: u64) -> PimTree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pim = PimTree::new(PimConfig::for_window(w));
+    for i in 0..w as u64 {
+        pim.insert(rng.gen_range(0..1_000_000_000), i);
+    }
+    pim.merge(0);
+    pim
+}
+
+fn bench_pim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pim_tree");
+    group.sample_size(15);
+    for &w in &[1usize << 16, 1 << 18] {
+        let pim = populated(w, 5);
+        group.bench_with_input(BenchmarkId::new("insert", w), &w, |b, _| {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut seq = w as u64;
+            b.iter(|| {
+                pim.insert(rng.gen_range(0..1_000_000_000), seq);
+                seq += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("range_probe", w), &w, |b, _| {
+            let mut rng = StdRng::seed_from_u64(10);
+            b.iter(|| {
+                let k = rng.gen_range(0..1_000_000_000i64);
+                let mut hits = 0usize;
+                pim.range_live(KeyRange::new(k - 1000, k + 1000), 0, |_| hits += 1);
+                hits
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("merge", w), &w, |b, _| {
+            b.iter_with_setup(
+                || {
+                    let pim = populated(w, 21);
+                    let mut rng = StdRng::seed_from_u64(22);
+                    for i in 0..(w / 4) as u64 {
+                        pim.insert(rng.gen_range(0..1_000_000_000), w as u64 + i);
+                    }
+                    pim
+                },
+                |pim| pim.merge((w / 4) as u64),
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pim);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Diagnostic profile of the parallel IBWJ engine: where worker wall-clock
+//! time goes (task acquisition, result generation, index update, propagation,
+//! idle back-off, merging) as the number of threads grows.
+//!
+//! This binary is not tied to a specific paper figure; it backs the
+//! engine-scaling discussion in EXPERIMENTS.md and is the tool used to verify
+//! that the shared work queue and edge-tuple bookkeeping stay off the
+//! per-tuple critical path.
+
+use pimtree_bench::harness::*;
+use pimtree_join::{ParallelIbwj, SharedIndexKind};
+use pimtree_common::{IndexKind, JoinConfig};
+use pimtree_workload::KeyDistribution;
+
+fn main() {
+    let opts = RunOpts::parse(18, 18);
+    let w = 1usize << opts.max_exp;
+    let n = opts.tuples_for(w);
+    let (tuples, predicate) =
+        two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+
+    print_header(
+        "engine_profile",
+        &format!(
+            "parallel IBWJ phase breakdown (w = 2^{}, {} tuples, task size {})",
+            opts.max_exp,
+            tuples.len(),
+            opts.task_size
+        ),
+        &[
+            "threads",
+            "mtps",
+            "acquire_pct",
+            "generate_pct",
+            "update_pct",
+            "propagate_pct",
+            "idle_pct",
+            "merges",
+            "merge_ms",
+            "mean_latency_us",
+            "loaded_mb",
+            "search_ns_per_tuple",
+            "scan_ns_per_tuple",
+        ],
+    );
+    for threads in [1, 2, 4, 8, opts.threads] {
+        if threads == 0 || (threads == opts.threads && opts.threads <= 8) && threads != opts.threads {
+            continue;
+        }
+        let mut config = JoinConfig::symmetric(w, IndexKind::PimTree)
+            .with_threads(threads)
+            .with_task_size(opts.task_size)
+            .with_pim(pim_config(w));
+        config.window_r = w;
+        config.window_s = w;
+        let op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false);
+        let (stats, _) = op.run_with_warmup(&tuples, (2 * w).min(tuples.len() / 2));
+        let total = stats.phase.total().as_secs_f64().max(1e-12);
+        let pct = |d: std::time::Duration| format!("{:.1}", 100.0 * d.as_secs_f64() / total);
+        print_row(&[
+            threads.to_string(),
+            mtps(&stats),
+            pct(stats.phase.acquire),
+            pct(stats.phase.generate),
+            pct(stats.phase.update),
+            pct(stats.phase.propagate),
+            pct(stats.phase.idle),
+            stats.merges.to_string(),
+            format!("{:.1}", stats.merge_time.as_secs_f64() * 1e3),
+            format!("{:.1}", stats.latency.mean_micros()),
+            format!("{:.1}", stats.bytes_loaded as f64 / 1e6),
+            format!(
+                "{:.0}",
+                stats.breakdown.total(pimtree_common::Step::Search).as_nanos() as f64
+                    / stats.tuples.max(1) as f64
+            ),
+            format!(
+                "{:.0}",
+                stats.breakdown.total(pimtree_common::Step::Scan).as_nanos() as f64
+                    / stats.tuples.max(1) as f64
+            ),
+        ]);
+    }
+}

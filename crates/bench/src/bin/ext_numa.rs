@@ -1,0 +1,78 @@
+//! Extension study (no paper figure): NUMA placement policies.
+//!
+//! Compares the paper's proposed workload-aware range partitioning against
+//! context-insensitive round-robin placement on the simulated NUMA substrate
+//! (`pimtree-numa`), reporting remote-access share, simulated memory cost and
+//! node load imbalance for a range of node counts, for both a uniform and a
+//! heavily skewed key distribution.
+
+use pimtree_bench::harness::*;
+use pimtree_common::BandPredicate;
+use pimtree_numa::{NumaPartitionedJoin, NumaTopology, PlacementStrategy, RangePartitioner};
+use pimtree_workload::KeyDistribution;
+
+fn run_case(
+    strategy: PlacementStrategy,
+    nodes: usize,
+    w: usize,
+    tuples: &[pimtree_common::Tuple],
+    predicate: BandPredicate,
+) -> (f64, u64, f64) {
+    let sample: Vec<i64> = tuples.iter().step_by(7).map(|t| t.key).collect();
+    let topology = NumaTopology::new(nodes, 90, 180);
+    let partitioner = RangePartitioner::from_key_sample(nodes, &sample);
+    let mut op = NumaPartitionedJoin::new(topology, strategy, partitioner, w, predicate);
+    op.run(tuples);
+    (
+        op.traffic().remote_fraction(),
+        op.total_cost(),
+        op.load_imbalance(),
+    )
+}
+
+fn main() {
+    let opts = RunOpts::parse(14, 14);
+    let w = 1usize << opts.max_exp;
+    let n = (4 * w).min(opts.tuples_for(w));
+
+    print_header(
+        "ext_numa",
+        &format!(
+            "NUMA placement study on the simulated substrate (w = 2^{}, {} tuples)",
+            opts.max_exp, n
+        ),
+        &[
+            "distribution",
+            "nodes",
+            "strategy",
+            "remote_fraction",
+            "simulated_cost_per_tuple",
+            "load_imbalance",
+        ],
+    );
+
+    let distributions = [
+        ("uniform", KeyDistribution::uniform()),
+        ("gaussian", KeyDistribution::gaussian(0.5, 0.125)),
+    ];
+    for (name, dist) in distributions {
+        let (tuples, predicate) = two_way_workload(n, w, 2.0, dist, 50.0, opts.seed);
+        for nodes in [2usize, 4, 8] {
+            for (label, strategy) in [
+                ("range", PlacementStrategy::RangePartitioned),
+                ("round_robin", PlacementStrategy::RoundRobin),
+            ] {
+                let (remote, cost, imbalance) =
+                    run_case(strategy, nodes, w, &tuples, predicate);
+                print_row(&[
+                    name.to_string(),
+                    nodes.to_string(),
+                    label.to_string(),
+                    format!("{remote:.3}"),
+                    format!("{:.0}", cost as f64 / tuples.len() as f64),
+                    format!("{imbalance:.2}"),
+                ]);
+            }
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Figure 8a: window join throughput of round-robin-partitioned (handshake
+//! style) operators, the single-threaded baselines, and the multithreaded
+//! IBWJ over the Bw-Tree-style index, for varying window sizes.
+
+use pimtree_bench::harness::*;
+use pimtree_common::IndexKind;
+use pimtree_join::{HandshakeMode, SharedIndexKind};
+use pimtree_workload::KeyDistribution;
+
+fn main() {
+    let opts = RunOpts::parse(12, 16);
+    print_header(
+        "fig08a",
+        "round-robin partitioning vs single-threaded baselines vs MT Bw-Tree (Mtps)",
+        &[
+            "window_exp",
+            "nlwj_single",
+            "nlwj_handshake",
+            "ibwj_single_btree",
+            "ibwj_handshake",
+            "ibwj_mt_bwtree",
+        ],
+    );
+    for exp in opts.window_exps() {
+        let w = 1usize << exp;
+        let n = opts.tuples_for(w);
+        // NLWJ is O(w) per tuple; keep its input small enough to finish.
+        let nlwj_n = ((1 << 24) / w).clamp(2_000, n);
+        let (tuples, predicate) =
+            two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+        let pim = pim_config(w);
+
+        let nlwj_single = run_single(
+            IndexKind::None, w, 2, pim, predicate, &tuples[..(2 * w + nlwj_n).min(tuples.len())], 2 * w, false,
+        );
+        let nlwj_hs = run_handshake(
+            HandshakeMode::Nlwj, opts.threads, w, w, predicate,
+            &tuples[..(2 * w + nlwj_n * opts.threads).min(tuples.len())],
+        );
+        let ibwj_single = run_single(IndexKind::BTree, w, 2, pim, predicate, &tuples, 2 * w, false);
+        let ibwj_hs = run_handshake(HandshakeMode::Ibwj, opts.threads, w, w, predicate, &tuples);
+        let ibwj_bw = run_parallel(
+            SharedIndexKind::BwTree, w, w, opts.threads, opts.task_size, pim, predicate, &tuples, false,
+        );
+
+        print_row(&[
+            exp.to_string(),
+            mtps(&nlwj_single),
+            mtps(&nlwj_hs),
+            mtps(&ibwj_single),
+            mtps(&ibwj_hs),
+            mtps(&ibwj_bw),
+        ]);
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 8c: single-threaded IBWJ throughput using the PIM-Tree for
+//! insertion depths 1–4, over varying window sizes.
+
+use pimtree_bench::harness::*;
+use pimtree_common::IndexKind;
+use pimtree_workload::KeyDistribution;
+
+fn main() {
+    let opts = RunOpts::parse(14, 17);
+    print_header(
+        "fig08c",
+        "single-threaded IBWJ with PIM-Tree vs insertion depth (Mtps)",
+        &["window_exp", "di1", "di2", "di3", "di4"],
+    );
+    for exp in opts.window_exps() {
+        let w = 1usize << exp;
+        let n = opts.tuples_for(w);
+        let (tuples, predicate) =
+            two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+        let mut row = vec![exp.to_string()];
+        for di in 1..=4usize {
+            let pim = pim_config(w).with_insertion_depth(di);
+            let stats = run_single(IndexKind::PimTree, w, 2, pim, predicate, &tuples, 2 * w, false);
+            row.push(mtps(&stats));
+        }
+        print_row(&row);
+    }
+}

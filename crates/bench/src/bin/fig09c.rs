@@ -1,0 +1,33 @@
+//! Figure 9c: single-threaded IBWJ throughput using the IM-Tree for merge
+//! ratios 2^-6 … 1, over several window sizes.
+
+use pimtree_bench::harness::*;
+use pimtree_common::IndexKind;
+use pimtree_workload::KeyDistribution;
+
+fn main() {
+    let opts = RunOpts::parse(14, 17);
+    let exps = opts.window_exps();
+    let header: Vec<String> = std::iter::once("merge_ratio_exp".to_string())
+        .chain(exps.iter().map(|e| format!("w2e{e}")))
+        .collect();
+    print_header(
+        "fig09c",
+        "single-threaded IBWJ with IM-Tree vs merge ratio (Mtps)",
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for ratio_exp in (0..=6).rev() {
+        let merge_ratio = 1.0 / f64::from(1 << ratio_exp);
+        let mut row = vec![format!("-{ratio_exp}")];
+        for &exp in &exps {
+            let w = 1usize << exp;
+            let n = opts.tuples_for(w);
+            let (tuples, predicate) =
+                two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+            let pim = pim_config(w).with_merge_ratio(merge_ratio);
+            let stats = run_single(IndexKind::ImTree, w, 2, pim, predicate, &tuples, 2 * w, false);
+            row.push(mtps(&stats));
+        }
+        print_row(&row);
+    }
+}

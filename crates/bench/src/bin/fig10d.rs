@@ -1,0 +1,33 @@
+//! Figure 10d: parallel IBWJ per-tuple latency (task processing time) using
+//! the PIM-Tree as a function of the task size, for several window sizes.
+
+use pimtree_bench::harness::*;
+use pimtree_join::SharedIndexKind;
+use pimtree_workload::KeyDistribution;
+
+fn main() {
+    let opts = RunOpts::parse(14, 17);
+    let exps: Vec<u32> = opts.window_exps().into_iter().step_by(2).collect();
+    let header: Vec<String> = std::iter::once("task_size".to_string())
+        .chain(exps.iter().map(|e| format!("w2e{e}_us")))
+        .collect();
+    print_header(
+        "fig10d",
+        "parallel IBWJ with PIM-Tree: mean latency vs task size (µs)",
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for task_size in 1..=10usize {
+        let mut row = vec![task_size.to_string()];
+        for &exp in &exps {
+            let w = 1usize << exp;
+            let n = opts.tuples_for(w);
+            let (tuples, predicate) =
+                two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+            let stats = run_parallel(
+                SharedIndexKind::PimTree, w, w, opts.threads, task_size, pim_config(w), predicate, &tuples, false,
+            );
+            row.push(format!("{:.2}", stats.latency.mean_micros()));
+        }
+        print_row(&row);
+    }
+}

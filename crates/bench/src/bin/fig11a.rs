@@ -1,0 +1,57 @@
+//! Figure 11a: memory footprint of the PIM-Tree (TS, TI, merge buffer) and of
+//! a plain B+-Tree (inner nodes, leaf nodes) for varying numbers of indexed
+//! elements. The merge ratio is 1 so that TI is at its largest.
+
+use pimtree_bench::harness::*;
+use pimtree_btree::BTreeIndex;
+use pimtree_core::PimTree;
+
+fn main() {
+    let opts = RunOpts::parse(16, 20);
+    print_header(
+        "fig11a",
+        "memory footprint of PIM-Tree vs B+-Tree (MiB)",
+        &[
+            "elements_exp",
+            "pim_ts",
+            "pim_ti",
+            "pim_buffer",
+            "pim_total",
+            "btree_inner",
+            "btree_leaf",
+            "btree_total",
+        ],
+    );
+    const MIB: f64 = 1024.0 * 1024.0;
+    for exp in opts.window_exps() {
+        let n = 1usize << exp;
+        // PIM-Tree: half of the elements merged into TS, half kept in TI
+        // (merge ratio 1 means TI can grow to a full window).
+        let pim = PimTree::new(pim_config(n));
+        for i in 0..n as i64 {
+            pim.insert(i * 7, i as u64);
+        }
+        pim.merge(0);
+        for i in 0..n as i64 {
+            pim.insert(i * 7 + 3, (n as i64 + i) as u64);
+        }
+        let f = pim.footprint();
+
+        let mut btree = BTreeIndex::new();
+        for i in 0..n as i64 {
+            btree.insert(i * 7, i as u64);
+        }
+        let b = btree.stats();
+
+        print_row(&[
+            exp.to_string(),
+            format!("{:.2}", (f.ts_leaf_bytes + f.ts_inner_bytes) as f64 / MIB),
+            format!("{:.2}", f.ti_bytes as f64 / MIB),
+            format!("{:.2}", f.merge_buffer_bytes as f64 / MIB),
+            format!("{:.2}", f.total_bytes() as f64 / MIB),
+            format!("{:.2}", b.inner_bytes as f64 / MIB),
+            format!("{:.2}", b.leaf_bytes as f64 / MIB),
+            format!("{:.2}", b.total_bytes() as f64 / MIB),
+        ]);
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 11b: parallel IBWJ throughput using the PIM-Tree under asymmetric
+//! input rates (percentage of tuples arriving on stream S), for several
+//! window sizes.
+
+use pimtree_bench::harness::*;
+use pimtree_join::SharedIndexKind;
+use pimtree_workload::KeyDistribution;
+
+fn main() {
+    let opts = RunOpts::parse(14, 17);
+    let exps: Vec<u32> = opts.window_exps().into_iter().step_by(2).collect();
+    let header: Vec<String> = std::iter::once("s_percent".to_string())
+        .chain(exps.iter().map(|e| format!("w2e{e}")))
+        .collect();
+    print_header(
+        "fig11b",
+        "parallel IBWJ with PIM-Tree under asymmetric input rates (Mtps)",
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for s_percent in [0.0, 10.0, 20.0, 30.0, 40.0, 50.0] {
+        let mut row = vec![format!("{s_percent:.0}")];
+        for &exp in &exps {
+            let w = 1usize << exp;
+            let n = opts.tuples_for(w);
+            let (tuples, predicate) =
+                two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), s_percent, opts.seed);
+            let stats = run_parallel(
+                SharedIndexKind::PimTree, w, w, opts.threads, opts.task_size, pim_config(w), predicate, &tuples, false,
+            );
+            row.push(mtps(&stats));
+        }
+        print_row(&row);
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 11c: parallel IBWJ throughput using the PIM-Tree with asymmetric
+//! window sizes (w_r × w_s grid).
+
+use pimtree_bench::harness::*;
+use pimtree_join::SharedIndexKind;
+use pimtree_workload::KeyDistribution;
+
+fn main() {
+    let opts = RunOpts::parse(13, 17);
+    let exps: Vec<u32> = opts.window_exps().into_iter().step_by(2).collect();
+    let header: Vec<String> = std::iter::once("wr_exp".to_string())
+        .chain(exps.iter().map(|e| format!("ws2e{e}")))
+        .collect();
+    print_header(
+        "fig11c",
+        "parallel IBWJ with PIM-Tree and asymmetric window sizes (Mtps)",
+        &header.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for &wr_exp in &exps {
+        let mut row = vec![wr_exp.to_string()];
+        for &ws_exp in &exps {
+            let wr = 1usize << wr_exp;
+            let ws = 1usize << ws_exp;
+            let w_max = wr.max(ws);
+            let n = opts.tuples_for(w_max);
+            let (tuples, predicate) =
+                two_way_workload(n + 2 * w_max, w_max, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+            let stats = run_parallel(
+                SharedIndexKind::PimTree, wr, ws, opts.threads, opts.task_size, pim_config(w_max), predicate, &tuples, false,
+            );
+            row.push(mtps(&stats));
+        }
+        print_row(&row);
+    }
+}

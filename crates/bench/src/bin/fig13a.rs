@@ -1,0 +1,59 @@
+//! Figure 13a: distribution of insert operations across the PIM-Tree's
+//! sub-indexes while the key distribution drifts (shifting Gaussian with
+//! drift speed r). The paper plots the full normalised histogram; this
+//! harness prints its summary statistics per drift speed: the share of
+//! inserts hitting the hottest sub-index, the normalised maximum, and the
+//! fraction of sub-indexes that receive (almost) no inserts.
+
+use pimtree_bench::harness::*;
+use pimtree_core::PimTree;
+use pimtree_workload::{KeyDistribution, ShiftingGaussian};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = RunOpts::parse(16, 16);
+    let w = 1usize << opts.max_exp;
+    print_header(
+        "fig13a",
+        &format!("insert skew across PIM-Tree sub-indexes under drift (w = 2^{})", opts.max_exp),
+        &["r", "partitions", "top1_share", "max_over_mean", "zero_fraction"],
+    );
+    for r in [0.0, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0] {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let drift = ShiftingGaussian::scaled(r, w, 4 * w, w);
+        let keys = drift.generate(&mut rng);
+        let _ = KeyDistribution::gaussian_paper();
+        let pim = PimTree::new(pim_config(w).with_insertion_depth(4));
+        // Phase 1: stationary Gaussian fills the window; merge so the
+        // partition ranges adapt to it.
+        for (i, &k) in keys[..w].iter().enumerate() {
+            pim.insert(k, i as u64);
+            if pim.needs_merge() {
+                pim.merge((i + 1).saturating_sub(w) as u64);
+            }
+        }
+        pim.reset_insert_histogram();
+        // Phase 2: the drifting portion; keep merging as the window slides.
+        for (i, &k) in keys[w..w + 4 * w].iter().enumerate() {
+            let seq = (w + i) as u64;
+            pim.insert(k, seq);
+            if pim.needs_merge() {
+                pim.merge((seq + 1).saturating_sub(w as u64));
+            }
+        }
+        let hist = pim.insert_histogram();
+        let total: u64 = hist.iter().sum();
+        let partitions = hist.len().max(1);
+        let mean = total as f64 / partitions as f64;
+        let max = *hist.iter().max().unwrap_or(&0) as f64;
+        let zero = hist.iter().filter(|&&c| (c as f64) < mean * 0.01).count();
+        print_row(&[
+            format!("{r:.1}"),
+            partitions.to_string(),
+            format!("{:.3}", if total > 0 { max / total as f64 } else { 0.0 }),
+            format!("{:.1}", if mean > 0.0 { max / mean } else { 0.0 }),
+            format!("{:.3}", zero as f64 / partitions as f64),
+        ]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Figure 14 (appendix): cost of one PIM-Tree merge operation — merging the
+//! live tuples of TS and TI into a new immutable B+-Tree — for varying window
+//! sizes. The cost is expected to grow linearly with the window.
+
+use pimtree_bench::harness::*;
+use pimtree_core::PimTree;
+use pimtree_workload::KeyDistribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = RunOpts::parse(14, 20);
+    print_header(
+        "fig14",
+        "PIM-Tree merge cost vs window size",
+        &["window_exp", "merge_seconds", "entries_merged"],
+    );
+    let dist = KeyDistribution::uniform();
+    for exp in opts.window_exps() {
+        let w = 1usize << exp;
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let pim = PimTree::new(pim_config(w));
+        // Fill TS with one window and TI with another (merge ratio 1), then
+        // measure the merge that combines them while expiring the older half.
+        for i in 0..w as u64 {
+            pim.insert(dist.sample(&mut rng), i);
+        }
+        pim.merge(0);
+        for i in 0..w as u64 {
+            pim.insert(dist.sample(&mut rng), w as u64 + i);
+        }
+        let report = pim.merge(w as u64);
+        print_row(&[
+            exp.to_string(),
+            format!("{:.6}", report.duration.as_secs_f64()),
+            report.new_len.to_string(),
+        ]);
+    }
+}

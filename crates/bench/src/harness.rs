@@ -1,0 +1,269 @@
+//! Shared helpers for the per-figure benchmark binaries.
+
+use pimtree_common::{BandPredicate, IndexKind, JoinConfig, PimConfig, Tuple};
+use pimtree_join::{
+    build_single_threaded, HandshakeJoin, HandshakeMode, JoinRunStats, ParallelIbwj,
+    SharedIndexKind,
+};
+use pimtree_workload::{calibrate_diff, KeyDistribution, StreamGenerator, StreamMix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Command-line options shared by the figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOpts {
+    /// Smallest window-size exponent in a sweep (`w = 2^min_exp`).
+    pub min_exp: u32,
+    /// Largest window-size exponent in a sweep.
+    pub max_exp: u32,
+    /// Measured tuples per data point; 0 means "choose automatically from the
+    /// window size".
+    pub tuples: usize,
+    /// Worker threads for the parallel operators.
+    pub threads: usize,
+    /// Task size for the parallel operators.
+    pub task_size: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl RunOpts {
+    /// Parses `--min-exp= --max-exp= --tuples= --threads= --task-size= --seed=`
+    /// from the command line, with figure-specific defaults.
+    pub fn parse(default_min: u32, default_max: u32) -> Self {
+        let mut opts = RunOpts {
+            min_exp: default_min,
+            max_exp: default_max,
+            tuples: 0,
+            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8).min(16),
+            task_size: 8,
+            seed: 42,
+        };
+        for arg in std::env::args().skip(1) {
+            let mut split = arg.splitn(2, '=');
+            let key = split.next().unwrap_or_default();
+            let value = split.next().unwrap_or_default();
+            let parse_usize = || value.parse::<usize>().unwrap_or_else(|_| panic!("bad value for {key}: {value}"));
+            match key {
+                "--min-exp" => opts.min_exp = parse_usize() as u32,
+                "--max-exp" => opts.max_exp = parse_usize() as u32,
+                "--tuples" => opts.tuples = parse_usize(),
+                "--threads" => opts.threads = parse_usize(),
+                "--task-size" => opts.task_size = parse_usize(),
+                "--seed" => opts.seed = parse_usize() as u64,
+                other => eprintln!("note: ignoring unknown argument '{other}'"),
+            }
+        }
+        assert!(opts.min_exp <= opts.max_exp, "--min-exp must not exceed --max-exp");
+        opts
+    }
+
+    /// The window-size exponents of the sweep.
+    pub fn window_exps(&self) -> Vec<u32> {
+        (self.min_exp..=self.max_exp).collect()
+    }
+
+    /// Number of measured tuples for a window of `w` tuples: enough to slide
+    /// through the window a few times, bounded so large windows stay cheap.
+    pub fn tuples_for(&self, w: usize) -> usize {
+        if self.tuples > 0 {
+            self.tuples
+        } else {
+            (4 * w).clamp(1 << 16, 4 << 20)
+        }
+    }
+}
+
+/// The paper's default PIM/IM-Tree configuration for a window of `w` tuples:
+/// fan-out 32, leaf size 32, insertion depth 3, merge ratio 1 (the best
+/// multithreaded setting per Figure 9a).
+pub fn pim_config(w: usize) -> PimConfig {
+    PimConfig::for_window(w)
+        .with_merge_ratio(1.0)
+        .with_insertion_depth(3)
+}
+
+/// Generates a two-way workload: `n` interleaved tuples whose keys follow
+/// `dist`, with `s_percent`% of tuples on stream `S`, and a band predicate
+/// calibrated so that a probe against a window of `w` tuples yields about
+/// `match_rate` matches.
+pub fn two_way_workload(
+    n: usize,
+    w: usize,
+    match_rate: f64,
+    dist: KeyDistribution,
+    s_percent: f64,
+    seed: u64,
+) -> (Vec<Tuple>, BandPredicate) {
+    let diff = calibrate_diff(dist, w, match_rate, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut generator = StreamGenerator::new(dist, StreamMix::with_s_percent(s_percent));
+    (generator.generate(&mut rng, n), BandPredicate::new(diff))
+}
+
+/// Generates a self-join workload: `n` tuples on stream `R` with a calibrated
+/// band predicate.
+pub fn self_join_workload(
+    n: usize,
+    w: usize,
+    match_rate: f64,
+    dist: KeyDistribution,
+    seed: u64,
+) -> (Vec<Tuple>, BandPredicate) {
+    let diff = calibrate_diff(dist, w, match_rate, seed);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tuples = (0..n as u64).map(|i| Tuple::r(i, dist.sample(&mut rng))).collect();
+    (tuples, BandPredicate::new(diff))
+}
+
+/// Runs a single-threaded operator (NLWJ or IBWJ over the given index kind)
+/// over `tuples` after warming the windows with the first `warmup` tuples.
+pub fn run_single(
+    kind: IndexKind,
+    window: usize,
+    chain_length: usize,
+    pim: PimConfig,
+    predicate: BandPredicate,
+    tuples: &[Tuple],
+    warmup: usize,
+    self_join: bool,
+) -> JoinRunStats {
+    let config = JoinConfig::symmetric(window, kind)
+        .with_chain_length(chain_length)
+        .with_pim(pim);
+    let mut op = build_single_threaded(&config, predicate, self_join);
+    let warmup = warmup.min(tuples.len());
+    let (_, _) = op.run(&tuples[..warmup], false);
+    let (stats, _) = op.run(&tuples[warmup..], false);
+    stats
+}
+
+/// Runs the parallel shared-index engine over `tuples`.
+///
+/// The first `window_r + window_s` tuples (at most half the sequence) are
+/// treated as warmup: they fill the sliding windows and take the PIM-Tree
+/// through its first merge so that it has its partition structure, exactly
+/// like the single-threaded runners are measured on warm windows. Statistics
+/// cover only the remaining tuples.
+pub fn run_parallel(
+    kind: SharedIndexKind,
+    window_r: usize,
+    window_s: usize,
+    threads: usize,
+    task_size: usize,
+    pim: PimConfig,
+    predicate: BandPredicate,
+    tuples: &[Tuple],
+    self_join: bool,
+) -> JoinRunStats {
+    let mut config = JoinConfig::symmetric(window_r.max(window_s), IndexKind::PimTree)
+        .with_threads(threads)
+        .with_task_size(task_size)
+        .with_pim(pim);
+    config.window_r = window_r;
+    config.window_s = window_s;
+    let op = ParallelIbwj::new(config, predicate, kind, self_join);
+    let warmup = (window_r + window_s).min(tuples.len() / 2);
+    let (stats, _) = op.run_with_warmup(tuples, warmup);
+    stats
+}
+
+/// Runs the round-robin partitioned (handshake-style) join.
+pub fn run_handshake(
+    mode: HandshakeMode,
+    threads: usize,
+    window_r: usize,
+    window_s: usize,
+    predicate: BandPredicate,
+    tuples: &[Tuple],
+) -> JoinRunStats {
+    let op = HandshakeJoin::new(threads, window_r, window_s, predicate, mode);
+    let (stats, _) = op.run(tuples);
+    stats
+}
+
+/// Prints the figure banner and CSV header.
+pub fn print_header(figure: &str, description: &str, columns: &[&str]) {
+    println!("# {figure}: {description}");
+    println!("{}", columns.join(","));
+}
+
+/// Prints one CSV row.
+pub fn print_row(values: &[String]) {
+    println!("{}", values.join(","));
+}
+
+/// Formats a throughput in million tuples per second.
+pub fn mtps(stats: &JoinRunStats) -> String {
+    format!("{:.4}", stats.million_tuples_per_second())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuples_for_scales_with_window_and_respects_override() {
+        let opts = RunOpts {
+            min_exp: 10,
+            max_exp: 12,
+            tuples: 0,
+            threads: 4,
+            task_size: 8,
+            seed: 1,
+        };
+        assert_eq!(opts.tuples_for(1 << 10), 1 << 16);
+        assert_eq!(opts.tuples_for(1 << 18), 1 << 20);
+        assert_eq!(opts.tuples_for(1 << 24), 4 << 20);
+        let fixed = RunOpts { tuples: 1234, ..opts };
+        assert_eq!(fixed.tuples_for(1 << 24), 1234);
+        assert_eq!(opts.window_exps(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn workloads_hit_the_requested_match_rate_roughly() {
+        let w = 1 << 12;
+        let (tuples, predicate) =
+            two_way_workload(6 * w, w, 2.0, KeyDistribution::uniform(), 50.0, 7);
+        let stats = run_single(
+            IndexKind::BTree,
+            w,
+            2,
+            pim_config(w),
+            predicate,
+            &tuples,
+            2 * w,
+            false,
+        );
+        let rate = stats.observed_match_rate();
+        assert!(
+            (0.8..=4.0).contains(&rate),
+            "observed match rate {rate}, expected about 2"
+        );
+    }
+
+    #[test]
+    fn single_and_parallel_runners_produce_stats() {
+        let w = 1 << 10;
+        let (tuples, predicate) =
+            self_join_workload(4 * w, w, 2.0, KeyDistribution::uniform(), 3);
+        let st = run_single(IndexKind::PimTree, w, 2, pim_config(w), predicate, &tuples, w, true);
+        assert!(st.million_tuples_per_second() > 0.0);
+        let par = run_parallel(
+            SharedIndexKind::PimTree,
+            w,
+            w,
+            2,
+            4,
+            pim_config(w),
+            predicate,
+            &tuples,
+            true,
+        );
+        // The parallel runner excludes its window-fill warmup (2w here) from
+        // the reported statistics.
+        assert_eq!(par.tuples as usize, tuples.len() - 2 * w);
+        let hs = run_handshake(HandshakeMode::Ibwj, 2, w, w, predicate, &tuples);
+        assert_eq!(hs.tuples as usize, tuples.len());
+    }
+}

@@ -1,0 +1,14 @@
+//! Benchmark harness for reproducing the paper's tables and figures.
+//!
+//! Every figure of the evaluation section has a corresponding binary in
+//! `src/bin/` (named `fig08a` … `fig14`) that regenerates the figure's data
+//! series and prints them as CSV-style rows. The binaries share the helpers in
+//! [`harness`]: workload generation with match-rate calibration, operator
+//! construction for every index kind, and consistent output formatting.
+//!
+//! By default each binary runs a *scaled-down* version of the paper's sweep so
+//! that the full set finishes in minutes on a laptop; pass
+//! `--min-exp`/`--max-exp`/`--tuples`/`--threads` to widen the sweep up to the
+//! paper's original ranges (see `EXPERIMENTS.md`).
+
+pub mod harness;

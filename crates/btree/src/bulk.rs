@@ -1,0 +1,194 @@
+//! Bottom-up bulk loading of a B+-Tree from sorted entries.
+//!
+//! Bulk loading is used by the B-chain variant of the chained index (archived
+//! sub-indexes can be rebuilt compactly) and by tests that need large trees
+//! quickly. The resulting tree satisfies exactly the same invariants as one
+//! built by repeated insertion.
+
+use crate::entry::Entry;
+use crate::node::{InnerNode, LeafNode, Node, NodeId, NIL};
+use crate::tree::BTreeIndex;
+use crate::DEFAULT_FANOUT;
+
+/// Builds a tree with the default fan-out from entries that are already sorted
+/// by `(key, seq)`.
+///
+/// # Panics
+///
+/// Panics if the input is not sorted.
+pub fn from_sorted(entries: Vec<Entry>) -> BTreeIndex {
+    from_sorted_with_fanout(entries, DEFAULT_FANOUT)
+}
+
+/// Builds a tree with the given fan-out from sorted entries.
+pub fn from_sorted_with_fanout(entries: Vec<Entry>, fanout: usize) -> BTreeIndex {
+    assert!(fanout >= 4, "B+-Tree fan-out must be at least 4");
+    debug_assert!(
+        entries.windows(2).all(|w| w[0] <= w[1]),
+        "bulk-load input must be sorted"
+    );
+    if entries.is_empty() {
+        return BTreeIndex::with_fanout(fanout);
+    }
+    let len = entries.len();
+    let mut nodes: Vec<Node> = Vec::new();
+    let alloc = |node: Node, nodes: &mut Vec<Node>| -> NodeId {
+        let id = nodes.len() as NodeId;
+        nodes.push(node);
+        id
+    };
+
+    // Split `total` items into chunks of at most `max`, each of size at least
+    // `min` (assuming total >= min or there is a single chunk).
+    let chunk_sizes = |total: usize, max: usize, min: usize| -> Vec<usize> {
+        if total <= max {
+            return vec![total];
+        }
+        let mut sizes = Vec::new();
+        let mut remaining = total;
+        while remaining > 0 {
+            if remaining > max && remaining < max + min {
+                // Splitting off a full chunk would leave an underfull tail;
+                // split the remainder evenly instead.
+                let first = remaining / 2;
+                sizes.push(first);
+                sizes.push(remaining - first);
+                remaining = 0;
+            } else {
+                let take = remaining.min(max);
+                sizes.push(take);
+                remaining -= take;
+            }
+        }
+        sizes
+    };
+
+    // Level 0: leaves.
+    let min_leaf = fanout / 2;
+    let sizes = chunk_sizes(len, fanout, min_leaf);
+    let mut level: Vec<(NodeId, Entry)> = Vec::with_capacity(sizes.len());
+    let mut iter = entries.into_iter();
+    let mut prev_leaf: Option<NodeId> = None;
+    for size in sizes {
+        let chunk: Vec<Entry> = iter.by_ref().take(size).collect();
+        let min_entry = chunk[0];
+        let id = alloc(Node::Leaf(LeafNode::new(chunk, NIL)), &mut nodes);
+        if let Some(prev) = prev_leaf {
+            match &mut nodes[prev as usize] {
+                Node::Leaf(l) => l.next = id,
+                _ => unreachable!(),
+            }
+        }
+        prev_leaf = Some(id);
+        level.push((id, min_entry));
+    }
+
+    // Upper levels: group children until a single root remains.
+    let min_children = fanout / 2 + 1;
+    let max_children = fanout + 1;
+    while level.len() > 1 {
+        let sizes = chunk_sizes(level.len(), max_children, min_children);
+        let mut next_level = Vec::with_capacity(sizes.len());
+        let mut iter = level.into_iter();
+        for size in sizes {
+            let group: Vec<(NodeId, Entry)> = iter.by_ref().take(size).collect();
+            let min_entry = group[0].1;
+            let keys: Vec<Entry> = group[1..].iter().map(|&(_, min)| min).collect();
+            let children: Vec<NodeId> = group.iter().map(|&(id, _)| id).collect();
+            let id = alloc(Node::Inner(InnerNode::new(keys, children)), &mut nodes);
+            next_level.push((id, min_entry));
+        }
+        level = next_level;
+    }
+
+    let root = level[0].0;
+    BTreeIndex::install(nodes, root, len, fanout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimtree_common::KeyRange;
+
+    fn sorted_entries(n: usize) -> Vec<Entry> {
+        (0..n as i64).map(|i| Entry::new(i, i as u64)).collect()
+    }
+
+    #[test]
+    fn empty_input_builds_empty_tree() {
+        let t = from_sorted(Vec::new());
+        assert!(t.is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn single_entry() {
+        let t = from_sorted(vec![Entry::new(7, 3)]);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(7, 3));
+        t.check_invariants();
+    }
+
+    #[test]
+    fn exactly_one_full_leaf() {
+        let t = from_sorted_with_fanout(sorted_entries(8), 8);
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.height(), 1);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn boundary_sizes_respect_min_occupancy() {
+        // Sizes chosen around multiples of the fan-out, which is where a naive
+        // chunking would produce underfull tail nodes.
+        for n in [1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129] {
+            let t = from_sorted_with_fanout(sorted_entries(n), 4);
+            assert_eq!(t.len(), n, "n={n}");
+            t.check_invariants();
+        }
+    }
+
+    #[test]
+    fn large_bulk_load_matches_incremental_content() {
+        let entries = sorted_entries(10_000);
+        let bulk = from_sorted_with_fanout(entries.clone(), 16);
+        let mut incr = BTreeIndex::with_fanout(16);
+        for e in &entries {
+            incr.insert_entry(*e);
+        }
+        bulk.check_invariants();
+        assert_eq!(bulk.to_sorted_vec(), incr.to_sorted_vec());
+        assert!(bulk.height() <= incr.height(), "bulk-loaded tree is at least as shallow");
+    }
+
+    #[test]
+    fn bulk_loaded_tree_supports_further_updates() {
+        let mut t = from_sorted_with_fanout(sorted_entries(1000), 8);
+        for i in 0..200i64 {
+            t.insert(i * 3 + 1_000_000, i as u64);
+        }
+        for i in 0..500i64 {
+            assert!(t.remove(i, i as u64));
+        }
+        assert_eq!(t.len(), 1000 + 200 - 500);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn bulk_loaded_range_scan() {
+        let t = from_sorted_with_fanout(sorted_entries(512), 8);
+        let got = t.range_collect(KeyRange::new(100, 149));
+        assert_eq!(got.len(), 50);
+        assert!(got.iter().all(|e| (100..=149).contains(&e.key)));
+    }
+
+    #[test]
+    fn duplicates_survive_bulk_load() {
+        let mut entries: Vec<Entry> = (0..100).map(|s| Entry::new(5, s)).collect();
+        entries.extend((0..100).map(|s| Entry::new(9, s)));
+        let t = from_sorted_with_fanout(entries, 4);
+        assert_eq!(t.len(), 200);
+        assert_eq!(t.range_collect(KeyRange::point(5)).len(), 100);
+        t.check_invariants();
+    }
+}

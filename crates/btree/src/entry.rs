@@ -1,0 +1,79 @@
+//! The `(key, seq)` entry type stored by every index in the workspace.
+
+use pimtree_common::{Key, Seq};
+
+/// One index entry: a join-attribute key plus the sliding-window sequence
+/// number of the tuple it refers to.
+///
+/// Entries are totally ordered by `(key, seq)`. The sequence number breaks
+/// ties between duplicate keys so that deleting an expired tuple removes
+/// exactly one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Entry {
+    /// Join attribute.
+    pub key: Key,
+    /// Window reference (arrival sequence number).
+    pub seq: Seq,
+}
+
+impl Entry {
+    /// Creates an entry.
+    #[inline]
+    pub fn new(key: Key, seq: Seq) -> Self {
+        Entry { key, seq }
+    }
+
+    /// The smallest entry with the given key — the seek target for "first
+    /// entry with key `>= k`" searches.
+    #[inline]
+    pub fn min_for_key(key: Key) -> Self {
+        Entry { key, seq: 0 }
+    }
+
+    /// The largest entry with the given key — the seek target for inclusive
+    /// upper bounds.
+    #[inline]
+    pub fn max_for_key(key: Key) -> Self {
+        Entry { key, seq: Seq::MAX }
+    }
+}
+
+impl From<(Key, Seq)> for Entry {
+    fn from((key, seq): (Key, Seq)) -> Self {
+        Entry { key, seq }
+    }
+}
+
+impl From<Entry> for (Key, Seq) {
+    fn from(e: Entry) -> Self {
+        (e.key, e.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_by_key_then_seq() {
+        assert!(Entry::new(1, 99) < Entry::new(2, 0));
+        assert!(Entry::new(5, 1) < Entry::new(5, 2));
+        assert_eq!(Entry::new(5, 1), Entry::new(5, 1));
+    }
+
+    #[test]
+    fn min_and_max_bracket_all_entries_for_a_key() {
+        let e = Entry::new(7, 12345);
+        assert!(Entry::min_for_key(7) <= e);
+        assert!(e <= Entry::max_for_key(7));
+        assert!(Entry::max_for_key(6) < Entry::min_for_key(7));
+    }
+
+    #[test]
+    fn tuple_conversions_roundtrip() {
+        let e: Entry = (3, 4).into();
+        assert_eq!(e, Entry::new(3, 4));
+        let t: (Key, Seq) = e.into();
+        assert_eq!(t, (3, 4));
+    }
+}

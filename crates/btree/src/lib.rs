@@ -1,0 +1,35 @@
+//! An arena-based, in-memory B+-Tree multimap over `(Key, Seq)` entries.
+//!
+//! This crate plays two roles in the reproduction of *"Parallel Index-based
+//! Stream Join on a Multicore CPU"*:
+//!
+//! 1. it is the **single-index baseline** of §2.2.1 (the paper uses the STX
+//!    B+-Tree); and
+//! 2. it is the **mutable component** (`TI`) of the IM-Tree and the sub-index
+//!    building block (`B_i`) of the PIM-Tree (§3).
+//!
+//! Design notes:
+//!
+//! * Nodes live in a slab ([`tree::BTreeIndex`] owns a `Vec` of nodes addressed
+//!   by `u32` ids), so the structure is safe Rust without reference counting
+//!   or unsafe pointer juggling, and freed nodes are recycled via a free list.
+//! * The tree is a *multimap*: duplicate keys are allowed and entries are
+//!   totally ordered by `(key, seq)`, which makes deletion of an exact entry
+//!   unambiguous — exactly what sliding-window expiry needs.
+//! * Leaves are linked, so range scans and full drains are sequential.
+//! * Deletion rebalances (borrow-from-sibling or merge) so long-running
+//!   sliding-window workloads do not degrade the tree shape.
+
+pub mod bulk;
+pub mod entry;
+pub mod node;
+pub mod stats;
+pub mod tree;
+
+pub use entry::Entry;
+pub use stats::BTreeStats;
+pub use tree::BTreeIndex;
+
+/// Default maximum number of entries/keys per node (the paper's trees use a
+/// fan-out of 32).
+pub const DEFAULT_FANOUT: usize = 32;

@@ -1,0 +1,183 @@
+//! Node representation of the arena-based B+-Tree.
+
+use crate::entry::Entry;
+
+/// Index of a node inside the tree's arena.
+pub type NodeId = u32;
+
+/// Sentinel "no node" id (used for leaf `next` links and the free list tail).
+pub const NIL: NodeId = u32::MAX;
+
+/// An inner (routing) node.
+///
+/// Invariant: `children.len() == keys.len() + 1`, and for every separator
+/// `keys[i]`, all entries under `children[j]` with `j <= i` compare strictly
+/// less than `keys[i]`, while all entries under `children[j]` with `j > i`
+/// compare greater than or equal to `keys[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InnerNode {
+    /// Separator entries.
+    pub keys: Vec<Entry>,
+    /// Child node ids.
+    pub children: Vec<NodeId>,
+}
+
+impl InnerNode {
+    /// Creates an inner node with the given separators and children.
+    pub fn new(keys: Vec<Entry>, children: Vec<NodeId>) -> Self {
+        debug_assert_eq!(children.len(), keys.len() + 1);
+        InnerNode { keys, children }
+    }
+
+    /// Index of the child to descend into when looking for `target`.
+    ///
+    /// Returns the number of separators that are `<= target`, which by the
+    /// node invariant is the unique child whose subtree may contain `target`
+    /// (and is the correct child for a lower-bound seek as well).
+    #[inline]
+    pub fn route(&self, target: Entry) -> usize {
+        // Separator counts are small (fan-out <= a few hundred); a branch-free
+        // linear scan is faster than binary search for typical fan-outs, but
+        // partition_point keeps the code obviously correct.
+        self.keys.partition_point(|&k| k <= target)
+    }
+
+    /// Bytes of payload held by this node (keys + child ids), used for
+    /// footprint reporting.
+    pub fn payload_bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<Entry>()
+            + self.children.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+/// A leaf node holding the actual `(key, seq)` entries in sorted order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeafNode {
+    /// Sorted entries.
+    pub entries: Vec<Entry>,
+    /// Arena id of the next leaf in key order, or [`NIL`].
+    pub next: NodeId,
+}
+
+impl LeafNode {
+    /// Creates a leaf with the given entries and successor link.
+    pub fn new(entries: Vec<Entry>, next: NodeId) -> Self {
+        LeafNode { entries, next }
+    }
+
+    /// Position of the first entry `>= target` within this leaf.
+    #[inline]
+    pub fn lower_bound(&self, target: Entry) -> usize {
+        self.entries.partition_point(|&e| e < target)
+    }
+
+    /// Bytes of payload held by this node.
+    pub fn payload_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<Entry>()
+    }
+}
+
+/// A node slot in the arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Routing node.
+    Inner(InnerNode),
+    /// Entry-bearing node.
+    Leaf(LeafNode),
+    /// Recycled slot; `next_free` chains the free list.
+    Free {
+        /// Next slot in the free list, or [`NIL`].
+        next_free: NodeId,
+    },
+}
+
+impl Node {
+    /// Returns the inner node or panics — internal helper used where the tree
+    /// structure guarantees the variant.
+    #[inline]
+    pub fn as_inner(&self) -> &InnerNode {
+        match self {
+            Node::Inner(n) => n,
+            _ => panic!("expected inner node"),
+        }
+    }
+
+    /// Mutable variant of [`Node::as_inner`].
+    #[inline]
+    pub fn as_inner_mut(&mut self) -> &mut InnerNode {
+        match self {
+            Node::Inner(n) => n,
+            _ => panic!("expected inner node"),
+        }
+    }
+
+    /// Returns the leaf node or panics.
+    #[inline]
+    pub fn as_leaf(&self) -> &LeafNode {
+        match self {
+            Node::Leaf(n) => n,
+            _ => panic!("expected leaf node"),
+        }
+    }
+
+    /// Mutable variant of [`Node::as_leaf`].
+    #[inline]
+    pub fn as_leaf_mut(&mut self) -> &mut LeafNode {
+        match self {
+            Node::Leaf(n) => n,
+            _ => panic!("expected leaf node"),
+        }
+    }
+
+    /// Whether this slot holds a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(k: i64) -> Entry {
+        Entry::new(k, 0)
+    }
+
+    #[test]
+    fn inner_route_follows_separator_invariant() {
+        let n = InnerNode::new(vec![e(10), e(20), e(30)], vec![0, 1, 2, 3]);
+        assert_eq!(n.route(Entry::new(5, 0)), 0);
+        assert_eq!(n.route(Entry::new(10, 0)), 1, "equal separator routes right");
+        assert_eq!(n.route(Entry::new(15, 7)), 1);
+        assert_eq!(n.route(Entry::new(20, 0)), 2);
+        assert_eq!(n.route(Entry::new(99, 0)), 3);
+    }
+
+    #[test]
+    fn leaf_lower_bound() {
+        let l = LeafNode::new(vec![e(1), e(3), e(3), e(7)], NIL);
+        assert_eq!(l.lower_bound(Entry::min_for_key(0)), 0);
+        assert_eq!(l.lower_bound(Entry::min_for_key(3)), 1);
+        assert_eq!(l.lower_bound(Entry::min_for_key(4)), 3);
+        assert_eq!(l.lower_bound(Entry::min_for_key(8)), 4);
+    }
+
+    #[test]
+    fn payload_bytes_reflect_contents() {
+        let l = LeafNode::new(vec![e(1), e(2)], NIL);
+        assert_eq!(l.payload_bytes(), 2 * std::mem::size_of::<Entry>());
+        let n = InnerNode::new(vec![e(10)], vec![0, 1]);
+        assert_eq!(
+            n.payload_bytes(),
+            std::mem::size_of::<Entry>() + 2 * std::mem::size_of::<NodeId>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expected inner")]
+    fn as_inner_panics_on_leaf() {
+        let n = Node::Leaf(LeafNode::new(vec![], NIL));
+        let _ = n.as_inner();
+    }
+}

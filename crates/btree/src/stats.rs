@@ -1,0 +1,71 @@
+//! Structural statistics and memory-footprint reporting for the B+-Tree.
+//!
+//! These numbers back the memory-footprint comparison of Figure 11a in the
+//! paper, which splits the space of each index into inner-node and leaf-node
+//! storage.
+
+/// Structural statistics of a [`crate::BTreeIndex`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BTreeStats {
+    /// Number of entries stored.
+    pub entries: usize,
+    /// Number of live inner nodes.
+    pub inner_nodes: usize,
+    /// Number of live leaf nodes.
+    pub leaf_nodes: usize,
+    /// Payload bytes held by inner nodes (separators + child ids).
+    pub inner_bytes: usize,
+    /// Payload bytes held by leaf nodes (entries).
+    pub leaf_bytes: usize,
+    /// Number of node levels (1 for a lone leaf root).
+    pub height: usize,
+}
+
+impl BTreeStats {
+    /// Total payload bytes across inner and leaf nodes.
+    pub fn total_bytes(&self) -> usize {
+        self.inner_bytes + self.leaf_bytes
+    }
+
+    /// Total number of live nodes.
+    pub fn total_nodes(&self) -> usize {
+        self.inner_nodes + self.leaf_nodes
+    }
+
+    /// Average leaf fill factor in `[0, 1]` given the leaf capacity.
+    pub fn leaf_fill_factor(&self, leaf_capacity: usize) -> f64 {
+        if self.leaf_nodes == 0 || leaf_capacity == 0 {
+            return 0.0;
+        }
+        self.entries as f64 / (self.leaf_nodes * leaf_capacity) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_sums() {
+        let s = BTreeStats {
+            entries: 100,
+            inner_nodes: 3,
+            leaf_nodes: 10,
+            inner_bytes: 300,
+            leaf_bytes: 1600,
+            height: 2,
+        };
+        assert_eq!(s.total_bytes(), 1900);
+        assert_eq!(s.total_nodes(), 13);
+    }
+
+    #[test]
+    fn fill_factor_handles_edge_cases() {
+        let mut s = BTreeStats::default();
+        assert_eq!(s.leaf_fill_factor(16), 0.0);
+        s.entries = 80;
+        s.leaf_nodes = 10;
+        assert!((s.leaf_fill_factor(16) - 0.5).abs() < 1e-12);
+        assert_eq!(s.leaf_fill_factor(0), 0.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! The concurrent index: routing table over logical leaf pages.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use pimtree_btree::Entry;
+use pimtree_common::{Key, KeyRange, Seq};
+
+use crate::page::LeafPage;
+use crate::{DEFAULT_CONSOLIDATION_THRESHOLD, DEFAULT_LEAF_CAPACITY};
+
+#[derive(Debug)]
+struct Slot {
+    /// Smallest entry this page is responsible for (inclusive).
+    lower: Entry,
+    page: Arc<Mutex<LeafPage>>,
+}
+
+/// Structural statistics of a [`BwTreeIndex`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BwTreeStats {
+    /// Number of logical leaf pages.
+    pub pages: usize,
+    /// Live entries.
+    pub entries: usize,
+    /// Pending (unconsolidated) delta records across all pages.
+    pub pending_deltas: usize,
+    /// Approximate payload bytes.
+    pub total_bytes: usize,
+}
+
+/// A concurrent ordered index over `(key, seq)` entries.
+///
+/// All operations take `&self` and may be called from any number of threads.
+/// See the crate-level documentation for the design and for how it relates to
+/// the Bw-Tree used by the paper.
+#[derive(Debug)]
+pub struct BwTreeIndex {
+    routing: RwLock<Vec<Slot>>,
+    len: AtomicUsize,
+    leaf_capacity: usize,
+    consolidation_threshold: usize,
+}
+
+impl Default for BwTreeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BwTreeIndex {
+    /// Creates an empty index with default page capacity and consolidation
+    /// threshold.
+    pub fn new() -> Self {
+        Self::with_parameters(DEFAULT_LEAF_CAPACITY, DEFAULT_CONSOLIDATION_THRESHOLD)
+    }
+
+    /// Creates an empty index with explicit page capacity and consolidation
+    /// threshold.
+    pub fn with_parameters(leaf_capacity: usize, consolidation_threshold: usize) -> Self {
+        assert!(leaf_capacity >= 8, "leaf capacity must be at least 8");
+        assert!(consolidation_threshold >= 1, "consolidation threshold must be at least 1");
+        BwTreeIndex {
+            routing: RwLock::new(vec![Slot {
+                lower: Entry::new(Key::MIN, 0),
+                page: Arc::new(Mutex::new(LeafPage::new())),
+            }]),
+            len: AtomicUsize::new(0),
+            leaf_capacity,
+            consolidation_threshold,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn route(slots: &[Slot], target: Entry) -> usize {
+        // Last slot whose lower bound is <= target. Slot 0 covers Key::MIN, so
+        // the partition point is always >= 1.
+        slots.partition_point(|s| s.lower <= target).saturating_sub(1)
+    }
+
+    /// Inserts an entry.
+    pub fn insert(&self, key: Key, seq: Seq) {
+        let entry = Entry::new(key, seq);
+        let overflowed_page = {
+            let routing = self.routing.read();
+            let idx = Self::route(&routing, entry);
+            let page_arc = Arc::clone(&routing[idx].page);
+            let mut page = page_arc.lock();
+            page.insert(entry);
+            self.len.fetch_add(1, Ordering::Relaxed);
+            if page.delta_len() >= self.consolidation_threshold {
+                let consolidated_len = page.consolidate();
+                if consolidated_len > self.leaf_capacity {
+                    drop(page);
+                    Some(page_arc)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        };
+        if let Some(page_arc) = overflowed_page {
+            self.split_page(&page_arc);
+        }
+    }
+
+    /// Removes the exact `(key, seq)` entry, returning whether it was present.
+    pub fn remove(&self, key: Key, seq: Seq) -> bool {
+        let entry = Entry::new(key, seq);
+        let routing = self.routing.read();
+        let idx = Self::route(&routing, entry);
+        let mut page = routing[idx].page.lock();
+        let removed = page.delete(entry);
+        if removed {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        if page.delta_len() >= self.consolidation_threshold {
+            page.consolidate();
+        }
+        removed
+    }
+
+    /// Whether the exact `(key, seq)` entry is present.
+    pub fn contains(&self, key: Key, seq: Seq) -> bool {
+        let entry = Entry::new(key, seq);
+        let routing = self.routing.read();
+        let idx = Self::route(&routing, entry);
+        let page = routing[idx].page.lock();
+        page.contains(entry)
+    }
+
+    /// Calls `f` for every live entry whose key lies in `range`. Entries
+    /// within one page are delivered in ascending order; pages are visited in
+    /// ascending key order.
+    pub fn range_for_each<F: FnMut(Entry)>(&self, range: KeyRange, mut f: F) {
+        let routing = self.routing.read();
+        let start = Self::route(&routing, Entry::min_for_key(range.lo));
+        for slot in routing[start..].iter() {
+            if slot.lower.key > range.hi {
+                break;
+            }
+            let page = slot.page.lock();
+            for e in page.range(range) {
+                f(e);
+            }
+        }
+    }
+
+    /// Collects every live entry whose key lies in `range`.
+    pub fn range_collect(&self, range: KeyRange) -> Vec<Entry> {
+        let mut out = Vec::new();
+        self.range_for_each(range, |e| out.push(e));
+        out
+    }
+
+    fn split_page(&self, page_arc: &Arc<Mutex<LeafPage>>) {
+        let mut routing = self.routing.write();
+        let Some(mut idx) = routing.iter().position(|s| Arc::ptr_eq(&s.page, page_arc)) else {
+            return;
+        };
+        loop {
+            let (sep, upper) = {
+                let mut page = routing[idx].page.lock();
+                page.consolidate();
+                if page.base.len() <= self.leaf_capacity {
+                    return;
+                }
+                page.split()
+            };
+            routing.insert(
+                idx + 1,
+                Slot {
+                    lower: sep,
+                    page: Arc::new(Mutex::new(upper)),
+                },
+            );
+            // The upper half could itself still be oversized if the page grew
+            // far past its capacity; keep splitting the larger half.
+            idx += 1;
+        }
+    }
+
+    /// Number of logical leaf pages (an indicator of how much concurrency the
+    /// structure can sustain).
+    pub fn page_count(&self) -> usize {
+        self.routing.read().len()
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> BwTreeStats {
+        let routing = self.routing.read();
+        let mut stats = BwTreeStats {
+            pages: routing.len(),
+            entries: self.len(),
+            ..Default::default()
+        };
+        for slot in routing.iter() {
+            let page = slot.page.lock();
+            stats.pending_deltas += page.delta_len();
+            stats.total_bytes += page.footprint_bytes();
+        }
+        stats
+    }
+
+    /// Verifies routing invariants (sorted lower bounds, every entry within
+    /// its page's range). For tests.
+    pub fn check_invariants(&self) {
+        let routing = self.routing.read();
+        assert!(!routing.is_empty());
+        assert_eq!(routing[0].lower, Entry::new(Key::MIN, 0), "first slot covers the key domain");
+        for w in routing.windows(2) {
+            assert!(w[0].lower < w[1].lower, "routing lower bounds out of order");
+        }
+        let mut counted = 0usize;
+        for (i, slot) in routing.iter().enumerate() {
+            let mut page = slot.page.lock();
+            page.consolidate();
+            let upper = routing.get(i + 1).map(|s| s.lower);
+            for &e in &page.base {
+                assert!(e >= slot.lower, "entry {e:?} below page lower bound {:?}", slot.lower);
+                if let Some(up) = upper {
+                    assert!(e < up, "entry {e:?} not below next page bound {up:?}");
+                }
+            }
+            counted += page.base.len();
+        }
+        assert_eq!(counted, self.len(), "entry count mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_index() {
+        let idx = BwTreeIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.page_count(), 1);
+        assert!(!idx.contains(1, 1));
+        assert!(!idx.remove(1, 1));
+        assert!(idx.range_collect(KeyRange::new(0, 100)).is_empty());
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn insert_remove_contains_single_threaded() {
+        let idx = BwTreeIndex::with_parameters(16, 4);
+        for i in 0..1000i64 {
+            idx.insert((i * 31) % 500, i as u64);
+        }
+        assert_eq!(idx.len(), 1000);
+        assert!(idx.page_count() > 10, "tree must have split many times");
+        idx.check_invariants();
+        assert!(idx.contains(31 % 500, 1));
+        for i in 0..1000i64 {
+            assert!(idx.remove((i * 31) % 500, i as u64), "remove {i}");
+        }
+        assert!(idx.is_empty());
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn range_scan_matches_reference() {
+        let idx = BwTreeIndex::with_parameters(32, 8);
+        let mut reference = Vec::new();
+        for i in 0..5000i64 {
+            let key = (i * 7919) % 10_000;
+            idx.insert(key, i as u64);
+            reference.push(Entry::new(key, i as u64));
+        }
+        reference.sort();
+        let range = KeyRange::new(2000, 2500);
+        let mut got = idx.range_collect(range);
+        got.sort();
+        let expected: Vec<Entry> = reference.iter().copied().filter(|e| range.contains(e.key)).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn duplicate_keys_distinct_seqs() {
+        let idx = BwTreeIndex::with_parameters(16, 4);
+        for s in 0..200u64 {
+            idx.insert(7, s);
+        }
+        assert_eq!(idx.len(), 200);
+        assert_eq!(idx.range_collect(KeyRange::point(7)).len(), 200);
+        assert!(idx.remove(7, 100));
+        assert!(!idx.remove(7, 100));
+        assert_eq!(idx.len(), 199);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn sliding_window_pattern() {
+        let idx = BwTreeIndex::with_parameters(64, 8);
+        let w = 512i64;
+        let key_of = |i: i64| (i * 2654435761u32 as i64) % 8192;
+        for i in 0..w {
+            idx.insert(key_of(i), i as u64);
+        }
+        for i in w..w * 8 {
+            idx.insert(key_of(i), i as u64);
+            assert!(idx.remove(key_of(i - w), (i - w) as u64));
+            assert_eq!(idx.len(), w as usize);
+        }
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_inserts_and_lookups() {
+        let idx = Arc::new(BwTreeIndex::with_parameters(64, 8));
+        let threads = 8;
+        let per_thread = 5_000i64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let key = (t * per_thread + i) * 17 % 100_000;
+                    idx.insert(key, (t * per_thread + i) as u64);
+                    if i % 7 == 0 {
+                        // Interleave some range scans to exercise shared reads.
+                        let _ = idx.range_collect(KeyRange::new(key - 50, key + 50));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), (threads * per_thread) as usize);
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_sliding_window_mix() {
+        // Each thread owns a disjoint seq range and performs insert-then-
+        // remove cycles while others scan; the index must end up empty.
+        let idx = Arc::new(BwTreeIndex::with_parameters(32, 4));
+        let threads = 6;
+        let per_thread = 2_000i64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_thread {
+                    let seq = (t * per_thread + i) as u64;
+                    let key = (i * 13) % 5_000;
+                    idx.insert(key, seq);
+                    let _ = idx.range_collect(KeyRange::new(key - 2, key + 2));
+                    assert!(idx.remove(key, seq));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(idx.is_empty(), "len = {}", idx.len());
+        idx.check_invariants();
+    }
+
+    #[test]
+    fn stats_reflect_structure() {
+        let idx = BwTreeIndex::with_parameters(16, 4);
+        for i in 0..500i64 {
+            idx.insert(i, i as u64);
+        }
+        let s = idx.stats();
+        assert_eq!(s.entries, 500);
+        assert!(s.pages > 1);
+        assert!(s.total_bytes >= 500 * std::mem::size_of::<Entry>() / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf capacity")]
+    fn tiny_leaf_capacity_rejected() {
+        let _ = BwTreeIndex::with_parameters(2, 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! A concurrent, general-purpose ordered index used as the multithreaded
+//! baseline of the evaluation.
+//!
+//! The paper compares its PIM-Tree against Microsoft's Bw-Tree, a latch-free
+//! B-Tree whose logical nodes are reached through a mapping table and whose
+//! updates are prepended to per-node *delta chains* that are periodically
+//! consolidated. What the evaluation relies on is the Bw-Tree's concurrency
+//! *profile*: synchronisation happens per logical node, so contention is high
+//! when the tree is small (threads collide on the few nodes that exist) and
+//! fades as the tree grows.
+//!
+//! This crate implements that profile with safe Rust primitives (documented as
+//! a substitution in `DESIGN.md`):
+//!
+//! * a read-mostly **routing table** (the analogue of the mapping table plus
+//!   inner nodes) maps key ranges to logical leaf pages and is only written by
+//!   structure-modification operations (splits);
+//! * each **logical leaf page** holds a consolidated, sorted base array plus a
+//!   *delta list* of insert/delete records, guarded by a short per-page latch;
+//! * when a page's delta list grows past a threshold it is **consolidated**,
+//!   and pages that outgrow their capacity are **split** under an exclusive
+//!   routing-table lock.
+//!
+//! The resulting index supports fully concurrent inserts, deletes and range
+//! scans from any number of threads through `&self`.
+
+pub mod index;
+pub mod page;
+
+pub use index::{BwTreeIndex, BwTreeStats};
+pub use page::{DeltaOp, LeafPage};
+
+/// Default maximum number of consolidated entries per leaf page.
+pub const DEFAULT_LEAF_CAPACITY: usize = 256;
+
+/// Default number of delta records that triggers consolidation.
+pub const DEFAULT_CONSOLIDATION_THRESHOLD: usize = 16;

@@ -1,0 +1,226 @@
+//! Logical leaf pages with delta lists.
+
+use pimtree_btree::Entry;
+use pimtree_common::KeyRange;
+
+/// One delta record, logically prepended to a page by an update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaOp {
+    /// A newly inserted entry.
+    Insert(Entry),
+    /// A deleted entry (tombstone).
+    Delete(Entry),
+}
+
+/// A logical leaf page: a consolidated sorted base array plus a delta list of
+/// not-yet-consolidated updates, applied in arrival order.
+#[derive(Debug, Default)]
+pub struct LeafPage {
+    /// Consolidated entries, sorted by `(key, seq)`.
+    pub base: Vec<Entry>,
+    /// Pending updates in arrival order.
+    pub deltas: Vec<DeltaOp>,
+}
+
+impl LeafPage {
+    /// Creates an empty page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a page from a consolidated base array (must be sorted).
+    pub fn from_base(base: Vec<Entry>) -> Self {
+        debug_assert!(base.windows(2).all(|w| w[0] <= w[1]));
+        LeafPage {
+            base,
+            deltas: Vec::new(),
+        }
+    }
+
+    /// Number of delta records pending consolidation.
+    pub fn delta_len(&self) -> usize {
+        self.deltas.len()
+    }
+
+    /// Logical number of live entries (base plus inserts minus deletes).
+    pub fn live_len(&self) -> usize {
+        let mut len = self.base.len() as isize;
+        for d in &self.deltas {
+            match d {
+                DeltaOp::Insert(_) => len += 1,
+                DeltaOp::Delete(_) => len -= 1,
+            }
+        }
+        len.max(0) as usize
+    }
+
+    /// Whether the live view of the page contains `entry`.
+    pub fn contains(&self, entry: Entry) -> bool {
+        let mut present = self.base.binary_search(&entry).is_ok();
+        for d in &self.deltas {
+            match *d {
+                DeltaOp::Insert(e) if e == entry => present = true,
+                DeltaOp::Delete(e) if e == entry => present = false,
+                _ => {}
+            }
+        }
+        present
+    }
+
+    /// Appends an insert delta.
+    pub fn insert(&mut self, entry: Entry) {
+        self.deltas.push(DeltaOp::Insert(entry));
+    }
+
+    /// Appends a delete delta if the entry is live; returns whether it was.
+    pub fn delete(&mut self, entry: Entry) -> bool {
+        if self.contains(entry) {
+            self.deltas.push(DeltaOp::Delete(entry));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns the live entries whose key falls in `range`, in ascending
+    /// order.
+    pub fn range(&self, range: KeyRange) -> Vec<Entry> {
+        let lo = Entry::min_for_key(range.lo);
+        let start = self.base.partition_point(|&e| e < lo);
+        let mut out: Vec<Entry> = self.base[start..]
+            .iter()
+            .take_while(|e| e.key <= range.hi)
+            .copied()
+            .collect();
+        for d in &self.deltas {
+            match *d {
+                DeltaOp::Insert(e) if range.contains(e.key) => out.push(e),
+                DeltaOp::Delete(e) if range.contains(e.key) => {
+                    if let Some(pos) = out.iter().position(|&x| x == e) {
+                        out.swap_remove(pos);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Merges the delta list into the base array, leaving the delta list
+    /// empty. Returns the new consolidated length.
+    pub fn consolidate(&mut self) -> usize {
+        if self.deltas.is_empty() {
+            return self.base.len();
+        }
+        let deltas = std::mem::take(&mut self.deltas);
+        for d in deltas {
+            match d {
+                DeltaOp::Insert(e) => {
+                    let pos = self.base.partition_point(|&x| x <= e);
+                    self.base.insert(pos, e);
+                }
+                DeltaOp::Delete(e) => {
+                    if let Ok(pos) = self.base.binary_search(&e) {
+                        self.base.remove(pos);
+                    }
+                }
+            }
+        }
+        self.base.len()
+    }
+
+    /// Splits a consolidated page in half, returning the separator (the first
+    /// entry of the upper half) and the upper-half page.
+    ///
+    /// The page must have been consolidated (no pending deltas).
+    pub fn split(&mut self) -> (Entry, LeafPage) {
+        assert!(self.deltas.is_empty(), "split requires a consolidated page");
+        assert!(self.base.len() >= 2, "cannot split a page with fewer than 2 entries");
+        let mid = self.base.len() / 2;
+        let upper = self.base.split_off(mid);
+        let sep = upper[0];
+        (sep, LeafPage::from_base(upper))
+    }
+
+    /// Approximate payload bytes (base + deltas).
+    pub fn footprint_bytes(&self) -> usize {
+        self.base.len() * std::mem::size_of::<Entry>()
+            + self.deltas.len() * std::mem::size_of::<DeltaOp>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(k: i64, s: u64) -> Entry {
+        Entry::new(k, s)
+    }
+
+    #[test]
+    fn insert_delete_contains_through_deltas() {
+        let mut p = LeafPage::from_base(vec![e(1, 0), e(5, 0)]);
+        assert!(p.contains(e(1, 0)));
+        assert!(!p.contains(e(3, 0)));
+        p.insert(e(3, 0));
+        assert!(p.contains(e(3, 0)));
+        assert!(p.delete(e(1, 0)));
+        assert!(!p.contains(e(1, 0)));
+        assert!(!p.delete(e(1, 0)), "double delete reports absence");
+        assert!(p.delete(e(3, 0)), "delta-inserted entry can be deleted");
+        assert!(!p.contains(e(3, 0)));
+        assert_eq!(p.live_len(), 1);
+    }
+
+    #[test]
+    fn range_merges_base_and_deltas() {
+        let mut p = LeafPage::from_base(vec![e(10, 0), e(20, 0), e(30, 0)]);
+        p.insert(e(15, 1));
+        p.insert(e(40, 1));
+        p.delete(e(20, 0));
+        let got = p.range(KeyRange::new(10, 35));
+        assert_eq!(got, vec![e(10, 0), e(15, 1), e(30, 0)]);
+        let all = p.range(KeyRange::new(i64::MIN, i64::MAX));
+        assert_eq!(all, vec![e(10, 0), e(15, 1), e(30, 0), e(40, 1)]);
+    }
+
+    #[test]
+    fn consolidate_matches_live_view() {
+        let mut p = LeafPage::from_base(vec![e(1, 0), e(2, 0), e(3, 0)]);
+        p.insert(e(0, 9));
+        p.insert(e(2, 5));
+        p.delete(e(3, 0));
+        let live_before = p.range(KeyRange::new(i64::MIN, i64::MAX));
+        let n = p.consolidate();
+        assert_eq!(n, 4);
+        assert!(p.deltas.is_empty());
+        assert_eq!(p.base, live_before);
+        assert_eq!(p.live_len(), 4);
+    }
+
+    #[test]
+    fn consolidating_an_empty_delta_list_is_a_noop() {
+        let mut p = LeafPage::from_base(vec![e(1, 0)]);
+        assert_eq!(p.consolidate(), 1);
+    }
+
+    #[test]
+    fn split_divides_entries() {
+        let mut p = LeafPage::from_base((0..10).map(|i| e(i, 0)).collect());
+        let (sep, upper) = p.split();
+        assert_eq!(sep, e(5, 0));
+        assert_eq!(p.base.len(), 5);
+        assert_eq!(upper.base.len(), 5);
+        assert!(p.base.iter().all(|&x| x < sep));
+        assert!(upper.base.iter().all(|&x| x >= sep));
+    }
+
+    #[test]
+    #[should_panic(expected = "consolidated")]
+    fn split_requires_consolidation() {
+        let mut p = LeafPage::from_base(vec![e(1, 0), e(2, 0)]);
+        p.insert(e(3, 0));
+        let _ = p.split();
+    }
+}

@@ -1,0 +1,300 @@
+//! Implementation of the chained index.
+
+use std::collections::VecDeque;
+
+use pimtree_btree::{bulk, BTreeIndex, Entry};
+use pimtree_common::{Key, KeyRange, Seq};
+use pimtree_css::CssTree;
+
+/// Which data structure archived sub-indexes use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainVariant {
+    /// Archived sub-indexes stay mutable B+-Trees.
+    BChain,
+    /// Archived sub-indexes are converted into immutable B+-Trees.
+    IbChain,
+}
+
+#[derive(Debug)]
+enum ArchivedSub {
+    BTree(BTreeIndex),
+    Css(CssTree),
+}
+
+impl ArchivedSub {
+    fn len(&self) -> usize {
+        match self {
+            ArchivedSub::BTree(t) => t.len(),
+            ArchivedSub::Css(t) => t.len(),
+        }
+    }
+
+    fn range_for_each<F: FnMut(Entry)>(&self, range: KeyRange, f: F) {
+        match self {
+            ArchivedSub::BTree(t) => t.range_for_each(range, f),
+            ArchivedSub::Css(t) => {
+                t.range_for_each(range, f);
+            }
+        }
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        match self {
+            ArchivedSub::BTree(t) => t.stats().total_bytes(),
+            ArchivedSub::Css(t) => t.stats().total_bytes(),
+        }
+    }
+}
+
+/// Structural statistics of a [`ChainedIndex`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChainedStats {
+    /// Entries in the active sub-index.
+    pub active_entries: usize,
+    /// Entries across archived sub-indexes.
+    pub archived_entries: usize,
+    /// Number of archived sub-indexes currently in the chain.
+    pub archived_count: usize,
+    /// Approximate payload bytes across all sub-indexes.
+    pub total_bytes: usize,
+}
+
+/// A chained sliding-window index of length `L`.
+///
+/// The index is single-threaded; the paper evaluates it only against the
+/// single-threaded join baselines.
+#[derive(Debug)]
+pub struct ChainedIndex {
+    variant: ChainVariant,
+    chain_length: usize,
+    sub_capacity: usize,
+    btree_fanout: usize,
+    active: BTreeIndex,
+    /// Oldest sub-index at the front.
+    archived: VecDeque<ArchivedSub>,
+}
+
+impl ChainedIndex {
+    /// Creates a chained index for a window of `window_size` tuples using
+    /// `chain_length` sub-indexes (`L >= 2`).
+    ///
+    /// Each sub-index covers `window_size / (chain_length - 1)` tuples so that
+    /// the `L - 1` archived sub-indexes together span (at least) one full
+    /// window.
+    pub fn new(variant: ChainVariant, window_size: usize, chain_length: usize) -> Self {
+        Self::with_fanout(variant, window_size, chain_length, pimtree_btree::DEFAULT_FANOUT)
+    }
+
+    /// Like [`ChainedIndex::new`] with an explicit B+-Tree fan-out.
+    pub fn with_fanout(
+        variant: ChainVariant,
+        window_size: usize,
+        chain_length: usize,
+        btree_fanout: usize,
+    ) -> Self {
+        assert!(chain_length >= 2, "chain length must be at least 2");
+        assert!(window_size > 0, "window size must be positive");
+        let sub_capacity = (window_size / (chain_length - 1)).max(1);
+        ChainedIndex {
+            variant,
+            chain_length,
+            sub_capacity,
+            btree_fanout,
+            active: BTreeIndex::with_fanout(btree_fanout),
+            archived: VecDeque::new(),
+        }
+    }
+
+    /// Which archival variant this chain uses.
+    pub fn variant(&self) -> ChainVariant {
+        self.variant
+    }
+
+    /// Configured chain length `L`.
+    pub fn chain_length(&self) -> usize {
+        self.chain_length
+    }
+
+    /// Capacity of each sub-index.
+    pub fn sub_capacity(&self) -> usize {
+        self.sub_capacity
+    }
+
+    /// Total entries across all sub-indexes (including not-yet-disposed
+    /// expired tuples).
+    pub fn len(&self) -> usize {
+        self.active.len() + self.archived.iter().map(ArchivedSub::len).sum::<usize>()
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a tuple into the active sub-index, archiving it (and disposing
+    /// of the oldest archived sub-index) when it reaches capacity.
+    pub fn insert(&mut self, key: Key, seq: Seq) {
+        self.active.insert(key, seq);
+        if self.active.len() >= self.sub_capacity {
+            self.archive_active();
+        }
+    }
+
+    fn archive_active(&mut self) {
+        let full = std::mem::replace(&mut self.active, BTreeIndex::with_fanout(self.btree_fanout));
+        let archived = match self.variant {
+            ChainVariant::BChain => {
+                // Rebuild compactly; content is identical, shape is packed.
+                let entries = full.to_sorted_vec();
+                ArchivedSub::BTree(bulk::from_sorted_with_fanout(entries, self.btree_fanout))
+            }
+            ChainVariant::IbChain => ArchivedSub::Css(CssTree::from_sorted(full.to_sorted_vec())),
+        };
+        self.archived.push_back(archived);
+        // Coarse-grained disposal: the chain keeps at most L - 1 archived
+        // sub-indexes; the oldest one only contains expired tuples by now.
+        while self.archived.len() > self.chain_length - 1 {
+            self.archived.pop_front();
+        }
+    }
+
+    /// Calls `f` for every entry with key in `range` across the whole chain.
+    /// Entries of expired tuples may still be reported (they live in the
+    /// oldest archived sub-index until it is disposed of); the caller filters
+    /// them by sequence number, exactly as the paper's Step 1 does.
+    pub fn range_for_each<F: FnMut(Entry)>(&self, range: KeyRange, mut f: F) {
+        self.active.range_for_each(range, &mut f);
+        for sub in &self.archived {
+            sub.range_for_each(range, &mut f);
+        }
+    }
+
+    /// Collects all entries with key in `range` across the whole chain.
+    pub fn range_collect(&self, range: KeyRange) -> Vec<Entry> {
+        let mut out = Vec::new();
+        self.range_for_each(range, |e| out.push(e));
+        out
+    }
+
+    /// Number of sub-indexes a lookup currently has to consult.
+    pub fn lookup_width(&self) -> usize {
+        1 + self.archived.len()
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> ChainedStats {
+        ChainedStats {
+            active_entries: self.active.len(),
+            archived_entries: self.archived.iter().map(ArchivedSub::len).sum(),
+            archived_count: self.archived.len(),
+            total_bytes: self.active.stats().total_bytes()
+                + self.archived.iter().map(ArchivedSub::footprint_bytes).sum::<usize>(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(variant: ChainVariant, window: usize, chain: usize, n: usize) -> ChainedIndex {
+        let mut idx = ChainedIndex::new(variant, window, chain);
+        for i in 0..n as i64 {
+            idx.insert((i * 7919) % 100_000, i as Seq);
+        }
+        idx
+    }
+
+    #[test]
+    fn sub_capacity_spans_the_window() {
+        let idx = ChainedIndex::new(ChainVariant::BChain, 1000, 5);
+        assert_eq!(idx.sub_capacity(), 250);
+        let idx = ChainedIndex::new(ChainVariant::BChain, 1000, 2);
+        assert_eq!(idx.sub_capacity(), 1000);
+    }
+
+    #[test]
+    fn archival_keeps_at_most_l_minus_one_archived() {
+        for variant in [ChainVariant::BChain, ChainVariant::IbChain] {
+            let idx = fill(variant, 1000, 3, 10_000);
+            assert!(idx.stats().archived_count <= 2, "variant {variant:?}");
+            assert!(idx.lookup_width() <= 3);
+            // Total entries never exceed (L archived+active) * capacity.
+            assert!(idx.len() <= 3 * idx.sub_capacity());
+        }
+    }
+
+    #[test]
+    fn chain_retains_at_least_a_full_window_of_recent_tuples() {
+        let window = 1200;
+        let n = 10_000usize;
+        let idx = fill(ChainVariant::IbChain, window, 4, n);
+        // Every live tuple (the last `window` arrivals) must be findable.
+        let mut found = std::collections::HashSet::new();
+        idx.range_for_each(KeyRange::new(i64::MIN, i64::MAX), |e| {
+            found.insert(e.seq);
+        });
+        for seq in (n - window) as u64..n as u64 {
+            assert!(found.contains(&seq), "live tuple {seq} missing from chain");
+        }
+    }
+
+    #[test]
+    fn range_queries_agree_with_a_single_btree() {
+        let window = 600;
+        let n = 3000usize;
+        let chained = fill(ChainVariant::BChain, window, 3, n);
+        let ib = fill(ChainVariant::IbChain, window, 3, n);
+        // Reference: a plain B+-Tree over the same inserts with exact expiry.
+        let mut reference = BTreeIndex::new();
+        for i in 0..n as i64 {
+            reference.insert((i * 7919) % 100_000, i as Seq);
+        }
+        let earliest_live = (n - window) as u64;
+        let range = KeyRange::new(10_000, 30_000);
+        let expected: std::collections::BTreeSet<(i64, u64)> = reference
+            .range_collect(range)
+            .into_iter()
+            .filter(|e| e.seq >= earliest_live)
+            .map(|e| (e.key, e.seq))
+            .collect();
+        for (name, idx) in [("b-chain", &chained), ("ib-chain", &ib)] {
+            let got: std::collections::BTreeSet<(i64, u64)> = idx
+                .range_collect(range)
+                .into_iter()
+                .filter(|e| e.seq >= earliest_live)
+                .map(|e| (e.key, e.seq))
+                .collect();
+            assert_eq!(got, expected, "{name} disagrees with the reference index");
+        }
+    }
+
+    #[test]
+    fn longer_chains_mean_wider_lookups() {
+        let short = fill(ChainVariant::IbChain, 1024, 2, 8192);
+        let long = fill(ChainVariant::IbChain, 1024, 8, 8192);
+        assert!(long.lookup_width() > short.lookup_width());
+    }
+
+    #[test]
+    fn empty_chain_lookups() {
+        let idx = ChainedIndex::new(ChainVariant::IbChain, 100, 3);
+        assert!(idx.is_empty());
+        assert!(idx.range_collect(KeyRange::new(0, 1000)).is_empty());
+        assert_eq!(idx.lookup_width(), 1);
+    }
+
+    #[test]
+    fn stats_add_up() {
+        let idx = fill(ChainVariant::BChain, 500, 3, 2000);
+        let s = idx.stats();
+        assert_eq!(s.active_entries + s.archived_entries, idx.len());
+        assert!(s.total_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn chain_length_one_rejected() {
+        let _ = ChainedIndex::new(ChainVariant::BChain, 100, 1);
+    }
+}

@@ -1,0 +1,21 @@
+//! The chained sliding-window index (§2.2.2 of the paper).
+//!
+//! The chained index partitions the sliding window into `L - 1` archived
+//! intervals plus one *active* interval. New tuples are inserted into the
+//! active sub-index; once it reaches its capacity it is archived and a fresh
+//! active sub-index is started, while the oldest archived sub-index — which by
+//! then contains only expired tuples — is dropped wholesale. This trades
+//! cheap, coarse-grained tuple disposal for more expensive lookups, because a
+//! range query has to consult every sub-index in the chain.
+//!
+//! Two variants are evaluated in Figure 8b:
+//!
+//! * **B-chain** — every sub-index (active and archived) is a mutable
+//!   B+-Tree;
+//! * **IB-chain** — the active sub-index is a mutable B+-Tree, but archived
+//!   sub-indexes are converted into immutable B+-Trees (CSS-Trees), whose
+//!   higher fan-out makes chained lookups noticeably faster.
+
+pub mod chain;
+
+pub use chain::{ChainVariant, ChainedIndex, ChainedStats};

@@ -1,0 +1,328 @@
+//! Runtime configuration for indexes and join operators.
+//!
+//! The tunables here correspond directly to the knobs studied in the paper's
+//! evaluation: merge ratio `m` (Figures 9a/9c/9d), insertion depth `DI`
+//! (Figures 8c/8d), task size (Figures 10c/10d), thread count (Figure 12a) and
+//! the blocking/non-blocking merge ablation (Figure 13c).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+
+/// Which indexing data structure a join operator should use for each sliding
+/// window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IndexKind {
+    /// No index at all: nested-loop window join (NLWJ).
+    None,
+    /// A single classic B+-Tree per window (the paper's `B+-Tree` baseline).
+    BTree,
+    /// The chained index with B+-Tree sub-indexes (`B-chain`).
+    BChain,
+    /// The chained index whose archived sub-indexes are immutable B+-Trees
+    /// (`IB-chain`).
+    IbChain,
+    /// The two-stage In-memory Merge-Tree (single mutable component).
+    ImTree,
+    /// The Partitioned In-memory Merge-Tree (the paper's contribution).
+    PimTree,
+    /// The concurrent general-purpose ordered index baseline (Bw-Tree-style).
+    BwTree,
+}
+
+impl std::fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            IndexKind::None => "none",
+            IndexKind::BTree => "b+tree",
+            IndexKind::BChain => "b-chain",
+            IndexKind::IbChain => "ib-chain",
+            IndexKind::ImTree => "im-tree",
+            IndexKind::PimTree => "pim-tree",
+            IndexKind::BwTree => "bw-tree",
+        };
+        f.write_str(s)
+    }
+}
+
+/// How the two-stage trees perform their maintenance merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum MergePolicy {
+    /// Two-phase non-blocking merge (§4.2 of the paper): workers keep joining
+    /// while a merging thread rebuilds `TS`.
+    #[default]
+    NonBlocking,
+    /// Stop-the-world merge; kept for the Figure 13c ablation.
+    Blocking,
+}
+
+/// Configuration of an IM-Tree / PIM-Tree instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PimConfig {
+    /// Sliding-window size `w` the tree is provisioned for (tuples).
+    pub window_size: usize,
+    /// Merge ratio `m` in `(0, 1]`: the mutable component is merged into the
+    /// immutable component when it holds `m * w` tuples.
+    pub merge_ratio: f64,
+    /// Insertion depth `DI`: partitions of the mutable component correspond to
+    /// the inner nodes of `TS` at this depth (root = depth 0). Ignored by the
+    /// unpartitioned IM-Tree.
+    pub insertion_depth: usize,
+    /// Fan-out of the immutable B+-Tree's inner nodes (`f_ib`).
+    pub css_fanout: usize,
+    /// Number of entries per immutable B+-Tree leaf (`l_ib`).
+    pub css_leaf_size: usize,
+    /// Fan-out (max keys per node) of the mutable B+-Tree component.
+    pub btree_fanout: usize,
+    /// Merge execution policy.
+    pub merge_policy: MergePolicy,
+}
+
+impl Default for PimConfig {
+    fn default() -> Self {
+        PimConfig {
+            window_size: 1 << 20,
+            merge_ratio: 1.0,
+            insertion_depth: 3,
+            css_fanout: 32,
+            css_leaf_size: 32,
+            btree_fanout: 32,
+            merge_policy: MergePolicy::NonBlocking,
+        }
+    }
+}
+
+impl PimConfig {
+    /// Creates a configuration for a window of `window_size` tuples with the
+    /// paper's default parameters (merge ratio 1, `DI = 3`, fan-out 32).
+    pub fn for_window(window_size: usize) -> Self {
+        PimConfig {
+            window_size,
+            ..Default::default()
+        }
+    }
+
+    /// Sets the merge ratio `m`.
+    pub fn with_merge_ratio(mut self, m: f64) -> Self {
+        self.merge_ratio = m;
+        self
+    }
+
+    /// Sets the insertion depth `DI`.
+    pub fn with_insertion_depth(mut self, di: usize) -> Self {
+        self.insertion_depth = di;
+        self
+    }
+
+    /// Sets the merge policy.
+    pub fn with_merge_policy(mut self, policy: MergePolicy) -> Self {
+        self.merge_policy = policy;
+        self
+    }
+
+    /// Number of tuples in the mutable component that triggers a merge
+    /// (`m * w`, at least 1).
+    pub fn merge_threshold(&self) -> usize {
+        ((self.merge_ratio * self.window_size as f64).round() as usize).max(1)
+    }
+
+    /// Validates the configuration, returning a descriptive error when a
+    /// parameter is outside its legal domain.
+    pub fn validate(&self) -> Result<()> {
+        if self.window_size == 0 {
+            return Err(Error::InvalidConfig("window_size must be positive".into()));
+        }
+        if !(self.merge_ratio > 0.0 && self.merge_ratio <= 1.0) {
+            return Err(Error::InvalidConfig(format!(
+                "merge_ratio must be in (0, 1], got {}",
+                self.merge_ratio
+            )));
+        }
+        if self.css_fanout < 2 {
+            return Err(Error::InvalidConfig("css_fanout must be at least 2".into()));
+        }
+        if self.css_leaf_size < 1 {
+            return Err(Error::InvalidConfig("css_leaf_size must be at least 1".into()));
+        }
+        if self.btree_fanout < 4 {
+            return Err(Error::InvalidConfig("btree_fanout must be at least 4".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of a join operator run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinConfig {
+    /// Sliding-window size of stream `R` (tuples).
+    pub window_r: usize,
+    /// Sliding-window size of stream `S` (tuples).
+    pub window_s: usize,
+    /// Which index to maintain on each sliding window.
+    pub index: IndexKind,
+    /// Number of worker threads for parallel operators (ignored by the
+    /// single-threaded ones).
+    pub threads: usize,
+    /// Task size: tuples handed to a worker per task-acquisition round.
+    pub task_size: usize,
+    /// Chain length `L` for the chained-index variants.
+    pub chain_length: usize,
+    /// Index tuning shared by IM-Tree / PIM-Tree.
+    pub pim: PimConfig,
+}
+
+impl Default for JoinConfig {
+    fn default() -> Self {
+        JoinConfig {
+            window_r: 1 << 16,
+            window_s: 1 << 16,
+            index: IndexKind::PimTree,
+            threads: 1,
+            task_size: 8,
+            chain_length: 2,
+            pim: PimConfig::for_window(1 << 16),
+        }
+    }
+}
+
+impl JoinConfig {
+    /// Creates a symmetric configuration where both windows hold `w` tuples.
+    pub fn symmetric(w: usize, index: IndexKind) -> Self {
+        JoinConfig {
+            window_r: w,
+            window_s: w,
+            index,
+            pim: PimConfig::for_window(w),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the task size (paper default after Figure 10c/10d: 8).
+    pub fn with_task_size(mut self, task_size: usize) -> Self {
+        self.task_size = task_size;
+        self
+    }
+
+    /// Sets the chained-index chain length `L`.
+    pub fn with_chain_length(mut self, chain_length: usize) -> Self {
+        self.chain_length = chain_length;
+        self
+    }
+
+    /// Overrides the PIM/IM-Tree tuning.
+    pub fn with_pim(mut self, pim: PimConfig) -> Self {
+        self.pim = pim;
+        self
+    }
+
+    /// Largest of the two window sizes.
+    pub fn max_window(&self) -> usize {
+        self.window_r.max(self.window_s)
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.window_r == 0 || self.window_s == 0 {
+            return Err(Error::InvalidConfig("window sizes must be positive".into()));
+        }
+        if self.threads == 0 {
+            return Err(Error::InvalidConfig("thread count must be positive".into()));
+        }
+        if self.task_size == 0 {
+            return Err(Error::InvalidConfig("task size must be positive".into()));
+        }
+        if matches!(self.index, IndexKind::BChain | IndexKind::IbChain) && self.chain_length < 2 {
+            return Err(Error::InvalidConfig(
+                "chained index requires chain_length >= 2".into(),
+            ));
+        }
+        self.pim.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configs_validate() {
+        PimConfig::default().validate().unwrap();
+        JoinConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn merge_threshold_rounds_and_clamps() {
+        let c = PimConfig::for_window(1000).with_merge_ratio(0.25);
+        assert_eq!(c.merge_threshold(), 250);
+        let c = PimConfig::for_window(3).with_merge_ratio(0.01);
+        assert_eq!(c.merge_threshold(), 1, "threshold never drops to zero");
+        let c = PimConfig::for_window(1 << 20).with_merge_ratio(1.0);
+        assert_eq!(c.merge_threshold(), 1 << 20);
+    }
+
+    #[test]
+    fn invalid_merge_ratio_rejected() {
+        assert!(PimConfig::for_window(16).with_merge_ratio(0.0).validate().is_err());
+        assert!(PimConfig::for_window(16).with_merge_ratio(1.5).validate().is_err());
+        assert!(PimConfig::for_window(16).with_merge_ratio(-0.5).validate().is_err());
+    }
+
+    #[test]
+    fn invalid_window_and_fanout_rejected() {
+        let mut c = PimConfig::for_window(0);
+        assert!(c.validate().is_err());
+        c = PimConfig::for_window(16);
+        c.css_fanout = 1;
+        assert!(c.validate().is_err());
+        c = PimConfig::for_window(16);
+        c.btree_fanout = 2;
+        assert!(c.validate().is_err());
+        c = PimConfig::for_window(16);
+        c.css_leaf_size = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn join_config_builder_chains() {
+        let c = JoinConfig::symmetric(1 << 12, IndexKind::PimTree)
+            .with_threads(8)
+            .with_task_size(4)
+            .with_chain_length(3);
+        assert_eq!(c.window_r, 1 << 12);
+        assert_eq!(c.window_s, 1 << 12);
+        assert_eq!(c.threads, 8);
+        assert_eq!(c.task_size, 4);
+        assert_eq!(c.chain_length, 3);
+        assert_eq!(c.max_window(), 1 << 12);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn join_config_rejects_bad_values() {
+        let mut c = JoinConfig::symmetric(16, IndexKind::BTree);
+        c.threads = 0;
+        assert!(c.validate().is_err());
+        let mut c = JoinConfig::symmetric(16, IndexKind::BTree);
+        c.task_size = 0;
+        assert!(c.validate().is_err());
+        let mut c = JoinConfig::symmetric(16, IndexKind::BChain);
+        c.chain_length = 1;
+        assert!(c.validate().is_err());
+        let mut c = JoinConfig::symmetric(16, IndexKind::BTree);
+        c.window_s = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn index_kind_display_is_stable() {
+        assert_eq!(IndexKind::PimTree.to_string(), "pim-tree");
+        assert_eq!(IndexKind::BTree.to_string(), "b+tree");
+        assert_eq!(IndexKind::IbChain.to_string(), "ib-chain");
+    }
+}

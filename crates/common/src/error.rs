@@ -1,0 +1,65 @@
+//! Error handling shared by the workspace.
+
+/// Convenient result alias using the workspace [`Error`] type.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors surfaced by index structures and join operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A configuration value is outside its legal domain.
+    InvalidConfig(String),
+    /// An exact `(key, seq)` entry scheduled for deletion was not found.
+    EntryNotFound { key: i64, seq: u64 },
+    /// The sliding window ring buffer ran out of capacity. This indicates the
+    /// over-provisioning factor is too small for the number of in-flight tasks.
+    WindowFull { capacity: usize },
+    /// A worker thread panicked inside a parallel operator.
+    WorkerPanicked(String),
+    /// The operator was asked to do something unsupported in its current state
+    /// (e.g. probing an index mid-merge in a mode that forbids it).
+    IllegalState(String),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::EntryNotFound { key, seq } => {
+                write!(f, "entry (key={key}, seq={seq}) not found in index")
+            }
+            Error::WindowFull { capacity } => {
+                write!(f, "sliding window ring buffer full (capacity {capacity})")
+            }
+            Error::WorkerPanicked(msg) => write!(f, "worker thread panicked: {msg}"),
+            Error::IllegalState(msg) => write!(f, "illegal operator state: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::InvalidConfig("merge ratio must be in (0, 1]".into());
+        assert!(e.to_string().contains("merge ratio"));
+        let e = Error::EntryNotFound { key: 42, seq: 7 };
+        assert!(e.to_string().contains("42"));
+        assert!(e.to_string().contains('7'));
+        let e = Error::WindowFull { capacity: 128 };
+        assert!(e.to_string().contains("128"));
+        let e = Error::WorkerPanicked("boom".into());
+        assert!(e.to_string().contains("boom"));
+        let e = Error::IllegalState("mid-merge".into());
+        assert!(e.to_string().contains("mid-merge"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_std_error<E: std::error::Error>(_: &E) {}
+        assert_std_error(&Error::WindowFull { capacity: 1 });
+    }
+}

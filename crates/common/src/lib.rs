@@ -1,0 +1,27 @@
+//! Shared building blocks for the PIM-Tree stream-join reproduction.
+//!
+//! This crate contains the vocabulary types used by every other crate in the
+//! workspace:
+//!
+//! * [`types`] — keys, stream tuples, the band-join predicate and join results;
+//! * [`config`] — runtime configuration for indexes and join operators;
+//! * [`metrics`] — per-step cost breakdowns, throughput and latency meters
+//!   (used to reproduce Figure 9b and Figure 10d of the paper);
+//! * [`memtraffic`] — logical load/store byte accounting, the software
+//!   substitute for the hardware memory-bandwidth counters of Figure 11d;
+//! * [`error`] — the shared error type.
+//!
+//! The paper this workspace reproduces is *"Parallel Index-based Stream Join on
+//! a Multicore CPU"* (Shahvarani & Jacobsen, SIGMOD 2020).
+
+pub mod config;
+pub mod error;
+pub mod memtraffic;
+pub mod metrics;
+pub mod types;
+
+pub use config::{IndexKind, JoinConfig, MergePolicy, PimConfig};
+pub use error::{Error, Result};
+pub use memtraffic::MemTraffic;
+pub use metrics::{CostBreakdown, LatencyRecorder, Step, StepTimer, ThroughputMeter};
+pub use types::{BandPredicate, JoinResult, Key, KeyRange, Seq, StreamSide, Tuple};

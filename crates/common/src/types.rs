@@ -1,0 +1,289 @@
+//! Core value types shared across the workspace.
+//!
+//! The paper joins two integer-keyed streams `R` and `S` with a *band*
+//! predicate `ABS(R.x - S.x) <= diff`. A tuple is identified by the stream it
+//! belongs to and a monotonically increasing per-stream sequence number which
+//! doubles as the sliding-window reference stored in index payloads.
+
+use serde::{Deserialize, Serialize};
+
+/// Join-attribute type. The paper uses 32-bit integers; we use 64-bit signed
+/// integers so that drifting-distribution workloads have head-room without
+/// wrap-around. [`ENTRY_BYTES_PAPER`] is used when reporting paper-comparable
+/// memory footprints.
+pub type Key = i64;
+
+/// Per-stream sequence number (arrival order). Also used as the sliding-window
+/// reference stored next to a key inside every index.
+pub type Seq = u64;
+
+/// Size in bytes of one index entry as configured in the paper's footprint
+/// experiment (4-byte key + 4-byte window reference).
+pub const ENTRY_BYTES_PAPER: usize = 8;
+
+/// Size in bytes of one index entry as actually stored by this implementation
+/// (8-byte key + 8-byte sequence number).
+pub const ENTRY_BYTES_NATIVE: usize = 16;
+
+/// Which of the two joined streams a tuple belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamSide {
+    /// The left stream `R`.
+    R,
+    /// The right stream `S`.
+    S,
+}
+
+impl StreamSide {
+    /// The stream joined against, i.e. the one whose window is probed when a
+    /// tuple of `self` arrives.
+    #[inline]
+    pub fn opposite(self) -> StreamSide {
+        match self {
+            StreamSide::R => StreamSide::S,
+            StreamSide::S => StreamSide::R,
+        }
+    }
+
+    /// Stable index (0 for `R`, 1 for `S`) for array-indexed per-stream state.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            StreamSide::R => 0,
+            StreamSide::S => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for StreamSide {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamSide::R => write!(f, "R"),
+            StreamSide::S => write!(f, "S"),
+        }
+    }
+}
+
+/// A streaming tuple: the join attribute plus its arrival metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    /// Join attribute (`R.x` / `S.x` in the paper's band-join query).
+    pub key: Key,
+    /// Per-stream arrival sequence number; also the window reference.
+    pub seq: Seq,
+    /// Stream this tuple arrived on.
+    pub side: StreamSide,
+}
+
+impl Tuple {
+    /// Creates a new tuple.
+    #[inline]
+    pub fn new(side: StreamSide, seq: Seq, key: Key) -> Self {
+        Tuple { key, seq, side }
+    }
+
+    /// Convenience constructor for stream `R`.
+    #[inline]
+    pub fn r(seq: Seq, key: Key) -> Self {
+        Tuple::new(StreamSide::R, seq, key)
+    }
+
+    /// Convenience constructor for stream `S`.
+    #[inline]
+    pub fn s(seq: Seq, key: Key) -> Self {
+        Tuple::new(StreamSide::S, seq, key)
+    }
+}
+
+/// An inclusive range of keys, `[lo, hi]`, used for index range lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct KeyRange {
+    /// Inclusive lower bound.
+    pub lo: Key,
+    /// Inclusive upper bound.
+    pub hi: Key,
+}
+
+impl KeyRange {
+    /// Creates a range, normalising the bounds so that `lo <= hi`.
+    #[inline]
+    pub fn new(lo: Key, hi: Key) -> Self {
+        if lo <= hi {
+            KeyRange { lo, hi }
+        } else {
+            KeyRange { lo: hi, hi: lo }
+        }
+    }
+
+    /// Creates the degenerate single-point range `[k, k]`.
+    #[inline]
+    pub fn point(k: Key) -> Self {
+        KeyRange { lo: k, hi: k }
+    }
+
+    /// Whether `key` falls inside the range (bounds inclusive).
+    #[inline]
+    pub fn contains(&self, key: Key) -> bool {
+        self.lo <= key && key <= self.hi
+    }
+
+    /// Number of distinct integer keys covered by the range.
+    #[inline]
+    pub fn width(&self) -> u64 {
+        (self.hi - self.lo) as u64 + 1
+    }
+}
+
+/// The band-join predicate `ABS(R.x - S.x) <= diff` from the paper's
+/// evaluation query:
+///
+/// ```sql
+/// SELECT * FROM R, S WHERE ABS(R.x - S.x) <= diff
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BandPredicate {
+    /// Maximum absolute difference between matching keys.
+    pub diff: Key,
+}
+
+impl BandPredicate {
+    /// Creates a band predicate with the given half-width. `diff = 0` is an
+    /// equi-join on the key.
+    #[inline]
+    pub fn new(diff: Key) -> Self {
+        assert!(diff >= 0, "band width must be non-negative");
+        BandPredicate { diff }
+    }
+
+    /// Evaluates the predicate on a pair of keys.
+    #[inline]
+    pub fn matches(&self, a: Key, b: Key) -> bool {
+        (a - b).unsigned_abs() <= self.diff as u64
+    }
+
+    /// Key range of the *opposite* window that can match key `k`, i.e.
+    /// `[k - diff, k + diff]` with saturation at the integer domain bounds.
+    #[inline]
+    pub fn probe_range(&self, k: Key) -> KeyRange {
+        KeyRange {
+            lo: k.saturating_sub(self.diff),
+            hi: k.saturating_add(self.diff),
+        }
+    }
+}
+
+/// One joined output pair: the probing tuple and one matching tuple from the
+/// opposite sliding window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JoinResult {
+    /// The tuple whose arrival produced this result.
+    pub probe: Tuple,
+    /// The matching tuple found in the opposite window.
+    pub matched: Tuple,
+}
+
+impl JoinResult {
+    /// Creates a join result pair.
+    #[inline]
+    pub fn new(probe: Tuple, matched: Tuple) -> Self {
+        JoinResult { probe, matched }
+    }
+
+    /// Canonical `(r, s)` ordering of the pair regardless of which side probed.
+    #[inline]
+    pub fn as_r_s(&self) -> (Tuple, Tuple) {
+        match self.probe.side {
+            StreamSide::R => (self.probe, self.matched),
+            StreamSide::S => (self.matched, self.probe),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_side_opposite_roundtrip() {
+        assert_eq!(StreamSide::R.opposite(), StreamSide::S);
+        assert_eq!(StreamSide::S.opposite(), StreamSide::R);
+        assert_eq!(StreamSide::R.opposite().opposite(), StreamSide::R);
+    }
+
+    #[test]
+    fn stream_side_indexes_are_distinct() {
+        assert_eq!(StreamSide::R.index(), 0);
+        assert_eq!(StreamSide::S.index(), 1);
+    }
+
+    #[test]
+    fn key_range_normalises_bounds() {
+        let r = KeyRange::new(10, -5);
+        assert_eq!(r.lo, -5);
+        assert_eq!(r.hi, 10);
+        assert!(r.contains(0));
+        assert!(r.contains(-5));
+        assert!(r.contains(10));
+        assert!(!r.contains(11));
+        assert_eq!(r.width(), 16);
+    }
+
+    #[test]
+    fn key_range_point() {
+        let r = KeyRange::point(7);
+        assert!(r.contains(7));
+        assert!(!r.contains(6));
+        assert_eq!(r.width(), 1);
+    }
+
+    #[test]
+    fn band_predicate_matches_symmetrically() {
+        let p = BandPredicate::new(3);
+        assert!(p.matches(10, 13));
+        assert!(p.matches(13, 10));
+        assert!(p.matches(10, 10));
+        assert!(!p.matches(10, 14));
+        assert!(!p.matches(14, 10));
+    }
+
+    #[test]
+    fn band_predicate_zero_is_equijoin() {
+        let p = BandPredicate::new(0);
+        assert!(p.matches(5, 5));
+        assert!(!p.matches(5, 6));
+    }
+
+    #[test]
+    fn band_predicate_probe_range_saturates() {
+        let p = BandPredicate::new(10);
+        let r = p.probe_range(Key::MAX - 3);
+        assert_eq!(r.hi, Key::MAX);
+        let r = p.probe_range(Key::MIN + 3);
+        assert_eq!(r.lo, Key::MIN);
+    }
+
+    #[test]
+    fn probe_range_contains_exactly_matching_keys() {
+        let p = BandPredicate::new(2);
+        let r = p.probe_range(100);
+        for k in 95..=105 {
+            assert_eq!(r.contains(k), p.matches(100, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn join_result_canonical_ordering() {
+        let r = Tuple::r(1, 10);
+        let s = Tuple::s(2, 11);
+        let from_r = JoinResult::new(r, s);
+        let from_s = JoinResult::new(s, r);
+        assert_eq!(from_r.as_r_s(), (r, s));
+        assert_eq!(from_s.as_r_s(), (r, s));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn band_predicate_rejects_negative_width() {
+        let _ = BandPredicate::new(-1);
+    }
+}

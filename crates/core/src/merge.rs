@@ -1,0 +1,158 @@
+//! The merge step shared by IM-Tree and PIM-Tree.
+//!
+//! A merge combines the live tuples of the immutable component `TS` with the
+//! (already sorted) contents of the mutable component `TI` into one sorted
+//! array and bulk-builds a new `TS` from it. Expired tuples — those whose
+//! sequence number lies before the earliest live tuple of the sliding window —
+//! are dropped on the way. The cost of this operation is linear in the window
+//! size (Figure 14 / Equation 7).
+
+use std::time::Duration;
+
+use pimtree_btree::Entry;
+use pimtree_common::{PimConfig, Seq};
+use pimtree_css::{CssBuilder, CssTree};
+
+/// Outcome of one merge operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MergeReport {
+    /// Wall-clock time of the merge (building the new `TS` included).
+    pub duration: Duration,
+    /// Live entries carried over from the old `TS`.
+    pub kept_from_ts: usize,
+    /// Expired entries dropped from the old `TS`.
+    pub dropped_expired: usize,
+    /// Entries moved in from the mutable component.
+    pub from_ti: usize,
+    /// Number of entries in the new `TS`.
+    pub new_len: usize,
+    /// Number of mutable partitions after the merge (1 for the IM-Tree).
+    pub partitions: usize,
+}
+
+/// Merges the live part of `ts` with the sorted entries `ti` (expired entries
+/// in `ti` are dropped as well) and returns the new sorted array together with
+/// the bookkeeping counts.
+pub fn merge_live(
+    ts: &CssTree,
+    ti: &[Entry],
+    earliest_live: Seq,
+) -> (Vec<Entry>, usize, usize, usize) {
+    debug_assert!(ti.windows(2).all(|w| w[0] <= w[1]), "TI drain must be sorted");
+    let ts_entries = ts.entries();
+    let mut merged = Vec::with_capacity(ts_entries.len() + ti.len());
+    let mut kept_from_ts = 0usize;
+    let mut dropped = 0usize;
+    let mut from_ti = 0usize;
+
+    let mut a = ts_entries.iter().copied().peekable();
+    let mut b = ti.iter().copied().peekable();
+    loop {
+        let take_a = match (a.peek(), b.peek()) {
+            (Some(x), Some(y)) => x <= y,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_a {
+            let e = a.next().expect("peeked");
+            if e.seq >= earliest_live {
+                merged.push(e);
+                kept_from_ts += 1;
+            } else {
+                dropped += 1;
+            }
+        } else {
+            let e = b.next().expect("peeked");
+            if e.seq >= earliest_live {
+                merged.push(e);
+                from_ti += 1;
+            } else {
+                dropped += 1;
+            }
+        }
+    }
+    (merged, kept_from_ts, dropped, from_ti)
+}
+
+/// Builds the immutable component configured by `config` from a sorted entry
+/// array.
+pub fn build_ts(config: &PimConfig, entries: Vec<Entry>) -> CssTree {
+    CssBuilder::new()
+        .fanout(config.css_fanout)
+        .leaf_size(config.css_leaf_size)
+        .build(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn css(entries: Vec<Entry>) -> CssTree {
+        CssBuilder::new().fanout(4).leaf_size(4).build(entries)
+    }
+
+    #[test]
+    fn merge_interleaves_and_stays_sorted() {
+        let ts = css((0..50).map(|i| Entry::new(i * 4, i as Seq)).collect());
+        let ti: Vec<Entry> = (0..50).map(|i| Entry::new(i * 4 + 2, (100 + i) as Seq)).collect();
+        let (merged, kept, dropped, from_ti) = merge_live(&ts, &ti, 0);
+        assert_eq!(merged.len(), 100);
+        assert_eq!(kept, 50);
+        assert_eq!(dropped, 0);
+        assert_eq!(from_ti, 50);
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn expired_entries_are_dropped_from_both_sides() {
+        let ts = css((0..20).map(|i| Entry::new(i, i as Seq)).collect());
+        let ti: Vec<Entry> = (0..10).map(|i| Entry::new(100 + i, (20 + i) as Seq)).collect();
+        // Everything with seq < 15 is expired.
+        let (merged, kept, dropped, from_ti) = merge_live(&ts, &ti, 15);
+        assert_eq!(kept, 5, "TS seqs 15..19 survive");
+        assert_eq!(from_ti, 10);
+        assert_eq!(dropped, 15);
+        assert_eq!(merged.len(), 15);
+        assert!(merged.iter().all(|e| e.seq >= 15));
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let ts = css(Vec::new());
+        let ti: Vec<Entry> = (0..5).map(|i| Entry::new(i, i as Seq)).collect();
+        let (merged, kept, dropped, from_ti) = merge_live(&ts, &ti, 0);
+        assert_eq!(merged.len(), 5);
+        assert_eq!((kept, dropped, from_ti), (0, 0, 5));
+
+        let ts = css((0..5).map(|i| Entry::new(i, i as Seq)).collect());
+        let (merged, kept, dropped, from_ti) = merge_live(&ts, &[], 0);
+        assert_eq!(merged.len(), 5);
+        assert_eq!((kept, dropped, from_ti), (5, 0, 0));
+
+        let ts = css(Vec::new());
+        let (merged, ..) = merge_live(&ts, &[], 0);
+        assert!(merged.is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_across_components_are_preserved() {
+        let ts = css(vec![Entry::new(7, 1), Entry::new(7, 3)]);
+        let ti = vec![Entry::new(7, 2), Entry::new(7, 4)];
+        let (merged, ..) = merge_live(&ts, &ti, 0);
+        assert_eq!(
+            merged,
+            vec![Entry::new(7, 1), Entry::new(7, 2), Entry::new(7, 3), Entry::new(7, 4)]
+        );
+    }
+
+    #[test]
+    fn build_ts_uses_config_geometry() {
+        let cfg = PimConfig::for_window(1 << 12);
+        let ts = build_ts(&cfg, (0..1000).map(|i| Entry::new(i, i as Seq)).collect());
+        assert_eq!(ts.fanout(), cfg.css_fanout);
+        assert_eq!(ts.leaf_size(), cfg.css_leaf_size);
+        assert_eq!(ts.len(), 1000);
+        ts.check_invariants();
+    }
+}

@@ -1,0 +1,188 @@
+//! Bottom-up construction of the CSS-Tree (Algorithm 3 of the paper).
+//!
+//! Construction is linear in the number of entries (Equation 7): leaf groups
+//! are formed by slicing the sorted entry array, and each inner level stores
+//! the maximum entry of each child subtree, built strictly bottom-up.
+
+use pimtree_btree::Entry;
+use pimtree_common::Key;
+
+use crate::tree::CssTree;
+use crate::{DEFAULT_FANOUT, DEFAULT_LEAF_SIZE};
+
+/// Builder for [`CssTree`] with configurable fan-out and leaf size.
+#[derive(Debug, Clone, Copy)]
+pub struct CssBuilder {
+    fanout: usize,
+    leaf_size: usize,
+}
+
+impl Default for CssBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CssBuilder {
+    /// Creates a builder with the default fan-out (32) and leaf size (32).
+    pub fn new() -> Self {
+        CssBuilder {
+            fanout: DEFAULT_FANOUT,
+            leaf_size: DEFAULT_LEAF_SIZE,
+        }
+    }
+
+    /// Sets the number of keys (= children) per inner node. Must be >= 2.
+    pub fn fanout(mut self, fanout: usize) -> Self {
+        assert!(fanout >= 2, "CSS-Tree fan-out must be at least 2");
+        self.fanout = fanout;
+        self
+    }
+
+    /// Sets the number of entries per leaf group. Must be >= 1.
+    pub fn leaf_size(mut self, leaf_size: usize) -> Self {
+        assert!(leaf_size >= 1, "CSS-Tree leaf size must be at least 1");
+        self.leaf_size = leaf_size;
+        self
+    }
+
+    /// Builds the tree from entries sorted by `(key, seq)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the input is not sorted.
+    pub fn build(self, entries: Vec<Entry>) -> CssTree {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0] <= w[1]),
+            "CSS-Tree input must be sorted"
+        );
+        let n = entries.len();
+        let fanout = self.fanout;
+        let leaf_size = self.leaf_size;
+        let groups = n.div_ceil(leaf_size);
+
+        // Number of nodes per inner level, deepest level first.
+        let mut sizes_bottom_up: Vec<usize> = Vec::new();
+        let mut count = groups;
+        while count > 1 {
+            count = count.div_ceil(fanout);
+            sizes_bottom_up.push(count);
+        }
+
+        if sizes_bottom_up.is_empty() {
+            return CssTree {
+                leaves: entries,
+                inner: Vec::new(),
+                level_offsets: Vec::new(),
+                level_sizes: Vec::new(),
+                level_maxes: Vec::new(),
+                fanout,
+                leaf_size,
+            };
+        }
+
+        // Maximum entry of each leaf group (the children of the deepest
+        // inner level).
+        let group_max = |g: usize| entries[((g + 1) * leaf_size).min(n) - 1];
+        let mut below_maxes: Vec<Entry> = (0..groups).map(group_max).collect();
+        let mut below_count = groups;
+
+        let pad = Entry::max_for_key(Key::MAX);
+        let mut levels_keys_bottom_up: Vec<Vec<Entry>> = Vec::with_capacity(sizes_bottom_up.len());
+        let mut levels_maxes_bottom_up: Vec<Vec<Entry>> = Vec::with_capacity(sizes_bottom_up.len());
+
+        for &size in &sizes_bottom_up {
+            let mut keys = vec![pad; size * fanout];
+            let mut maxes = Vec::with_capacity(size);
+            for node in 0..size {
+                let base = node * fanout;
+                let real = fanout.min(below_count - base);
+                keys[base..base + real].copy_from_slice(&below_maxes[base..base + real]);
+                maxes.push(below_maxes[base + real - 1]);
+            }
+            levels_keys_bottom_up.push(keys);
+            levels_maxes_bottom_up.push(maxes.clone());
+            below_maxes = maxes;
+            below_count = size;
+        }
+
+        // Re-arrange root-first and compute node offsets per level.
+        let level_sizes: Vec<usize> = sizes_bottom_up.iter().rev().copied().collect();
+        let mut level_offsets = Vec::with_capacity(level_sizes.len());
+        let mut inner = Vec::new();
+        let mut offset = 0usize;
+        for (i, keys) in levels_keys_bottom_up.iter().rev().enumerate() {
+            level_offsets.push(offset);
+            offset += level_sizes[i];
+            inner.extend_from_slice(keys);
+        }
+        let level_maxes: Vec<Vec<Entry>> = levels_maxes_bottom_up.into_iter().rev().collect();
+
+        CssTree {
+            leaves: entries,
+            inner,
+            level_offsets,
+            level_sizes,
+            level_maxes,
+            fanout,
+            leaf_size,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: usize) -> Vec<Entry> {
+        (0..n as i64).map(|i| Entry::new(i, i as u64)).collect()
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let t = CssBuilder::new().build(entries(10));
+        assert_eq!(t.fanout(), DEFAULT_FANOUT);
+        assert_eq!(t.leaf_size(), DEFAULT_LEAF_SIZE);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn level_structure_for_known_sizes() {
+        // 100 entries, leaves of 10 -> 10 groups; fan-out 4 ->
+        // deepest level ceil(10/4)=3 nodes, then ceil(3/4)=1 root.
+        let t = CssBuilder::new().fanout(4).leaf_size(10).build(entries(100));
+        assert_eq!(t.leaf_groups(), 10);
+        assert_eq!(t.inner_levels(), 2);
+        assert_eq!(t.nodes_at_depth(0), 1);
+        assert_eq!(t.nodes_at_depth(1), 3);
+        assert_eq!(t.nodes_at_depth(2), 10);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn construction_is_exact_for_many_shapes() {
+        for &n in &[0usize, 1, 2, 5, 16, 17, 63, 64, 65, 255, 256, 257, 1000] {
+            for &(f, l) in &[(2usize, 1usize), (2, 4), (4, 4), (8, 16), (32, 32)] {
+                let t = CssBuilder::new().fanout(f).leaf_size(l).build(entries(n));
+                assert_eq!(t.len(), n);
+                t.check_invariants();
+                for probe in 0..n as i64 {
+                    assert_eq!(t.lower_bound_key(probe), probe as usize, "n={n} f={f} l={l}");
+                }
+                assert_eq!(t.lower_bound_key(n as i64 + 10), n);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_fanout_below_two() {
+        let _ = CssBuilder::new().fanout(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_zero_leaf_size() {
+        let _ = CssBuilder::new().leaf_size(0);
+    }
+}

@@ -1,0 +1,411 @@
+//! The immutable CSS-Tree structure and its search operations.
+
+use pimtree_common::{Key, KeyRange};
+use pimtree_btree::Entry;
+
+/// Structural statistics of a [`CssTree`], used for the memory-footprint
+/// comparison of Figure 11a.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CssStats {
+    /// Number of entries stored in the leaf array.
+    pub entries: usize,
+    /// Number of inner key slots (including right-edge padding).
+    pub inner_slots: usize,
+    /// Number of inner levels (0 when the tree fits in a single leaf level).
+    pub inner_levels: usize,
+    /// Payload bytes of the leaf array.
+    pub leaf_bytes: usize,
+    /// Payload bytes of the inner key array.
+    pub inner_bytes: usize,
+}
+
+impl CssStats {
+    /// Total payload bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.leaf_bytes + self.inner_bytes
+    }
+}
+
+/// An immutable B+-Tree over a sorted array of [`Entry`] values.
+///
+/// Construction goes through [`crate::CssBuilder`] (or the convenience
+/// constructors below); after that the tree is strictly read-only.
+#[derive(Debug, Clone)]
+pub struct CssTree {
+    /// All entries, sorted by `(key, seq)`, conceptually grouped into leaf
+    /// nodes of `leaf_size` entries.
+    pub(crate) leaves: Vec<Entry>,
+    /// Breadth-first inner key array: level 0 (root) first, `fanout` key slots
+    /// per node. Slot `k` of a node holds the maximum entry of its `k`-th
+    /// child's subtree; slots past the last real child are padded with
+    /// `Entry::max_for_key(Key::MAX)` so that slots stay monotonically
+    /// non-decreasing.
+    pub(crate) inner: Vec<Entry>,
+    /// Node-index offset of each inner level inside `inner` (in nodes).
+    pub(crate) level_offsets: Vec<usize>,
+    /// Number of nodes per inner level, root level first.
+    pub(crate) level_sizes: Vec<usize>,
+    /// Maximum real entry of each node's subtree, per inner level.
+    pub(crate) level_maxes: Vec<Vec<Entry>>,
+    /// Keys (= children) per inner node.
+    pub(crate) fanout: usize,
+    /// Entries per leaf group.
+    pub(crate) leaf_size: usize,
+}
+
+impl CssTree {
+    /// Builds a tree from entries already sorted by `(key, seq)`, using the
+    /// default fan-out and leaf size.
+    pub fn from_sorted(entries: Vec<Entry>) -> Self {
+        crate::CssBuilder::new().build(entries)
+    }
+
+    /// Builds an empty tree.
+    pub fn empty() -> Self {
+        Self::from_sorted(Vec::new())
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Whether the tree holds no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Inner-node fan-out.
+    #[inline]
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Entries per leaf group.
+    #[inline]
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+
+    /// Number of inner levels (0 if the tree is a single leaf level).
+    #[inline]
+    pub fn inner_levels(&self) -> usize {
+        self.level_sizes.len()
+    }
+
+    /// Number of leaf groups.
+    #[inline]
+    pub fn leaf_groups(&self) -> usize {
+        if self.leaves.is_empty() {
+            0
+        } else {
+            self.leaves.len().div_ceil(self.leaf_size)
+        }
+    }
+
+    /// Number of inner nodes at `depth` (root = depth 0). Depths past the
+    /// deepest inner level report the number of leaf groups; an empty tree
+    /// reports 1 so that callers can always size a partition array.
+    pub fn nodes_at_depth(&self, depth: usize) -> usize {
+        if depth < self.level_sizes.len() {
+            self.level_sizes[depth]
+        } else {
+            self.leaf_groups().max(1)
+        }
+    }
+
+    /// Entry at leaf position `pos`.
+    #[inline]
+    pub fn entry_at(&self, pos: usize) -> Entry {
+        self.leaves[pos]
+    }
+
+    /// The sorted leaf array.
+    #[inline]
+    pub fn entries(&self) -> &[Entry] {
+        &self.leaves
+    }
+
+    /// Largest entry, if any.
+    pub fn max_entry(&self) -> Option<Entry> {
+        self.leaves.last().copied()
+    }
+
+    /// Smallest entry, if any.
+    pub fn min_entry(&self) -> Option<Entry> {
+        self.leaves.first().copied()
+    }
+
+    fn keys_of(&self, level: usize, node: usize) -> &[Entry] {
+        let base = (self.level_offsets[level] + node) * self.fanout;
+        &self.inner[base..base + self.fanout]
+    }
+
+    /// Number of real children of `node` at inner `level`.
+    fn real_children(&self, level: usize, node: usize) -> usize {
+        let below = if level + 1 < self.level_sizes.len() {
+            self.level_sizes[level + 1]
+        } else {
+            self.leaf_groups()
+        };
+        let base = node * self.fanout;
+        self.fanout.min(below.saturating_sub(base)).max(1)
+    }
+
+    /// Descends the inner levels for `target`, returning the node index at
+    /// `stop_depth` (root = depth 0). Descending all `inner_levels()` levels
+    /// returns a leaf-group index.
+    pub fn descend_to_depth(&self, target: Entry, stop_depth: usize) -> usize {
+        let depth = stop_depth.min(self.level_sizes.len());
+        let mut node = 0usize;
+        for level in 0..depth {
+            let keys = self.keys_of(level, node);
+            let mut k = keys.partition_point(|&e| e < target);
+            let real = self.real_children(level, node);
+            if k >= real {
+                k = real - 1;
+            }
+            node = node * self.fanout + k;
+        }
+        node
+    }
+
+    /// Position of the first entry `>= target` in the leaf array (equals
+    /// `len()` when every entry is smaller).
+    pub fn lower_bound(&self, target: Entry) -> usize {
+        if self.leaves.is_empty() {
+            return 0;
+        }
+        if self.level_sizes.is_empty() {
+            return self.leaves.partition_point(|&e| e < target);
+        }
+        let group = self.descend_to_depth(target, self.level_sizes.len());
+        let start = group * self.leaf_size;
+        let end = (start + self.leaf_size).min(self.leaves.len());
+        start + self.leaves[start..end].partition_point(|&e| e < target)
+    }
+
+    /// Position of the first entry with key `>= key`.
+    #[inline]
+    pub fn lower_bound_key(&self, key: Key) -> usize {
+        self.lower_bound(Entry::min_for_key(key))
+    }
+
+    /// Calls `f` for every entry whose key lies in `range` (bounds inclusive),
+    /// in ascending order. Returns the number of entries visited.
+    pub fn range_for_each<F: FnMut(Entry)>(&self, range: KeyRange, mut f: F) -> usize {
+        let mut pos = self.lower_bound_key(range.lo);
+        let mut visited = 0;
+        while pos < self.leaves.len() {
+            let e = self.leaves[pos];
+            if e.key > range.hi {
+                break;
+            }
+            f(e);
+            visited += 1;
+            pos += 1;
+        }
+        visited
+    }
+
+    /// Collects every entry whose key lies in `range`.
+    pub fn range_collect(&self, range: KeyRange) -> Vec<Entry> {
+        let mut out = Vec::new();
+        self.range_for_each(range, |e| out.push(e));
+        out
+    }
+
+    /// The routing boundary of partition `p` at `depth`: the maximum entry of
+    /// that subtree. Entries routed to partition `p` are `<=` this bound (the
+    /// last partition's bound covers everything above as well).
+    pub fn partition_upper_bound(&self, depth: usize, p: usize) -> Entry {
+        if depth < self.level_maxes.len() {
+            self.level_maxes[depth][p]
+        } else if self.leaves.is_empty() {
+            Entry::max_for_key(Key::MAX)
+        } else {
+            // Partitions are leaf groups.
+            let start = p * self.leaf_size;
+            let end = ((p + 1) * self.leaf_size).min(self.leaves.len());
+            self.leaves[end.max(start + 1) - 1]
+        }
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> CssStats {
+        CssStats {
+            entries: self.leaves.len(),
+            inner_slots: self.inner.len(),
+            inner_levels: self.level_sizes.len(),
+            leaf_bytes: self.leaves.len() * std::mem::size_of::<Entry>(),
+            inner_bytes: self.inner.len() * std::mem::size_of::<Entry>(),
+        }
+    }
+
+    /// Verifies the structural invariants (sortedness, routing consistency),
+    /// panicking on the first violation. Intended for tests.
+    pub fn check_invariants(&self) {
+        assert!(
+            self.leaves.windows(2).all(|w| w[0] <= w[1]),
+            "leaf array is not sorted"
+        );
+        if self.level_sizes.is_empty() {
+            return;
+        }
+        assert_eq!(self.level_sizes.len(), self.level_offsets.len());
+        assert_eq!(self.level_sizes.len(), self.level_maxes.len());
+        // Every entry must be found at its own position via the inner levels.
+        for (i, &e) in self.leaves.iter().enumerate() {
+            let pos = self.lower_bound(e);
+            assert!(
+                pos <= i && self.leaves[pos] == e,
+                "lower_bound({e:?}) = {pos}, expected a position at or before {i} holding the entry"
+            );
+        }
+        // Keys within each inner node must be non-decreasing.
+        for level in 0..self.level_sizes.len() {
+            for node in 0..self.level_sizes[level] {
+                let keys = self.keys_of(level, node);
+                assert!(
+                    keys.windows(2).all(|w| w[0] <= w[1]),
+                    "inner node ({level}, {node}) keys out of order"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: usize) -> Vec<Entry> {
+        (0..n as i64).map(|i| Entry::new(i * 2, i as u64)).collect()
+    }
+
+    fn tree(n: usize, fanout: usize, leaf: usize) -> CssTree {
+        crate::CssBuilder::new()
+            .fanout(fanout)
+            .leaf_size(leaf)
+            .build(entries(n))
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = CssTree::empty();
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.lower_bound_key(5), 0);
+        assert_eq!(t.leaf_groups(), 0);
+        assert_eq!(t.nodes_at_depth(0), 1);
+        assert!(t.range_collect(KeyRange::new(0, 100)).is_empty());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn single_leaf_group_uses_no_inner_levels() {
+        let t = tree(8, 4, 8);
+        assert_eq!(t.inner_levels(), 0);
+        assert_eq!(t.leaf_groups(), 1);
+        assert_eq!(t.lower_bound_key(0), 0);
+        assert_eq!(t.lower_bound_key(3), 2);
+        assert_eq!(t.lower_bound_key(14), 7);
+        assert_eq!(t.lower_bound_key(15), 8);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn multi_level_lower_bound_matches_binary_search() {
+        for n in [9, 64, 65, 100, 1000, 4096, 5000] {
+            let t = tree(n, 4, 4);
+            t.check_invariants();
+            for probe in -1..(2 * n as i64 + 2) {
+                let expected = t.entries().partition_point(|e| e.key < probe);
+                assert_eq!(
+                    t.lower_bound_key(probe),
+                    expected,
+                    "n={n} probe={probe}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_scan_matches_filter() {
+        let t = tree(500, 8, 8);
+        let r = KeyRange::new(100, 200);
+        let got = t.range_collect(r);
+        let expected: Vec<Entry> = t.entries().iter().copied().filter(|e| r.contains(e.key)).collect();
+        assert_eq!(got, expected);
+        // Out-of-domain ranges.
+        assert!(t.range_collect(KeyRange::new(-50, -1)).is_empty());
+        assert!(t.range_collect(KeyRange::new(10_000, 20_000)).is_empty());
+    }
+
+    #[test]
+    fn nodes_at_depth_and_partition_bounds() {
+        // 4096 entries, leaf groups of 32 -> 128 groups; fan-out 8 ->
+        // level sizes (from deepest): 16, 2, 1 -> root at depth 0 has 2 real children.
+        let t = tree(4096, 8, 32);
+        assert_eq!(t.leaf_groups(), 128);
+        assert_eq!(t.inner_levels(), 3);
+        assert_eq!(t.nodes_at_depth(0), 1);
+        assert_eq!(t.nodes_at_depth(1), 2);
+        assert_eq!(t.nodes_at_depth(2), 16);
+        assert_eq!(t.nodes_at_depth(3), 128);
+        // Partition bounds at depth 2 are increasing and the last one covers
+        // the maximum entry.
+        let bounds: Vec<Entry> = (0..16).map(|p| t.partition_upper_bound(2, p)).collect();
+        assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(bounds[15], t.max_entry().unwrap());
+        // Every entry routed to partition p at depth 2 is <= its bound.
+        for &e in t.entries() {
+            let p = t.descend_to_depth(e, 2);
+            assert!(e <= t.partition_upper_bound(2, p), "entry {e:?} exceeds bound of partition {p}");
+        }
+    }
+
+    #[test]
+    fn descend_to_depth_zero_is_root() {
+        let t = tree(1000, 8, 8);
+        assert_eq!(t.descend_to_depth(Entry::new(0, 0), 0), 0);
+    }
+
+    #[test]
+    fn duplicates_lower_bound_finds_first() {
+        let mut e: Vec<Entry> = Vec::new();
+        for s in 0..100u64 {
+            e.push(Entry::new(10, s));
+        }
+        for s in 0..100u64 {
+            e.push(Entry::new(20, s));
+        }
+        let t = crate::CssBuilder::new().fanout(4).leaf_size(4).build(e);
+        t.check_invariants();
+        assert_eq!(t.lower_bound_key(10), 0);
+        assert_eq!(t.lower_bound_key(11), 100);
+        assert_eq!(t.lower_bound_key(20), 100);
+        assert_eq!(t.lower_bound_key(21), 200);
+        assert_eq!(t.range_collect(KeyRange::point(10)).len(), 100);
+    }
+
+    #[test]
+    fn stats_report_sizes() {
+        let t = tree(1000, 8, 8);
+        let s = t.stats();
+        assert_eq!(s.entries, 1000);
+        assert!(s.inner_levels >= 2);
+        assert_eq!(s.leaf_bytes, 1000 * std::mem::size_of::<Entry>());
+        assert!(s.inner_bytes > 0);
+        assert_eq!(s.total_bytes(), s.leaf_bytes + s.inner_bytes);
+    }
+
+    #[test]
+    fn higher_fanout_means_fewer_levels() {
+        let narrow = tree(100_000, 4, 16);
+        let wide = tree(100_000, 64, 16);
+        assert!(wide.inner_levels() < narrow.inner_levels());
+    }
+}

@@ -1,0 +1,43 @@
+//! Window band-join operators.
+//!
+//! This crate implements every join algorithm evaluated by the paper:
+//!
+//! * [`nlwj`] — the single-threaded nested-loop window join baseline;
+//! * [`ibwj`] — single-threaded index-based window join, generic over the
+//!   window index through the [`adapter::WindowIndexAdapter`] trait
+//!   (B+-Tree, chained index, IM-Tree, PIM-Tree, Bw-Tree-style index);
+//! * [`handshake`] — multithreaded join based on round-robin
+//!   (context-insensitive) window partitioning in the style of low-latency
+//!   handshake join / SplitJoin (§2.2.3), with and without local indexes;
+//! * [`parallel`] — the paper's contribution: the parallel shared-index IBWJ
+//!   engine with dynamic task acquisition, edge-tuple tracking, ordered result
+//!   propagation and non-blocking merges (§4);
+//! * [`timejoin`] — a time-based (event-time) window band join over the same
+//!   PIM-Tree index, substantiating the paper's claim that the approach
+//!   applies to time-based windows without technical limitation (§2.1);
+//! * [`reference`] — a brute-force oracle used by the test suite to validate
+//!   every operator's output;
+//! * [`stats`] — run statistics shared by all operators.
+//!
+//! The operators consume a pre-generated, interleaved tuple sequence (see
+//! `pimtree-workload`) and produce band-join results in arrival order.
+
+pub mod adapter;
+pub mod handshake;
+pub mod ibwj;
+pub mod nlwj;
+pub mod parallel;
+pub mod reference;
+pub mod stats;
+pub mod timejoin;
+
+pub use adapter::{
+    BTreeAdapter, BwTreeAdapter, ChainedAdapter, ImTreeAdapter, PimTreeAdapter, WindowIndexAdapter,
+};
+pub use handshake::{HandshakeJoin, HandshakeMode};
+pub use ibwj::{build_single_threaded, IbwjOperator, SingleThreadJoin};
+pub use nlwj::NlwjOperator;
+pub use parallel::{ParallelIbwj, SharedIndexKind};
+pub use reference::{canonical, reference_join};
+pub use stats::{EnginePhaseTimes, JoinRunStats};
+pub use timejoin::{reference_time_join, TimeBasedIbwj, TimedStreamTuple};

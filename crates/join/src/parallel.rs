@@ -1,0 +1,968 @@
+//! The parallel shared-index window join engine (§4 of the paper).
+//!
+//! Worker threads share both sliding windows and both indexes. Incoming tuples
+//! are arranged in a shared work queue in arrival order; each worker
+//! repeatedly
+//!
+//! 1. **acquires a task** (up to `task_size` tuples, recording for each the
+//!    boundaries of the opposite window),
+//! 2. **generates results** by probing the opposite index for the already
+//!    indexed window prefix and linearly scanning the window suffix past the
+//!    *edge tuple* (the earliest non-indexed tuple),
+//! 3. **updates the index** with its tuples and tries to advance the edge, and
+//! 4. **propagates results** of completed head-of-queue tuples in arrival
+//!    order, guarded by a try-lock so at most one thread drains at a time.
+//!
+//! Index maintenance (the PIM-Tree merge) is coordinated by whichever worker
+//! notices that the merge threshold has been reached: the two-phase
+//! *non-blocking merge* of §4.2 lets the other workers keep joining (without
+//! index updates) while the new `TS` is being built, whereas the blocking
+//! variant (kept for the Figure 13c ablation) stalls all workers for the
+//! duration of the merge.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use pimtree_btree::Entry;
+use pimtree_bwtree::BwTreeIndex;
+use pimtree_common::{
+    BandPredicate, JoinConfig, JoinResult, Key, KeyRange, LatencyRecorder, MergePolicy, Seq,
+    StreamSide, Tuple,
+};
+use pimtree_core::PimTree;
+use pimtree_window::{SlidingWindow, WindowBounds};
+
+use crate::stats::JoinRunStats;
+
+/// Which shared index the parallel engine maintains over each window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedIndexKind {
+    /// The PIM-Tree with the configured merge policy.
+    PimTree,
+    /// The Bw-Tree-style general-purpose concurrent index (no merges; expired
+    /// tuples are deleted eagerly with a small lag).
+    BwTree,
+}
+
+enum SharedIndex {
+    Pim(PimTree),
+    Bw(BwTreeIndex),
+}
+
+impl SharedIndex {
+    fn insert_batch(&self, entries: &[(Key, Seq)]) {
+        match self {
+            SharedIndex::Pim(t) => t.insert_batch(entries),
+            SharedIndex::Bw(t) => {
+                for &(key, seq) in entries {
+                    t.insert(key, seq);
+                }
+            }
+        }
+    }
+
+    fn probe(&self, range: KeyRange, f: &mut dyn FnMut(Entry)) {
+        match self {
+            SharedIndex::Pim(t) => t.range_for_each(range, f),
+            SharedIndex::Bw(t) => t.range_for_each(range, f),
+        }
+    }
+
+    fn needs_merge(&self) -> bool {
+        match self {
+            SharedIndex::Pim(t) => t.needs_merge(),
+            SharedIndex::Bw(_) => false,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Available,
+    Active,
+    Completed,
+}
+
+struct Slot {
+    tuple: Tuple,
+    /// Boundaries of the opposite window at this tuple's arrival.
+    bounds: WindowBounds,
+    state: SlotState,
+    /// Number of matches produced for this tuple (always maintained).
+    result_count: u64,
+    /// The matches themselves; only populated when result collection is
+    /// enabled (tests), so the common benchmarking path never allocates here.
+    results: Vec<JoinResult>,
+}
+
+struct WorkQueue {
+    entries: std::collections::VecDeque<Slot>,
+    /// Global id of `entries[0]`.
+    base: u64,
+    /// Next input position to ingest.
+    next_ingest: usize,
+    /// Global id of the next not-yet-acquired slot.
+    next_avail: u64,
+}
+
+impl WorkQueue {
+    fn available(&self) -> usize {
+        (self.base + self.entries.len() as u64 - self.next_avail) as usize
+    }
+
+    fn slot_mut(&mut self, gid: u64) -> &mut Slot {
+        let idx = (gid - self.base) as usize;
+        &mut self.entries[idx]
+    }
+}
+
+struct Shared<'a> {
+    input: &'a [Tuple],
+    /// Exclusive upper bound on the input positions this batch may ingest.
+    /// The warmup phase of a measured run processes a prefix of the input
+    /// under the same engine state, then the limit is raised to the full
+    /// length for the measured phase.
+    ingest_limit: usize,
+    predicate: BandPredicate,
+    task_size: usize,
+    queue_cap: usize,
+    /// How many available (not yet acquired) tuples an acquiring worker tries
+    /// to keep in the queue: ingesting in bulk keeps every worker supplied
+    /// without re-contending on the queue mutex for every task.
+    ingest_target: usize,
+    /// Upper bound on the non-indexed window suffix (head minus edge tuple)
+    /// admitted per side. Without a bound, the tuples processed while a merge
+    /// defers index updates pile up un-indexed and every probe's linear scan
+    /// grows with them — quadratic work that flattens multithreaded scaling
+    /// and blows up latency. Ingestion stalls briefly once the bound is hit;
+    /// the backlog drains as soon as the merge finishes replaying its pending
+    /// updates.
+    max_unindexed: usize,
+    self_join: bool,
+    window_sizes: [usize; 2],
+    windows: [SlidingWindow; 2],
+    indexes: [SharedIndex; 2],
+    deletion_lag: u64,
+    merge_policy: MergePolicy,
+    collect_results: bool,
+
+    queue: Mutex<WorkQueue>,
+    /// Blocks new task acquisition while a merge phase transition is pending.
+    gate: AtomicBool,
+    /// Number of tasks currently being processed (acquired, not yet done with
+    /// their index updates).
+    in_flight: AtomicUsize,
+    /// Set per side while a non-blocking merge is in phase 1: workers buffer
+    /// their index updates instead of applying them.
+    no_index_updates: [AtomicBool; 2],
+    pending: [Mutex<Vec<(Key, Seq)>>; 2],
+    merge_claimed: AtomicBool,
+    merge_stats: Mutex<(u64, Duration)>,
+    sink: Mutex<(u64, Vec<JoinResult>)>,
+    worker_stats: Mutex<Vec<JoinRunStats>>,
+}
+
+impl<'a> Shared<'a> {
+    #[inline]
+    fn own_idx(&self, side: StreamSide) -> usize {
+        if self.self_join {
+            0
+        } else {
+            side.index()
+        }
+    }
+
+    #[inline]
+    fn probe_idx(&self, side: StreamSide) -> usize {
+        if self.self_join {
+            0
+        } else {
+            side.opposite().index()
+        }
+    }
+
+    #[inline]
+    fn matched_side(&self, side: StreamSide) -> StreamSide {
+        if self.self_join {
+            StreamSide::R
+        } else {
+            side.opposite()
+        }
+    }
+}
+
+/// The parallel index-based window join operator.
+#[derive(Debug, Clone)]
+pub struct ParallelIbwj {
+    config: JoinConfig,
+    predicate: BandPredicate,
+    kind: SharedIndexKind,
+    self_join: bool,
+    collect_results: bool,
+}
+
+impl ParallelIbwj {
+    /// Creates the operator. `config.threads` worker threads are used and
+    /// `config.pim` configures the PIM-Tree (including its merge policy).
+    pub fn new(
+        config: JoinConfig,
+        predicate: BandPredicate,
+        kind: SharedIndexKind,
+        self_join: bool,
+    ) -> Self {
+        config.validate().expect("invalid join configuration");
+        ParallelIbwj {
+            config,
+            predicate,
+            kind,
+            self_join,
+            collect_results: false,
+        }
+    }
+
+    /// Collect result tuples (for tests); by default only counts are kept.
+    pub fn with_collected_results(mut self, collect: bool) -> Self {
+        self.collect_results = collect;
+        self
+    }
+
+    /// Runs the join over a tuple sequence, returning statistics and (when
+    /// enabled) the results in arrival order of the probing tuple.
+    pub fn run(&self, tuples: &[Tuple]) -> (JoinRunStats, Vec<JoinResult>) {
+        self.run_with_warmup(tuples, 0)
+    }
+
+    /// Runs the join over a tuple sequence, excluding the first `warmup`
+    /// tuples from the reported statistics.
+    ///
+    /// The warmup prefix is processed by the same engine state (windows fill
+    /// up, the PIM-Tree goes through its first merge and gains its partition
+    /// structure), mirroring how the single-threaded operators are measured
+    /// after their windows are warm. Timing, throughput and per-phase counters
+    /// cover only the remaining tuples; the result stream (when collection is
+    /// enabled) still contains every match, including those produced during
+    /// warmup, so correctness checks can cover the whole sequence.
+    pub fn run_with_warmup(
+        &self,
+        tuples: &[Tuple],
+        warmup: usize,
+    ) -> (JoinRunStats, Vec<JoinResult>) {
+        let warmup = warmup.min(tuples.len());
+        let threads = self.config.threads;
+        let task_size = self.config.task_size;
+        let queue_cap = (threads * task_size * 64).max(4096);
+        let slack = 2 * queue_cap + 1024;
+
+        let window_sizes = if self.self_join {
+            [self.config.window_r, 1]
+        } else {
+            [self.config.window_r, self.config.window_s]
+        };
+        let make_index = || match self.kind {
+            SharedIndexKind::PimTree => {
+                let mut pim_cfg = self.config.pim;
+                pim_cfg.window_size = self.config.max_window();
+                SharedIndex::Pim(PimTree::new(pim_cfg))
+            }
+            SharedIndexKind::BwTree => SharedIndex::Bw(BwTreeIndex::new()),
+        };
+
+        let mut shared = Shared {
+            input: tuples,
+            ingest_limit: if warmup > 0 { warmup } else { tuples.len() },
+            predicate: self.predicate,
+            task_size,
+            queue_cap,
+            self_join: self.self_join,
+            window_sizes,
+            ingest_target: (threads * task_size).clamp(task_size, queue_cap / 4),
+            max_unindexed: (8 * threads * task_size).max(1024),
+            windows: [
+                SlidingWindow::new(window_sizes[0], slack),
+                SlidingWindow::new(window_sizes[1], slack),
+            ],
+            indexes: [make_index(), make_index()],
+            deletion_lag: queue_cap as u64,
+            merge_policy: self.config.pim.merge_policy,
+            collect_results: self.collect_results,
+            queue: Mutex::new(WorkQueue {
+                entries: std::collections::VecDeque::new(),
+                base: 0,
+                next_ingest: 0,
+                next_avail: 0,
+            }),
+            gate: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            no_index_updates: [AtomicBool::new(false), AtomicBool::new(false)],
+            pending: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
+            merge_claimed: AtomicBool::new(false),
+            merge_stats: Mutex::new((0, Duration::ZERO)),
+            sink: Mutex::new((0, Vec::new())),
+            worker_stats: Mutex::new(Vec::new()),
+        };
+
+        // Warmup phase: process the prefix with the same engine state, then
+        // discard the counters it accumulated (results are kept).
+        let mut warmup_results = Vec::new();
+        if warmup > 0 {
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| worker_loop(&shared));
+                }
+            });
+            shared.worker_stats.lock().clear();
+            *shared.merge_stats.lock() = (0, Duration::ZERO);
+            let (_, results) = std::mem::take(&mut *shared.sink.lock());
+            warmup_results = results;
+            shared.ingest_limit = tuples.len();
+        }
+
+        let measured = (tuples.len() - warmup) as u64;
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| worker_loop(&shared));
+            }
+        });
+        let elapsed = start.elapsed();
+
+        let mut stats = JoinRunStats {
+            tuples: measured,
+            elapsed,
+            ..Default::default()
+        };
+        for w in shared.worker_stats.lock().iter() {
+            stats.absorb(w);
+        }
+        stats.tuples = measured;
+        let (merges, merge_time) = *shared.merge_stats.lock();
+        stats.merges = merges;
+        stats.merge_time = merge_time;
+        let (count, results) = std::mem::take(&mut *shared.sink.lock());
+        stats.results = count;
+        if self.collect_results {
+            warmup_results.extend(results);
+            (stats, warmup_results)
+        } else {
+            (stats, results)
+        }
+    }
+}
+
+// ------------------------------------------------------------------ worker
+
+struct Task {
+    items: Vec<(u64, Tuple, WindowBounds)>,
+    acquired_at: Instant,
+}
+
+/// Buffers reused across tasks by one worker so that the steady-state path
+/// performs no heap allocation per tuple.
+struct WorkerScratch {
+    /// Per-tuple `(slot id, match count, collected matches)` of the current
+    /// task; the inner vectors stay empty unless result collection is enabled.
+    produced: Vec<(u64, u64, Vec<JoinResult>)>,
+    /// Tuples destined for each side's index, inserted as one batch per task.
+    inserts: [Vec<(Key, Seq)>; 2],
+    /// Sequence numbers to mark as indexed after the batch insert, per side.
+    indexed: [Vec<Seq>; 2],
+}
+
+impl WorkerScratch {
+    fn new() -> Self {
+        WorkerScratch {
+            produced: Vec::new(),
+            inserts: [Vec::new(), Vec::new()],
+            indexed: [Vec::new(), Vec::new()],
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared<'_>) {
+    let mut local = JoinRunStats::default();
+    let mut latency = LatencyRecorder::new();
+    let mut scratch = WorkerScratch::new();
+    loop {
+        maybe_merge(shared, &mut local);
+        let acquire_start = Instant::now();
+        let acquired = acquire_task(shared);
+        local.phase.acquire += acquire_start.elapsed();
+        match acquired {
+            Some(task) => {
+                process_task(shared, &task, &mut scratch, &mut local, &mut latency);
+                shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                let propagate_start = Instant::now();
+                propagate(shared);
+                local.phase.propagate += propagate_start.elapsed();
+            }
+            None => {
+                let propagate_start = Instant::now();
+                propagate(shared);
+                local.phase.propagate += propagate_start.elapsed();
+                if is_finished(shared) {
+                    break;
+                }
+                // Nothing to do right now (gate closed, queue momentarily
+                // empty, or ingestion paused by admission control). Retry the
+                // edge advancement — a lost try-lock race must not leave the
+                // edge stale with no indexing work left to trigger another
+                // attempt — then back off briefly instead of hammering the
+                // shared locks that the productive workers need.
+                shared.windows[0].try_advance_edge();
+                if !shared.self_join {
+                    shared.windows[1].try_advance_edge();
+                }
+                let idle_start = Instant::now();
+                std::thread::sleep(Duration::from_micros(20));
+                local.phase.idle += idle_start.elapsed();
+            }
+        }
+    }
+    local.latency = latency;
+    shared.worker_stats.lock().push(local);
+}
+
+fn is_finished(shared: &Shared<'_>) -> bool {
+    let q = shared.queue.lock();
+    q.next_ingest == shared.ingest_limit && q.entries.is_empty()
+}
+
+fn acquire_task(shared: &Shared<'_>) -> Option<Task> {
+    let mut q = shared.queue.lock();
+    if shared.gate.load(Ordering::Acquire) {
+        return None;
+    }
+    // Ingest tuples until enough work is available for every worker (bounded
+    // by the queue cap).
+    while q.available() < shared.ingest_target
+        && q.next_ingest < shared.ingest_limit
+        && q.entries.len() < shared.queue_cap
+    {
+        let t = shared.input[q.next_ingest];
+        let own = shared.own_idx(t.side);
+        // Admission control: keep the non-indexed suffix of the window this
+        // tuple lands in bounded, so linear probe scans stay short even while
+        // a merge is deferring index updates.
+        let unindexed = shared.windows[own].head() - shared.windows[own].edge();
+        if unindexed as usize >= shared.max_unindexed {
+            break;
+        }
+        q.next_ingest += 1;
+        let probe = shared.probe_idx(t.side);
+        // Bounds of the opposite window at this tuple's arrival (captured
+        // before the tuple itself is appended, which matters for self-joins).
+        let bounds = shared.windows[probe].bounds();
+        let seq = shared.windows[own]
+            .append(t.key)
+            .expect("sliding window slack exhausted");
+        debug_assert_eq!(seq, t.seq, "input sequence numbers must match arrival order");
+        q.entries.push_back(Slot {
+            tuple: t,
+            bounds,
+            state: SlotState::Available,
+            result_count: 0,
+            results: Vec::new(),
+        });
+    }
+    let mut items = Vec::with_capacity(shared.task_size);
+    while items.len() < shared.task_size && q.next_avail < q.base + q.entries.len() as u64 {
+        let gid = q.next_avail;
+        q.next_avail += 1;
+        let slot = q.slot_mut(gid);
+        debug_assert_eq!(slot.state, SlotState::Available);
+        slot.state = SlotState::Active;
+        items.push((gid, slot.tuple, slot.bounds));
+    }
+    if items.is_empty() {
+        return None;
+    }
+    // Count the task as in flight while still holding the queue lock so that a
+    // merging thread closing the gate cannot miss it.
+    shared.in_flight.fetch_add(1, Ordering::AcqRel);
+    drop(q);
+    Some(Task {
+        items,
+        acquired_at: Instant::now(),
+    })
+}
+
+fn process_task(
+    shared: &Shared<'_>,
+    task: &Task,
+    scratch: &mut WorkerScratch,
+    local: &mut JoinRunStats,
+    latency: &mut LatencyRecorder,
+) {
+    let entry_bytes = std::mem::size_of::<Entry>() as u64;
+    // Step 2: result generation. Results are buffered locally and published to
+    // the shared queue with a single lock acquisition per task, which keeps
+    // the queue mutex off the per-tuple critical path.
+    let generate_start = Instant::now();
+    scratch.produced.clear();
+    for &(gid, tuple, bounds) in &task.items {
+        let probe = shared.probe_idx(tuple.side);
+        let matched_side = shared.matched_side(tuple.side);
+        let range = shared.predicate.probe_range(tuple.key);
+        // Snapshot of the edge tuple: everything before it is guaranteed to be
+        // in the index; everything from it up to the task's window boundary is
+        // covered by the linear scan. An outdated snapshot only makes the
+        // linear scan longer, never wrong (§4.1).
+        let edge = shared.windows[probe].edge().min(bounds.latest_exclusive);
+        let mut count = 0u64;
+        let mut results = Vec::new();
+        let collect = shared.collect_results;
+        let search_start = Instant::now();
+        shared.indexes[probe].probe(range, &mut |e| {
+            if e.seq >= bounds.earliest && e.seq < edge {
+                count += 1;
+                if collect {
+                    results.push(JoinResult::new(tuple, Tuple::new(matched_side, e.seq, e.key)));
+                }
+            }
+        });
+        let scan_start = Instant::now();
+        local.breakdown.record_nanos(
+            pimtree_common::Step::Search,
+            (scan_start - search_start).as_nanos() as u64,
+        );
+        // The linear scan covers the not-yet-indexed suffix, clamped below to
+        // the task's earliest live tuple: when the edge lags behind the
+        // expiry horizon (e.g. while a merge freezes it), everything before
+        // `bounds.earliest` is expired for this probe and must not match.
+        let scan_from = edge.max(bounds.earliest);
+        let examined =
+            shared.windows[probe].scan_linear(scan_from, bounds.latest_exclusive, range, |seq, key| {
+                count += 1;
+                if collect {
+                    results.push(JoinResult::new(tuple, Tuple::new(matched_side, seq, key)));
+                }
+            });
+        local.breakdown.record_nanos(
+            pimtree_common::Step::Scan,
+            scan_start.elapsed().as_nanos() as u64,
+        );
+        local.bytes_loaded += (examined as u64 + count + 8) * entry_bytes;
+        local.bytes_stored += count * std::mem::size_of::<JoinResult>() as u64;
+        local.results += count;
+        local.tuples += 1;
+        scratch.produced.push((gid, count, results));
+    }
+    {
+        let mut q = shared.queue.lock();
+        for (gid, count, results) in scratch.produced.drain(..) {
+            let slot = q.slot_mut(gid);
+            slot.result_count = count;
+            slot.results = results;
+            slot.state = SlotState::Completed;
+        }
+    }
+    local.phase.generate += generate_start.elapsed();
+    // Latency is the task processing time (§5): acquisition to results ready.
+    let task_latency = task.acquired_at.elapsed();
+    for _ in 0..task.items.len() {
+        latency.record(task_latency);
+    }
+    // Step 3: index update, batched per side so the generation lock and the
+    // shared counters are touched once per task instead of once per tuple.
+    let update_start = Instant::now();
+    scratch.inserts[0].clear();
+    scratch.inserts[1].clear();
+    scratch.indexed[0].clear();
+    scratch.indexed[1].clear();
+    for &(_gid, tuple, _) in &task.items {
+        let own = shared.own_idx(tuple.side);
+        if shared.no_index_updates[own].load(Ordering::Acquire) {
+            shared.pending[own].lock().push((tuple.key, tuple.seq));
+        } else {
+            scratch.inserts[own].push((tuple.key, tuple.seq));
+            scratch.indexed[own].push(tuple.seq);
+        }
+    }
+    for own in 0..2 {
+        if scratch.inserts[own].is_empty() {
+            continue;
+        }
+        shared.indexes[own].insert_batch(&scratch.inserts[own]);
+        local.bytes_stored += scratch.inserts[own].len() as u64 * entry_bytes;
+        if let SharedIndex::Bw(bw) = &shared.indexes[own] {
+            // Eager expiry deletion with a lag large enough that no in-flight
+            // task can still need the deleted entry.
+            let w = shared.window_sizes[own] as u64;
+            for &(_, seq) in &scratch.inserts[own] {
+                if seq >= w + shared.deletion_lag {
+                    let expired_seq = seq - w - shared.deletion_lag;
+                    let expired_key = shared.windows[own].key_of(expired_seq);
+                    bw.remove(expired_key, expired_seq);
+                }
+            }
+        }
+        for &seq in &scratch.indexed[own] {
+            shared.windows[own].mark_indexed(seq);
+        }
+        shared.windows[own].try_advance_edge();
+    }
+    local.phase.update += update_start.elapsed();
+}
+
+fn propagate(shared: &Shared<'_>) {
+    // The paper's test-and-set scheme: if another thread is already
+    // propagating, skip and go back to useful work.
+    let Some(mut sink) = shared.sink.try_lock() else {
+        return;
+    };
+    loop {
+        // Drain every consecutive completed head entry under one queue lock
+        // acquisition, then emit outside the lock.
+        let drained: Vec<Slot> = {
+            let mut q = shared.queue.lock();
+            let mut drained = Vec::new();
+            while matches!(q.entries.front(), Some(front) if front.state == SlotState::Completed) {
+                q.base += 1;
+                drained.push(q.entries.pop_front().expect("checked front"));
+            }
+            drained
+        };
+        if drained.is_empty() {
+            break;
+        }
+        for slot in drained {
+            sink.0 += slot.result_count;
+            if shared.collect_results {
+                sink.1.extend(slot.results);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------- merge
+
+fn close_gate_and_wait(shared: &Shared<'_>) {
+    {
+        let _q = shared.queue.lock();
+        shared.gate.store(true, Ordering::Release);
+    }
+    while shared.in_flight.load(Ordering::Acquire) > 0 {
+        std::thread::yield_now();
+    }
+}
+
+fn open_gate(shared: &Shared<'_>) {
+    shared.gate.store(false, Ordering::Release);
+}
+
+/// The oldest sequence number (per merged side) that any queued or future task
+/// may still probe; merging with this horizon guarantees that no in-flight
+/// task loses index entries it relies on.
+fn merge_horizon(shared: &Shared<'_>, side: usize) -> Seq {
+    let mut horizon = shared.windows[side].earliest_live();
+    let q = shared.queue.lock();
+    for slot in q.entries.iter() {
+        if slot.state != SlotState::Completed
+            && shared.probe_idx(slot.tuple.side) == side
+        {
+            horizon = horizon.min(slot.bounds.earliest);
+        }
+    }
+    horizon
+}
+
+fn maybe_merge(shared: &Shared<'_>, local: &mut JoinRunStats) {
+    for side in 0..if shared.self_join { 1 } else { 2 } {
+        if !shared.indexes[side].needs_merge() {
+            continue;
+        }
+        if shared.merge_claimed.swap(true, Ordering::AcqRel) {
+            return; // another thread is already merging
+        }
+        if !shared.indexes[side].needs_merge() {
+            shared.merge_claimed.store(false, Ordering::Release);
+            return;
+        }
+        let SharedIndex::Pim(pim) = &shared.indexes[side] else {
+            shared.merge_claimed.store(false, Ordering::Release);
+            return;
+        };
+        let merge_start = Instant::now();
+        let report = match shared.merge_policy {
+            MergePolicy::Blocking => {
+                close_gate_and_wait(shared);
+                let horizon = merge_horizon(shared, side);
+                let report = pim.merge(horizon);
+                open_gate(shared);
+                report
+            }
+            MergePolicy::NonBlocking => {
+                // Phase 1: stop index updates for this side, then build the
+                // next generation while the other workers keep joining.
+                close_gate_and_wait(shared);
+                shared.no_index_updates[side].store(true, Ordering::Release);
+                let horizon = merge_horizon(shared, side);
+                open_gate(shared);
+                let prepared = pim.begin_merge(horizon);
+                // Phase 2: swap the tree under a closed gate, then re-open it
+                // *before* replaying the updates buffered during phase 1 — the
+                // paper's workers resume joining (with index updates) while the
+                // merging thread drains the pending list. Pending tuples stay
+                // reachable through the linear window scan until they are
+                // marked indexed, so probes remain correct throughout.
+                close_gate_and_wait(shared);
+                let report = pim.install_merge(prepared);
+                let pending = std::mem::take(&mut *shared.pending[side].lock());
+                shared.no_index_updates[side].store(false, Ordering::Release);
+                open_gate(shared);
+                for chunk in pending.chunks(4096) {
+                    pim.insert_batch(chunk);
+                    for &(_, seq) in chunk {
+                        shared.windows[side].mark_indexed(seq);
+                    }
+                    shared.windows[side].try_advance_edge();
+                }
+                report
+            }
+        };
+        local.breakdown.record_nanos(
+            pimtree_common::Step::Merge,
+            report.duration.as_nanos() as u64,
+        );
+        {
+            let mut ms = shared.merge_stats.lock();
+            ms.0 += 1;
+            ms.1 += merge_start.elapsed();
+        }
+        shared.merge_claimed.store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{canonical, reference_join};
+    use pimtree_common::{IndexKind, PimConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tuples(n: usize, domain: i64, seed: u64) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seqs = [0u64, 0u64];
+        (0..n)
+            .map(|_| {
+                let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                let seq = seqs[side.index()];
+                seqs[side.index()] += 1;
+                Tuple::new(side, seq, rng.gen_range(0..domain))
+            })
+            .collect()
+    }
+
+    fn self_join_tuples(n: usize, domain: i64, seed: u64) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n as u64).map(|i| Tuple::r(i, rng.gen_range(0..domain))).collect()
+    }
+
+    fn config(w: usize, threads: usize, task: usize, merge_ratio: f64, policy: MergePolicy) -> JoinConfig {
+        let mut pim = PimConfig::for_window(w)
+            .with_merge_ratio(merge_ratio)
+            .with_insertion_depth(2)
+            .with_merge_policy(policy);
+        pim.css_fanout = 8;
+        pim.css_leaf_size = 8;
+        pim.btree_fanout = 8;
+        JoinConfig::symmetric(w, IndexKind::PimTree)
+            .with_threads(threads)
+            .with_task_size(task)
+            .with_pim(pim)
+    }
+
+    #[test]
+    fn single_thread_matches_reference() {
+        let tuples = random_tuples(3000, 400, 31);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        let op = ParallelIbwj::new(
+            config(128, 1, 4, 0.5, MergePolicy::NonBlocking),
+            predicate,
+            SharedIndexKind::PimTree,
+            false,
+        )
+        .with_collected_results(true);
+        let (stats, results) = op.run(&tuples);
+        assert_eq!(canonical(&results), expected);
+        assert_eq!(stats.results as usize, expected.len());
+        assert!(stats.merges > 0, "merge ratio 0.5 over 3000 tuples must merge");
+    }
+
+    #[test]
+    fn multi_thread_matches_reference_nonblocking() {
+        let tuples = random_tuples(6000, 600, 32);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 256, 256, false));
+        assert!(!expected.is_empty());
+        for threads in [2, 4, 8] {
+            let op = ParallelIbwj::new(
+                config(256, threads, 4, 0.5, MergePolicy::NonBlocking),
+                predicate,
+                SharedIndexKind::PimTree,
+                false,
+            )
+            .with_collected_results(true);
+            let (_, results) = op.run(&tuples);
+            assert_eq!(canonical(&results), expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn multi_thread_matches_reference_blocking_merge() {
+        let tuples = random_tuples(5000, 500, 33);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 200, 200, false));
+        let op = ParallelIbwj::new(
+            config(200, 4, 3, 0.25, MergePolicy::Blocking),
+            predicate,
+            SharedIndexKind::PimTree,
+            false,
+        )
+        .with_collected_results(true);
+        let (stats, results) = op.run(&tuples);
+        assert_eq!(canonical(&results), expected);
+        assert!(stats.merges > 0);
+    }
+
+    #[test]
+    fn bwtree_backend_matches_reference() {
+        let tuples = random_tuples(4000, 500, 34);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        for threads in [1, 4] {
+            let op = ParallelIbwj::new(
+                config(128, threads, 4, 1.0, MergePolicy::NonBlocking),
+                predicate,
+                SharedIndexKind::BwTree,
+                false,
+            )
+            .with_collected_results(true);
+            let (_, results) = op.run(&tuples);
+            assert_eq!(canonical(&results), expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn self_join_matches_reference() {
+        let tuples = self_join_tuples(4000, 300, 35);
+        let predicate = BandPredicate::new(1);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, true));
+        assert!(!expected.is_empty());
+        for threads in [1, 4] {
+            let op = ParallelIbwj::new(
+                config(128, threads, 4, 0.5, MergePolicy::NonBlocking),
+                predicate,
+                SharedIndexKind::PimTree,
+                true,
+            )
+            .with_collected_results(true);
+            let (_, results) = op.run(&tuples);
+            assert_eq!(canonical(&results), expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn warmup_run_produces_identical_results_and_reduced_counters() {
+        let tuples = random_tuples(4000, 400, 39);
+        let predicate = BandPredicate::new(2);
+        let op = ParallelIbwj::new(
+            config(128, 4, 4, 0.5, MergePolicy::NonBlocking),
+            predicate,
+            SharedIndexKind::PimTree,
+            false,
+        )
+        .with_collected_results(true);
+        let (full_stats, full_results) = op.run(&tuples);
+        let (warm_stats, warm_results) = op.run_with_warmup(&tuples, 1000);
+        // The result stream is the same whether or not a warmup prefix is
+        // excluded from the statistics.
+        assert_eq!(canonical(&warm_results), canonical(&full_results));
+        // Only the post-warmup tuples are counted.
+        assert_eq!(warm_stats.tuples, full_stats.tuples - 1000);
+        assert!(warm_stats.results <= full_stats.results);
+        // Warmup longer than the input degenerates to an empty measurement.
+        let (empty_stats, all_results) = op.run_with_warmup(&tuples, tuples.len() + 10);
+        assert_eq!(empty_stats.tuples, 0);
+        assert_eq!(canonical(&all_results), canonical(&full_results));
+    }
+
+    #[test]
+    fn results_are_propagated_in_arrival_order() {
+        let tuples = random_tuples(3000, 200, 36);
+        let predicate = BandPredicate::new(2);
+        let op = ParallelIbwj::new(
+            config(128, 6, 2, 1.0, MergePolicy::NonBlocking),
+            predicate,
+            SharedIndexKind::PimTree,
+            false,
+        )
+        .with_collected_results(true);
+        let (_, results) = op.run(&tuples);
+        assert!(!results.is_empty());
+        // The probing tuple's position in the input must be non-decreasing
+        // across the propagated result stream.
+        let mut pos_of = std::collections::HashMap::new();
+        for (i, t) in tuples.iter().enumerate() {
+            pos_of.insert((t.side, t.seq), i);
+        }
+        let positions: Vec<usize> = results.iter().map(|r| pos_of[&(r.probe.side, r.probe.seq)]).collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] <= w[1]),
+            "result propagation must preserve arrival order"
+        );
+    }
+
+    #[test]
+    fn asymmetric_windows_match_reference() {
+        let tuples = random_tuples(4000, 300, 37);
+        let predicate = BandPredicate::new(1);
+        let expected = canonical(&reference_join(&tuples, predicate, 64, 512, false));
+        let mut cfg = config(512, 4, 4, 1.0, MergePolicy::NonBlocking);
+        cfg.window_r = 64;
+        cfg.window_s = 512;
+        let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+            .with_collected_results(true);
+        let (_, results) = op.run(&tuples);
+        assert_eq!(canonical(&results), expected);
+    }
+
+    #[test]
+    fn empty_input_and_tiny_input() {
+        let predicate = BandPredicate::new(1);
+        let op = ParallelIbwj::new(
+            config(64, 4, 8, 1.0, MergePolicy::NonBlocking),
+            predicate,
+            SharedIndexKind::PimTree,
+            false,
+        )
+        .with_collected_results(true);
+        let (stats, results) = op.run(&[]);
+        assert_eq!(stats.results, 0);
+        assert!(results.is_empty());
+        let (stats, _) = op.run(&[Tuple::r(0, 5)]);
+        assert_eq!(stats.tuples, 1);
+        assert_eq!(stats.results, 0);
+    }
+
+    #[test]
+    fn latency_and_traffic_are_recorded() {
+        let tuples = random_tuples(2000, 400, 38);
+        let predicate = BandPredicate::new(2);
+        let op = ParallelIbwj::new(
+            config(128, 4, 4, 1.0, MergePolicy::NonBlocking),
+            predicate,
+            SharedIndexKind::PimTree,
+            false,
+        );
+        let (stats, _) = op.run(&tuples);
+        assert_eq!(stats.latency.len() as u64, stats.tuples);
+        assert!(stats.latency.mean_micros() > 0.0);
+        assert!(stats.bytes_loaded > 0);
+        assert!(stats.bytes_stored > 0);
+    }
+}

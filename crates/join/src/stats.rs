@@ -1,0 +1,186 @@
+//! Run statistics shared by all join operators.
+
+use std::time::Duration;
+
+use pimtree_common::{CostBreakdown, LatencyRecorder};
+
+/// Statistics of one join run over a tuple sequence.
+#[derive(Debug, Clone, Default)]
+pub struct JoinRunStats {
+    /// Tuples processed.
+    pub tuples: u64,
+    /// Join result pairs produced.
+    pub results: u64,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+    /// Number of index maintenance merges performed.
+    pub merges: u64,
+    /// Total time spent in merges.
+    pub merge_time: Duration,
+    /// Per-step cost breakdown (populated when instrumentation is enabled).
+    pub breakdown: CostBreakdown,
+    /// Per-tuple processing latencies (populated by the parallel operator).
+    pub latency: LatencyRecorder,
+    /// Logical bytes loaded by index probes and window scans.
+    pub bytes_loaded: u64,
+    /// Logical bytes stored by window appends, index inserts and result
+    /// emission.
+    pub bytes_stored: u64,
+    /// Per-phase engine times (parallel operator only), summed over all
+    /// workers: task acquisition, result generation, index update, result
+    /// propagation, and idle back-off. Together with `merge_time` these
+    /// account for nearly all of the workers' wall-clock time and are the
+    /// basis of the engine-profile diagnostics binary.
+    pub phase: EnginePhaseTimes,
+}
+
+/// Wall-clock time spent by the parallel engine's workers in each phase of the
+/// §4.1 algorithm, summed across workers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnginePhaseTimes {
+    /// Task acquisition, including waiting on and ingesting into the shared
+    /// work queue.
+    pub acquire: Duration,
+    /// Result generation: index probes plus the linear window-suffix scans.
+    pub generate: Duration,
+    /// Index update: batch inserts, indexed-flag updates and edge advancement.
+    pub update: Duration,
+    /// Ordered result propagation (drain of completed head-of-queue slots).
+    pub propagate: Duration,
+    /// Idle back-off while the queue was empty or the merge gate closed.
+    pub idle: Duration,
+}
+
+impl EnginePhaseTimes {
+    /// Folds another worker's phase times into this one.
+    pub fn merge_from(&mut self, other: &EnginePhaseTimes) {
+        self.acquire += other.acquire;
+        self.generate += other.generate;
+        self.update += other.update;
+        self.propagate += other.propagate;
+        self.idle += other.idle;
+    }
+
+    /// Total accounted time across all phases.
+    pub fn total(&self) -> Duration {
+        self.acquire + self.generate + self.update + self.propagate + self.idle
+    }
+}
+
+impl JoinRunStats {
+    /// Throughput in million tuples per second — the y-axis of most figures.
+    pub fn million_tuples_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.tuples as f64 / secs / 1.0e6
+        }
+    }
+
+    /// Average number of results per processed tuple (the observed match
+    /// rate).
+    pub fn observed_match_rate(&self) -> f64 {
+        if self.tuples == 0 {
+            0.0
+        } else {
+            self.results as f64 / self.tuples as f64
+        }
+    }
+
+    /// Effective load bandwidth in GB/s over the run (Figure 11d).
+    pub fn load_gbps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes_loaded as f64 / 1.0e9 / secs
+        }
+    }
+
+    /// Effective store bandwidth in GB/s over the run (Figure 11d).
+    pub fn store_gbps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.bytes_stored as f64 / 1.0e9 / secs
+        }
+    }
+
+    /// Folds another run's counters into this one (used to aggregate
+    /// per-thread statistics).
+    pub fn absorb(&mut self, other: &JoinRunStats) {
+        self.tuples += other.tuples;
+        self.results += other.results;
+        self.merges += other.merges;
+        self.merge_time += other.merge_time;
+        self.breakdown.merge_from(&other.breakdown);
+        self.latency.merge_from(&other.latency);
+        self.bytes_loaded += other.bytes_loaded;
+        self.bytes_stored += other.bytes_stored;
+        self.phase.merge_from(&other.phase);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_match_rate() {
+        let s = JoinRunStats {
+            tuples: 2_000_000,
+            results: 4_000_000,
+            elapsed: Duration::from_secs(1),
+            ..Default::default()
+        };
+        assert!((s.million_tuples_per_second() - 2.0).abs() < 1e-9);
+        assert!((s.observed_match_rate() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_and_zero_tuples_are_safe() {
+        let s = JoinRunStats::default();
+        assert_eq!(s.million_tuples_per_second(), 0.0);
+        assert_eq!(s.observed_match_rate(), 0.0);
+        assert_eq!(s.load_gbps(), 0.0);
+        assert_eq!(s.store_gbps(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_is_bytes_over_time() {
+        let s = JoinRunStats {
+            elapsed: Duration::from_secs(2),
+            bytes_loaded: 4_000_000_000,
+            bytes_stored: 1_000_000_000,
+            ..Default::default()
+        };
+        assert!((s.load_gbps() - 2.0).abs() < 1e-9);
+        assert!((s.store_gbps() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = JoinRunStats {
+            tuples: 10,
+            results: 20,
+            bytes_loaded: 100,
+            ..Default::default()
+        };
+        let b = JoinRunStats {
+            tuples: 5,
+            results: 7,
+            bytes_loaded: 50,
+            bytes_stored: 9,
+            merges: 2,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.tuples, 15);
+        assert_eq!(a.results, 27);
+        assert_eq!(a.bytes_loaded, 150);
+        assert_eq!(a.bytes_stored, 9);
+        assert_eq!(a.merges, 2);
+    }
+}

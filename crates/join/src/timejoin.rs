@@ -1,0 +1,424 @@
+//! Time-based index-based window join.
+//!
+//! The paper presents its operators on count-based sliding windows and notes
+//! (§2.1) that "there is no technical limitation for applying our approach to
+//! time-based sliding windows". This module substantiates that claim: a
+//! band join over two streams whose windows are bounded by *event time*
+//! rather than by a tuple count, indexed by the same PIM-Tree.
+//!
+//! The key observation is that a time-based window over an in-order stream
+//! still expires tuples in arrival order, so the expiry horizon can be
+//! expressed as a sequence number exactly like in the count-based case: the
+//! operator keeps, per stream, the arrival timestamps of live tuples and
+//! advances an `earliest_live` sequence pointer as the watermark moves. The
+//! PIM-Tree neither knows nor cares whether that pointer was derived from a
+//! count or from a timestamp.
+
+use std::collections::VecDeque;
+
+use pimtree_common::{BandPredicate, JoinResult, Key, PimConfig, Seq, StreamSide, Tuple};
+use pimtree_core::PimTree;
+
+use crate::stats::JoinRunStats;
+
+/// A stream tuple carrying an event timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedStreamTuple {
+    /// Which stream the tuple belongs to.
+    pub side: StreamSide,
+    /// Join attribute.
+    pub key: Key,
+    /// Event timestamp in arbitrary monotone units (e.g. milliseconds).
+    /// Timestamps must be non-decreasing across the merged input sequence.
+    pub timestamp: u64,
+}
+
+impl TimedStreamTuple {
+    /// Creates a tuple for stream `R`.
+    pub fn r(key: Key, timestamp: u64) -> Self {
+        TimedStreamTuple {
+            side: StreamSide::R,
+            key,
+            timestamp,
+        }
+    }
+
+    /// Creates a tuple for stream `S`.
+    pub fn s(key: Key, timestamp: u64) -> Self {
+        TimedStreamTuple {
+            side: StreamSide::S,
+            key,
+            timestamp,
+        }
+    }
+}
+
+/// Per-stream state of the time-based join: the PIM-Tree index plus the
+/// timestamp bookkeeping needed to translate the time horizon into a
+/// sequence-number horizon.
+#[derive(Debug)]
+struct TimedSide {
+    index: PimTree,
+    /// Arrival timestamps of tuples that have not yet been declared expired,
+    /// front = oldest. Only `(seq, timestamp)` is kept; keys live in the index
+    /// and are dropped from it lazily at merge time, exactly as in the
+    /// count-based operator.
+    live: VecDeque<(Seq, u64)>,
+    /// Sequence number of the earliest tuple that is still inside the time
+    /// window. Everything before it is expired.
+    earliest_live: Seq,
+    /// Next sequence number to assign on this stream.
+    next_seq: Seq,
+}
+
+impl TimedSide {
+    fn new(config: PimConfig) -> Self {
+        TimedSide {
+            index: PimTree::new(config),
+            live: VecDeque::new(),
+            earliest_live: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Advances the expiry horizon to `watermark - duration` (saturating) and
+    /// returns the new earliest live sequence number.
+    fn advance(&mut self, watermark: u64, duration: u64) -> Seq {
+        let horizon = watermark.saturating_sub(duration);
+        while let Some(&(seq, ts)) = self.live.front() {
+            if ts < horizon {
+                self.live.pop_front();
+                self.earliest_live = seq + 1;
+            } else {
+                break;
+            }
+        }
+        self.earliest_live
+    }
+}
+
+/// A single-threaded time-based window band join indexed by PIM-Trees.
+///
+/// Tuples of both streams arrive as one sequence ordered by event time. Each
+/// arriving tuple joins against the opposite stream's tuples whose timestamps
+/// lie within the last `duration` time units, under the band predicate
+/// `|R.x - S.x| <= diff`.
+#[derive(Debug)]
+pub struct TimeBasedIbwj {
+    duration: u64,
+    predicate: BandPredicate,
+    sides: [TimedSide; 2],
+    watermark: u64,
+    results: u64,
+    merges: u64,
+    merge_time: std::time::Duration,
+    tuples: u64,
+}
+
+impl TimeBasedIbwj {
+    /// Creates the operator.
+    ///
+    /// `expected_tuples_per_window` sizes the PIM-Tree's merge threshold: it
+    /// plays the role that the window length `w` plays for count-based
+    /// windows and should be an estimate of how many tuples arrive per
+    /// `duration` on one stream. It only affects performance (merge cadence),
+    /// never correctness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is zero, `expected_tuples_per_window` is zero, or
+    /// the PIM-Tree configuration derived from it is invalid.
+    pub fn new(duration: u64, expected_tuples_per_window: usize, predicate: BandPredicate) -> Self {
+        Self::with_pim_config(
+            duration,
+            predicate,
+            PimConfig::for_window(expected_tuples_per_window.max(1)),
+        )
+    }
+
+    /// Creates the operator with an explicit PIM-Tree configuration.
+    pub fn with_pim_config(duration: u64, predicate: BandPredicate, config: PimConfig) -> Self {
+        assert!(duration > 0, "window duration must be positive");
+        config.validate().expect("invalid PIM-Tree configuration");
+        TimeBasedIbwj {
+            duration,
+            predicate,
+            sides: [TimedSide::new(config), TimedSide::new(config)],
+            watermark: 0,
+            results: 0,
+            merges: 0,
+            merge_time: std::time::Duration::ZERO,
+            tuples: 0,
+        }
+    }
+
+    /// Window duration in event-time units.
+    pub fn duration(&self) -> u64 {
+        self.duration
+    }
+
+    /// Current event-time watermark (largest timestamp seen).
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Number of live (non-expired) tuples currently held for `side`.
+    pub fn live_len(&self, side: StreamSide) -> usize {
+        self.sides[side.index()].live.len()
+    }
+
+    /// Processes one arriving tuple and appends its join results to `out`.
+    ///
+    /// Results pair the arriving tuple with every live tuple of the opposite
+    /// stream whose key is within the band predicate, ordered by the matched
+    /// tuple's arrival.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tuple.timestamp` is smaller than a previously seen
+    /// timestamp (the operator expects an in-order stream; out-of-order
+    /// streams need a reordering buffer in front of it).
+    pub fn process(&mut self, tuple: TimedStreamTuple, out: &mut Vec<JoinResult>) {
+        assert!(
+            tuple.timestamp >= self.watermark,
+            "timestamps must be non-decreasing (got {} after {})",
+            tuple.timestamp,
+            self.watermark
+        );
+        self.watermark = tuple.timestamp;
+        self.tuples += 1;
+
+        let own = tuple.side.index();
+        let other = tuple.side.opposite().index();
+
+        // Step 1: expire, then probe the opposite window.
+        let duration = self.duration;
+        let opposite_earliest = self.sides[other].advance(self.watermark, duration);
+        let own_earliest = self.sides[own].advance(self.watermark, duration);
+        let range = self.predicate.probe_range(tuple.key);
+        let probe_seq = self.sides[own].next_seq;
+        let probe_tuple = Tuple::new(tuple.side, probe_seq, tuple.key);
+        let matched_side = tuple.side.opposite();
+        let before = out.len();
+        self.sides[other]
+            .index
+            .range_live(range, opposite_earliest, |e| {
+                out.push(JoinResult::new(
+                    probe_tuple,
+                    Tuple::new(matched_side, e.seq, e.key),
+                ));
+            });
+        out[before..].sort_by_key(|r| r.matched.seq);
+        self.results += (out.len() - before) as u64;
+
+        // Step 2 is implicit: expired tuples are dropped lazily at merge time,
+        // bounded below by `own_earliest`.
+
+        // Step 3: insert the tuple into its own window's index.
+        let side = &mut self.sides[own];
+        let seq = side.next_seq;
+        side.next_seq += 1;
+        side.index.insert(tuple.key, seq);
+        side.live.push_back((seq, tuple.timestamp));
+        if side.index.needs_merge() {
+            let report = side.index.merge(own_earliest);
+            self.merges += 1;
+            self.merge_time += report.duration;
+        }
+    }
+
+    /// Advances the watermark without a tuple (a punctuation), expiring old
+    /// tuples on both sides.
+    pub fn advance_watermark(&mut self, timestamp: u64) {
+        assert!(
+            timestamp >= self.watermark,
+            "watermark cannot move backwards"
+        );
+        self.watermark = timestamp;
+        let duration = self.duration;
+        for side in &mut self.sides {
+            side.advance(timestamp, duration);
+        }
+    }
+
+    /// Runs the operator over an in-order tuple sequence.
+    pub fn run(&mut self, tuples: &[TimedStreamTuple]) -> (JoinRunStats, Vec<JoinResult>) {
+        let mut out = Vec::new();
+        let start = std::time::Instant::now();
+        for &t in tuples {
+            self.process(t, &mut out);
+        }
+        let elapsed = start.elapsed();
+        let stats = JoinRunStats {
+            tuples: self.tuples,
+            results: self.results,
+            elapsed,
+            merges: self.merges,
+            merge_time: self.merge_time,
+            ..Default::default()
+        };
+        (stats, out)
+    }
+}
+
+/// Brute-force time-based band join used to validate [`TimeBasedIbwj`].
+pub fn reference_time_join(
+    tuples: &[TimedStreamTuple],
+    predicate: BandPredicate,
+    duration: u64,
+) -> Vec<JoinResult> {
+    let mut live: [Vec<(Seq, Key, u64)>; 2] = [Vec::new(), Vec::new()];
+    let mut next_seq = [0 as Seq; 2];
+    let mut out = Vec::new();
+    for &t in tuples {
+        let own = t.side.index();
+        let other = t.side.opposite().index();
+        let horizon = t.timestamp.saturating_sub(duration);
+        let probe = Tuple::new(t.side, next_seq[own], t.key);
+        for &(seq, key, ts) in &live[other] {
+            if ts >= horizon && predicate.matches(t.key, key) {
+                out.push(JoinResult::new(probe, Tuple::new(t.side.opposite(), seq, key)));
+            }
+        }
+        live[own].push((next_seq[own], t.key, t.timestamp));
+        next_seq[own] += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::canonical;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config(window: usize) -> PimConfig {
+        let mut c = PimConfig::for_window(window)
+            .with_merge_ratio(0.5)
+            .with_insertion_depth(2);
+        c.css_fanout = 8;
+        c.css_leaf_size = 8;
+        c.btree_fanout = 8;
+        c
+    }
+
+    fn random_timed(n: usize, domain: i64, max_gap: u64, seed: u64) -> Vec<TimedStreamTuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ts = 0u64;
+        (0..n)
+            .map(|_| {
+                ts += rng.gen_range(0..=max_gap);
+                let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                TimedStreamTuple {
+                    side,
+                    key: rng.gen_range(0..domain),
+                    timestamp: ts,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_streams() {
+        for seed in [1, 2, 3] {
+            let tuples = random_timed(3000, 300, 4, seed);
+            let predicate = BandPredicate::new(2);
+            let duration = 200;
+            let expected = canonical(&reference_time_join(&tuples, predicate, duration));
+            assert!(!expected.is_empty());
+            let mut op = TimeBasedIbwj::with_pim_config(duration, predicate, small_config(256));
+            let (stats, results) = op.run(&tuples);
+            assert_eq!(canonical(&results), expected, "seed {seed}");
+            assert_eq!(stats.results as usize, expected.len());
+            assert!(stats.merges > 0, "the merge path must be exercised");
+        }
+    }
+
+    #[test]
+    fn only_tuples_within_the_duration_match() {
+        let predicate = BandPredicate::new(0);
+        let mut op = TimeBasedIbwj::with_pim_config(100, predicate, small_config(64));
+        let mut out = Vec::new();
+        op.process(TimedStreamTuple::r(42, 0), &mut out);
+        assert!(out.is_empty());
+        // Within the window: matches.
+        op.process(TimedStreamTuple::s(42, 50), &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        // Exactly at the horizon boundary (timestamp >= watermark - duration)
+        // the old tuple is still live.
+        op.process(TimedStreamTuple::s(42, 100), &mut out);
+        assert_eq!(out.len(), 1);
+        out.clear();
+        // At t=150 the horizon is 50, so both S tuples (t=50 and t=100) are
+        // still live and match the probing R tuple.
+        op.process(TimedStreamTuple::r(42, 150), &mut out);
+        assert_eq!(out.len(), 2, "both S tuples (t=50, t=100) are still live");
+        out.clear();
+        op.process(TimedStreamTuple::r(42, 500), &mut out);
+        assert!(out.is_empty(), "everything has expired by t=500");
+    }
+
+    #[test]
+    fn watermark_punctuation_expires_tuples() {
+        let predicate = BandPredicate::new(1);
+        let mut op = TimeBasedIbwj::with_pim_config(10, predicate, small_config(64));
+        let mut out = Vec::new();
+        op.process(TimedStreamTuple::r(5, 0), &mut out);
+        op.process(TimedStreamTuple::r(6, 1), &mut out);
+        assert_eq!(op.live_len(StreamSide::R), 2);
+        op.advance_watermark(100);
+        assert_eq!(op.live_len(StreamSide::R), 0);
+        op.process(TimedStreamTuple::s(5, 120), &mut out);
+        assert!(out.is_empty(), "expired tuples must not match after a punctuation");
+    }
+
+    #[test]
+    fn burst_of_identical_timestamps_is_handled() {
+        let predicate = BandPredicate::new(1);
+        let duration = 5;
+        let tuples: Vec<TimedStreamTuple> = (0..200)
+            .map(|i| {
+                if i % 2 == 0 {
+                    TimedStreamTuple::r(i as Key % 20, 7)
+                } else {
+                    TimedStreamTuple::s(i as Key % 20, 7)
+                }
+            })
+            .collect();
+        let expected = canonical(&reference_time_join(&tuples, predicate, duration));
+        let mut op = TimeBasedIbwj::with_pim_config(duration, predicate, small_config(64));
+        let (_, results) = op.run(&tuples);
+        assert_eq!(canonical(&results), expected);
+    }
+
+    #[test]
+    fn results_are_ordered_by_matched_arrival_within_a_probe() {
+        let predicate = BandPredicate::new(10);
+        let mut op = TimeBasedIbwj::with_pim_config(1000, predicate, small_config(64));
+        let mut out = Vec::new();
+        for (i, key) in [5i64, 3, 9, 1].into_iter().enumerate() {
+            op.process(TimedStreamTuple::r(key, i as u64), &mut out);
+        }
+        out.clear();
+        op.process(TimedStreamTuple::s(4, 10), &mut out);
+        let seqs: Vec<Seq> = out.iter().map(|r| r.matched.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn out_of_order_timestamps_are_rejected() {
+        let mut op = TimeBasedIbwj::new(10, 64, BandPredicate::new(1));
+        let mut out = Vec::new();
+        op.process(TimedStreamTuple::r(1, 100), &mut out);
+        op.process(TimedStreamTuple::r(2, 50), &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        let _ = TimeBasedIbwj::new(0, 64, BandPredicate::new(1));
+    }
+}

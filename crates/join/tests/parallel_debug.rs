@@ -1,0 +1,75 @@
+//! Diagnostic harness for the parallel engine (used while developing; kept as
+//! an extra cross-checking integration test).
+
+use pimtree_common::{BandPredicate, IndexKind, JoinConfig, MergePolicy, PimConfig, StreamSide, Tuple};
+use pimtree_join::parallel::{ParallelIbwj, SharedIndexKind};
+use pimtree_join::reference::{canonical, reference_join};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tuples(n: usize, domain: i64, seed: u64) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seqs = [0u64, 0u64];
+    (0..n)
+        .map(|_| {
+            let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+            let seq = seqs[side.index()];
+            seqs[side.index()] += 1;
+            Tuple::new(side, seq, rng.gen_range(0..domain))
+        })
+        .collect()
+}
+
+fn config(w: usize, threads: usize, task: usize, merge_ratio: f64) -> JoinConfig {
+    let mut pim = PimConfig::for_window(w)
+        .with_merge_ratio(merge_ratio)
+        .with_insertion_depth(2)
+        .with_merge_policy(MergePolicy::NonBlocking);
+    pim.css_fanout = 8;
+    pim.css_leaf_size = 8;
+    pim.btree_fanout = 8;
+    JoinConfig::symmetric(w, IndexKind::PimTree)
+        .with_threads(threads)
+        .with_task_size(task)
+        .with_pim(pim)
+}
+
+fn diff_report(ours: &[(u8, u64, u8, u64)], expected: &[(u8, u64, u8, u64)]) -> String {
+    use std::collections::HashSet;
+    let a: HashSet<_> = ours.iter().collect();
+    let b: HashSet<_> = expected.iter().collect();
+    let missing: Vec<_> = expected.iter().filter(|x| !a.contains(x)).take(10).collect();
+    let extra: Vec<_> = ours.iter().filter(|x| !b.contains(x)).take(10).collect();
+    format!(
+        "ours={} expected={} missing(sample)={:?} extra(sample)={:?}",
+        ours.len(),
+        expected.len(),
+        missing,
+        extra
+    )
+}
+
+#[test]
+fn bwtree_backend_round_trips_under_contention() {
+    let tuples = random_tuples(4000, 500, 34);
+    let predicate = BandPredicate::new(2);
+    let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+    let op = ParallelIbwj::new(config(128, 4, 4, 1.0), predicate, SharedIndexKind::BwTree, false)
+        .with_collected_results(true);
+    let (_, results) = op.run(&tuples);
+    let ours = canonical(&results);
+    assert_eq!(ours, expected, "{}", diff_report(&ours, &expected));
+}
+
+#[test]
+fn pim_self_join_round_trips_under_contention() {
+    let mut rng = StdRng::seed_from_u64(35);
+    let tuples: Vec<Tuple> = (0..4000u64).map(|i| Tuple::r(i, rng.gen_range(0..300))).collect();
+    let predicate = BandPredicate::new(1);
+    let expected = canonical(&reference_join(&tuples, predicate, 128, 128, true));
+    let op = ParallelIbwj::new(config(128, 4, 4, 0.5), predicate, SharedIndexKind::PimTree, true)
+        .with_collected_results(true);
+    let (_, results) = op.run(&tuples);
+    let ours = canonical(&results);
+    assert_eq!(ours, expected, "{}", diff_report(&ours, &expected));
+}

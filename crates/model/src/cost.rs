@@ -1,0 +1,208 @@
+//! Equations 1–7: per-tuple cost of each join approach.
+
+use crate::params::ModelParams;
+
+/// Per-tuple cost estimate broken into the paper's three steps (plus the
+/// amortised merge cost for the two-stage trees).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostEstimate {
+    /// Step 1: probing the opposite index and scanning matches.
+    pub search: f64,
+    /// Step 2: removing the expired tuple (or its amortised equivalent).
+    pub delete: f64,
+    /// Step 3: inserting the new tuple.
+    pub insert: f64,
+}
+
+impl CostEstimate {
+    /// Total per-tuple cost (Equation 1).
+    pub fn total(&self) -> f64 {
+        self.search + self.delete + self.insert
+    }
+}
+
+/// Equation 7: cost of building an immutable B+-Tree over `n` entries plus
+/// the linear pass that merges and filters the inputs — `O(n)`.
+pub fn merge_cost(p: &ModelParams, n: usize) -> f64 {
+    p.merge_per_entry * n as f64
+}
+
+/// Equation 2: IBWJ over a single B+-Tree per window.
+pub fn btree_cost(p: &ModelParams) -> CostEstimate {
+    let h_b = p.h_b();
+    CostEstimate {
+        search: h_b * p.btree_search_node + p.match_rate * p.compare_cost,
+        delete: h_b * p.btree_delete_node,
+        insert: h_b * p.btree_insert_node,
+    }
+}
+
+/// Equation 3: IBWJ over a chained index of length `L >= 2`.
+pub fn chained_cost(p: &ModelParams, chain_length: usize) -> CostEstimate {
+    assert!(chain_length >= 2, "chain length must be at least 2");
+    let l = chain_length as f64;
+    // Each sub-index holds w / (L - 1) tuples.
+    let h_c = ModelParams::tree_height(p.window / (chain_length - 1), p.btree_fanout);
+    CostEstimate {
+        search: l * h_c * p.btree_search_node
+            + p.match_rate * p.compare_cost * (1.0 + 1.0 / (2.0 * (l - 1.0))),
+        delete: 0.0,
+        insert: h_c * p.btree_insert_node,
+    }
+}
+
+/// Equation 4: IBWJ over round-robin partitioning with `P` join cores, each
+/// holding a local B+-Tree over `w / P` tuples.
+pub fn round_robin_cost(p: &ModelParams, cores: usize) -> CostEstimate {
+    assert!(cores >= 1, "at least one join core");
+    let h_p = ModelParams::tree_height(p.window / cores, p.btree_fanout);
+    CostEstimate {
+        search: cores as f64 * h_p * p.btree_search_node + p.match_rate * p.compare_cost,
+        delete: h_p * p.btree_delete_node,
+        insert: h_p * p.btree_insert_node,
+    }
+}
+
+/// Equation 5: IBWJ over the IM-Tree with merge ratio `m`.
+pub fn im_tree_cost(p: &ModelParams, merge_ratio: f64) -> CostEstimate {
+    assert!(merge_ratio > 0.0 && merge_ratio <= 1.0);
+    let m = merge_ratio;
+    let h_s = p.h_s();
+    // The mutable component holds on average m·w/2 tuples.
+    let avg_ti = ((m * p.window as f64) / 2.0).max(1.0) as usize;
+    let h_i = ModelParams::tree_height(avg_ti, p.btree_fanout);
+    // One merge moves about (1 + m)·w entries and happens every m·w tuples.
+    let amortised_merge = merge_cost(p, ((1.0 + m) * p.window as f64) as usize) / (m * p.window as f64);
+    CostEstimate {
+        search: h_s * p.css_search_node
+            + h_i * p.btree_search_node
+            + p.match_rate * p.compare_cost * (1.0 + m / 2.0),
+        delete: amortised_merge,
+        insert: h_i * p.btree_insert_node,
+    }
+}
+
+/// Equation 6: IBWJ over the PIM-Tree with merge ratio `m` and insertion
+/// depth `D_I`.
+pub fn pim_tree_cost(p: &ModelParams, merge_ratio: f64, insertion_depth: usize) -> CostEstimate {
+    assert!(merge_ratio > 0.0 && merge_ratio <= 1.0);
+    let m = merge_ratio;
+    let h_s = p.h_s();
+    let d_i = (insertion_depth as f64).min(h_s);
+    // Number of partitions ≈ f_ib^D_I; the average sub-index holds the
+    // mutable component's tuples spread across them.
+    let partitions = (p.css_fanout as f64).powf(d_i).max(1.0);
+    let avg_sub = ((m * p.window as f64) / (2.0 * partitions)).max(1.0) as usize;
+    let h_i = ModelParams::tree_height(avg_sub, p.btree_fanout);
+    let amortised_merge = merge_cost(p, ((1.0 + m) * p.window as f64) as usize) / (m * p.window as f64);
+    CostEstimate {
+        search: h_s * p.css_search_node
+            + h_i * p.btree_search_node
+            + p.match_rate * p.compare_cost * (1.0 + m / 2.0),
+        delete: amortised_merge,
+        insert: d_i * p.css_search_node + h_i * p.btree_insert_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(w: usize) -> ModelParams {
+        ModelParams::for_window(w)
+    }
+
+    #[test]
+    fn totals_are_sums_of_steps() {
+        let c = btree_cost(&p(1 << 20));
+        assert!((c.total() - (c.search + c.delete + c.insert)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pim_beats_btree_for_large_windows() {
+        // The headline analytical claim: for realistic window sizes the
+        // two-stage trees process a tuple cheaper than a single B+-Tree.
+        for exp in 16..=25 {
+            let params = p(1 << exp);
+            let b = btree_cost(&params).total();
+            let im = im_tree_cost(&params, 1.0 / 8.0).total();
+            let pim = pim_tree_cost(&params, 1.0 / 8.0, 3).total();
+            assert!(im < b, "IM-Tree {im} vs B+-Tree {b} at w=2^{exp}");
+            assert!(pim <= im * 1.05, "PIM-Tree {pim} vs IM-Tree {im} at w=2^{exp}");
+        }
+    }
+
+    #[test]
+    fn chained_index_search_grows_with_chain_length(){
+        let params = p(1 << 20);
+        let c2 = chained_cost(&params, 2);
+        let c8 = chained_cost(&params, 8);
+        assert!(c8.search > c2.search, "longer chains search more sub-indexes");
+        assert!(c8.insert <= c2.insert, "longer chains have smaller active sub-indexes");
+    }
+
+    #[test]
+    fn chained_index_update_is_cheaper_than_btree() {
+        let params = p(1 << 20);
+        let b = btree_cost(&params);
+        let c = chained_cost(&params, 2);
+        assert!(c.insert + c.delete < b.insert + b.delete);
+    }
+
+    #[test]
+    fn round_robin_search_overhead_grows_with_cores() {
+        let params = p(1 << 20);
+        let c1 = round_robin_cost(&params, 1);
+        let c8 = round_robin_cost(&params, 8);
+        let c16 = round_robin_cost(&params, 16);
+        assert!(c8.search > c1.search);
+        assert!(c16.search > c8.search);
+        // ... while updates get cheaper with smaller local indexes.
+        assert!(c16.insert <= c1.insert);
+    }
+
+    #[test]
+    fn merge_ratio_tradeoff_is_concave() {
+        // Very small and very large merge ratios are both worse than a
+        // moderate one (Figure 9c/9d).
+        let params = p(1 << 20);
+        let tiny = im_tree_cost(&params, 1.0 / 512.0).total();
+        let moderate = im_tree_cost(&params, 1.0 / 8.0).total();
+        let huge = im_tree_cost(&params, 1.0).total();
+        assert!(moderate < tiny, "too-frequent merges dominate: {moderate} vs {tiny}");
+        // The penalty for very rare merges (large TI, more expired tuples in
+        // scans) is milder in the model than the too-frequent-merge penalty,
+        // matching the asymmetric shape of Figure 9c/9d.
+        assert!(
+            moderate <= huge * 1.1,
+            "a moderate merge ratio must be competitive with m = 1: {moderate} vs {huge}"
+        );
+    }
+
+    #[test]
+    fn deeper_insertion_reduces_subindex_insert_cost() {
+        let params = p(1 << 22);
+        let d1 = pim_tree_cost(&params, 1.0, 1);
+        let d3 = pim_tree_cost(&params, 1.0, 3);
+        // Deeper insertion point → smaller sub-indexes → cheaper B+-Tree part
+        // of the insert, at the price of a longer TS routing walk.
+        assert!(d3.search <= d1.search);
+        let d1_btree_part = d1.insert - 1.0 * params.css_search_node;
+        let d3_btree_part = d3.insert - 3.0 * params.css_search_node;
+        assert!(d3_btree_part < d1_btree_part);
+    }
+
+    #[test]
+    fn merge_cost_is_linear() {
+        let params = p(1 << 20);
+        let a = merge_cost(&params, 1 << 18);
+        let b = merge_cost(&params, 1 << 19);
+        assert!((b / a - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "chain length")]
+    fn chained_cost_rejects_length_one() {
+        let _ = chained_cost(&p(1 << 16), 1);
+    }
+}

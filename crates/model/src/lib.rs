@@ -1,0 +1,30 @@
+//! Analytical per-tuple cost model for index-based window joins.
+//!
+//! Section 2 and 3 of the paper derive the cost of processing one streaming
+//! tuple for every studied approach (Equations 1–6), and Appendix A gives the
+//! complexity of building the immutable B+-Tree (Equation 7). This crate
+//! implements those formulas so that the benchmark harness can put measured
+//! numbers next to the model's predictions, and so the relative ordering of
+//! the approaches (who wins where, and why) can be reasoned about without
+//! running anything.
+//!
+//! Notation (mirroring the paper):
+//!
+//! * `w` — sliding-window size;
+//! * `σ_s` — match rate (`w · σ`);
+//! * `τ_c` — cost of comparing two tuples during a leaf scan;
+//! * `λ^s_b`, `λ^i_b`, `λ^d_b` — per-node search/insert/delete cost of the
+//!   mutable B+-Tree; `f_b` its fan-out;
+//! * `λ^s_ib`, `f_ib` — per-node search cost and fan-out of the immutable
+//!   B+-Tree;
+//! * `L` — chain length of the chained index; `P` — join cores of the
+//!   round-robin partitioned join; `m` — merge ratio; `D_I` — insertion depth.
+
+pub mod cost;
+pub mod params;
+
+pub use cost::{
+    btree_cost, chained_cost, im_tree_cost, merge_cost, pim_tree_cost, round_robin_cost,
+    CostEstimate,
+};
+pub use params::ModelParams;

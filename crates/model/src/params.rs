@@ -1,0 +1,103 @@
+//! Parameters of the analytical cost model.
+
+use serde::{Deserialize, Serialize};
+
+/// Model parameters. Per-node costs are in arbitrary time units; only ratios
+/// matter when comparing approaches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Sliding-window size `w`.
+    pub window: usize,
+    /// Match rate `σ_s = w · σ`.
+    pub match_rate: f64,
+    /// Cost `τ_c` of one tuple comparison during a leaf scan.
+    pub compare_cost: f64,
+    /// Per-node search cost of the mutable B+-Tree (`λ^s_b`).
+    pub btree_search_node: f64,
+    /// Per-node insert cost of the mutable B+-Tree (`λ^i_b`).
+    pub btree_insert_node: f64,
+    /// Per-node delete cost of the mutable B+-Tree (`λ^d_b`).
+    pub btree_delete_node: f64,
+    /// Fan-out of the mutable B+-Tree (`f_b`).
+    pub btree_fanout: usize,
+    /// Per-node search cost of the immutable B+-Tree (`λ^s_ib`).
+    pub css_search_node: f64,
+    /// Fan-out of the immutable B+-Tree (`f_ib`), higher than `f_b` because
+    /// inner nodes carry no child pointers.
+    pub css_fanout: usize,
+    /// Cost of moving one entry during a merge (sorting + bulk build are
+    /// linear, Equation 7).
+    pub merge_per_entry: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        // Unit costs loosely calibrated to the relative magnitudes observed in
+        // the paper's Figure 9b: immutable-tree node steps are cheaper than
+        // mutable-tree node steps, and structural updates cost more than
+        // lookups.
+        ModelParams {
+            window: 1 << 20,
+            match_rate: 2.0,
+            compare_cost: 1.0,
+            btree_search_node: 6.0,
+            btree_insert_node: 9.0,
+            btree_delete_node: 9.0,
+            btree_fanout: 32,
+            css_search_node: 4.0,
+            css_fanout: 32,
+            merge_per_entry: 2.0,
+        }
+    }
+}
+
+impl ModelParams {
+    /// Parameters for a window of `w` tuples, everything else at defaults.
+    pub fn for_window(w: usize) -> Self {
+        ModelParams {
+            window: w,
+            ..Default::default()
+        }
+    }
+
+    /// Height (number of levels) of a B+-Tree with fan-out `f` holding `n`
+    /// entries — `log_f n`, at least 1.
+    pub fn tree_height(n: usize, fanout: usize) -> f64 {
+        if n <= 1 {
+            return 1.0;
+        }
+        ((n as f64).ln() / (fanout as f64).ln()).max(1.0)
+    }
+
+    /// Height of the mutable B+-Tree over the full window (`H_b`).
+    pub fn h_b(&self) -> f64 {
+        Self::tree_height(self.window, self.btree_fanout)
+    }
+
+    /// Height of the immutable B+-Tree over the full window (`H_S`).
+    pub fn h_s(&self) -> f64 {
+        Self::tree_height(self.window, self.css_fanout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heights_grow_logarithmically() {
+        let h14 = ModelParams::tree_height(1 << 14, 32);
+        let h20 = ModelParams::tree_height(1 << 20, 32);
+        let h25 = ModelParams::tree_height(1 << 25, 32);
+        assert!(h14 < h20 && h20 < h25);
+        assert!((h20 - 4.0).abs() < 0.1, "log_32(2^20) = 4, got {h20}");
+        assert_eq!(ModelParams::tree_height(1, 32), 1.0);
+        assert_eq!(ModelParams::tree_height(0, 32), 1.0);
+    }
+
+    #[test]
+    fn css_tree_is_at_least_as_shallow() {
+        let p = ModelParams::for_window(1 << 22);
+        assert!(p.h_s() <= p.h_b());
+    }
+}

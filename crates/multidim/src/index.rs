@@ -1,0 +1,261 @@
+//! The multidimensional sliding-window point index.
+//!
+//! [`MdPimTree`] stores `D`-dimensional points (sequence-numbered, as in the
+//! one-dimensional case) by indexing their Z-order codes in an unmodified
+//! [`PimTree`]. Box queries are answered by decomposing the box into a bounded
+//! number of code ranges, probing each range and filtering the candidates
+//! exactly on their decoded coordinates.
+
+use pimtree_common::{KeyRange, PimConfig, Seq};
+use pimtree_core::PimTree;
+
+use crate::zorder::{self, Coord, ZRange};
+
+/// Order-preserving mapping from a Z-order code to the signed key type used by
+/// the PIM-Tree (flips the sign bit so that `u64` order equals `i64` order).
+#[inline]
+fn code_to_key(code: u64) -> i64 {
+    (code ^ (1u64 << 63)) as i64
+}
+
+/// Inverse of [`code_to_key`].
+#[inline]
+fn key_to_code(key: i64) -> u64 {
+    (key as u64) ^ (1u64 << 63)
+}
+
+/// A multidimensional point found by a box query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MdEntry<const D: usize> {
+    /// The point's coordinates.
+    pub point: [Coord; D],
+    /// Window sequence number of the tuple that carries the point.
+    pub seq: Seq,
+}
+
+/// A multidimensional PIM-Tree over sliding-window points.
+///
+/// The index follows the same life cycle as the one-dimensional PIM-Tree:
+/// points are inserted as they arrive, expired points are removed in bulk
+/// whenever the mutable component reaches the merge threshold, and callers
+/// pass the expiry horizon (earliest live sequence number) to both queries and
+/// merges.
+#[derive(Debug)]
+pub struct MdPimTree<const D: usize> {
+    tree: PimTree,
+    /// Maximum number of Z-order ranges a box query may be decomposed into.
+    range_budget: usize,
+}
+
+impl<const D: usize> MdPimTree<D> {
+    /// Default number of curve ranges a box query is decomposed into.
+    pub const DEFAULT_RANGE_BUDGET: usize = 16;
+
+    /// Creates an empty index configured like a one-dimensional PIM-Tree for a
+    /// window of `config.window_size` points.
+    pub fn new(config: PimConfig) -> Self {
+        Self::with_range_budget(config, Self::DEFAULT_RANGE_BUDGET)
+    }
+
+    /// Creates an empty index with an explicit query range budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or the budget is zero.
+    pub fn with_range_budget(config: PimConfig, range_budget: usize) -> Self {
+        assert!(range_budget > 0, "range budget must be positive");
+        MdPimTree {
+            tree: PimTree::new(config),
+            range_budget,
+        }
+    }
+
+    /// The underlying one-dimensional PIM-Tree (for footprint and statistics).
+    pub fn inner(&self) -> &PimTree {
+        &self.tree
+    }
+
+    /// Number of indexed entries, live and expired.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether no entries are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Inserts a point with its window sequence number.
+    pub fn insert(&self, point: [Coord; D], seq: Seq) {
+        self.tree.insert(code_to_key(zorder::encode(point)), seq);
+    }
+
+    /// Calls `f` for every live point inside the axis-aligned box
+    /// `[lo, hi]` (inclusive). `earliest_live` is the expiry horizon: entries
+    /// with smaller sequence numbers are skipped.
+    pub fn query_box<F: FnMut(MdEntry<D>)>(
+        &self,
+        lo: [Coord; D],
+        hi: [Coord; D],
+        earliest_live: Seq,
+        mut f: F,
+    ) {
+        let ranges = zorder::query_ranges(lo, hi, self.range_budget);
+        for ZRange { lo: zlo, hi: zhi } in ranges {
+            let range = KeyRange::new(code_to_key(zlo), code_to_key(zhi));
+            self.tree.range_live(range, earliest_live, |e| {
+                let point = zorder::decode::<D>(key_to_code(e.key));
+                if zorder::in_box(point, lo, hi) {
+                    f(MdEntry { point, seq: e.seq });
+                }
+            });
+        }
+    }
+
+    /// Collects every live point inside the box, ordered by sequence number.
+    pub fn query_box_collect(
+        &self,
+        lo: [Coord; D],
+        hi: [Coord; D],
+        earliest_live: Seq,
+    ) -> Vec<MdEntry<D>> {
+        let mut out = Vec::new();
+        self.query_box(lo, hi, earliest_live, |e| out.push(e));
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+
+    /// Whether the mutable component has reached the merge threshold.
+    pub fn needs_merge(&self) -> bool {
+        self.tree.needs_merge()
+    }
+
+    /// Merges the two components, dropping entries that expired before
+    /// `earliest_live`. Returns the duration of the merge.
+    pub fn merge(&self, earliest_live: Seq) -> std::time::Duration {
+        self.tree.merge(earliest_live).duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn config(window: usize) -> PimConfig {
+        let mut c = PimConfig::for_window(window)
+            .with_merge_ratio(0.5)
+            .with_insertion_depth(2);
+        c.css_fanout = 8;
+        c.css_leaf_size = 8;
+        c.btree_fanout = 8;
+        c
+    }
+
+    #[test]
+    fn key_mapping_preserves_order() {
+        let codes = [0u64, 1, 1 << 31, (1 << 63) - 1, 1 << 63, u64::MAX - 1, u64::MAX];
+        for w in codes.windows(2) {
+            assert!(code_to_key(w[0]) < code_to_key(w[1]));
+            assert_eq!(key_to_code(code_to_key(w[0])), w[0]);
+        }
+    }
+
+    #[test]
+    fn box_query_finds_exactly_the_contained_points() {
+        let idx = MdPimTree::<2>::new(config(4096));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut points = Vec::new();
+        for seq in 0..2000u64 {
+            let p = [rng.gen_range(0..1000u16), rng.gen_range(0..1000u16)];
+            idx.insert(p, seq);
+            points.push((p, seq));
+        }
+        let lo = [200u16, 300];
+        let hi = [400u16, 700];
+        let got = idx.query_box_collect(lo, hi, 0);
+        let expected: Vec<(Seq, [u16; 2])> = points
+            .iter()
+            .filter(|(p, _)| zorder::in_box(*p, lo, hi))
+            .map(|&(p, s)| (s, p))
+            .collect();
+        assert_eq!(got.len(), expected.len());
+        for (e, (seq, p)) in got.iter().zip(expected.iter()) {
+            assert_eq!(e.seq, *seq);
+            assert_eq!(e.point, *p);
+        }
+    }
+
+    #[test]
+    fn expiry_horizon_filters_old_points() {
+        let idx = MdPimTree::<2>::new(config(128));
+        for seq in 0..100u64 {
+            idx.insert([seq as u16, seq as u16], seq);
+        }
+        let all = idx.query_box_collect([0, 0], [u16::MAX, u16::MAX], 0);
+        assert_eq!(all.len(), 100);
+        let recent = idx.query_box_collect([0, 0], [u16::MAX, u16::MAX], 60);
+        assert_eq!(recent.len(), 40);
+        assert!(recent.iter().all(|e| e.seq >= 60));
+    }
+
+    #[test]
+    fn merge_drops_expired_points() {
+        let idx = MdPimTree::<2>::new(config(64));
+        for seq in 0..256u64 {
+            idx.insert([(seq % 64) as u16, (seq / 64) as u16], seq);
+            if idx.needs_merge() {
+                idx.merge(seq.saturating_sub(63));
+            }
+        }
+        // After the final merge only live entries (and the not-yet-merged
+        // mutable tail) remain.
+        assert!(idx.len() < 256);
+        let live = idx.query_box_collect([0, 0], [u16::MAX, u16::MAX], 192);
+        assert_eq!(live.len(), 64);
+    }
+
+    #[test]
+    fn tight_range_budget_is_still_exact() {
+        let generous = MdPimTree::<2>::with_range_budget(config(1024), 256);
+        let tight = MdPimTree::<2>::with_range_budget(config(1024), 1);
+        let mut rng = StdRng::seed_from_u64(11);
+        for seq in 0..1000u64 {
+            let p = [rng.gen_range(0..500u16), rng.gen_range(0..500u16)];
+            generous.insert(p, seq);
+            tight.insert(p, seq);
+        }
+        let lo = [50u16, 60];
+        let hi = [220u16, 410];
+        assert_eq!(
+            generous.query_box_collect(lo, hi, 0),
+            tight.query_box_collect(lo, hi, 0),
+            "the range budget must never change query results"
+        );
+    }
+
+    #[test]
+    fn three_dimensional_points_work() {
+        let idx = MdPimTree::<3>::new(config(512));
+        for seq in 0..512u64 {
+            idx.insert([(seq % 8) as u16, ((seq / 8) % 8) as u16, (seq / 64) as u16], seq);
+        }
+        let got = idx.query_box_collect([2, 2, 2], [4, 4, 4], 0);
+        assert_eq!(got.len(), 27);
+        assert!(got.iter().all(|e| e.point.iter().all(|&c| (2..=4).contains(&c))));
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = MdPimTree::<2>::new(config(64));
+        assert!(idx.is_empty());
+        assert!(idx.query_box_collect([0, 0], [100, 100], 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "range budget must be positive")]
+    fn zero_budget_rejected() {
+        let _ = MdPimTree::<2>::with_range_budget(config(64), 0);
+    }
+}

@@ -1,0 +1,321 @@
+//! Multidimensional band join over count-based sliding windows.
+//!
+//! The operator generalises the paper's one-dimensional band join
+//! `|R.x - S.x| <= diff` to points: a pair matches when the coordinates are
+//! within a per-dimension distance in *every* dimension. This is the natural
+//! streaming analogue of a spatial "within rectangle" join (e.g. correlating
+//! vehicle positions, sensor grids or order books keyed by price and size).
+
+use pimtree_common::{PimConfig, Seq, StreamSide};
+
+use crate::index::MdPimTree;
+use crate::zorder::Coord;
+
+/// The per-dimension band predicate: `|r[i] - s[i]| <= diff[i]` for every `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MdBandPredicate<const D: usize> {
+    /// Maximum absolute difference allowed per dimension.
+    pub diff: [Coord; D],
+}
+
+impl<const D: usize> MdBandPredicate<D> {
+    /// Creates the predicate.
+    pub fn new(diff: [Coord; D]) -> Self {
+        MdBandPredicate { diff }
+    }
+
+    /// Whether two points match.
+    pub fn matches(&self, a: [Coord; D], b: [Coord; D]) -> bool {
+        (0..D).all(|i| a[i].abs_diff(b[i]) <= self.diff[i])
+    }
+
+    /// The query box around a probing point (clamped to the coordinate
+    /// domain).
+    pub fn probe_box(&self, p: [Coord; D]) -> ([Coord; D], [Coord; D]) {
+        let mut lo = [0 as Coord; D];
+        let mut hi = [0 as Coord; D];
+        for i in 0..D {
+            lo[i] = p[i].saturating_sub(self.diff[i]);
+            hi[i] = p[i].saturating_add(self.diff[i]);
+        }
+        (lo, hi)
+    }
+}
+
+/// A multidimensional stream tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MdTuple<const D: usize> {
+    /// Which stream the tuple belongs to.
+    pub side: StreamSide,
+    /// Arrival sequence number within its stream.
+    pub seq: Seq,
+    /// The point payload.
+    pub point: [Coord; D],
+}
+
+impl<const D: usize> MdTuple<D> {
+    /// Creates a tuple for stream `R`.
+    pub fn r(seq: Seq, point: [Coord; D]) -> Self {
+        MdTuple { side: StreamSide::R, seq, point }
+    }
+
+    /// Creates a tuple for stream `S`.
+    pub fn s(seq: Seq, point: [Coord; D]) -> Self {
+        MdTuple { side: StreamSide::S, seq, point }
+    }
+}
+
+/// One result pair of the multidimensional join: the probing tuple and the
+/// matched tuple of the opposite stream.
+pub type MdJoinResult<const D: usize> = (MdTuple<D>, MdTuple<D>);
+
+/// A single-threaded multidimensional index-based window join.
+///
+/// Both sliding windows are count-based with `w` live tuples, indexed by a
+/// [`MdPimTree`] each; processing follows the same three steps as the
+/// one-dimensional IBWJ (probe, lazy bulk delete, insert).
+#[derive(Debug)]
+pub struct MultiDimIbwj<const D: usize> {
+    window_size: usize,
+    predicate: MdBandPredicate<D>,
+    indexes: [MdPimTree<D>; 2],
+    /// Live points per side, used only to reconstruct matched tuples (the
+    /// index stores the coordinates inside the Z-order code, so this is a
+    /// ring of recent points mirroring the sliding window).
+    arrived: [Vec<[Coord; D]>; 2],
+    merges: u64,
+    results: u64,
+}
+
+impl<const D: usize> MultiDimIbwj<D> {
+    /// Creates the operator for windows of `w` tuples per stream.
+    pub fn new(w: usize, predicate: MdBandPredicate<D>) -> Self {
+        Self::with_pim_config(w, predicate, PimConfig::for_window(w))
+    }
+
+    /// Creates the operator with an explicit PIM-Tree configuration.
+    pub fn with_pim_config(w: usize, predicate: MdBandPredicate<D>, config: PimConfig) -> Self {
+        Self::with_pim_config_and_budget(w, predicate, config, MdPimTree::<D>::DEFAULT_RANGE_BUDGET)
+    }
+
+    /// Creates the operator with an explicit PIM-Tree configuration and
+    /// Z-order range budget (the maximum number of curve ranges a probe box is
+    /// decomposed into; see [`MdPimTree::with_range_budget`]).
+    pub fn with_pim_config_and_budget(
+        w: usize,
+        predicate: MdBandPredicate<D>,
+        config: PimConfig,
+        range_budget: usize,
+    ) -> Self {
+        assert!(w > 0, "window size must be positive");
+        MultiDimIbwj {
+            window_size: w,
+            predicate,
+            indexes: [
+                MdPimTree::with_range_budget(config, range_budget),
+                MdPimTree::with_range_budget(config, range_budget),
+            ],
+            arrived: [Vec::new(), Vec::new()],
+            merges: 0,
+            results: 0,
+        }
+    }
+
+    /// Number of merges performed so far.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    /// Number of result pairs produced so far.
+    pub fn results(&self) -> u64 {
+        self.results
+    }
+
+    /// Processes one arriving tuple, appending `(probe, matched)` pairs to
+    /// `out` ordered by the matched tuple's arrival.
+    pub fn process(&mut self, tuple: MdTuple<D>, out: &mut Vec<MdJoinResult<D>>) {
+        let own = tuple.side.index();
+        let other = tuple.side.opposite().index();
+        debug_assert_eq!(tuple.seq as usize, self.arrived[own].len(), "tuples must arrive in order");
+
+        // Step 1: probe the opposite window.
+        let (lo, hi) = self.predicate.probe_box(tuple.point);
+        let opposite_earliest =
+            (self.arrived[other].len() as u64).saturating_sub(self.window_size as u64);
+        let before = out.len();
+        let matched_side = tuple.side.opposite();
+        self.indexes[other].query_box(lo, hi, opposite_earliest, |e| {
+            out.push((
+                tuple,
+                MdTuple {
+                    side: matched_side,
+                    seq: e.seq,
+                    point: e.point,
+                },
+            ));
+        });
+        out[before..].sort_by_key(|(_, m)| m.seq);
+        self.results += (out.len() - before) as u64;
+
+        // Step 3: insert into the own window's index (step 2, deletion, is
+        // deferred to the merge).
+        self.indexes[own].insert(tuple.point, tuple.seq);
+        self.arrived[own].push(tuple.point);
+        if self.indexes[own].needs_merge() {
+            let earliest =
+                (self.arrived[own].len() as u64).saturating_sub(self.window_size as u64);
+            self.indexes[own].merge(earliest);
+            self.merges += 1;
+        }
+    }
+
+    /// Runs the operator over a tuple sequence and returns all results.
+    pub fn run(&mut self, tuples: &[MdTuple<D>]) -> Vec<MdJoinResult<D>> {
+        let mut out = Vec::new();
+        for &t in tuples {
+            self.process(t, &mut out);
+        }
+        out
+    }
+}
+
+/// Brute-force multidimensional window join used to validate [`MultiDimIbwj`].
+pub fn reference_md_join<const D: usize>(
+    tuples: &[MdTuple<D>],
+    predicate: MdBandPredicate<D>,
+    w: usize,
+) -> Vec<MdJoinResult<D>> {
+    let mut windows: [Vec<MdTuple<D>>; 2] = [Vec::new(), Vec::new()];
+    let mut out = Vec::new();
+    for &t in tuples {
+        let other = t.side.opposite().index();
+        let live_from = windows[other].len().saturating_sub(w);
+        for &m in &windows[other][live_from..] {
+            if predicate.matches(t.point, m.point) {
+                out.push((t, m));
+            }
+        }
+        windows[t.side.index()].push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config(window: usize) -> PimConfig {
+        let mut c = PimConfig::for_window(window)
+            .with_merge_ratio(0.5)
+            .with_insertion_depth(2);
+        c.css_fanout = 8;
+        c.css_leaf_size = 8;
+        c.btree_fanout = 8;
+        c
+    }
+
+    fn canonical<const D: usize>(results: &[MdJoinResult<D>]) -> Vec<(u8, Seq, u8, Seq)> {
+        let mut v: Vec<(u8, Seq, u8, Seq)> = results
+            .iter()
+            .map(|(p, m)| (p.side.index() as u8, p.seq, m.side.index() as u8, m.seq))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn random_md_tuples(n: usize, domain: u16, seed: u64) -> Vec<MdTuple<2>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seqs = [0u64; 2];
+        (0..n)
+            .map(|_| {
+                let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                let seq = seqs[side.index()];
+                seqs[side.index()] += 1;
+                MdTuple {
+                    side,
+                    seq,
+                    point: [rng.gen_range(0..domain), rng.gen_range(0..domain)],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_streams() {
+        for seed in [1, 2, 3] {
+            let tuples = random_md_tuples(3000, 400, seed);
+            let predicate = MdBandPredicate::new([6, 6]);
+            let w = 128;
+            let expected = canonical(&reference_md_join(&tuples, predicate, w));
+            assert!(!expected.is_empty());
+            let mut op = MultiDimIbwj::with_pim_config(w, predicate, small_config(w));
+            let got = op.run(&tuples);
+            assert_eq!(canonical(&got), expected, "seed {seed}");
+            assert!(op.merges() > 0, "the merge path must be exercised");
+        }
+    }
+
+    #[test]
+    fn predicate_requires_every_dimension_to_match() {
+        let p = MdBandPredicate::new([5, 0]);
+        assert!(p.matches([10, 20], [15, 20]));
+        assert!(!p.matches([10, 20], [15, 21]));
+        assert!(!p.matches([10, 20], [16, 20]));
+        let (lo, hi) = p.probe_box([3, 7]);
+        assert_eq!(lo, [0, 7]);
+        assert_eq!(hi, [8, 7]);
+    }
+
+    #[test]
+    fn asymmetric_per_dimension_bands() {
+        let tuples = random_md_tuples(2000, 200, 9);
+        let predicate = MdBandPredicate::new([20, 1]);
+        let w = 64;
+        let expected = canonical(&reference_md_join(&tuples, predicate, w));
+        let mut op = MultiDimIbwj::with_pim_config(w, predicate, small_config(w));
+        assert_eq!(canonical(&op.run(&tuples)), expected);
+    }
+
+    #[test]
+    fn window_expiry_is_respected() {
+        let predicate = MdBandPredicate::new([0, 0]);
+        let w = 4;
+        let mut op = MultiDimIbwj::with_pim_config(w, predicate, small_config(w));
+        let mut out = Vec::new();
+        // Fill stream S with identical points; the R probe can only match the
+        // last `w` of them.
+        for seq in 0..20u64 {
+            op.process(MdTuple::s(seq, [7, 7]), &mut out);
+        }
+        out.clear();
+        op.process(MdTuple::r(0, [7, 7]), &mut out);
+        assert_eq!(out.len(), w);
+        assert!(out.iter().all(|(_, m)| m.seq >= 16));
+    }
+
+    #[test]
+    fn results_ordered_by_matched_arrival_within_probe() {
+        let predicate = MdBandPredicate::new([100, 100]);
+        let mut op = MultiDimIbwj::with_pim_config(64, predicate, small_config(64));
+        let mut out = Vec::new();
+        for (seq, point) in [[50u16, 50], [10, 10], [90, 90]].iter().enumerate() {
+            op.process(MdTuple::s(seq as u64, *point), &mut out);
+        }
+        out.clear();
+        op.process(MdTuple::r(0, [50, 50]), &mut out);
+        let seqs: Vec<Seq> = out.iter().map(|(_, m)| m.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn point_predicate_behaves_like_spatial_equality() {
+        let tuples = random_md_tuples(1500, 40, 4);
+        let predicate = MdBandPredicate::new([0, 0]);
+        let w = 256;
+        let expected = canonical(&reference_md_join(&tuples, predicate, w));
+        let mut op = MultiDimIbwj::with_pim_config(w, predicate, small_config(w));
+        assert_eq!(canonical(&op.run(&tuples)), expected);
+    }
+}

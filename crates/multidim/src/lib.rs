@@ -1,0 +1,30 @@
+//! Multidimensional PIM-Tree extension.
+//!
+//! The paper's conclusion lists "extending PIM-Tree to support the indexing of
+//! multidimensional data" as future work. This crate provides that extension
+//! for low-dimensional points (up to four 16-bit coordinates) by mapping
+//! points onto a Z-order (Morton) space-filling curve and indexing the
+//! resulting one-dimensional keys with the unmodified PIM-Tree:
+//!
+//! * [`zorder`] — Morton encoding/decoding and the box-to-range decomposition
+//!   that turns an axis-aligned query box into a small set of contiguous
+//!   Z-order key ranges;
+//! * [`index`] — [`MdPimTree`], a multidimensional point index over sliding
+//!   window data with the same insert / range-probe / merge life cycle as the
+//!   one-dimensional PIM-Tree;
+//! * [`join`] — [`MultiDimIbwj`], a single-threaded multidimensional band
+//!   join over count-based sliding windows, plus a brute-force reference used
+//!   by the tests.
+//!
+//! The decomposition over-approximates the query box by a bounded number of
+//! curve ranges and filters exactly on decoded coordinates, so query results
+//! are always exact regardless of the range budget; the budget only trades
+//! index traversals against scanned false positives.
+
+pub mod index;
+pub mod join;
+pub mod zorder;
+
+pub use index::MdPimTree;
+pub use join::{reference_md_join, MdBandPredicate, MdTuple, MultiDimIbwj};
+pub use zorder::{decode, encode, query_ranges, ZRange};

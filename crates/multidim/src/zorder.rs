@@ -1,0 +1,319 @@
+//! Z-order (Morton) curve encoding and query-box decomposition.
+//!
+//! Points with up to four 16-bit coordinates are mapped onto a single
+//! 64-bit code by bit interleaving. The code preserves spatial locality well
+//! enough that an axis-aligned box can be covered by a small number of
+//! contiguous code ranges, which is what lets the one-dimensional PIM-Tree
+//! act as a multidimensional index.
+
+/// A coordinate along one dimension.
+pub type Coord = u16;
+
+/// Number of bits per coordinate.
+pub const COORD_BITS: u32 = 16;
+
+/// An inclusive range of Z-order codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZRange {
+    /// Smallest code in the range.
+    pub lo: u64,
+    /// Largest code in the range (inclusive).
+    pub hi: u64,
+}
+
+impl ZRange {
+    /// Number of codes covered by the range.
+    pub fn len(&self) -> u64 {
+        self.hi - self.lo + 1
+    }
+
+    /// Whether the range covers no codes (never produced by this module).
+    pub fn is_empty(&self) -> bool {
+        self.hi < self.lo
+    }
+}
+
+/// Spreads the bits of `v` so that consecutive input bits land `d` positions
+/// apart in the output (bit `i` of the input moves to bit `i * d`).
+fn spread_bits(v: u16, d: u32) -> u64 {
+    let mut out = 0u64;
+    for i in 0..COORD_BITS {
+        if v & (1 << i) != 0 {
+            out |= 1u64 << (i * d);
+        }
+    }
+    out
+}
+
+/// Collapses bits spread `d` positions apart back into a contiguous value.
+fn collapse_bits(v: u64, d: u32) -> u16 {
+    let mut out = 0u16;
+    for i in 0..COORD_BITS {
+        if v & (1u64 << (i * d)) != 0 {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+/// Encodes a `D`-dimensional point into its Z-order code by interleaving the
+/// coordinate bits (dimension 0 occupies the least significant position of
+/// each bit group).
+///
+/// # Panics
+///
+/// Panics if `D` is zero or greater than four (the code must fit 64 bits).
+pub fn encode<const D: usize>(point: [Coord; D]) -> u64 {
+    assert!((1..=4).contains(&D), "supported dimensionality is 1..=4");
+    let d = D as u32;
+    let mut code = 0u64;
+    for (dim, &c) in point.iter().enumerate() {
+        code |= spread_bits(c, d) << dim;
+    }
+    code
+}
+
+/// Decodes a Z-order code back into its `D`-dimensional point.
+pub fn decode<const D: usize>(code: u64) -> [Coord; D] {
+    assert!((1..=4).contains(&D), "supported dimensionality is 1..=4");
+    let d = D as u32;
+    let mut point = [0 as Coord; D];
+    for (dim, c) in point.iter_mut().enumerate() {
+        *c = collapse_bits(code >> dim, d);
+    }
+    point
+}
+
+/// Whether the point lies inside the axis-aligned box `[lo, hi]` (inclusive on
+/// both corners, per dimension).
+pub fn in_box<const D: usize>(point: [Coord; D], lo: [Coord; D], hi: [Coord; D]) -> bool {
+    (0..D).all(|i| point[i] >= lo[i] && point[i] <= hi[i])
+}
+
+/// Decomposes the axis-aligned box `[lo, hi]` into at most `max_ranges`
+/// contiguous Z-order code ranges that together cover every point of the box.
+///
+/// The decomposition walks the implicit 2^D-ary trie of the Z-order curve:
+/// trie nodes entirely inside the box contribute their whole code interval,
+/// nodes that merely overlap are split further, and once the range budget
+/// would be exceeded the remaining overlapping nodes are emitted as-is
+/// (an over-approximation). Callers therefore must re-check candidate points
+/// against the box; [`MdPimTree`](crate::MdPimTree) does so by decoding the
+/// stored code.
+///
+/// # Panics
+///
+/// Panics if `max_ranges` is zero or the box is inverted in any dimension.
+pub fn query_ranges<const D: usize>(
+    lo: [Coord; D],
+    hi: [Coord; D],
+    max_ranges: usize,
+) -> Vec<ZRange> {
+    assert!(max_ranges > 0, "the range budget must be positive");
+    assert!(
+        (0..D).all(|i| lo[i] <= hi[i]),
+        "query box must have lo <= hi in every dimension"
+    );
+    let total_bits = COORD_BITS * D as u32;
+    // The trie walk is allowed to produce a finer decomposition than the
+    // budget; the excess is coalesced afterwards by bridging the smallest
+    // gaps. This keeps small queries exact while guaranteeing the cap.
+    let allowance = max_ranges.saturating_mul(8).max(64);
+    let mut out: Vec<ZRange> = Vec::new();
+    // Work stack of trie nodes: (code prefix, remaining bits below this node).
+    let mut stack: Vec<(u64, u32)> = vec![(0, total_bits)];
+    while let Some((prefix, bits)) = stack.pop() {
+        let node_lo = prefix;
+        let node_hi = if bits == 64 { u64::MAX } else { prefix | ((1u64 << bits) - 1) };
+        let cell_lo = decode::<D>(node_lo);
+        let cell_hi = decode::<D>(node_hi);
+        // The node's cell is an axis-aligned box in point space.
+        let disjoint = (0..D).any(|i| cell_hi[i] < lo[i] || cell_lo[i] > hi[i]);
+        if disjoint {
+            continue;
+        }
+        let contained = (0..D).all(|i| cell_lo[i] >= lo[i] && cell_hi[i] <= hi[i]);
+        // Splitting stops when the node is fully covered, is a single code, or
+        // enough ranges have been emitted already.
+        if contained || bits == 0 || out.len() >= allowance {
+            push_merged(&mut out, ZRange { lo: node_lo, hi: node_hi });
+            continue;
+        }
+        // Recurse into the 2^D children; push in reverse code order so the
+        // stack pops them in ascending order and ranges come out sorted.
+        let child_bits = bits - D as u32;
+        for child in (0..(1u64 << D)).rev() {
+            stack.push((prefix | (child << child_bits), child_bits));
+        }
+    }
+    coalesce(&mut out, max_ranges);
+    out
+}
+
+/// Reduces `ranges` to at most `max_ranges` entries by repeatedly bridging the
+/// smallest gap between neighbouring ranges. Bridging only widens coverage,
+/// never narrows it, so query correctness is unaffected.
+fn coalesce(ranges: &mut Vec<ZRange>, max_ranges: usize) {
+    while ranges.len() > max_ranges {
+        let mut best = 1usize;
+        let mut best_gap = u64::MAX;
+        for i in 1..ranges.len() {
+            let gap = ranges[i].lo - ranges[i - 1].hi;
+            if gap < best_gap {
+                best_gap = gap;
+                best = i;
+            }
+        }
+        ranges[best - 1].hi = ranges[best].hi;
+        ranges.remove(best);
+    }
+}
+
+/// Appends `range`, merging it with the previous range when they are adjacent
+/// (the trie walk emits ranges in ascending, non-overlapping order).
+fn push_merged(out: &mut Vec<ZRange>, range: ZRange) {
+    if let Some(last) = out.last_mut() {
+        if last.hi + 1 == range.lo {
+            last.hi = range.hi;
+            return;
+        }
+    }
+    out.push(range);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_roundtrip_2d() {
+        for p in [[0u16, 0], [1, 0], [0, 1], [65535, 65535], [123, 45678]] {
+            assert_eq!(decode::<2>(encode::<2>(p)), p);
+        }
+    }
+
+    #[test]
+    fn encoding_is_monotone_per_quadrant() {
+        // Within one quadrant of the top-level split, codes of the lower
+        // quadrant are all smaller than codes of the upper quadrant.
+        let low = encode::<2>([100, 100]);
+        let high = encode::<2>([40000, 40000]);
+        assert!(low < high);
+    }
+
+    #[test]
+    fn interleaving_matches_manual_example() {
+        // x = 0b11 (dim 0), y = 0b01 (dim 1) -> code bits ...y1x1y0x0 = 0b0111.
+        assert_eq!(encode::<2>([0b11, 0b01]), 0b0111);
+        assert_eq!(decode::<2>(0b0111), [0b11, 0b01]);
+    }
+
+    #[test]
+    fn query_ranges_cover_exactly_the_box_when_budget_allows() {
+        let lo = [4u16, 8];
+        let hi = [11u16, 13];
+        let ranges = query_ranges::<2>(lo, hi, 1024);
+        // Every point in the box is covered by some range.
+        for x in lo[0]..=hi[0] {
+            for y in lo[1]..=hi[1] {
+                let code = encode::<2>([x, y]);
+                assert!(
+                    ranges.iter().any(|r| r.lo <= code && code <= r.hi),
+                    "({x},{y}) not covered"
+                );
+            }
+        }
+        // With a generous budget the decomposition is exact: no covered code
+        // decodes to a point outside the box.
+        for r in &ranges {
+            for code in r.lo..=r.hi {
+                let p = decode::<2>(code);
+                assert!(in_box(p, lo, hi), "code {code} -> {p:?} outside the box");
+            }
+        }
+    }
+
+    #[test]
+    fn tight_budget_still_covers_the_box() {
+        let lo = [100u16, 200];
+        let hi = [1000u16, 1100];
+        for budget in [1, 2, 4, 8] {
+            let ranges = query_ranges::<2>(lo, hi, budget);
+            assert!(!ranges.is_empty());
+            assert!(ranges.len() <= budget, "budget {budget} exceeded: {}", ranges.len());
+            for x in [lo[0], (lo[0] + hi[0]) / 2, hi[0]] {
+                for y in [lo[1], (lo[1] + hi[1]) / 2, hi[1]] {
+                    let code = encode::<2>([x, y]);
+                    assert!(ranges.iter().any(|r| r.lo <= code && code <= r.hi));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_sorted_and_disjoint() {
+        let ranges = query_ranges::<2>([3, 5], [300, 500], 64);
+        for w in ranges.windows(2) {
+            assert!(w[0].hi < w[1].lo, "ranges must be sorted and non-adjacent");
+        }
+    }
+
+    #[test]
+    fn single_point_box_is_one_range() {
+        let ranges = query_ranges::<3>([7, 9, 11], [7, 9, 11], 16);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].lo, ranges[0].hi);
+        assert_eq!(decode::<3>(ranges[0].lo), [7, 9, 11]);
+    }
+
+    #[test]
+    fn full_domain_box_is_one_range() {
+        let ranges = query_ranges::<2>([0, 0], [u16::MAX, u16::MAX], 4);
+        assert_eq!(ranges.len(), 1);
+        assert_eq!(ranges[0].lo, 0);
+        assert_eq!(ranges[0].hi, u64::MAX >> (64 - 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn inverted_box_rejected() {
+        let _ = query_ranges::<2>([10, 0], [5, 10], 8);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_2d(x in any::<u16>(), y in any::<u16>()) {
+            prop_assert_eq!(decode::<2>(encode::<2>([x, y])), [x, y]);
+        }
+
+        #[test]
+        fn roundtrip_4d(a in any::<u16>(), b in any::<u16>(), c in any::<u16>(), d in any::<u16>()) {
+            prop_assert_eq!(decode::<4>(encode::<4>([a, b, c, d])), [a, b, c, d]);
+        }
+
+        #[test]
+        fn codes_are_unique(p1 in any::<(u16, u16)>(), p2 in any::<(u16, u16)>()) {
+            prop_assume!(p1 != p2);
+            prop_assert_ne!(encode::<2>([p1.0, p1.1]), encode::<2>([p2.0, p2.1]));
+        }
+
+        #[test]
+        fn decomposition_covers_random_points(
+            x0 in 0u16..1000, w in 0u16..2000,
+            y0 in 0u16..1000, h in 0u16..2000,
+            px in any::<u16>(), py in any::<u16>(),
+            budget in 1usize..64,
+        ) {
+            let lo = [x0, y0];
+            let hi = [x0.saturating_add(w), y0.saturating_add(h)];
+            let ranges = query_ranges::<2>(lo, hi, budget);
+            prop_assert!(ranges.len() <= budget);
+            let p = [px, py];
+            if in_box(p, lo, hi) {
+                let code = encode::<2>(p);
+                prop_assert!(ranges.iter().any(|r| r.lo <= code && code <= r.hi));
+            }
+        }
+    }
+}

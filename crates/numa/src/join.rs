@@ -1,0 +1,453 @@
+//! A NUMA-partitioned window band join over simulated memory nodes.
+//!
+//! Every node owns one contiguous key interval per stream, with its own
+//! PIM-Tree and window segment homed in that node's memory. An arriving tuple
+//! is handled by its home node (the node owning its key): the insert is a
+//! local access, while the probe touches every node whose interval overlaps
+//! the band `[key - diff, key + diff]` — usually one node, two when the band
+//! straddles a boundary — and is charged local or remote cost accordingly.
+//!
+//! The operator exists to evaluate *placement policies*, not to parallelise
+//! the join itself (the shared-memory parallel engine lives in
+//! `pimtree-join`): it compares the paper's proposed workload-aware range
+//! partitioning against context-insensitive (round-robin) placement and
+//! quantifies the interconnect traffic each incurs.
+
+use pimtree_common::{BandPredicate, JoinResult, PimConfig, Tuple};
+use pimtree_core::PimTree;
+
+use crate::partition::RangePartitioner;
+use crate::topology::{NumaTopology, TrafficAccount};
+
+/// How tuples are assigned to memory nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementStrategy {
+    /// The paper's proposal: contiguous key ranges per node, so a band probe
+    /// touches at most two nodes.
+    RangePartitioned,
+    /// Context-insensitive placement in arrival order; every probe must visit
+    /// every node (the NUMA analogue of round-robin window partitioning,
+    /// §2.2.3).
+    RoundRobin,
+}
+
+/// Per-node, per-stream state.
+#[derive(Debug)]
+struct NodeState {
+    indexes: [PimTree; 2],
+    inserts: u64,
+    outputs: u64,
+}
+
+/// The NUMA-partitioned band join.
+#[derive(Debug)]
+pub struct NumaPartitionedJoin {
+    topology: NumaTopology,
+    strategy: PlacementStrategy,
+    partitioner: RangePartitioner,
+    window_size: usize,
+    predicate: BandPredicate,
+    nodes: Vec<NodeState>,
+    traffic: TrafficAccount,
+    /// Tuples appended so far per stream (drives count-based expiry).
+    arrived: [u64; 2],
+    results: u64,
+    round_robin_cursor: usize,
+}
+
+impl NumaPartitionedJoin {
+    /// Creates the operator.
+    ///
+    /// `partitioner` decides key ownership when the strategy is
+    /// [`PlacementStrategy::RangePartitioned`]; it is ignored for round-robin
+    /// placement. `w` is the per-stream count-based window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partitioner's node count does not match the topology, or
+    /// if `w` is zero.
+    pub fn new(
+        topology: NumaTopology,
+        strategy: PlacementStrategy,
+        partitioner: RangePartitioner,
+        w: usize,
+        predicate: BandPredicate,
+    ) -> Self {
+        Self::with_pim_config(
+            topology,
+            strategy,
+            partitioner,
+            w,
+            predicate,
+            PimConfig::for_window(w),
+        )
+    }
+
+    /// Creates the operator with an explicit per-node PIM-Tree configuration.
+    pub fn with_pim_config(
+        topology: NumaTopology,
+        strategy: PlacementStrategy,
+        partitioner: RangePartitioner,
+        w: usize,
+        predicate: BandPredicate,
+        pim: PimConfig,
+    ) -> Self {
+        assert!(w > 0, "window size must be positive");
+        assert_eq!(
+            partitioner.nodes(),
+            topology.nodes,
+            "partitioner and topology disagree on the node count"
+        );
+        let nodes = (0..topology.nodes)
+            .map(|_| NodeState {
+                indexes: [PimTree::new(pim), PimTree::new(pim)],
+                inserts: 0,
+                outputs: 0,
+            })
+            .collect();
+        NumaPartitionedJoin {
+            topology,
+            strategy,
+            partitioner,
+            window_size: w,
+            predicate,
+            nodes,
+            traffic: TrafficAccount::new(),
+            arrived: [0, 0],
+            results: 0,
+            round_robin_cursor: 0,
+        }
+    }
+
+    /// The simulated interconnect traffic accumulated so far.
+    pub fn traffic(&self) -> &TrafficAccount {
+        &self.traffic
+    }
+
+    /// Total simulated memory-access cost so far.
+    pub fn total_cost(&self) -> u64 {
+        self.traffic.total_cost(&self.topology)
+    }
+
+    /// Number of result pairs produced so far.
+    pub fn results(&self) -> u64 {
+        self.results
+    }
+
+    /// Observed per-node load `(inserts, outputs)` — the input of the
+    /// repartitioning scheme.
+    pub fn node_loads(&self) -> Vec<(u64, u64)> {
+        self.nodes.iter().map(|n| (n.inserts, n.outputs)).collect()
+    }
+
+    /// Relative load imbalance across nodes (1.0 = perfectly balanced), where
+    /// load counts inserts plus produced results, as the paper prescribes.
+    pub fn load_imbalance(&self) -> f64 {
+        let loads: Vec<u64> = self.nodes.iter().map(|n| n.inserts + n.outputs).collect();
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = total as f64 / loads.len() as f64;
+        loads.iter().map(|&l| l as f64 / ideal).fold(0.0, f64::max)
+    }
+
+    /// Adopts a new range partitioning (the output of
+    /// [`RangePartitioner::repartition`]). Existing indexed tuples stay where
+    /// they are — like the paper's own partition adaptation, ownership changes
+    /// only affect newly arriving tuples — so no bulk migration is simulated
+    /// here beyond the moved-fraction estimate the plan already carries.
+    pub fn adopt_partitioner(&mut self, partitioner: RangePartitioner) {
+        assert_eq!(partitioner.nodes(), self.topology.nodes);
+        self.partitioner = partitioner;
+    }
+
+    fn home_node(&mut self, tuple: Tuple) -> usize {
+        match self.strategy {
+            PlacementStrategy::RangePartitioned => self.partitioner.node_of(tuple.key),
+            PlacementStrategy::RoundRobin => {
+                let node = self.round_robin_cursor;
+                self.round_robin_cursor = (self.round_robin_cursor + 1) % self.topology.nodes;
+                node
+            }
+        }
+    }
+
+    /// Processes one arriving tuple, appending its results (ordered by the
+    /// matched tuple's arrival) to `out`.
+    pub fn process(&mut self, tuple: Tuple, out: &mut Vec<JoinResult>) {
+        let own = tuple.side.index();
+        let other = tuple.side.opposite().index();
+        let home = self.home_node(tuple);
+        let range = self.predicate.probe_range(tuple.key);
+        let earliest_live = self.arrived[other].saturating_sub(self.window_size as u64);
+
+        // Probe every node whose interval can hold matches.
+        let (first, last) = match self.strategy {
+            PlacementStrategy::RangePartitioned => {
+                self.partitioner.nodes_overlapping(range.lo, range.hi)
+            }
+            PlacementStrategy::RoundRobin => (0, self.topology.nodes - 1),
+        };
+        let before = out.len();
+        let matched_side = tuple.side.opposite();
+        for node in first..=last {
+            let mut touched = 0u64;
+            self.nodes[node].indexes[other].range_live(range, earliest_live, |e| {
+                touched += 1;
+                out.push(JoinResult::new(tuple, Tuple::new(matched_side, e.seq, e.key)));
+            });
+            // Charge the index descent plus the touched matches.
+            self.traffic.record(home, node, 1 + touched);
+            self.nodes[node].outputs += touched;
+        }
+        out[before..].sort_by_key(|r| r.matched.seq);
+        self.results += (out.len() - before) as u64;
+
+        // Insert into the home node's index for the own stream; expired
+        // tuples are dropped lazily at merge time.
+        self.arrived[own] += 1;
+        let node = &mut self.nodes[home];
+        node.indexes[own].insert(tuple.key, tuple.seq);
+        node.inserts += 1;
+        self.traffic.record(home, home, 1);
+        if node.indexes[own].needs_merge() {
+            let earliest_own = self.arrived[own].saturating_sub(self.window_size as u64);
+            node.indexes[own].merge(earliest_own);
+        }
+    }
+
+    /// Runs the operator over a tuple sequence and returns all results.
+    pub fn run(&mut self, tuples: &[Tuple]) -> Vec<JoinResult> {
+        let mut out = Vec::new();
+        for &t in tuples {
+            self.process(t, &mut out);
+        }
+        out
+    }
+}
+
+/// Brute-force two-way band join used to validate the NUMA operator.
+pub fn reference_band_join(
+    tuples: &[Tuple],
+    predicate: BandPredicate,
+    w: usize,
+) -> Vec<JoinResult> {
+    let mut windows: [Vec<Tuple>; 2] = [Vec::new(), Vec::new()];
+    let mut out = Vec::new();
+    for &t in tuples {
+        let other = t.side.opposite().index();
+        let live_from = windows[other].len().saturating_sub(w);
+        for &m in &windows[other][live_from..] {
+            if predicate.matches(t.key, m.key) {
+                out.push(JoinResult::new(t, m));
+            }
+        }
+        windows[t.side.index()].push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pimtree_common::{Seq, StreamSide};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn small_config(window: usize) -> PimConfig {
+        let mut c = PimConfig::for_window(window)
+            .with_merge_ratio(0.5)
+            .with_insertion_depth(2);
+        c.css_fanout = 8;
+        c.css_leaf_size = 8;
+        c.btree_fanout = 8;
+        c
+    }
+
+    fn canonical(results: &[JoinResult]) -> Vec<(u8, Seq, u8, Seq)> {
+        let mut v: Vec<(u8, Seq, u8, Seq)> = results
+            .iter()
+            .map(|r| {
+                (
+                    r.probe.side.index() as u8,
+                    r.probe.seq,
+                    r.matched.side.index() as u8,
+                    r.matched.seq,
+                )
+            })
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn random_tuples(n: usize, domain: i64, seed: u64) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seqs = [0u64; 2];
+        (0..n)
+            .map(|_| {
+                let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                let seq = seqs[side.index()];
+                seqs[side.index()] += 1;
+                Tuple::new(side, seq, rng.gen_range(0..domain))
+            })
+            .collect()
+    }
+
+    fn build(
+        strategy: PlacementStrategy,
+        nodes: usize,
+        w: usize,
+        predicate: BandPredicate,
+        sample: &[i64],
+    ) -> NumaPartitionedJoin {
+        let topo = NumaTopology::new(nodes, 90, 180);
+        let partitioner = RangePartitioner::from_key_sample(nodes, sample);
+        NumaPartitionedJoin::with_pim_config(topo, strategy, partitioner, w, predicate, small_config(w))
+    }
+
+    #[test]
+    fn range_partitioned_join_matches_reference() {
+        for seed in [1, 2] {
+            let tuples = random_tuples(3000, 500, seed);
+            let predicate = BandPredicate::new(2);
+            let w = 128;
+            let expected = canonical(&reference_band_join(&tuples, predicate, w));
+            assert!(!expected.is_empty());
+            let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
+            let mut op = build(PlacementStrategy::RangePartitioned, 4, w, predicate, &sample);
+            let got = op.run(&tuples);
+            assert_eq!(canonical(&got), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn round_robin_join_matches_reference() {
+        let tuples = random_tuples(2500, 400, 5);
+        let predicate = BandPredicate::new(1);
+        let w = 64;
+        let expected = canonical(&reference_band_join(&tuples, predicate, w));
+        let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
+        let mut op = build(PlacementStrategy::RoundRobin, 4, w, predicate, &sample);
+        assert_eq!(canonical(&op.run(&tuples)), expected);
+    }
+
+    #[test]
+    fn range_partitioning_produces_far_less_remote_traffic_than_round_robin() {
+        let tuples = random_tuples(4000, 2000, 9);
+        let predicate = BandPredicate::new(2);
+        let w = 256;
+        let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
+
+        let mut range = build(PlacementStrategy::RangePartitioned, 4, w, predicate, &sample);
+        range.run(&tuples);
+        let mut rr = build(PlacementStrategy::RoundRobin, 4, w, predicate, &sample);
+        rr.run(&tuples);
+
+        assert!(
+            range.traffic().remote_fraction() < 0.2,
+            "range partitioning should keep most accesses local, got {}",
+            range.traffic().remote_fraction()
+        );
+        assert!(
+            rr.traffic().remote_fraction() > 0.5,
+            "round-robin placement forces cross-node probes, got {}",
+            rr.traffic().remote_fraction()
+        );
+        assert!(range.total_cost() < rr.total_cost());
+    }
+
+    #[test]
+    fn workload_aware_partitioning_balances_load_under_skew() {
+        // 80 % of the keys concentrate in a hot range, which also produces
+        // most of the join output.
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut seqs = [0u64; 2];
+        let tuples: Vec<Tuple> = (0..6000)
+            .map(|_| {
+                let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                let seq = seqs[side.index()];
+                seqs[side.index()] += 1;
+                let key = if rng.gen_bool(0.8) {
+                    rng.gen_range(0..100)
+                } else {
+                    rng.gen_range(100..100_000)
+                };
+                Tuple::new(side, seq, key)
+            })
+            .collect();
+        let predicate = BandPredicate::new(1);
+        let w = 256;
+        let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
+        let mut op = build(PlacementStrategy::RangePartitioned, 4, w, predicate, &sample);
+        op.run(&tuples);
+        assert!(
+            op.load_imbalance() < 1.6,
+            "key-sample partitioning keeps node load roughly even, got {}",
+            op.load_imbalance()
+        );
+    }
+
+    #[test]
+    fn repartitioning_after_drift_restores_local_access() {
+        let predicate = BandPredicate::new(1);
+        let w = 128;
+        // The partitioner was built for keys 0..1000 ...
+        let initial_sample: Vec<i64> = (0..1000).collect();
+        let mut op = build(PlacementStrategy::RangePartitioned, 4, w, predicate, &initial_sample);
+        // ... but the stream has drifted to 50_000..51_000: almost everything
+        // lands on the last node.
+        let drifted = {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut seqs = [0u64; 2];
+            (0..3000)
+                .map(|_| {
+                    let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                    let seq = seqs[side.index()];
+                    seqs[side.index()] += 1;
+                    Tuple::new(side, seq, rng.gen_range(50_000..51_000))
+                })
+                .collect::<Vec<Tuple>>()
+        };
+        op.run(&drifted);
+        assert!(op.load_imbalance() > 2.0, "drift should overload one node");
+
+        // Repartition from the observed keys and replay a comparable stream.
+        let observed: Vec<(i64, u64)> = drifted.iter().map(|t| (t.key, 0)).collect();
+        let plan = RangePartitioner::from_key_sample(4, &initial_sample).repartition(&observed);
+        let mut fresh = NumaPartitionedJoin::with_pim_config(
+            NumaTopology::new(4, 90, 180),
+            PlacementStrategy::RangePartitioned,
+            plan.new_partitioner,
+            w,
+            predicate,
+            small_config(w),
+        );
+        fresh.run(&drifted);
+        assert!(
+            fresh.load_imbalance() < 1.5,
+            "repartitioning should rebalance, got {}",
+            fresh.load_imbalance()
+        );
+        assert!(plan.moved_fraction > 0.5);
+    }
+
+    #[test]
+    fn self_and_empty_inputs_are_safe() {
+        let predicate = BandPredicate::new(1);
+        let mut op = build(PlacementStrategy::RangePartitioned, 2, 16, predicate, &[1, 2, 3]);
+        assert!(op.run(&[]).is_empty());
+        assert_eq!(op.results(), 0);
+        assert_eq!(op.traffic().local() + op.traffic().remote(), 0);
+        let single = op.run(&[Tuple::r(0, 5)]);
+        assert!(single.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the node count")]
+    fn mismatched_partitioner_rejected() {
+        let topo = NumaTopology::two_socket();
+        let partitioner = RangePartitioner::from_key_sample(4, &[1, 2, 3]);
+        let _ = NumaPartitionedJoin::new(topo, PlacementStrategy::RangePartitioned, partitioner, 16, BandPredicate::new(1));
+    }
+}

@@ -1,0 +1,275 @@
+//! Workload-aware range partitioning across NUMA nodes.
+//!
+//! The paper's NUMA discussion asks for a partitioning that balances the load
+//! "considering the numbers of both input and output tuples of each interval":
+//! an interval that receives few inserts but produces many join results (a hot
+//! band) is as expensive as one that receives many inserts. The partitioner
+//! therefore weighs every sampled key by `1 + output_weight`, where the output
+//! weight estimates how many matches a tuple with that key produces.
+
+use pimtree_common::Key;
+
+/// Observed (or estimated) load of one key interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionLoad {
+    /// Tuples inserted into the interval.
+    pub inserts: u64,
+    /// Join results produced by probes landing in the interval.
+    pub outputs: u64,
+}
+
+impl PartitionLoad {
+    /// Combined weight of the interval (the quantity the partitioner
+    /// balances).
+    pub fn weight(&self) -> u64 {
+        self.inserts + self.outputs
+    }
+}
+
+/// A range partitioning of the key domain into one contiguous interval per
+/// NUMA node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangePartitioner {
+    /// Upper boundaries (exclusive) of every node's interval except the last,
+    /// ascending. Node `i` owns `[boundaries[i-1], boundaries[i])` with the
+    /// conventional open ends at the extremes.
+    boundaries: Vec<Key>,
+    nodes: usize,
+}
+
+impl RangePartitioner {
+    /// Builds a partitioning for `nodes` nodes from a sample of
+    /// `(key, output_weight)` observations, balancing `1 + output_weight` per
+    /// sample across nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero.
+    pub fn from_weighted_sample(nodes: usize, sample: &[(Key, u64)]) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        if nodes == 1 || sample.is_empty() {
+            return RangePartitioner {
+                boundaries: vec![Key::MAX; nodes.saturating_sub(1)],
+                nodes,
+            };
+        }
+        let mut weighted: Vec<(Key, u64)> =
+            sample.iter().map(|&(k, w)| (k, 1 + w)).collect();
+        weighted.sort_unstable_by_key(|&(k, _)| k);
+        let total: u64 = weighted.iter().map(|&(_, w)| w).sum();
+        let per_node = total.div_ceil(nodes as u64).max(1);
+        let mut boundaries = Vec::with_capacity(nodes - 1);
+        let mut acc = 0u64;
+        let mut target = per_node;
+        for &(key, w) in &weighted {
+            if boundaries.len() == nodes - 1 {
+                break;
+            }
+            acc += w;
+            if acc >= target {
+                boundaries.push(key);
+                target += per_node;
+            }
+        }
+        while boundaries.len() < nodes - 1 {
+            boundaries.push(Key::MAX);
+        }
+        RangePartitioner { boundaries, nodes }
+    }
+
+    /// Builds an unweighted partitioning (inserts only) from a key sample.
+    pub fn from_key_sample(nodes: usize, keys: &[Key]) -> Self {
+        let sample: Vec<(Key, u64)> = keys.iter().map(|&k| (k, 0)).collect();
+        Self::from_weighted_sample(nodes, &sample)
+    }
+
+    /// Number of nodes the partitioning covers.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The node that owns `key`.
+    pub fn node_of(&self, key: Key) -> usize {
+        self.boundaries.partition_point(|&b| b < key)
+    }
+
+    /// The partition boundaries (exclusive upper bounds of all but the last
+    /// node).
+    pub fn boundaries(&self) -> &[Key] {
+        &self.boundaries
+    }
+
+    /// The nodes whose intervals overlap `[lo, hi]` (a band-join probe range),
+    /// as an inclusive node-index range.
+    pub fn nodes_overlapping(&self, lo: Key, hi: Key) -> (usize, usize) {
+        (self.node_of(lo), self.node_of(hi))
+    }
+
+    /// Computes a repartitioning from freshly observed per-node loads: new
+    /// boundaries that re-balance the observed weight, together with the
+    /// fraction of observed weight whose home node changes (the data-transfer
+    /// cost the paper worries about).
+    pub fn repartition(&self, observed: &[(Key, u64)]) -> RepartitionPlan {
+        let new = Self::from_weighted_sample(self.nodes, observed);
+        let total: u64 = observed.iter().map(|&(_, w)| 1 + w).sum();
+        let moved: u64 = observed
+            .iter()
+            .filter(|&&(k, _)| self.node_of(k) != new.node_of(k))
+            .map(|&(_, w)| 1 + w)
+            .sum();
+        RepartitionPlan {
+            new_partitioner: new,
+            moved_fraction: if total == 0 { 0.0 } else { moved as f64 / total as f64 },
+        }
+    }
+
+    /// Relative imbalance of observed per-node weights: maximum node weight
+    /// divided by the ideal (uniform) weight. 1.0 is perfectly balanced.
+    pub fn imbalance(&self, observed: &[(Key, u64)]) -> f64 {
+        let mut per_node = vec![0u64; self.nodes];
+        for &(k, w) in observed {
+            per_node[self.node_of(k)] += 1 + w;
+        }
+        let total: u64 = per_node.iter().sum();
+        if total == 0 {
+            return 1.0;
+        }
+        let ideal = total as f64 / self.nodes as f64;
+        per_node.iter().map(|&w| w as f64 / ideal).fold(0.0, f64::max)
+    }
+}
+
+/// Outcome of a repartitioning decision.
+#[derive(Debug, Clone)]
+pub struct RepartitionPlan {
+    /// The rebalanced partitioning.
+    pub new_partitioner: RangePartitioner,
+    /// Fraction of the observed weight whose home node changes when the plan
+    /// is adopted — a proxy for the inter-node data transfer the migration
+    /// costs.
+    pub moved_fraction: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn uniform_sample_splits_evenly() {
+        let keys: Vec<Key> = (0..10_000).collect();
+        let p = RangePartitioner::from_key_sample(4, &keys);
+        let mut counts = [0usize; 4];
+        for &k in &keys {
+            counts[p.node_of(k)] += 1;
+        }
+        for &c in &counts {
+            assert!((2000..=3000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_sample_still_balances() {
+        // 90 % of keys in a narrow hot range.
+        let mut rng = StdRng::seed_from_u64(3);
+        let keys: Vec<Key> = (0..20_000)
+            .map(|_| {
+                if rng.gen_bool(0.9) {
+                    rng.gen_range(0..100)
+                } else {
+                    rng.gen_range(100..1_000_000)
+                }
+            })
+            .collect();
+        let p = RangePartitioner::from_key_sample(4, &keys);
+        let observed: Vec<(Key, u64)> = keys.iter().map(|&k| (k, 0)).collect();
+        assert!(p.imbalance(&observed) < 1.3, "imbalance {}", p.imbalance(&observed));
+    }
+
+    #[test]
+    fn output_weight_shifts_boundaries_toward_hot_ranges() {
+        // Uniform inserts, but keys below 1000 produce 20 results each.
+        let sample: Vec<(Key, u64)> = (0..10_000)
+            .map(|k| (k as Key, if k < 1000 { 20 } else { 0 }))
+            .collect();
+        let weighted = RangePartitioner::from_weighted_sample(4, &sample);
+        let unweighted = RangePartitioner::from_key_sample(4, &(0..10_000).collect::<Vec<Key>>());
+        // The hot prefix must be split across more nodes in the weighted
+        // partitioning: its first boundary falls inside the hot range.
+        assert!(weighted.boundaries()[0] < unweighted.boundaries()[0]);
+        assert!(weighted.boundaries()[0] < 1000);
+        // And the weighted partitioning balances the weighted load better.
+        assert!(weighted.imbalance(&sample) < unweighted.imbalance(&sample));
+    }
+
+    #[test]
+    fn node_of_respects_boundaries() {
+        let p = RangePartitioner::from_key_sample(2, &[0, 1, 2, 3, 4, 5, 6, 7]);
+        let b = p.boundaries()[0];
+        assert_eq!(p.node_of(b), 0, "boundary key belongs to the lower node");
+        assert_eq!(p.node_of(b + 1), 1);
+        let (lo, hi) = p.nodes_overlapping(b - 1, b + 1);
+        assert_eq!((lo, hi), (0, 1));
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let p = RangePartitioner::from_key_sample(1, &[1, 2, 3]);
+        assert_eq!(p.node_of(Key::MIN), 0);
+        assert_eq!(p.node_of(Key::MAX), 0);
+    }
+
+    #[test]
+    fn empty_sample_degenerates_gracefully() {
+        let p = RangePartitioner::from_key_sample(4, &[]);
+        assert_eq!(p.nodes(), 4);
+        assert_eq!(p.node_of(12345), 0, "all keys land on node 0 without a sample");
+    }
+
+    #[test]
+    fn repartitioning_restores_balance_after_drift() {
+        // Initial distribution around 0..1000.
+        let initial: Vec<Key> = (0..1000).collect();
+        let p = RangePartitioner::from_key_sample(4, &initial);
+        // The distribution drifts to 5000..6000: the old partitioning sends
+        // everything to the last node.
+        let drifted: Vec<(Key, u64)> = (5000..6000).map(|k| (k as Key, 0)).collect();
+        assert!(p.imbalance(&drifted) > 3.0);
+        let plan = p.repartition(&drifted);
+        assert!(plan.new_partitioner.imbalance(&drifted) < 1.3);
+        // Rebalancing a fully drifted distribution must move a large share of
+        // the data.
+        assert!(plan.moved_fraction > 0.5);
+        // Repartitioning an unchanged distribution moves (almost) nothing.
+        let stable: Vec<(Key, u64)> = initial.iter().map(|&k| (k, 0)).collect();
+        let noop = p.repartition(&stable);
+        assert!(noop.moved_fraction < 0.05, "moved {}", noop.moved_fraction);
+    }
+
+    proptest! {
+        #[test]
+        fn every_key_is_owned_by_exactly_one_node(
+            keys in proptest::collection::vec(any::<i64>(), 1..200),
+            nodes in 1usize..8,
+            probe in any::<i64>(),
+        ) {
+            let p = RangePartitioner::from_key_sample(nodes, &keys);
+            let node = p.node_of(probe);
+            prop_assert!(node < nodes);
+        }
+
+        #[test]
+        fn node_of_is_monotone_in_the_key(
+            keys in proptest::collection::vec(any::<i64>(), 1..200),
+            nodes in 1usize..8,
+            a in any::<i64>(),
+            b in any::<i64>(),
+        ) {
+            let p = RangePartitioner::from_key_sample(nodes, &keys);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(p.node_of(lo) <= p.node_of(hi));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The simulated NUMA topology and access accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Whether a memory access hit the accessing node's local memory or a remote
+/// node's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// The touched data is homed on the accessing node.
+    Local,
+    /// The touched data is homed on another node (interconnect traversal).
+    Remote,
+}
+
+/// A simulated NUMA machine: `nodes` memory nodes with uniform local access
+/// cost and a higher remote access cost (in abstract cost units, typically
+/// read as nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NumaTopology {
+    /// Number of memory nodes (sockets).
+    pub nodes: usize,
+    /// Cost charged per access to node-local memory.
+    pub local_cost: u64,
+    /// Cost charged per access to a remote node's memory.
+    pub remote_cost: u64,
+}
+
+impl NumaTopology {
+    /// A typical two-socket server: remote accesses cost about 1.7x local.
+    pub fn two_socket() -> Self {
+        NumaTopology {
+            nodes: 2,
+            local_cost: 90,
+            remote_cost: 150,
+        }
+    }
+
+    /// A four-socket server with a relatively more expensive interconnect.
+    pub fn four_socket() -> Self {
+        NumaTopology {
+            nodes: 4,
+            local_cost: 90,
+            remote_cost: 200,
+        }
+    }
+
+    /// Creates a custom topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or the remote cost is smaller than the local
+    /// cost.
+    pub fn new(nodes: usize, local_cost: u64, remote_cost: u64) -> Self {
+        assert!(nodes > 0, "a NUMA topology needs at least one node");
+        assert!(
+            remote_cost >= local_cost,
+            "remote accesses cannot be cheaper than local ones"
+        );
+        NumaTopology {
+            nodes,
+            local_cost,
+            remote_cost,
+        }
+    }
+
+    /// Cost of one access of the given kind.
+    pub fn cost(&self, kind: AccessKind) -> u64 {
+        match kind {
+            AccessKind::Local => self.local_cost,
+            AccessKind::Remote => self.remote_cost,
+        }
+    }
+}
+
+/// Thread-safe counters of simulated local and remote memory accesses.
+#[derive(Debug, Default)]
+pub struct TrafficAccount {
+    local: AtomicU64,
+    remote: AtomicU64,
+}
+
+impl TrafficAccount {
+    /// Creates an empty account.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `count` accesses from `from_node` to data homed on `home_node`.
+    /// Returns the kind that was charged.
+    pub fn record(&self, from_node: usize, home_node: usize, count: u64) -> AccessKind {
+        if from_node == home_node {
+            self.local.fetch_add(count, Ordering::Relaxed);
+            AccessKind::Local
+        } else {
+            self.remote.fetch_add(count, Ordering::Relaxed);
+            AccessKind::Remote
+        }
+    }
+
+    /// Number of local accesses recorded.
+    pub fn local(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+
+    /// Number of remote accesses recorded.
+    pub fn remote(&self) -> u64 {
+        self.remote.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of accesses that crossed the interconnect (0 when nothing was
+    /// recorded).
+    pub fn remote_fraction(&self) -> f64 {
+        let l = self.local() as f64;
+        let r = self.remote() as f64;
+        if l + r == 0.0 {
+            0.0
+        } else {
+            r / (l + r)
+        }
+    }
+
+    /// Total simulated access cost under `topology`.
+    pub fn total_cost(&self, topology: &NumaTopology) -> u64 {
+        self.local() * topology.local_cost + self.remote() * topology.remote_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_topologies_are_sane() {
+        let two = NumaTopology::two_socket();
+        assert_eq!(two.nodes, 2);
+        assert!(two.remote_cost > two.local_cost);
+        let four = NumaTopology::four_socket();
+        assert_eq!(four.nodes, 4);
+        assert!(four.cost(AccessKind::Remote) > four.cost(AccessKind::Local));
+    }
+
+    #[test]
+    fn accounting_distinguishes_local_and_remote() {
+        let account = TrafficAccount::new();
+        assert_eq!(account.record(0, 0, 10), AccessKind::Local);
+        assert_eq!(account.record(0, 1, 5), AccessKind::Remote);
+        assert_eq!(account.record(1, 1, 5), AccessKind::Local);
+        assert_eq!(account.local(), 15);
+        assert_eq!(account.remote(), 5);
+        assert!((account.remote_fraction() - 0.25).abs() < 1e-12);
+        let topo = NumaTopology::new(2, 100, 200);
+        assert_eq!(account.total_cost(&topo), 15 * 100 + 5 * 200);
+    }
+
+    #[test]
+    fn empty_account_has_zero_remote_fraction() {
+        let account = TrafficAccount::new();
+        assert_eq!(account.remote_fraction(), 0.0);
+        assert_eq!(account.total_cost(&NumaTopology::two_socket()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_topology_rejected() {
+        let _ = NumaTopology::new(0, 10, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be cheaper")]
+    fn cheaper_remote_rejected() {
+        let _ = NumaTopology::new(2, 100, 50);
+    }
+}

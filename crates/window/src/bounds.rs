@@ -1,0 +1,79 @@
+//! Per-task window boundary snapshots.
+
+use pimtree_common::Seq;
+
+/// The boundaries of the *opposite* sliding window recorded when a task is
+/// assigned to a worker thread (§4.1 of the paper).
+///
+/// For a count-based window these have to be captured explicitly because the
+/// window keeps sliding while the task is being processed: the join result of
+/// the task's tuples must be computed against the window content *as of* task
+/// acquisition time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WindowBounds {
+    /// Sequence number of the earliest live tuple (`te`).
+    pub earliest: Seq,
+    /// Sequence number one past the latest live tuple (`tl + 1`), i.e. an
+    /// exclusive upper bound. Using an exclusive bound keeps the empty-window
+    /// case (`earliest == latest_exclusive`) representable without `Option`.
+    pub latest_exclusive: Seq,
+}
+
+impl WindowBounds {
+    /// Creates a boundary snapshot.
+    pub fn new(earliest: Seq, latest_exclusive: Seq) -> Self {
+        debug_assert!(earliest <= latest_exclusive);
+        WindowBounds {
+            earliest,
+            latest_exclusive,
+        }
+    }
+
+    /// An empty window snapshot.
+    pub fn empty() -> Self {
+        WindowBounds {
+            earliest: 0,
+            latest_exclusive: 0,
+        }
+    }
+
+    /// Number of live tuples covered by the snapshot.
+    pub fn len(&self) -> usize {
+        (self.latest_exclusive - self.earliest) as usize
+    }
+
+    /// Whether the snapshot covers no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.earliest == self.latest_exclusive
+    }
+
+    /// Whether `seq` falls inside the snapshot.
+    #[inline]
+    pub fn contains(&self, seq: Seq) -> bool {
+        self.earliest <= seq && seq < self.latest_exclusive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_respects_bounds() {
+        let b = WindowBounds::new(10, 20);
+        assert!(!b.contains(9));
+        assert!(b.contains(10));
+        assert!(b.contains(19));
+        assert!(!b.contains(20));
+        assert_eq!(b.len(), 10);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let b = WindowBounds::empty();
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert!(!b.contains(0));
+    }
+}

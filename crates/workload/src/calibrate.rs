@@ -1,0 +1,201 @@
+//! Calibration of the band-join half-width `diff` to a target match rate.
+//!
+//! The paper keeps the match rate `σ_s` (expected matches per probe against a
+//! window of `w` tuples) constant — usually at 2 — while sweeping the window
+//! size, by adjusting `diff` per configuration (§5). For uniform keys the
+//! relationship has a closed form; for other distributions we calibrate
+//! empirically on a sample.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use pimtree_common::Key;
+
+use crate::dist::KeyDistribution;
+
+/// Closed-form `diff` for uniformly distributed keys over a domain of width
+/// `domain`: the probability that `|x - y| <= diff` for independent uniform
+/// `x, y` is approximately `(2·diff + 1) / domain`, so the expected match rate
+/// against a window of `w` tuples is `w · (2·diff + 1) / domain`.
+pub fn uniform_diff_for_match_rate(window: usize, target_match_rate: f64, domain: f64) -> Key {
+    assert!(window > 0, "window must be positive");
+    assert!(target_match_rate >= 0.0, "match rate must be non-negative");
+    let per_probe = target_match_rate / window as f64;
+    let width = per_probe * domain;
+    (((width - 1.0) / 2.0).max(0.0)).round() as Key
+}
+
+/// Expected number of matches per probe, against a window of `window` keys
+/// drawn from `keys`, for a band of half-width `diff`. Estimated on the
+/// provided sorted sample.
+fn expected_matches(sorted: &[Key], window: usize, diff: Key) -> f64 {
+    let n = sorted.len();
+    // Probe with a subset of the sample itself (they follow the same
+    // distribution) and count neighbours within the band.
+    let probes = 512.min(n);
+    let stride = (n / probes).max(1);
+    let mut total = 0usize;
+    let mut used = 0usize;
+    for i in (0..n).step_by(stride) {
+        let p = sorted[i];
+        let lo = sorted.partition_point(|&k| k < p.saturating_sub(diff));
+        let hi = sorted.partition_point(|&k| k <= p.saturating_add(diff));
+        total += hi - lo;
+        used += 1;
+    }
+    let per_probe = total as f64 / used as f64 / n as f64;
+    per_probe * window as f64
+}
+
+/// Empirically calibrates `diff` so that a band join against a window of
+/// `window` keys drawn from `dist` yields approximately `target_match_rate`
+/// matches per probe. Deterministic for a given `seed`.
+pub fn calibrate_diff(
+    dist: KeyDistribution,
+    window: usize,
+    target_match_rate: f64,
+    seed: u64,
+) -> Key {
+    assert!(window > 0, "window must be positive");
+    assert!(target_match_rate >= 0.0, "match rate must be non-negative");
+    if let KeyDistribution::Uniform { scale } = dist {
+        return uniform_diff_for_match_rate(window, target_match_rate, scale);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sample_size = 65_536;
+    let mut sample = dist.sample_many(&mut rng, sample_size);
+    sample.sort_unstable();
+
+    // `expected_matches` is monotone in `diff`; binary-search the smallest
+    // diff reaching the target.
+    let mut lo: Key = 0;
+    let mut hi: Key = dist.scale() as Key;
+    // Make sure the upper bound is large enough.
+    while expected_matches(&sample, window, hi) < target_match_rate && hi < (dist.scale() as Key) * 4
+    {
+        hi *= 2;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if expected_matches(&sample, window, mid) >= target_match_rate {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::DEFAULT_KEY_SCALE;
+    use rand::Rng;
+
+    #[test]
+    fn uniform_closed_form_matches_definition() {
+        // w * (2*diff + 1) / domain == target
+        let w = 1 << 20;
+        let diff = uniform_diff_for_match_rate(w, 2.0, DEFAULT_KEY_SCALE);
+        let achieved = w as f64 * (2.0 * diff as f64 + 1.0) / DEFAULT_KEY_SCALE;
+        assert!((achieved - 2.0).abs() < 0.01, "achieved match rate {achieved}");
+    }
+
+    #[test]
+    fn uniform_diff_scales_inversely_with_window() {
+        let small = uniform_diff_for_match_rate(1 << 14, 2.0, DEFAULT_KEY_SCALE);
+        let large = uniform_diff_for_match_rate(1 << 20, 2.0, DEFAULT_KEY_SCALE);
+        assert!(small > large * 32, "smaller windows need a much wider band");
+    }
+
+    #[test]
+    fn uniform_diff_zero_for_tiny_targets() {
+        // A target below one match per window degenerates to an equi-join.
+        let d = uniform_diff_for_match_rate(1 << 20, 0.0, DEFAULT_KEY_SCALE);
+        assert_eq!(d, 0);
+    }
+
+    #[test]
+    fn empirical_calibration_hits_target_for_uniform() {
+        let d = calibrate_diff(KeyDistribution::uniform(), 1 << 16, 2.0, 42);
+        let closed = uniform_diff_for_match_rate(1 << 16, 2.0, DEFAULT_KEY_SCALE);
+        assert_eq!(d, closed, "uniform falls back to the closed form");
+    }
+
+    fn measured_match_rate(dist: KeyDistribution, window: usize, diff: Key, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut window_keys = dist.sample_many(&mut rng, window);
+        window_keys.sort_unstable();
+        let probes = 2000;
+        let mut total = 0usize;
+        for _ in 0..probes {
+            let p = dist.sample(&mut rng);
+            let lo = window_keys.partition_point(|&k| k < p.saturating_sub(diff));
+            let hi = window_keys.partition_point(|&k| k <= p.saturating_add(diff));
+            total += hi - lo;
+        }
+        total as f64 / probes as f64
+    }
+
+    #[test]
+    fn empirical_calibration_hits_target_for_gaussian() {
+        let dist = KeyDistribution::gaussian_paper();
+        let w = 1 << 15;
+        let diff = calibrate_diff(dist, w, 2.0, 7);
+        let measured = measured_match_rate(dist, w, diff, 99);
+        assert!(
+            (1.0..=4.0).contains(&measured),
+            "calibrated diff {diff} gives match rate {measured}, expected ≈ 2"
+        );
+    }
+
+    #[test]
+    fn empirical_calibration_hits_target_for_gamma() {
+        let dist = KeyDistribution::gamma_3_3();
+        let w = 1 << 15;
+        let diff = calibrate_diff(dist, w, 2.0, 7);
+        let measured = measured_match_rate(dist, w, diff, 123);
+        assert!(
+            (1.0..=4.0).contains(&measured),
+            "calibrated diff {diff} gives match rate {measured}, expected ≈ 2"
+        );
+    }
+
+    #[test]
+    fn higher_targets_need_wider_bands() {
+        let dist = KeyDistribution::gaussian_paper();
+        let w = 1 << 14;
+        let d2 = calibrate_diff(dist, w, 2.0, 1);
+        let d64 = calibrate_diff(dist, w, 64.0, 1);
+        assert!(d64 > d2 * 8, "d2 = {d2}, d64 = {d64}");
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let dist = KeyDistribution::gamma_1_5();
+        let a = calibrate_diff(dist, 1 << 14, 2.0, 5);
+        let b = calibrate_diff(dist, 1 << 14, 2.0, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_probe_sanity_for_uniform_band() {
+        // End-to-end check that the closed form is usable: draw a window and
+        // probes, count actual matches.
+        let mut rng = StdRng::seed_from_u64(77);
+        let w = 1 << 14;
+        let diff = uniform_diff_for_match_rate(w, 2.0, DEFAULT_KEY_SCALE);
+        let mut window: Vec<Key> = (0..w).map(|_| rng.gen_range(0..DEFAULT_KEY_SCALE as i64)).collect();
+        window.sort_unstable();
+        let mut total = 0usize;
+        let probes = 3000;
+        for _ in 0..probes {
+            let p = rng.gen_range(0..DEFAULT_KEY_SCALE as i64);
+            let lo = window.partition_point(|&k| k < p - diff);
+            let hi = window.partition_point(|&k| k <= p + diff);
+            total += hi - lo;
+        }
+        let rate = total as f64 / probes as f64;
+        assert!((1.5..=2.5).contains(&rate), "measured match rate {rate}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Key-value distributions used by the evaluation.
+//!
+//! The paper evaluates uniform keys (the default), a Gaussian
+//! `N(0.5, 0.125)` and two Gamma distributions (`k = 3, θ = 3` and
+//! `k = 1, θ = 5`) — see Figure 12b. Samples are drawn in the distribution's
+//! natural domain and then scaled to the integer key domain `[0, scale)`.
+
+use rand::Rng;
+
+use pimtree_common::Key;
+
+/// Default width of the integer key domain that continuous samples are scaled
+/// into. Large enough that band predicates for the paper's match rates stay
+/// well above 1, small enough that `Key` arithmetic never overflows under the
+/// drifting workloads.
+pub const DEFAULT_KEY_SCALE: f64 = 1_000_000_000.0;
+
+/// A distribution over join-attribute keys.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Uniform integers in `[0, scale)`.
+    Uniform {
+        /// Exclusive upper bound of the key domain.
+        scale: f64,
+    },
+    /// Gaussian with the given mean and standard deviation in the unit domain,
+    /// scaled by `scale`. The paper uses `mean = 0.5`, `std_dev = 0.125`.
+    Gaussian {
+        /// Mean in the unit domain.
+        mean: f64,
+        /// Standard deviation in the unit domain.
+        std_dev: f64,
+        /// Multiplier from the unit domain to the key domain.
+        scale: f64,
+    },
+    /// Gamma distribution with shape `k` and scale `theta`; samples are
+    /// divided by `k·θ + 4·√k·θ` (≈ the bulk of the mass) before being scaled
+    /// to the key domain so that different parameterisations cover comparable
+    /// key ranges.
+    Gamma {
+        /// Shape parameter `k`.
+        shape: f64,
+        /// Scale parameter `θ`.
+        theta: f64,
+        /// Multiplier from the normalised domain to the key domain.
+        scale: f64,
+    },
+}
+
+impl KeyDistribution {
+    /// Uniform keys over the default domain.
+    pub fn uniform() -> Self {
+        KeyDistribution::Uniform {
+            scale: DEFAULT_KEY_SCALE,
+        }
+    }
+
+    /// The paper's Gaussian `N(0.5, 0.125)` over the default domain.
+    pub fn gaussian_paper() -> Self {
+        KeyDistribution::Gaussian {
+            mean: 0.5,
+            std_dev: 0.125,
+            scale: DEFAULT_KEY_SCALE,
+        }
+    }
+
+    /// Gaussian with an arbitrary mean (used by the drifting workload).
+    pub fn gaussian(mean: f64, std_dev: f64) -> Self {
+        KeyDistribution::Gaussian {
+            mean,
+            std_dev,
+            scale: DEFAULT_KEY_SCALE,
+        }
+    }
+
+    /// The paper's `Gamma(k = 3, θ = 3)`.
+    pub fn gamma_3_3() -> Self {
+        KeyDistribution::Gamma {
+            shape: 3.0,
+            theta: 3.0,
+            scale: DEFAULT_KEY_SCALE,
+        }
+    }
+
+    /// The paper's `Gamma(k = 1, θ = 5)`.
+    pub fn gamma_1_5() -> Self {
+        KeyDistribution::Gamma {
+            shape: 1.0,
+            theta: 5.0,
+            scale: DEFAULT_KEY_SCALE,
+        }
+    }
+
+    /// Width of the key domain samples are scaled into.
+    pub fn scale(&self) -> f64 {
+        match *self {
+            KeyDistribution::Uniform { scale }
+            | KeyDistribution::Gaussian { scale, .. }
+            | KeyDistribution::Gamma { scale, .. } => scale,
+        }
+    }
+
+    /// Draws one key.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Key {
+        let scale = self.scale();
+        let unit = match *self {
+            KeyDistribution::Uniform { .. } => rng.gen::<f64>(),
+            KeyDistribution::Gaussian { mean, std_dev, .. } => {
+                mean + std_dev * sample_standard_normal(rng)
+            }
+            KeyDistribution::Gamma { shape, theta, .. } => {
+                let raw = sample_gamma(rng, shape, theta);
+                let normaliser = shape * theta + 4.0 * shape.sqrt() * theta;
+                raw / normaliser
+            }
+        };
+        let clamped = unit.clamp(-1.0, 2.0);
+        (clamped * scale) as Key
+    }
+
+    /// Draws `n` keys.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Key> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Gamma(`shape`, `theta`) sample via the Marsaglia–Tsang method, with the
+/// standard boost for `shape < 1`.
+pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, theta: f64) -> f64 {
+    assert!(shape > 0.0 && theta > 0.0, "gamma parameters must be positive");
+    if shape < 1.0 {
+        // Gamma(a) = Gamma(a + 1) * U^(1/a)
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return sample_gamma(rng, shape + 1.0, theta) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = sample_standard_normal(rng);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen::<f64>();
+        if u < 1.0 - 0.0331 * x.powi(4) || u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v * theta;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn standard_normal_has_unit_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..200_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn gamma_moments_match_theory() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for &(k, theta) in &[(3.0, 3.0), (1.0, 5.0), (0.5, 2.0)] {
+            let samples: Vec<f64> = (0..200_000).map(|_| sample_gamma(&mut rng, k, theta)).collect();
+            let (mean, var) = mean_and_var(&samples);
+            let expect_mean = k * theta;
+            let expect_var = k * theta * theta;
+            assert!(
+                (mean - expect_mean).abs() / expect_mean < 0.05,
+                "k={k} θ={theta}: mean {mean} vs {expect_mean}"
+            );
+            assert!(
+                (var - expect_var).abs() / expect_var < 0.1,
+                "k={k} θ={theta}: var {var} vs {expect_var}"
+            );
+            assert!(samples.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn uniform_keys_cover_the_domain() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = KeyDistribution::uniform();
+        let keys = d.sample_many(&mut rng, 100_000);
+        let min = *keys.iter().min().unwrap();
+        let max = *keys.iter().max().unwrap();
+        assert!(min >= 0);
+        assert!((max as f64) < DEFAULT_KEY_SCALE);
+        assert!((max as f64) > DEFAULT_KEY_SCALE * 0.99);
+        assert!((min as f64) < DEFAULT_KEY_SCALE * 0.01);
+        let mean = keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
+        assert!((mean / DEFAULT_KEY_SCALE - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn gaussian_keys_center_on_half_scale() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let d = KeyDistribution::gaussian_paper();
+        let keys = d.sample_many(&mut rng, 100_000);
+        let mean = keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
+        assert!((mean / DEFAULT_KEY_SCALE - 0.5).abs() < 0.01, "mean = {mean}");
+        // Gaussian keys are much more concentrated than uniform ones.
+        let within_one_sigma = keys
+            .iter()
+            .filter(|&&k| ((k as f64 / DEFAULT_KEY_SCALE) - 0.5).abs() <= 0.125)
+            .count() as f64
+            / keys.len() as f64;
+        assert!((within_one_sigma - 0.68).abs() < 0.02, "1σ mass = {within_one_sigma}");
+    }
+
+    #[test]
+    fn gamma_keys_are_skewed_right() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = KeyDistribution::gamma_1_5();
+        let keys = d.sample_many(&mut rng, 50_000);
+        let mean = keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let median = sorted[sorted.len() / 2] as f64;
+        assert!(mean > median, "gamma is right-skewed: mean {mean} median {median}");
+    }
+
+    #[test]
+    fn samples_are_deterministic_per_seed() {
+        let d = KeyDistribution::gaussian_paper();
+        let a = d.sample_many(&mut StdRng::seed_from_u64(7), 100);
+        let b = d.sample_many(&mut StdRng::seed_from_u64(7), 100);
+        let c = d.sample_many(&mut StdRng::seed_from_u64(8), 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gamma_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sample_gamma(&mut rng, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,134 @@
+//! The three-phase shifting-Gaussian workload of Figures 13a/13b.
+//!
+//! Phase 1 draws keys from `N(0.5, 0.125)`; during phase 2 the mean drifts
+//! linearly from `0.5` to `r + 0.5`; phase 3 draws from the shifted
+//! distribution `N(r + 0.5, 0.125)`. The drift speed `r` controls how quickly
+//! the PIM-Tree's partition ranges become stale, which is what the experiment
+//! stresses.
+
+use rand::Rng;
+
+use pimtree_common::Key;
+
+use crate::dist::{sample_standard_normal, DEFAULT_KEY_SCALE};
+
+/// Generator of the shifting-Gaussian key sequence.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftingGaussian {
+    /// Drift distance `r` (the paper sweeps 0.0 to 1.0).
+    pub r: f64,
+    /// Standard deviation in the unit domain (paper: 0.125).
+    pub std_dev: f64,
+    /// Tuples in phase 1 (stationary at mean 0.5).
+    pub phase1: usize,
+    /// Tuples in phase 2 (linear drift).
+    pub phase2: usize,
+    /// Tuples in phase 3 (stationary at mean `r + 0.5`).
+    pub phase3: usize,
+    /// Multiplier from the unit domain to the key domain.
+    pub scale: f64,
+}
+
+impl ShiftingGaussian {
+    /// The paper's configuration: phases of 4 Mi, 10 Mi and 4 Mi tuples
+    /// (`Mi` = 2^20) with σ = 0.125.
+    pub fn paper(r: f64) -> Self {
+        ShiftingGaussian {
+            r,
+            std_dev: 0.125,
+            phase1: 4 << 20,
+            phase2: 10 << 20,
+            phase3: 4 << 20,
+            scale: DEFAULT_KEY_SCALE,
+        }
+    }
+
+    /// A scaled-down configuration with the same structure, for tests and for
+    /// benchmark runs that must finish quickly.
+    pub fn scaled(r: f64, phase1: usize, phase2: usize, phase3: usize) -> Self {
+        ShiftingGaussian {
+            r,
+            std_dev: 0.125,
+            phase1,
+            phase2,
+            phase3,
+            scale: DEFAULT_KEY_SCALE,
+        }
+    }
+
+    /// Total number of tuples across the three phases.
+    pub fn total(&self) -> usize {
+        self.phase1 + self.phase2 + self.phase3
+    }
+
+    /// Mean of the distribution (in the unit domain) at tuple index `i`.
+    pub fn mean_at(&self, i: usize) -> f64 {
+        if i < self.phase1 {
+            0.5
+        } else if i < self.phase1 + self.phase2 {
+            let progress = (i - self.phase1) as f64 / self.phase2.max(1) as f64;
+            0.5 + self.r * progress
+        } else {
+            0.5 + self.r
+        }
+    }
+
+    /// Draws the key of tuple `i`.
+    pub fn sample_at<R: Rng + ?Sized>(&self, rng: &mut R, i: usize) -> Key {
+        let unit = self.mean_at(i) + self.std_dev * sample_standard_normal(rng);
+        (unit.clamp(-1.0, 2.5) * self.scale) as Key
+    }
+
+    /// Generates the full key sequence.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Key> {
+        (0..self.total()).map(|i| self.sample_at(rng, i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_follows_three_phases() {
+        let g = ShiftingGaussian::scaled(1.0, 100, 200, 100);
+        assert_eq!(g.total(), 400);
+        assert!((g.mean_at(0) - 0.5).abs() < 1e-12);
+        assert!((g.mean_at(99) - 0.5).abs() < 1e-12);
+        assert!((g.mean_at(200) - 1.0).abs() < 1e-12, "midway through the drift");
+        assert!((g.mean_at(399) - 1.5).abs() < 1e-12);
+        assert!((g.mean_at(10_000) - 1.5).abs() < 1e-12, "past the end stays at the target");
+    }
+
+    #[test]
+    fn zero_drift_is_stationary() {
+        let g = ShiftingGaussian::scaled(0.0, 10, 10, 10);
+        for i in 0..30 {
+            assert!((g.mean_at(i) - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn generated_keys_track_the_drift() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = ShiftingGaussian::scaled(0.8, 20_000, 20_000, 20_000);
+        let keys = g.generate(&mut rng);
+        assert_eq!(keys.len(), g.total());
+        let avg = |s: &[Key]| s.iter().map(|&k| k as f64).sum::<f64>() / s.len() as f64;
+        let phase1_mean = avg(&keys[..20_000]) / DEFAULT_KEY_SCALE;
+        let phase3_mean = avg(&keys[40_000..]) / DEFAULT_KEY_SCALE;
+        assert!((phase1_mean - 0.5).abs() < 0.01, "phase 1 mean {phase1_mean}");
+        assert!((phase3_mean - 1.3).abs() < 0.01, "phase 3 mean {phase3_mean}");
+    }
+
+    #[test]
+    fn paper_configuration_sizes() {
+        let g = ShiftingGaussian::paper(0.4);
+        assert_eq!(g.phase1, 4 << 20);
+        assert_eq!(g.phase2, 10 << 20);
+        assert_eq!(g.phase3, 4 << 20);
+        assert_eq!(g.total(), 18 << 20);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests over the core data structures: the arena B+-Tree, the
+//! immutable CSS-Tree, the Bw-Tree-style concurrent index and the PIM-Tree
+//! are all checked against simple model structures under random operation
+//! sequences.
+
+use proptest::prelude::*;
+
+use pimtree::prelude::*;
+use pimtree_btree::{bulk, BTreeIndex, Entry};
+use pimtree_bwtree::BwTreeIndex;
+
+/// A random `(key, seq)` operation sequence: inserts and deletes of previously
+/// inserted entries.
+fn key_seq_ops() -> impl Strategy<Value = Vec<(i64, bool)>> {
+    prop::collection::vec((0i64..200, prop::bool::ANY), 1..400)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn btree_matches_model_under_random_ops(ops in key_seq_ops(), fanout in 4usize..16) {
+        let mut tree = BTreeIndex::with_fanout(fanout);
+        let mut model: std::collections::BTreeSet<Entry> = Default::default();
+        let mut seq = 0u64;
+        let mut inserted: Vec<Entry> = Vec::new();
+        for (key, is_insert) in ops {
+            if is_insert || inserted.is_empty() {
+                let e = Entry::new(key, seq);
+                seq += 1;
+                tree.insert_entry(e);
+                model.insert(e);
+                inserted.push(e);
+            } else {
+                let victim = inserted.swap_remove((key as usize) % inserted.len());
+                prop_assert_eq!(tree.remove(victim.key, victim.seq), model.remove(&victim));
+            }
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), model.len());
+        let got = tree.to_sorted_vec();
+        let expected: Vec<Entry> = model.iter().copied().collect();
+        prop_assert_eq!(got, expected);
+        // Range queries agree with the model on a few probes.
+        for lo in [-10i64, 0, 50, 150, 250] {
+            let range = KeyRange::new(lo, lo + 37);
+            let got = tree.range_collect(range);
+            let expected: Vec<Entry> = model
+                .iter()
+                .copied()
+                .filter(|e| range.contains(e.key))
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn bulk_loaded_btree_equals_incremental(keys in prop::collection::vec(0i64..1000, 0..500), fanout in 4usize..16) {
+        let mut entries: Vec<Entry> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Entry::new(k, i as u64))
+            .collect();
+        entries.sort();
+        let bulk_tree = bulk::from_sorted_with_fanout(entries.clone(), fanout);
+        bulk_tree.check_invariants();
+        let mut incr = BTreeIndex::with_fanout(fanout);
+        for e in &entries {
+            incr.insert_entry(*e);
+        }
+        prop_assert_eq!(bulk_tree.to_sorted_vec(), incr.to_sorted_vec());
+    }
+
+    #[test]
+    fn css_tree_lower_bound_matches_binary_search(keys in prop::collection::vec(0i64..500, 0..600), probes in prop::collection::vec(-10i64..520, 1..50)) {
+        let mut entries: Vec<Entry> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| Entry::new(k, i as u64))
+            .collect();
+        entries.sort();
+        let tree = pimtree_css::CssBuilder::new().fanout(4).leaf_size(4).build(entries.clone());
+        tree.check_invariants();
+        for p in probes {
+            let expected = entries.partition_point(|e| e.key < p);
+            prop_assert_eq!(tree.lower_bound_key(p), expected);
+        }
+    }
+
+    #[test]
+    fn bwtree_matches_model_under_random_ops(ops in key_seq_ops()) {
+        let tree = BwTreeIndex::with_parameters(16, 4);
+        let mut model: std::collections::BTreeSet<Entry> = Default::default();
+        let mut seq = 0u64;
+        let mut inserted: Vec<Entry> = Vec::new();
+        for (key, is_insert) in ops {
+            if is_insert || inserted.is_empty() {
+                let e = Entry::new(key, seq);
+                seq += 1;
+                tree.insert(e.key, e.seq);
+                model.insert(e);
+                inserted.push(e);
+            } else {
+                let victim = inserted.swap_remove((key as usize) % inserted.len());
+                prop_assert_eq!(tree.remove(victim.key, victim.seq), model.remove(&victim));
+            }
+        }
+        tree.check_invariants();
+        prop_assert_eq!(tree.len(), model.len());
+        let mut got = tree.range_collect(KeyRange::new(i64::MIN, i64::MAX));
+        got.sort();
+        let expected: Vec<Entry> = model.iter().copied().collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn pim_tree_window_contents_survive_merges(keys in prop::collection::vec(0i64..10_000, 32..400), window_exp in 3usize..7, merge_ratio in prop::sample::select(vec![0.25f64, 0.5, 1.0])) {
+        let w = 1usize << window_exp;
+        let mut config = PimConfig::for_window(w)
+            .with_merge_ratio(merge_ratio)
+            .with_insertion_depth(2);
+        config.css_fanout = 4;
+        config.css_leaf_size = 4;
+        config.btree_fanout = 4;
+        let pim = PimTree::new(config);
+        for (i, &k) in keys.iter().enumerate() {
+            pim.insert(k, i as u64);
+            if pim.needs_merge() {
+                pim.merge((i + 1).saturating_sub(w) as u64);
+            }
+        }
+        // Every live tuple — and no expired one — must be reachable.
+        let earliest = keys.len().saturating_sub(w) as u64;
+        let live = pim.range_collect_live(KeyRange::new(i64::MIN, i64::MAX), earliest);
+        let mut seqs: Vec<u64> = live.iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        prop_assert_eq!(seqs.len(), live.len(), "no duplicate results");
+        let expected: Vec<u64> = (earliest..keys.len() as u64).collect();
+        prop_assert_eq!(seqs, expected);
+        for e in &live {
+            prop_assert_eq!(e.key, keys[e.seq as usize]);
+        }
+    }
+
+    #[test]
+    fn single_threaded_ibwj_matches_reference_on_random_workloads(
+        keys in prop::collection::vec(0i64..300, 10..300),
+        sides in prop::collection::vec(prop::bool::ANY, 10..300),
+        window_exp in 2usize..6,
+        diff in 0i64..4,
+    ) {
+        let n = keys.len().min(sides.len());
+        let mut seqs = [0u64, 0u64];
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|i| {
+                let side = if sides[i] { StreamSide::R } else { StreamSide::S };
+                let seq = seqs[side.index()];
+                seqs[side.index()] += 1;
+                Tuple::new(side, seq, keys[i])
+            })
+            .collect();
+        let w = 1usize << window_exp;
+        let predicate = BandPredicate::new(diff);
+        let expected = pimtree_join::canonical(&pimtree_join::reference_join(&tuples, predicate, w, w, false));
+        for kind in [IndexKind::BTree, IndexKind::PimTree] {
+            let mut pim = PimConfig::for_window(w).with_merge_ratio(0.5).with_insertion_depth(1);
+            pim.css_fanout = 4;
+            pim.css_leaf_size = 4;
+            pim.btree_fanout = 4;
+            let config = JoinConfig::symmetric(w, kind).with_pim(pim);
+            let mut op = build_single_threaded(&config, predicate, false);
+            let (_, results) = op.run(&tuples, true);
+            prop_assert_eq!(pimtree_join::canonical(&results), expected.clone(), "kind {}", kind);
+        }
+    }
+}
