@@ -1,31 +1,41 @@
 //! Diagnostic profile of the parallel IBWJ engine: where worker wall-clock
 //! time goes (task acquisition, result generation, index update, propagation,
-//! idle back-off, merging) as the number of threads grows.
+//! idle back-off, merging) as the number of threads grows, plus the lock-free
+//! task ring's contention counters (claim-CAS retries, ingest-token and
+//! drain-token collisions, idle back-off stage mix).
 //!
 //! This binary is not tied to a specific paper figure; it backs the
 //! engine-scaling discussion in EXPERIMENTS.md and is the tool used to verify
-//! that the shared work queue and edge-tuple bookkeeping stay off the
-//! per-tuple critical path.
+//! that task distribution and edge-tuple bookkeeping stay off the per-tuple
+//! critical path. Sweep the ring itself with `--ring-cap= --ingest-target=
+//! --spin= --yield= --park-us=`.
 
 use pimtree_bench::harness::*;
-use pimtree_join::{ParallelIbwj, SharedIndexKind};
 use pimtree_common::{IndexKind, JoinConfig};
+use pimtree_join::{ParallelIbwj, SharedIndexKind};
 use pimtree_workload::KeyDistribution;
 
 fn main() {
     let opts = RunOpts::parse(18, 18);
     let w = 1usize << opts.max_exp;
     let n = opts.tuples_for(w);
-    let (tuples, predicate) =
-        two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+    let (tuples, predicate) = two_way_workload(
+        n + 2 * w,
+        w,
+        2.0,
+        KeyDistribution::uniform(),
+        50.0,
+        opts.seed,
+    );
 
     print_header(
         "engine_profile",
         &format!(
-            "parallel IBWJ phase breakdown (w = 2^{}, {} tuples, task size {})",
+            "parallel IBWJ phase breakdown and ring contention (w = 2^{}, {} tuples, task size {}, ring {:?})",
             opts.max_exp,
             tuples.len(),
-            opts.task_size
+            opts.task_size,
+            opts.ring()
         ),
         &[
             "threads",
@@ -41,16 +51,25 @@ fn main() {
             "loaded_mb",
             "search_ns_per_tuple",
             "scan_ns_per_tuple",
+            "claim_retries_per_task",
+            "mean_task_size",
+            "ingest_contended",
+            "drain_contended",
+            "idle_spin",
+            "idle_yield",
+            "idle_park",
         ],
     );
-    for threads in [1, 2, 4, 8, opts.threads] {
-        if threads == 0 || (threads == opts.threads && opts.threads <= 8) && threads != opts.threads {
-            continue;
-        }
+    let mut sweep = vec![1, 2, 4, 8];
+    if opts.threads > 0 && !sweep.contains(&opts.threads) {
+        sweep.push(opts.threads);
+    }
+    for threads in sweep {
         let mut config = JoinConfig::symmetric(w, IndexKind::PimTree)
             .with_threads(threads)
             .with_task_size(opts.task_size)
-            .with_pim(pim_config(w));
+            .with_pim(pim_config(w))
+            .with_ring(opts.ring());
         config.window_r = w;
         config.window_s = w;
         let op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false);
@@ -71,7 +90,10 @@ fn main() {
             format!("{:.1}", stats.bytes_loaded as f64 / 1e6),
             format!(
                 "{:.0}",
-                stats.breakdown.total(pimtree_common::Step::Search).as_nanos() as f64
+                stats
+                    .breakdown
+                    .total(pimtree_common::Step::Search)
+                    .as_nanos() as f64
                     / stats.tuples.max(1) as f64
             ),
             format!(
@@ -79,6 +101,13 @@ fn main() {
                 stats.breakdown.total(pimtree_common::Step::Scan).as_nanos() as f64
                     / stats.tuples.max(1) as f64
             ),
+            format!("{:.3}", stats.ring.claim_contention()),
+            format!("{:.2}", stats.ring.mean_task_size()),
+            stats.ring.ingest_token_contended.to_string(),
+            stats.ring.drain_contended.to_string(),
+            stats.ring.idle_spins.to_string(),
+            stats.ring.idle_yields.to_string(),
+            stats.ring.idle_parks.to_string(),
         ]);
     }
 }

@@ -21,7 +21,11 @@ fn workload(n: usize, seed: u64) -> Vec<MdTuple<2>> {
     let mut seqs = [0u64; 2];
     (0..n)
         .map(|_| {
-            let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+            let side = if rng.gen::<bool>() {
+                StreamSide::R
+            } else {
+                StreamSide::S
+            };
             let seq = seqs[side.index()];
             seqs[side.index()] += 1;
             MdTuple {

@@ -62,8 +62,7 @@ fn main() {
                 ("range", PlacementStrategy::RangePartitioned),
                 ("round_robin", PlacementStrategy::RoundRobin),
             ] {
-                let (remote, cost, imbalance) =
-                    run_case(strategy, nodes, w, &tuples, predicate);
+                let (remote, cost, imbalance) = run_case(strategy, nodes, w, &tuples, predicate);
                 print_row(&[
                     name.to_string(),
                     nodes.to_string(),

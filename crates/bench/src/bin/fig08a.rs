@@ -26,21 +26,55 @@ fn main() {
         let n = opts.tuples_for(w);
         // NLWJ is O(w) per tuple; keep its input small enough to finish.
         let nlwj_n = ((1 << 24) / w).clamp(2_000, n);
-        let (tuples, predicate) =
-            two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+        let (tuples, predicate) = two_way_workload(
+            n + 2 * w,
+            w,
+            2.0,
+            KeyDistribution::uniform(),
+            50.0,
+            opts.seed,
+        );
         let pim = pim_config(w);
 
         let nlwj_single = run_single(
-            IndexKind::None, w, 2, pim, predicate, &tuples[..(2 * w + nlwj_n).min(tuples.len())], 2 * w, false,
+            IndexKind::None,
+            w,
+            2,
+            pim,
+            predicate,
+            &tuples[..(2 * w + nlwj_n).min(tuples.len())],
+            2 * w,
+            false,
         );
         let nlwj_hs = run_handshake(
-            HandshakeMode::Nlwj, opts.threads, w, w, predicate,
+            HandshakeMode::Nlwj,
+            opts.threads,
+            w,
+            w,
+            predicate,
             &tuples[..(2 * w + nlwj_n * opts.threads).min(tuples.len())],
         );
-        let ibwj_single = run_single(IndexKind::BTree, w, 2, pim, predicate, &tuples, 2 * w, false);
+        let ibwj_single = run_single(
+            IndexKind::BTree,
+            w,
+            2,
+            pim,
+            predicate,
+            &tuples,
+            2 * w,
+            false,
+        );
         let ibwj_hs = run_handshake(HandshakeMode::Ibwj, opts.threads, w, w, predicate, &tuples);
         let ibwj_bw = run_parallel(
-            SharedIndexKind::BwTree, w, w, opts.threads, opts.task_size, pim, predicate, &tuples, false,
+            SharedIndexKind::BwTree,
+            w,
+            w,
+            opts.threads,
+            opts.task_size,
+            pim,
+            predicate,
+            &tuples,
+            false,
         );
 
         print_row(&[

@@ -11,19 +11,55 @@ fn main() {
     let opts = RunOpts::parse(16, 16);
     let w = 1usize << opts.max_exp;
     let n = opts.tuples_for(w);
-    let (tuples, predicate) =
-        two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+    let (tuples, predicate) = two_way_workload(
+        n + 2 * w,
+        w,
+        2.0,
+        KeyDistribution::uniform(),
+        50.0,
+        opts.seed,
+    );
     let pim = pim_config(w);
 
     print_header(
         "fig08b",
-        &format!("chained-index throughput vs chain length (w = 2^{}, Mtps)", opts.max_exp),
+        &format!(
+            "chained-index throughput vs chain length (w = 2^{}, Mtps)",
+            opts.max_exp
+        ),
         &["chain_length", "btree", "b_chain", "ib_chain"],
     );
-    let btree = run_single(IndexKind::BTree, w, 2, pim, predicate, &tuples, 2 * w, false);
+    let btree = run_single(
+        IndexKind::BTree,
+        w,
+        2,
+        pim,
+        predicate,
+        &tuples,
+        2 * w,
+        false,
+    );
     for chain_length in 2..=16usize {
-        let b = run_single(IndexKind::BChain, w, chain_length, pim, predicate, &tuples, 2 * w, false);
-        let ib = run_single(IndexKind::IbChain, w, chain_length, pim, predicate, &tuples, 2 * w, false);
+        let b = run_single(
+            IndexKind::BChain,
+            w,
+            chain_length,
+            pim,
+            predicate,
+            &tuples,
+            2 * w,
+            false,
+        );
+        let ib = run_single(
+            IndexKind::IbChain,
+            w,
+            chain_length,
+            pim,
+            predicate,
+            &tuples,
+            2 * w,
+            false,
+        );
         print_row(&[chain_length.to_string(), mtps(&btree), mtps(&b), mtps(&ib)]);
     }
 }

@@ -15,12 +15,27 @@ fn main() {
     for exp in opts.window_exps() {
         let w = 1usize << exp;
         let n = opts.tuples_for(w);
-        let (tuples, predicate) =
-            two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+        let (tuples, predicate) = two_way_workload(
+            n + 2 * w,
+            w,
+            2.0,
+            KeyDistribution::uniform(),
+            50.0,
+            opts.seed,
+        );
         let mut row = vec![exp.to_string()];
         for di in 1..=4usize {
             let pim = pim_config(w).with_insertion_depth(di);
-            let stats = run_single(IndexKind::PimTree, w, 2, pim, predicate, &tuples, 2 * w, false);
+            let stats = run_single(
+                IndexKind::PimTree,
+                w,
+                2,
+                pim,
+                predicate,
+                &tuples,
+                2 * w,
+                false,
+            );
             row.push(mtps(&stats));
         }
         print_row(&row);

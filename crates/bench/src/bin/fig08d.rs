@@ -15,13 +15,27 @@ fn main() {
     for exp in opts.window_exps() {
         let w = 1usize << exp;
         let n = opts.tuples_for(w);
-        let (tuples, predicate) =
-            two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+        let (tuples, predicate) = two_way_workload(
+            n + 2 * w,
+            w,
+            2.0,
+            KeyDistribution::uniform(),
+            50.0,
+            opts.seed,
+        );
         let mut row = vec![exp.to_string()];
         for di in 1..=4usize {
             let pim = pim_config(w).with_insertion_depth(di);
             let stats = run_parallel(
-                SharedIndexKind::PimTree, w, w, opts.threads, opts.task_size, pim, predicate, &tuples, false,
+                SharedIndexKind::PimTree,
+                w,
+                w,
+                opts.threads,
+                opts.task_size,
+                pim,
+                predicate,
+                &tuples,
+                false,
             );
             row.push(mtps(&stats));
         }

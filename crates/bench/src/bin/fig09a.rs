@@ -22,11 +22,25 @@ fn main() {
         for &exp in &exps {
             let w = 1usize << exp;
             let n = opts.tuples_for(w);
-            let (tuples, predicate) =
-                two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+            let (tuples, predicate) = two_way_workload(
+                n + 2 * w,
+                w,
+                2.0,
+                KeyDistribution::uniform(),
+                50.0,
+                opts.seed,
+            );
             let pim = pim_config(w).with_merge_ratio(merge_ratio);
             let stats = run_parallel(
-                SharedIndexKind::PimTree, w, w, opts.threads, opts.task_size, pim, predicate, &tuples, false,
+                SharedIndexKind::PimTree,
+                w,
+                w,
+                opts.threads,
+                opts.task_size,
+                pim,
+                predicate,
+                &tuples,
+                false,
             );
             row.push(mtps(&stats));
         }

@@ -8,7 +8,12 @@ use pimtree_common::{BandPredicate, IndexKind, JoinConfig, Step, Tuple};
 use pimtree_join::build_single_threaded;
 use pimtree_workload::KeyDistribution;
 
-fn breakdown_row(kind: IndexKind, w: usize, tuples: &[Tuple], predicate: BandPredicate) -> Vec<String> {
+fn breakdown_row(
+    kind: IndexKind,
+    w: usize,
+    tuples: &[Tuple],
+    predicate: BandPredicate,
+) -> Vec<String> {
     // Instrumented run: build the operator directly so instrumentation can be
     // enabled through the dedicated constructor path.
     let config = JoinConfig::symmetric(w, kind).with_pim(pim_config(w));
@@ -34,9 +39,9 @@ fn instrumented(
     let w = config.window_r;
     let pim = config.pim;
     match kind {
-        IndexKind::BTree => Box::new(
-            IbwjOperator::new(w, w, predicate, BTreeAdapter::new).with_instrumentation(),
-        ),
+        IndexKind::BTree => {
+            Box::new(IbwjOperator::new(w, w, predicate, BTreeAdapter::new).with_instrumentation())
+        }
         IndexKind::ImTree => Box::new(
             IbwjOperator::new(w, w, predicate, || ImTreeAdapter::new(pim)).with_instrumentation(),
         ),
@@ -55,13 +60,27 @@ fn main() {
     print_header(
         "fig09b",
         "per-tuple step cost of single-threaded IBWJ (ns/tuple)",
-        &["index", "window_exp", "search", "scan", "insert", "delete", "merge"],
+        &[
+            "index",
+            "window_exp",
+            "search",
+            "scan",
+            "insert",
+            "delete",
+            "merge",
+        ],
     );
     for exp in [opts.min_exp, opts.max_exp] {
         let w = 1usize << exp;
         let n = opts.tuples_for(w);
-        let (tuples, predicate) =
-            two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+        let (tuples, predicate) = two_way_workload(
+            n + 2 * w,
+            w,
+            2.0,
+            KeyDistribution::uniform(),
+            50.0,
+            opts.seed,
+        );
         for kind in [IndexKind::PimTree, IndexKind::ImTree, IndexKind::BTree] {
             let cols = breakdown_row(kind, w, &tuples, predicate);
             let mut row = vec![kind.to_string(), exp.to_string()];

@@ -15,14 +15,47 @@ fn main() {
     for exp in opts.window_exps() {
         let w = 1usize << exp;
         let n = opts.tuples_for(w);
-        let (tuples, predicate) =
-            two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+        let (tuples, predicate) = two_way_workload(
+            n + 2 * w,
+            w,
+            2.0,
+            KeyDistribution::uniform(),
+            50.0,
+            opts.seed,
+        );
         // Single-threaded runs use the empirically good merge ratio of 1/8
         // (Figures 9c/9d); the multithreaded default of 1 is suboptimal here.
         let pim = pim_config(w).with_merge_ratio(1.0 / 8.0);
-        let b = run_single(IndexKind::BTree, w, 2, pim, predicate, &tuples, 2 * w, false);
-        let im = run_single(IndexKind::ImTree, w, 2, pim, predicate, &tuples, 2 * w, false);
-        let p = run_single(IndexKind::PimTree, w, 2, pim, predicate, &tuples, 2 * w, false);
+        let b = run_single(
+            IndexKind::BTree,
+            w,
+            2,
+            pim,
+            predicate,
+            &tuples,
+            2 * w,
+            false,
+        );
+        let im = run_single(
+            IndexKind::ImTree,
+            w,
+            2,
+            pim,
+            predicate,
+            &tuples,
+            2 * w,
+            false,
+        );
+        let p = run_single(
+            IndexKind::PimTree,
+            w,
+            2,
+            pim,
+            predicate,
+            &tuples,
+            2 * w,
+            false,
+        );
         print_row(&[exp.to_string(), mtps(&b), mtps(&im), mtps(&p)]);
     }
 }

@@ -12,21 +12,77 @@ fn main() {
     let w = 1usize << opts.max_exp;
     print_header(
         "fig10b",
-        &format!("IBWJ throughput vs match rate (w = 2^{}, Mtps)", opts.max_exp),
-        &["match_rate_exp", "btree", "im_tree", "pim_tree", "pim_tree_mt"],
+        &format!(
+            "IBWJ throughput vs match rate (w = 2^{}, Mtps)",
+            opts.max_exp
+        ),
+        &[
+            "match_rate_exp",
+            "btree",
+            "im_tree",
+            "pim_tree",
+            "pim_tree_mt",
+        ],
     );
     for rate_exp in [-4i32, -2, 0, 2, 4, 6, 8, 10] {
         let match_rate = 2f64.powi(rate_exp);
         let n = opts.tuples_for(w);
-        let (tuples, predicate) =
-            two_way_workload(n + 2 * w, w, match_rate, KeyDistribution::uniform(), 50.0, opts.seed);
-        let pim = pim_config(w).with_merge_ratio(1.0 / 8.0);
-        let b = run_single(IndexKind::BTree, w, 2, pim, predicate, &tuples, 2 * w, false);
-        let im = run_single(IndexKind::ImTree, w, 2, pim, predicate, &tuples, 2 * w, false);
-        let p = run_single(IndexKind::PimTree, w, 2, pim, predicate, &tuples, 2 * w, false);
-        let mt = run_parallel(
-            SharedIndexKind::PimTree, w, w, opts.threads, opts.task_size, pim_config(w), predicate, &tuples, false,
+        let (tuples, predicate) = two_way_workload(
+            n + 2 * w,
+            w,
+            match_rate,
+            KeyDistribution::uniform(),
+            50.0,
+            opts.seed,
         );
-        print_row(&[rate_exp.to_string(), mtps(&b), mtps(&im), mtps(&p), mtps(&mt)]);
+        let pim = pim_config(w).with_merge_ratio(1.0 / 8.0);
+        let b = run_single(
+            IndexKind::BTree,
+            w,
+            2,
+            pim,
+            predicate,
+            &tuples,
+            2 * w,
+            false,
+        );
+        let im = run_single(
+            IndexKind::ImTree,
+            w,
+            2,
+            pim,
+            predicate,
+            &tuples,
+            2 * w,
+            false,
+        );
+        let p = run_single(
+            IndexKind::PimTree,
+            w,
+            2,
+            pim,
+            predicate,
+            &tuples,
+            2 * w,
+            false,
+        );
+        let mt = run_parallel(
+            SharedIndexKind::PimTree,
+            w,
+            w,
+            opts.threads,
+            opts.task_size,
+            pim_config(w),
+            predicate,
+            &tuples,
+            false,
+        );
+        print_row(&[
+            rate_exp.to_string(),
+            mtps(&b),
+            mtps(&im),
+            mtps(&p),
+            mtps(&mt),
+        ]);
     }
 }

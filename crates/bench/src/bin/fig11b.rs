@@ -22,10 +22,24 @@ fn main() {
         for &exp in &exps {
             let w = 1usize << exp;
             let n = opts.tuples_for(w);
-            let (tuples, predicate) =
-                two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), s_percent, opts.seed);
+            let (tuples, predicate) = two_way_workload(
+                n + 2 * w,
+                w,
+                2.0,
+                KeyDistribution::uniform(),
+                s_percent,
+                opts.seed,
+            );
             let stats = run_parallel(
-                SharedIndexKind::PimTree, w, w, opts.threads, opts.task_size, pim_config(w), predicate, &tuples, false,
+                SharedIndexKind::PimTree,
+                w,
+                w,
+                opts.threads,
+                opts.task_size,
+                pim_config(w),
+                predicate,
+                &tuples,
+                false,
             );
             row.push(mtps(&stats));
         }

@@ -23,10 +23,24 @@ fn main() {
             let ws = 1usize << ws_exp;
             let w_max = wr.max(ws);
             let n = opts.tuples_for(w_max);
-            let (tuples, predicate) =
-                two_way_workload(n + 2 * w_max, w_max, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+            let (tuples, predicate) = two_way_workload(
+                n + 2 * w_max,
+                w_max,
+                2.0,
+                KeyDistribution::uniform(),
+                50.0,
+                opts.seed,
+            );
             let stats = run_parallel(
-                SharedIndexKind::PimTree, wr, ws, opts.threads, opts.task_size, pim_config(w_max), predicate, &tuples, false,
+                SharedIndexKind::PimTree,
+                wr,
+                ws,
+                opts.threads,
+                opts.task_size,
+                pim_config(w_max),
+                predicate,
+                &tuples,
+                false,
             );
             row.push(mtps(&stats));
         }

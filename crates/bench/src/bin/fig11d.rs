@@ -11,19 +11,40 @@ fn main() {
     let opts = RunOpts::parse(16, 16);
     let w = 1usize << opts.max_exp;
     let n = opts.tuples_for(w);
-    let (tuples, predicate) =
-        two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+    let (tuples, predicate) = two_way_workload(
+        n + 2 * w,
+        w,
+        2.0,
+        KeyDistribution::uniform(),
+        50.0,
+        opts.seed,
+    );
     print_header(
         "fig11d",
-        &format!("logical memory traffic of parallel IBWJ (w = 2^{})", opts.max_exp),
+        &format!(
+            "logical memory traffic of parallel IBWJ (w = 2^{})",
+            opts.max_exp
+        ),
         &["threads", "load_gbps", "store_gbps", "store_share", "mtps"],
     );
     for threads in 1..=opts.threads {
         let stats = run_parallel(
-            SharedIndexKind::PimTree, w, w, threads, opts.task_size, pim_config(w), predicate, &tuples, false,
+            SharedIndexKind::PimTree,
+            w,
+            w,
+            threads,
+            opts.task_size,
+            pim_config(w),
+            predicate,
+            &tuples,
+            false,
         );
         let total = (stats.bytes_loaded + stats.bytes_stored) as f64;
-        let share = if total > 0.0 { stats.bytes_stored as f64 / total } else { 0.0 };
+        let share = if total > 0.0 {
+            stats.bytes_stored as f64 / total
+        } else {
+            0.0
+        };
         print_row(&[
             threads.to_string(),
             format!("{:.3}", stats.load_gbps()),

@@ -12,7 +12,13 @@ fn main() {
     print_header(
         "fig12b",
         "parallel IBWJ with PIM-Tree by key distribution (Mtps)",
-        &["window_exp", "uniform", "gaussian", "gamma_k3_t3", "gamma_k1_t5"],
+        &[
+            "window_exp",
+            "uniform",
+            "gaussian",
+            "gamma_k3_t3",
+            "gamma_k1_t5",
+        ],
     );
     let dists = [
         KeyDistribution::uniform(),
@@ -26,8 +32,17 @@ fn main() {
         let mut row = vec![exp.to_string()];
         for dist in dists {
             let (tuples, predicate) = two_way_workload(n + 2 * w, w, 2.0, dist, 50.0, opts.seed);
-            let stats = run_parallel(
-                SharedIndexKind::PimTree, w, w, opts.threads, opts.task_size, pim_config(w), predicate, &tuples, false,
+            let stats = run_parallel_ring(
+                SharedIndexKind::PimTree,
+                w,
+                w,
+                opts.threads,
+                opts.task_size,
+                pim_config(w),
+                opts.ring(),
+                predicate,
+                &tuples,
+                false,
             );
             row.push(mtps(&stats));
         }

@@ -16,8 +16,17 @@ fn main() {
     let w = 1usize << opts.max_exp;
     print_header(
         "fig13a",
-        &format!("insert skew across PIM-Tree sub-indexes under drift (w = 2^{})", opts.max_exp),
-        &["r", "partitions", "top1_share", "max_over_mean", "zero_fraction"],
+        &format!(
+            "insert skew across PIM-Tree sub-indexes under drift (w = 2^{})",
+            opts.max_exp
+        ),
+        &[
+            "r",
+            "partitions",
+            "top1_share",
+            "max_over_mean",
+            "zero_fraction",
+        ],
     );
     for r in [0.0, 0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0] {
         let mut rng = StdRng::seed_from_u64(opts.seed);

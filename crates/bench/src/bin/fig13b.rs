@@ -18,8 +18,16 @@ fn main() {
     let predicate = BandPredicate::new(diff);
     print_header(
         "fig13b",
-        &format!("parallel self-join with PIM-Tree under drifting keys (w = 2^{}, Mtps)", opts.max_exp),
-        &["r", "phase1_stationary", "phase2_drifting", "phase3_recovered"],
+        &format!(
+            "parallel self-join with PIM-Tree under drifting keys (w = 2^{}, Mtps)",
+            opts.max_exp
+        ),
+        &[
+            "r",
+            "phase1_stationary",
+            "phase2_drifting",
+            "phase3_recovered",
+        ],
     );
     for r in [0.0, 0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let mut rng = StdRng::seed_from_u64(opts.seed);
@@ -33,15 +41,20 @@ fn main() {
         // Run each phase separately (each run re-fills its window during the
         // first w tuples of the phase, which slightly understates absolute
         // throughput but preserves the relative effect of the drift speed).
-        let phases = [
-            &tuples[..2 * w],
-            &tuples[2 * w..6 * w],
-            &tuples[6 * w..],
-        ];
+        let phases = [&tuples[..2 * w], &tuples[2 * w..6 * w], &tuples[6 * w..]];
         let mut row = vec![format!("{r:.1}")];
         for phase in phases {
-            let stats = run_parallel(
-                SharedIndexKind::PimTree, w, w, opts.threads, opts.task_size, pim_config(w).with_insertion_depth(4), predicate, phase, true,
+            let stats = run_parallel_ring(
+                SharedIndexKind::PimTree,
+                w,
+                w,
+                opts.threads,
+                opts.task_size,
+                pim_config(w).with_insertion_depth(4),
+                opts.ring(),
+                predicate,
+                phase,
+                true,
             );
             row.push(mtps(&stats));
         }

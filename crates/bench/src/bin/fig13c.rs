@@ -24,24 +24,67 @@ fn main() {
     for exp in opts.window_exps() {
         let w = 1usize << exp;
         let n = opts.tuples_for(w);
-        let (tuples, predicate) =
-            two_way_workload(n + 2 * w, w, 2.0, KeyDistribution::uniform(), 50.0, opts.seed);
+        let (tuples, predicate) = two_way_workload(
+            n + 2 * w,
+            w,
+            2.0,
+            KeyDistribution::uniform(),
+            50.0,
+            opts.seed,
+        );
         let st_cfg = pim_config(w).with_merge_ratio(1.0 / 8.0);
-        let st_b = run_single(IndexKind::BTree, w, 2, st_cfg, predicate, &tuples, 2 * w, false);
-        let st_p = run_single(IndexKind::PimTree, w, 2, st_cfg, predicate, &tuples, 2 * w, false);
-        let mt_bw = run_parallel(
-            SharedIndexKind::BwTree, w, w, opts.threads, opts.task_size, pim_config(w), predicate, &tuples, false,
+        let st_b = run_single(
+            IndexKind::BTree,
+            w,
+            2,
+            st_cfg,
+            predicate,
+            &tuples,
+            2 * w,
+            false,
         );
-        let mt_p = run_parallel(
-            SharedIndexKind::PimTree, w, w, opts.threads, opts.task_size, pim_config(w), predicate, &tuples, false,
+        let st_p = run_single(
+            IndexKind::PimTree,
+            w,
+            2,
+            st_cfg,
+            predicate,
+            &tuples,
+            2 * w,
+            false,
         );
-        let mt_p_blocking = run_parallel(
+        let mt_bw = run_parallel_ring(
+            SharedIndexKind::BwTree,
+            w,
+            w,
+            opts.threads,
+            opts.task_size,
+            pim_config(w),
+            opts.ring(),
+            predicate,
+            &tuples,
+            false,
+        );
+        let mt_p = run_parallel_ring(
+            SharedIndexKind::PimTree,
+            w,
+            w,
+            opts.threads,
+            opts.task_size,
+            pim_config(w),
+            opts.ring(),
+            predicate,
+            &tuples,
+            false,
+        );
+        let mt_p_blocking = run_parallel_ring(
             SharedIndexKind::PimTree,
             w,
             w,
             opts.threads,
             opts.task_size,
             pim_config(w).with_merge_policy(MergePolicy::Blocking),
+            opts.ring(),
             predicate,
             &tuples,
             false,

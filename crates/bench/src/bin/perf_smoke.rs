@@ -1,0 +1,97 @@
+//! Perf smoke test: a quick, scripted measurement of the parallel engine's
+//! thread scaling that machines (CI, future PRs) can diff.
+//!
+//! Runs the uniform two-way workload through the parallel IBWJ at 1/2/4/8
+//! worker threads for both shared-index backends (PIM-Tree and Bw-Tree) and
+//! writes the results as JSON to `BENCH_parallel.json` (and stdout), so every
+//! PR leaves a comparable throughput trajectory behind.
+//!
+//! Accepts the shared harness flags (`--max-exp= --tuples= --task-size=
+//! --ring-cap= --spin= --yield= --park-us= --seed=`); the defaults keep the
+//! run under a couple of minutes on a laptop core.
+
+use std::io::Write;
+
+use pimtree_bench::harness::*;
+use pimtree_join::SharedIndexKind;
+use pimtree_workload::KeyDistribution;
+
+fn main() {
+    let opts = RunOpts::parse(14, 14);
+    let w = 1usize << opts.max_exp;
+    let n = opts.tuples_for(w);
+    let (tuples, predicate) = two_way_workload(
+        n + 2 * w,
+        w,
+        2.0,
+        KeyDistribution::uniform(),
+        50.0,
+        opts.seed,
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut entries = Vec::new();
+    for (backend, kind) in [
+        ("pim_tree", SharedIndexKind::PimTree),
+        ("bw_tree", SharedIndexKind::BwTree),
+    ] {
+        for threads in [1usize, 2, 4, 8] {
+            let stats = run_parallel_ring(
+                kind,
+                w,
+                w,
+                threads,
+                opts.task_size,
+                pim_config(w),
+                opts.ring(),
+                predicate,
+                &tuples,
+                false,
+            );
+            let entry = format!(
+                concat!(
+                    "    {{\"backend\": \"{}\", \"threads\": {}, \"mtps\": {:.4}, ",
+                    "\"results\": {}, \"mean_latency_us\": {:.2}, ",
+                    "\"claim_retries_per_task\": {:.4}, \"merges\": {}}}"
+                ),
+                backend,
+                threads,
+                stats.million_tuples_per_second(),
+                stats.results,
+                stats.latency.mean_micros(),
+                stats.ring.claim_contention(),
+                stats.merges,
+            );
+            println!(
+                "perf_smoke {backend} threads={threads}: {:.4} Mtps",
+                stats.million_tuples_per_second()
+            );
+            entries.push(entry);
+        }
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"parallel_ibwj_ring\",\n",
+            "  \"window_exp\": {},\n",
+            "  \"tuples\": {},\n",
+            "  \"task_size\": {},\n",
+            "  \"host_cores\": {},\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        opts.max_exp,
+        tuples.len(),
+        opts.task_size,
+        cores,
+        entries.join(",\n"),
+    );
+    let path = "BENCH_parallel.json";
+    std::fs::File::create(path)
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+        .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path}");
+}

@@ -1,6 +1,6 @@
 //! Shared helpers for the per-figure benchmark binaries.
 
-use pimtree_common::{BandPredicate, IndexKind, JoinConfig, PimConfig, Tuple};
+use pimtree_common::{BandPredicate, IndexKind, JoinConfig, PimConfig, RingConfig, Tuple};
 use pimtree_join::{
     build_single_threaded, HandshakeJoin, HandshakeMode, JoinRunStats, ParallelIbwj,
     SharedIndexKind,
@@ -25,25 +25,49 @@ pub struct RunOpts {
     pub task_size: usize,
     /// Workload seed.
     pub seed: u64,
+    /// Task-ring capacity for the parallel engine (0 = automatic).
+    pub ring_cap: usize,
+    /// Ring ingest target (0 = automatic).
+    pub ingest_target: usize,
+    /// Idle back-off: spin rounds before yielding.
+    pub spin_limit: u32,
+    /// Idle back-off: yield rounds before parking.
+    pub yield_limit: u32,
+    /// Idle back-off: park duration in microseconds (0 = never park).
+    pub park_micros: u64,
 }
 
 impl RunOpts {
-    /// Parses `--min-exp= --max-exp= --tuples= --threads= --task-size= --seed=`
+    /// Parses `--min-exp= --max-exp= --tuples= --threads= --task-size=
+    /// --seed= --ring-cap= --ingest-target= --spin= --yield= --park-us=`
     /// from the command line, with figure-specific defaults.
     pub fn parse(default_min: u32, default_max: u32) -> Self {
+        let defaults = RingConfig::default();
         let mut opts = RunOpts {
             min_exp: default_min,
             max_exp: default_max,
             tuples: 0,
-            threads: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8).min(16),
+            threads: std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(8)
+                .min(16),
             task_size: 8,
             seed: 42,
+            ring_cap: defaults.capacity,
+            ingest_target: defaults.ingest_target,
+            spin_limit: defaults.spin_limit,
+            yield_limit: defaults.yield_limit,
+            park_micros: defaults.park_micros,
         };
         for arg in std::env::args().skip(1) {
             let mut split = arg.splitn(2, '=');
             let key = split.next().unwrap_or_default();
             let value = split.next().unwrap_or_default();
-            let parse_usize = || value.parse::<usize>().unwrap_or_else(|_| panic!("bad value for {key}: {value}"));
+            let parse_usize = || {
+                value
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad value for {key}: {value}"))
+            };
             match key {
                 "--min-exp" => opts.min_exp = parse_usize() as u32,
                 "--max-exp" => opts.max_exp = parse_usize() as u32,
@@ -51,10 +75,18 @@ impl RunOpts {
                 "--threads" => opts.threads = parse_usize(),
                 "--task-size" => opts.task_size = parse_usize(),
                 "--seed" => opts.seed = parse_usize() as u64,
+                "--ring-cap" => opts.ring_cap = parse_usize(),
+                "--ingest-target" => opts.ingest_target = parse_usize(),
+                "--spin" => opts.spin_limit = parse_usize() as u32,
+                "--yield" => opts.yield_limit = parse_usize() as u32,
+                "--park-us" => opts.park_micros = parse_usize() as u64,
                 other => eprintln!("note: ignoring unknown argument '{other}'"),
             }
         }
-        assert!(opts.min_exp <= opts.max_exp, "--min-exp must not exceed --max-exp");
+        assert!(
+            opts.min_exp <= opts.max_exp,
+            "--min-exp must not exceed --max-exp"
+        );
         opts
     }
 
@@ -71,6 +103,14 @@ impl RunOpts {
         } else {
             (4 * w).clamp(1 << 16, 4 << 20)
         }
+    }
+
+    /// The task-ring configuration selected on the command line.
+    pub fn ring(&self) -> RingConfig {
+        RingConfig::default()
+            .with_capacity(self.ring_cap)
+            .with_ingest_target(self.ingest_target)
+            .with_backoff(self.spin_limit, self.yield_limit, self.park_micros)
     }
 }
 
@@ -112,12 +152,15 @@ pub fn self_join_workload(
 ) -> (Vec<Tuple>, BandPredicate) {
     let diff = calibrate_diff(dist, w, match_rate, seed);
     let mut rng = StdRng::seed_from_u64(seed);
-    let tuples = (0..n as u64).map(|i| Tuple::r(i, dist.sample(&mut rng))).collect();
+    let tuples = (0..n as u64)
+        .map(|i| Tuple::r(i, dist.sample(&mut rng)))
+        .collect();
     (tuples, BandPredicate::new(diff))
 }
 
 /// Runs a single-threaded operator (NLWJ or IBWJ over the given index kind)
 /// over `tuples` after warming the windows with the first `warmup` tuples.
+#[allow(clippy::too_many_arguments)]
 pub fn run_single(
     kind: IndexKind,
     window: usize,
@@ -145,6 +188,7 @@ pub fn run_single(
 /// through its first merge so that it has its partition structure, exactly
 /// like the single-threaded runners are measured on warm windows. Statistics
 /// cover only the remaining tuples.
+#[allow(clippy::too_many_arguments)]
 pub fn run_parallel(
     kind: SharedIndexKind,
     window_r: usize,
@@ -156,10 +200,40 @@ pub fn run_parallel(
     tuples: &[Tuple],
     self_join: bool,
 ) -> JoinRunStats {
+    run_parallel_ring(
+        kind,
+        window_r,
+        window_s,
+        threads,
+        task_size,
+        pim,
+        RingConfig::default(),
+        predicate,
+        tuples,
+        self_join,
+    )
+}
+
+/// Runs the parallel shared-index engine with an explicit task-ring / idle
+/// back-off configuration (see [`run_parallel`] for the warmup convention).
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_ring(
+    kind: SharedIndexKind,
+    window_r: usize,
+    window_s: usize,
+    threads: usize,
+    task_size: usize,
+    pim: PimConfig,
+    ring: RingConfig,
+    predicate: BandPredicate,
+    tuples: &[Tuple],
+    self_join: bool,
+) -> JoinRunStats {
     let mut config = JoinConfig::symmetric(window_r.max(window_s), IndexKind::PimTree)
         .with_threads(threads)
         .with_task_size(task_size)
-        .with_pim(pim);
+        .with_pim(pim)
+        .with_ring(ring);
     config.window_r = window_r;
     config.window_s = window_s;
     let op = ParallelIbwj::new(config, predicate, kind, self_join);
@@ -211,13 +285,30 @@ mod tests {
             threads: 4,
             task_size: 8,
             seed: 1,
+            ring_cap: 0,
+            ingest_target: 0,
+            spin_limit: 6,
+            yield_limit: 16,
+            park_micros: 50,
         };
         assert_eq!(opts.tuples_for(1 << 10), 1 << 16);
         assert_eq!(opts.tuples_for(1 << 18), 1 << 20);
         assert_eq!(opts.tuples_for(1 << 24), 4 << 20);
-        let fixed = RunOpts { tuples: 1234, ..opts };
+        let fixed = RunOpts {
+            tuples: 1234,
+            ..opts
+        };
         assert_eq!(fixed.tuples_for(1 << 24), 1234);
         assert_eq!(opts.window_exps(), vec![10, 11, 12]);
+        let ring = RunOpts {
+            ring_cap: 512,
+            spin_limit: 2,
+            ..opts
+        }
+        .ring();
+        assert_eq!(ring.capacity, 512);
+        assert_eq!(ring.spin_limit, 2);
+        ring.validate().unwrap();
     }
 
     #[test]
@@ -245,9 +336,17 @@ mod tests {
     #[test]
     fn single_and_parallel_runners_produce_stats() {
         let w = 1 << 10;
-        let (tuples, predicate) =
-            self_join_workload(4 * w, w, 2.0, KeyDistribution::uniform(), 3);
-        let st = run_single(IndexKind::PimTree, w, 2, pim_config(w), predicate, &tuples, w, true);
+        let (tuples, predicate) = self_join_workload(4 * w, w, 2.0, KeyDistribution::uniform(), 3);
+        let st = run_single(
+            IndexKind::PimTree,
+            w,
+            2,
+            pim_config(w),
+            predicate,
+            &tuples,
+            w,
+            true,
+        );
         assert!(st.million_tuples_per_second() > 0.0);
         let par = run_parallel(
             SharedIndexKind::PimTree,

@@ -141,7 +141,9 @@ mod tests {
     fn boundary_sizes_respect_min_occupancy() {
         // Sizes chosen around multiples of the fan-out, which is where a naive
         // chunking would produce underfull tail nodes.
-        for n in [1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129] {
+        for n in [
+            1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 63, 64, 65, 127, 128, 129,
+        ] {
             let t = from_sorted_with_fanout(sorted_entries(n), 4);
             assert_eq!(t.len(), n, "n={n}");
             t.check_invariants();
@@ -158,7 +160,10 @@ mod tests {
         }
         bulk.check_invariants();
         assert_eq!(bulk.to_sorted_vec(), incr.to_sorted_vec());
-        assert!(bulk.height() <= incr.height(), "bulk-loaded tree is at least as shallow");
+        assert!(
+            bulk.height() <= incr.height(),
+            "bulk-loaded tree is at least as shallow"
+        );
     }
 
     #[test]

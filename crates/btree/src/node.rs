@@ -148,7 +148,11 @@ mod tests {
     fn inner_route_follows_separator_invariant() {
         let n = InnerNode::new(vec![e(10), e(20), e(30)], vec![0, 1, 2, 3]);
         assert_eq!(n.route(Entry::new(5, 0)), 0);
-        assert_eq!(n.route(Entry::new(10, 0)), 1, "equal separator routes right");
+        assert_eq!(
+            n.route(Entry::new(10, 0)),
+            1,
+            "equal separator routes right"
+        );
         assert_eq!(n.route(Entry::new(15, 7)), 1);
         assert_eq!(n.route(Entry::new(20, 0)), 2);
         assert_eq!(n.route(Entry::new(99, 0)), 3);

@@ -123,7 +123,10 @@ impl BTreeIndex {
     pub fn insert_entry(&mut self, entry: Entry) {
         if let Some((sep, right)) = self.insert_rec(self.root, entry) {
             let old_root = self.root;
-            self.root = self.alloc(Node::Inner(InnerNode::new(vec![sep], vec![old_root, right])));
+            self.root = self.alloc(Node::Inner(InnerNode::new(
+                vec![sep],
+                vec![old_root, right],
+            )));
         }
         self.len += 1;
     }
@@ -271,14 +274,25 @@ impl BTreeIndex {
         };
         let sep_idx = child_idx - 1;
         if self.node(child_id).is_leaf() {
-            let moved = self.node_mut(left_id).as_leaf_mut().entries.pop().expect("spare entry");
-            self.node_mut(child_id).as_leaf_mut().entries.insert(0, moved);
+            let moved = self
+                .node_mut(left_id)
+                .as_leaf_mut()
+                .entries
+                .pop()
+                .expect("spare entry");
+            self.node_mut(child_id)
+                .as_leaf_mut()
+                .entries
+                .insert(0, moved);
             self.node_mut(parent_id).as_inner_mut().keys[sep_idx] = moved;
         } else {
             let old_sep = self.node(parent_id).as_inner().keys[sep_idx];
             let (moved_child, new_sep) = {
                 let left = self.node_mut(left_id).as_inner_mut();
-                (left.children.pop().expect("spare child"), left.keys.pop().expect("spare key"))
+                (
+                    left.children.pop().expect("spare child"),
+                    left.keys.pop().expect("spare key"),
+                )
             };
             {
                 let child = self.node_mut(child_id).as_inner_mut();
@@ -321,7 +335,11 @@ impl BTreeIndex {
     fn merge_children(&mut self, parent_id: NodeId, left_idx: usize) {
         let (left_id, right_id, sep) = {
             let p = self.node(parent_id).as_inner();
-            (p.children[left_idx], p.children[left_idx + 1], p.keys[left_idx])
+            (
+                p.children[left_idx],
+                p.children[left_idx + 1],
+                p.keys[left_idx],
+            )
         };
         let right = std::mem::replace(self.node_mut(right_id), Node::Free { next_free: NIL });
         match right {
@@ -540,7 +558,10 @@ impl BTreeIndex {
         assert_eq!(leaf_entries, sorted, "in-order traversal is not sorted");
         // The leaf chain must visit the same entries in the same order.
         let chained = self.to_sorted_vec();
-        assert_eq!(chained, leaf_entries, "leaf chain disagrees with tree traversal");
+        assert_eq!(
+            chained, leaf_entries,
+            "leaf chain disagrees with tree traversal"
+        );
     }
 
     fn check_node(
@@ -577,7 +598,11 @@ impl BTreeIndex {
                 1
             }
             Node::Inner(inner) => {
-                assert_eq!(inner.children.len(), inner.keys.len() + 1, "inner {id} arity");
+                assert_eq!(
+                    inner.children.len(),
+                    inner.keys.len() + 1,
+                    "inner {id} arity"
+                );
                 if !is_root {
                     assert!(
                         inner.keys.len() >= self.min_inner_keys(),
@@ -595,7 +620,11 @@ impl BTreeIndex {
                 let mut depth = None;
                 for (i, &child) in inner.children.iter().enumerate() {
                     let child_lo = if i == 0 { lo } else { Some(inner.keys[i - 1]) };
-                    let child_hi = if i == inner.keys.len() { hi } else { Some(inner.keys[i]) };
+                    let child_hi = if i == inner.keys.len() {
+                        hi
+                    } else {
+                        Some(inner.keys[i])
+                    };
                     let d = self.check_node(child, child_lo, child_hi, false, acc);
                     match depth {
                         None => depth = Some(d),
@@ -667,7 +696,10 @@ mod tests {
             t.insert((i * 37) % 1000, i as Seq);
         }
         assert_eq!(t.len(), 1000);
-        assert!(t.height() > 2, "1000 entries at fan-out 4 must be a multi-level tree");
+        assert!(
+            t.height() > 2,
+            "1000 entries at fan-out 4 must be a multi-level tree"
+        );
         t.check_invariants();
         let all = t.to_sorted_vec();
         assert_eq!(all.len(), 1000);
@@ -710,7 +742,10 @@ mod tests {
         }
         t.check_invariants();
         for i in 0..n {
-            assert!(t.remove((i * 13) % 97, i as Seq), "entry {i} must be removable");
+            assert!(
+                t.remove((i * 13) % 97, i as Seq),
+                "entry {i} must be removable"
+            );
             if i % 50 == 0 {
                 t.check_invariants();
             }
@@ -817,7 +852,10 @@ mod tests {
         }
         let s = t.stats();
         assert_eq!(s.entries, 64);
-        assert!(s.leaf_nodes >= 16, "64 entries at fan-out 4 need >= 16 leaves");
+        assert!(
+            s.leaf_nodes >= 16,
+            "64 entries at fan-out 4 need >= 16 leaves"
+        );
         assert!(s.inner_nodes >= 1);
         assert!(s.leaf_bytes >= 64 * std::mem::size_of::<Entry>());
         assert!(s.inner_bytes > 0);

@@ -60,7 +60,10 @@ impl BwTreeIndex {
     /// threshold.
     pub fn with_parameters(leaf_capacity: usize, consolidation_threshold: usize) -> Self {
         assert!(leaf_capacity >= 8, "leaf capacity must be at least 8");
-        assert!(consolidation_threshold >= 1, "consolidation threshold must be at least 1");
+        assert!(
+            consolidation_threshold >= 1,
+            "consolidation threshold must be at least 1"
+        );
         BwTreeIndex {
             routing: RwLock::new(vec![Slot {
                 lower: Entry::new(Key::MIN, 0),
@@ -85,7 +88,9 @@ impl BwTreeIndex {
     fn route(slots: &[Slot], target: Entry) -> usize {
         // Last slot whose lower bound is <= target. Slot 0 covers Key::MIN, so
         // the partition point is always >= 1.
-        slots.partition_point(|s| s.lower <= target).saturating_sub(1)
+        slots
+            .partition_point(|s| s.lower <= target)
+            .saturating_sub(1)
     }
 
     /// Inserts an entry.
@@ -218,7 +223,11 @@ impl BwTreeIndex {
     pub fn check_invariants(&self) {
         let routing = self.routing.read();
         assert!(!routing.is_empty());
-        assert_eq!(routing[0].lower, Entry::new(Key::MIN, 0), "first slot covers the key domain");
+        assert_eq!(
+            routing[0].lower,
+            Entry::new(Key::MIN, 0),
+            "first slot covers the key domain"
+        );
         for w in routing.windows(2) {
             assert!(w[0].lower < w[1].lower, "routing lower bounds out of order");
         }
@@ -228,7 +237,11 @@ impl BwTreeIndex {
             page.consolidate();
             let upper = routing.get(i + 1).map(|s| s.lower);
             for &e in &page.base {
-                assert!(e >= slot.lower, "entry {e:?} below page lower bound {:?}", slot.lower);
+                assert!(
+                    e >= slot.lower,
+                    "entry {e:?} below page lower bound {:?}",
+                    slot.lower
+                );
                 if let Some(up) = upper {
                     assert!(e < up, "entry {e:?} not below next page bound {up:?}");
                 }
@@ -263,7 +276,7 @@ mod tests {
         assert_eq!(idx.len(), 1000);
         assert!(idx.page_count() > 10, "tree must have split many times");
         idx.check_invariants();
-        assert!(idx.contains(31 % 500, 1));
+        assert!(idx.contains(31, 1), "key of seq 1 is (1 * 31) % 500 = 31");
         for i in 0..1000i64 {
             assert!(idx.remove((i * 31) % 500, i as u64), "remove {i}");
         }
@@ -284,7 +297,11 @@ mod tests {
         let range = KeyRange::new(2000, 2500);
         let mut got = idx.range_collect(range);
         got.sort();
-        let expected: Vec<Entry> = reference.iter().copied().filter(|e| range.contains(e.key)).collect();
+        let expected: Vec<Entry> = reference
+            .iter()
+            .copied()
+            .filter(|e| range.contains(e.key))
+            .collect();
         assert_eq!(got, expected);
     }
 

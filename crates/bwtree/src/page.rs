@@ -136,7 +136,10 @@ impl LeafPage {
     /// The page must have been consolidated (no pending deltas).
     pub fn split(&mut self) -> (Entry, LeafPage) {
         assert!(self.deltas.is_empty(), "split requires a consolidated page");
-        assert!(self.base.len() >= 2, "cannot split a page with fewer than 2 entries");
+        assert!(
+            self.base.len() >= 2,
+            "cannot split a page with fewer than 2 entries"
+        );
         let mid = self.base.len() / 2;
         let upper = self.base.split_off(mid);
         let sep = upper[0];

@@ -82,7 +82,12 @@ impl ChainedIndex {
     /// the `L - 1` archived sub-indexes together span (at least) one full
     /// window.
     pub fn new(variant: ChainVariant, window_size: usize, chain_length: usize) -> Self {
-        Self::with_fanout(variant, window_size, chain_length, pimtree_btree::DEFAULT_FANOUT)
+        Self::with_fanout(
+            variant,
+            window_size,
+            chain_length,
+            pimtree_btree::DEFAULT_FANOUT,
+        )
     }
 
     /// Like [`ChainedIndex::new`] with an explicit B+-Tree fan-out.
@@ -188,7 +193,11 @@ impl ChainedIndex {
             archived_entries: self.archived.iter().map(ArchivedSub::len).sum(),
             archived_count: self.archived.len(),
             total_bytes: self.active.stats().total_bytes()
-                + self.archived.iter().map(ArchivedSub::footprint_bytes).sum::<usize>(),
+                + self
+                    .archived
+                    .iter()
+                    .map(ArchivedSub::footprint_bytes)
+                    .sum::<usize>(),
         }
     }
 }

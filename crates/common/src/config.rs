@@ -142,10 +142,111 @@ impl PimConfig {
             return Err(Error::InvalidConfig("css_fanout must be at least 2".into()));
         }
         if self.css_leaf_size < 1 {
-            return Err(Error::InvalidConfig("css_leaf_size must be at least 1".into()));
+            return Err(Error::InvalidConfig(
+                "css_leaf_size must be at least 1".into(),
+            ));
         }
         if self.btree_fanout < 4 {
-            return Err(Error::InvalidConfig("btree_fanout must be at least 4".into()));
+            return Err(Error::InvalidConfig(
+                "btree_fanout must be at least 4".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Tuning of the parallel engine's lock-free task ring and idle back-off.
+///
+/// The parallel IBWJ engine distributes work through a fixed-capacity MPMC
+/// ring buffer (see `pimtree-join`'s `ring` module). These knobs size the
+/// ring and shape the spin → yield → park back-off a worker goes through
+/// when it finds no task to acquire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingConfig {
+    /// Ring capacity in slots. `0` selects an automatic capacity from the
+    /// thread count and task size. Non-zero values are rounded up to a power
+    /// of two and to at least twice the task size.
+    pub capacity: usize,
+    /// How many ingested-but-unclaimed tuples the engine tries to keep
+    /// available in the ring; `0` selects `threads * task_size` (clamped to a
+    /// quarter of the capacity). Larger targets amortise the ingest token
+    /// better, smaller ones reduce result-propagation latency.
+    pub ingest_target: usize,
+    /// Number of idle rounds spent busy-spinning (with exponentially growing
+    /// spin windows) before the worker starts yielding its time slice.
+    pub spin_limit: u32,
+    /// Number of idle rounds spent calling `yield_now` after spinning and
+    /// before parking.
+    pub yield_limit: u32,
+    /// Sleep duration of one park once spinning and yielding both found no
+    /// work, in microseconds. `0` keeps yielding forever (never parks).
+    pub park_micros: u64,
+}
+
+impl Default for RingConfig {
+    fn default() -> Self {
+        RingConfig {
+            capacity: 0,
+            ingest_target: 0,
+            spin_limit: 6,
+            yield_limit: 16,
+            park_micros: 50,
+        }
+    }
+}
+
+impl RingConfig {
+    /// Sets an explicit ring capacity (0 = automatic).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the ingest target (0 = automatic).
+    pub fn with_ingest_target(mut self, target: usize) -> Self {
+        self.ingest_target = target;
+        self
+    }
+
+    /// Sets the idle back-off shape.
+    pub fn with_backoff(mut self, spin_limit: u32, yield_limit: u32, park_micros: u64) -> Self {
+        self.spin_limit = spin_limit;
+        self.yield_limit = yield_limit;
+        self.park_micros = park_micros;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.capacity != 0 && self.capacity < 4 {
+            return Err(Error::InvalidConfig(format!(
+                "ring capacity must be 0 (auto) or at least 4, got {}",
+                self.capacity
+            )));
+        }
+        if self.capacity != 0 && self.capacity > (1 << 28) {
+            return Err(Error::InvalidConfig(format!(
+                "ring capacity {} exceeds the 2^28-slot ceiling",
+                self.capacity
+            )));
+        }
+        if self.spin_limit > 1 << 16 {
+            return Err(Error::InvalidConfig(format!(
+                "spin_limit {} is unreasonably large (max 65536)",
+                self.spin_limit
+            )));
+        }
+        if self.yield_limit > 1 << 16 {
+            return Err(Error::InvalidConfig(format!(
+                "yield_limit {} is unreasonably large (max 65536)",
+                self.yield_limit
+            )));
+        }
+        if self.park_micros > 1_000_000 {
+            return Err(Error::InvalidConfig(format!(
+                "park_micros {} exceeds one second; workers would stall",
+                self.park_micros
+            )));
         }
         Ok(())
     }
@@ -169,6 +270,8 @@ pub struct JoinConfig {
     pub chain_length: usize,
     /// Index tuning shared by IM-Tree / PIM-Tree.
     pub pim: PimConfig,
+    /// Task-ring and idle back-off tuning for the parallel engine.
+    pub ring: RingConfig,
 }
 
 impl Default for JoinConfig {
@@ -181,6 +284,7 @@ impl Default for JoinConfig {
             task_size: 8,
             chain_length: 2,
             pim: PimConfig::for_window(1 << 16),
+            ring: RingConfig::default(),
         }
     }
 }
@@ -221,6 +325,12 @@ impl JoinConfig {
         self
     }
 
+    /// Overrides the parallel engine's ring / back-off tuning.
+    pub fn with_ring(mut self, ring: RingConfig) -> Self {
+        self.ring = ring;
+        self
+    }
+
     /// Largest of the two window sizes.
     pub fn max_window(&self) -> usize {
         self.window_r.max(self.window_s)
@@ -242,6 +352,7 @@ impl JoinConfig {
                 "chained index requires chain_length >= 2".into(),
             ));
         }
+        self.ring.validate()?;
         self.pim.validate()
     }
 }
@@ -268,9 +379,18 @@ mod tests {
 
     #[test]
     fn invalid_merge_ratio_rejected() {
-        assert!(PimConfig::for_window(16).with_merge_ratio(0.0).validate().is_err());
-        assert!(PimConfig::for_window(16).with_merge_ratio(1.5).validate().is_err());
-        assert!(PimConfig::for_window(16).with_merge_ratio(-0.5).validate().is_err());
+        assert!(PimConfig::for_window(16)
+            .with_merge_ratio(0.0)
+            .validate()
+            .is_err());
+        assert!(PimConfig::for_window(16)
+            .with_merge_ratio(1.5)
+            .validate()
+            .is_err());
+        assert!(PimConfig::for_window(16)
+            .with_merge_ratio(-0.5)
+            .validate()
+            .is_err());
     }
 
     #[test]
@@ -317,6 +437,50 @@ mod tests {
         let mut c = JoinConfig::symmetric(16, IndexKind::BTree);
         c.window_s = 0;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn ring_config_defaults_validate_and_builders_chain() {
+        let r = RingConfig::default();
+        r.validate().unwrap();
+        let r = RingConfig::default()
+            .with_capacity(256)
+            .with_ingest_target(64)
+            .with_backoff(8, 4, 100);
+        assert_eq!(r.capacity, 256);
+        assert_eq!(r.ingest_target, 64);
+        assert_eq!((r.spin_limit, r.yield_limit, r.park_micros), (8, 4, 100));
+        r.validate().unwrap();
+        let c = JoinConfig::symmetric(64, IndexKind::PimTree).with_ring(r);
+        assert_eq!(c.ring, r);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn ring_config_rejects_bad_values() {
+        assert!(RingConfig::default().with_capacity(2).validate().is_err());
+        assert!(RingConfig::default()
+            .with_capacity(1 << 29)
+            .validate()
+            .is_err());
+        assert!(RingConfig::default()
+            .with_backoff(1 << 17, 0, 0)
+            .validate()
+            .is_err());
+        assert!(RingConfig::default()
+            .with_backoff(0, u32::MAX, 0)
+            .validate()
+            .is_err());
+        assert!(RingConfig::default()
+            .with_backoff(0, 0, 2_000_000)
+            .validate()
+            .is_err());
+        let mut c = JoinConfig::symmetric(16, IndexKind::PimTree);
+        c.ring.capacity = 3;
+        assert!(
+            c.validate().is_err(),
+            "JoinConfig::validate covers the ring"
+        );
     }
 
     #[test]

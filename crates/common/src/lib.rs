@@ -20,7 +20,7 @@ pub mod memtraffic;
 pub mod metrics;
 pub mod types;
 
-pub use config::{IndexKind, JoinConfig, MergePolicy, PimConfig};
+pub use config::{IndexKind, JoinConfig, MergePolicy, PimConfig, RingConfig};
 pub use error::{Error, Result};
 pub use memtraffic::MemTraffic;
 pub use metrics::{CostBreakdown, LatencyRecorder, Step, StepTimer, ThroughputMeter};

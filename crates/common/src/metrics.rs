@@ -25,7 +25,13 @@ pub enum Step {
 
 impl Step {
     /// All steps in reporting order.
-    pub const ALL: [Step; 5] = [Step::Search, Step::Scan, Step::Insert, Step::Delete, Step::Merge];
+    pub const ALL: [Step; 5] = [
+        Step::Search,
+        Step::Scan,
+        Step::Insert,
+        Step::Delete,
+        Step::Merge,
+    ];
 
     /// Stable array index for the step.
     #[inline]
@@ -357,7 +363,10 @@ mod tests {
         m.add(500);
         assert_eq!(m.tuples(), 1000);
         let mtps = m.million_tuples_per_second_over(Duration::from_millis(1));
-        assert!((mtps - 1.0).abs() < 1e-9, "1000 tuples in 1ms = 1 Mtps, got {mtps}");
+        assert!(
+            (mtps - 1.0).abs() < 1e-9,
+            "1000 tuples in 1ms = 1 Mtps, got {mtps}"
+        );
         assert_eq!(m.million_tuples_per_second_over(Duration::ZERO), 0.0);
     }
 

@@ -253,7 +253,9 @@ mod tests {
         let mut t = ImTree::new(config(16, 0.25));
         let mut merges = 0;
         for i in 0..64i64 {
-            if t.insert_and_maintain(i, i as Seq, (i as Seq).saturating_sub(16)).is_some() {
+            if t.insert_and_maintain(i, i as Seq, (i as Seq).saturating_sub(16))
+                .is_some()
+            {
                 merges += 1;
             }
         }
@@ -274,7 +276,11 @@ mod tests {
         }
         let earliest = n as Seq - w as Seq;
         let live = t.range_collect_live(KeyRange::new(i64::MIN, i64::MAX), earliest);
-        assert_eq!(live.len(), w, "exactly one window of live tuples is visible");
+        assert_eq!(
+            live.len(),
+            w,
+            "exactly one window of live tuples is visible"
+        );
         let mut seqs: Vec<Seq> = live.iter().map(|e| e.seq).collect();
         seqs.sort_unstable();
         assert_eq!(seqs, ((n as Seq - w as Seq)..n as Seq).collect::<Vec<_>>());

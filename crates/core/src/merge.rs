@@ -38,7 +38,10 @@ pub fn merge_live(
     ti: &[Entry],
     earliest_live: Seq,
 ) -> (Vec<Entry>, usize, usize, usize) {
-    debug_assert!(ti.windows(2).all(|w| w[0] <= w[1]), "TI drain must be sorted");
+    debug_assert!(
+        ti.windows(2).all(|w| w[0] <= w[1]),
+        "TI drain must be sorted"
+    );
     let ts_entries = ts.entries();
     let mut merged = Vec::with_capacity(ts_entries.len() + ti.len());
     let mut kept_from_ts = 0usize;
@@ -95,7 +98,9 @@ mod tests {
     #[test]
     fn merge_interleaves_and_stays_sorted() {
         let ts = css((0..50).map(|i| Entry::new(i * 4, i as Seq)).collect());
-        let ti: Vec<Entry> = (0..50).map(|i| Entry::new(i * 4 + 2, (100 + i) as Seq)).collect();
+        let ti: Vec<Entry> = (0..50)
+            .map(|i| Entry::new(i * 4 + 2, (100 + i) as Seq))
+            .collect();
         let (merged, kept, dropped, from_ti) = merge_live(&ts, &ti, 0);
         assert_eq!(merged.len(), 100);
         assert_eq!(kept, 50);
@@ -107,7 +112,9 @@ mod tests {
     #[test]
     fn expired_entries_are_dropped_from_both_sides() {
         let ts = css((0..20).map(|i| Entry::new(i, i as Seq)).collect());
-        let ti: Vec<Entry> = (0..10).map(|i| Entry::new(100 + i, (20 + i) as Seq)).collect();
+        let ti: Vec<Entry> = (0..10)
+            .map(|i| Entry::new(100 + i, (20 + i) as Seq))
+            .collect();
         // Everything with seq < 15 is expired.
         let (merged, kept, dropped, from_ti) = merge_live(&ts, &ti, 15);
         assert_eq!(kept, 5, "TS seqs 15..19 survive");
@@ -142,7 +149,12 @@ mod tests {
         let (merged, ..) = merge_live(&ts, &ti, 0);
         assert_eq!(
             merged,
-            vec![Entry::new(7, 1), Entry::new(7, 2), Entry::new(7, 3), Entry::new(7, 4)]
+            vec![
+                Entry::new(7, 1),
+                Entry::new(7, 2),
+                Entry::new(7, 3),
+                Entry::new(7, 4)
+            ]
         );
     }
 

@@ -45,8 +45,14 @@ struct Generation {
 impl Generation {
     fn new(config: &PimConfig, ts: CssTree) -> Self {
         let depth = config.insertion_depth.min(ts.inner_levels());
-        let count = if ts.is_empty() { 1 } else { ts.nodes_at_depth(depth) };
-        let partitions = (0..count).map(|_| Partition::new(config.btree_fanout)).collect();
+        let count = if ts.is_empty() {
+            1
+        } else {
+            ts.nodes_at_depth(depth)
+        };
+        let partitions = (0..count)
+            .map(|_| Partition::new(config.btree_fanout))
+            .collect();
         Generation {
             ts,
             depth,
@@ -72,7 +78,10 @@ impl Generation {
             let tree = p.tree.lock();
             tree.for_each(|e| out.push(e));
         }
-        debug_assert!(out.windows(2).all(|w| w[0] <= w[1]), "TI snapshot must be sorted");
+        debug_assert!(
+            out.windows(2).all(|w| w[0] <= w[1]),
+            "TI snapshot must be sorted"
+        );
         out
     }
 }
@@ -423,7 +432,9 @@ mod tests {
     use std::sync::Arc;
 
     fn config(w: usize, m: f64, di: usize) -> PimConfig {
-        let mut c = PimConfig::for_window(w).with_merge_ratio(m).with_insertion_depth(di);
+        let mut c = PimConfig::for_window(w)
+            .with_merge_ratio(m)
+            .with_insertion_depth(di);
         c.css_fanout = 8;
         c.css_leaf_size = 8;
         c.btree_fanout = 8;
@@ -453,7 +464,10 @@ mod tests {
         assert_eq!(report.new_len, 256);
         assert_eq!(t.ti_len(), 0);
         assert_eq!(t.ts_len(), 256);
-        assert!(t.partition_count() > 1, "a populated TS yields multiple partitions");
+        assert!(
+            t.partition_count() > 1,
+            "a populated TS yields multiple partitions"
+        );
         assert_eq!(report.partitions, t.partition_count());
     }
 
@@ -577,7 +591,11 @@ mod tests {
         let hist = t.insert_histogram();
         assert_eq!(hist.iter().sum::<u64>(), 200);
         assert!(hist[0] > 0);
-        assert_eq!(*hist.last().unwrap(), 0, "no inserts routed to the last partition");
+        assert_eq!(
+            *hist.last().unwrap(),
+            0,
+            "no inserts routed to the last partition"
+        );
         // Histogram survives a merge (folded into the cumulative counters).
         t.merge(0);
         let hist_after = t.insert_histogram();

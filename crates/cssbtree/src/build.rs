@@ -150,7 +150,10 @@ mod tests {
     fn level_structure_for_known_sizes() {
         // 100 entries, leaves of 10 -> 10 groups; fan-out 4 ->
         // deepest level ceil(10/4)=3 nodes, then ceil(3/4)=1 root.
-        let t = CssBuilder::new().fanout(4).leaf_size(10).build(entries(100));
+        let t = CssBuilder::new()
+            .fanout(4)
+            .leaf_size(10)
+            .build(entries(100));
         assert_eq!(t.leaf_groups(), 10);
         assert_eq!(t.inner_levels(), 2);
         assert_eq!(t.nodes_at_depth(0), 1);
@@ -167,7 +170,11 @@ mod tests {
                 assert_eq!(t.len(), n);
                 t.check_invariants();
                 for probe in 0..n as i64 {
-                    assert_eq!(t.lower_bound_key(probe), probe as usize, "n={n} f={f} l={l}");
+                    assert_eq!(
+                        t.lower_bound_key(probe),
+                        probe as usize,
+                        "n={n} f={f} l={l}"
+                    );
                 }
                 assert_eq!(t.lower_bound_key(n as i64 + 10), n);
             }

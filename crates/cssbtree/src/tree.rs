@@ -1,7 +1,7 @@
 //! The immutable CSS-Tree structure and its search operations.
 
-use pimtree_common::{Key, KeyRange};
 use pimtree_btree::Entry;
+use pimtree_common::{Key, KeyRange};
 
 /// Structural statistics of a [`CssTree`], used for the memory-footprint
 /// comparison of Figure 11a.
@@ -323,11 +323,7 @@ mod tests {
             t.check_invariants();
             for probe in -1..(2 * n as i64 + 2) {
                 let expected = t.entries().partition_point(|e| e.key < probe);
-                assert_eq!(
-                    t.lower_bound_key(probe),
-                    expected,
-                    "n={n} probe={probe}"
-                );
+                assert_eq!(t.lower_bound_key(probe), expected, "n={n} probe={probe}");
             }
         }
     }
@@ -337,7 +333,12 @@ mod tests {
         let t = tree(500, 8, 8);
         let r = KeyRange::new(100, 200);
         let got = t.range_collect(r);
-        let expected: Vec<Entry> = t.entries().iter().copied().filter(|e| r.contains(e.key)).collect();
+        let expected: Vec<Entry> = t
+            .entries()
+            .iter()
+            .copied()
+            .filter(|e| r.contains(e.key))
+            .collect();
         assert_eq!(got, expected);
         // Out-of-domain ranges.
         assert!(t.range_collect(KeyRange::new(-50, -1)).is_empty());
@@ -363,7 +364,10 @@ mod tests {
         // Every entry routed to partition p at depth 2 is <= its bound.
         for &e in t.entries() {
             let p = t.descend_to_depth(e, 2);
-            assert!(e <= t.partition_upper_bound(2, p), "entry {e:?} exceeds bound of partition {p}");
+            assert!(
+                e <= t.partition_upper_bound(2, p),
+                "entry {e:?} exceeds bound of partition {p}"
+            );
         }
     }
 

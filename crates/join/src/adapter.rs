@@ -107,7 +107,10 @@ impl WindowIndexAdapter for BTreeAdapter {
 
     fn on_expire(&mut self, key: Key, seq: Seq) {
         let removed = self.tree.remove(key, seq);
-        debug_assert!(removed, "expired tuple (key={key}, seq={seq}) was not indexed");
+        debug_assert!(
+            removed,
+            "expired tuple (key={key}, seq={seq}) was not indexed"
+        );
     }
 
     fn probe(&self, range: KeyRange, f: &mut dyn FnMut(Entry)) {
@@ -242,7 +245,8 @@ impl WindowIndexAdapter for ImTreeAdapter {
         earliest_live: Seq,
         breakdown: &mut CostBreakdown,
     ) -> Vec<Entry> {
-        self.tree.probe_with_breakdown(range, earliest_live, breakdown)
+        self.tree
+            .probe_with_breakdown(range, earliest_live, breakdown)
     }
 }
 
@@ -300,7 +304,8 @@ impl WindowIndexAdapter for PimTreeAdapter {
         earliest_live: Seq,
         breakdown: &mut CostBreakdown,
     ) -> Vec<Entry> {
-        self.tree.probe_with_breakdown(range, earliest_live, breakdown)
+        self.tree
+            .probe_with_breakdown(range, earliest_live, breakdown)
     }
 }
 
@@ -336,7 +341,10 @@ impl WindowIndexAdapter for BwTreeAdapter {
 
     fn on_expire(&mut self, key: Key, seq: Seq) {
         let removed = self.tree.remove(key, seq);
-        debug_assert!(removed, "expired tuple (key={key}, seq={seq}) was not indexed");
+        debug_assert!(
+            removed,
+            "expired tuple (key={key}, seq={seq}) was not indexed"
+        );
     }
 
     fn probe(&self, range: KeyRange, f: &mut dyn FnMut(Entry)) {
@@ -380,7 +388,9 @@ mod tests {
 
     #[test]
     fn all_adapters_support_the_window_protocol() {
-        let pim_cfg = PimConfig::for_window(64).with_merge_ratio(0.5).with_insertion_depth(2);
+        let pim_cfg = PimConfig::for_window(64)
+            .with_merge_ratio(0.5)
+            .with_insertion_depth(2);
         let mut adapters: Vec<Box<dyn WindowIndexAdapter>> = vec![
             Box::new(BTreeAdapter::new()),
             Box::new(ChainedAdapter::new(ChainVariant::BChain, 64, 3)),
@@ -398,7 +408,9 @@ mod tests {
     fn probes_agree_across_adapters() {
         // All adapters must return exactly the same live matches.
         let w = 128u64;
-        let pim_cfg = PimConfig::for_window(128).with_merge_ratio(0.25).with_insertion_depth(2);
+        let pim_cfg = PimConfig::for_window(128)
+            .with_merge_ratio(0.25)
+            .with_insertion_depth(2);
         let mut adapters: Vec<Box<dyn WindowIndexAdapter>> = vec![
             Box::new(BTreeAdapter::new()),
             Box::new(ChainedAdapter::new(ChainVariant::BChain, 128, 3)),

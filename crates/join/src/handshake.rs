@@ -125,7 +125,8 @@ impl HandshakeJoin {
             for chunk in enriched.chunks(self.batch_size) {
                 let batch = std::sync::Arc::new(chunk.to_vec());
                 for tx in &batch_txs {
-                    tx.send(std::sync::Arc::clone(&batch)).expect("worker alive");
+                    tx.send(std::sync::Arc::clone(&batch))
+                        .expect("worker alive");
                 }
             }
             drop(batch_txs);
@@ -175,10 +176,7 @@ impl HandshakeJoin {
                 match self.mode {
                     HandshakeMode::Nlwj => {
                         for &(seq, key) in &partitions[probe_idx] {
-                            if seq >= live_from
-                                && seq < item.opposite_head
-                                && range.contains(key)
-                            {
+                            if seq >= live_from && seq < item.opposite_head && range.contains(key) {
                                 matches += 1;
                                 if self.collect_results {
                                     collected.push(JoinResult::new(
@@ -243,7 +241,11 @@ mod tests {
         let mut seqs = [0u64, 0u64];
         (0..n)
             .map(|_| {
-                let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                let side = if rng.gen::<bool>() {
+                    StreamSide::R
+                } else {
+                    StreamSide::S
+                };
                 let seq = seqs[side.index()];
                 seqs[side.index()] += 1;
                 Tuple::new(side, seq, rng.gen_range(0..domain))

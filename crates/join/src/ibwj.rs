@@ -176,18 +176,27 @@ impl<A: WindowIndexAdapter> SingleThreadJoin for IbwjOperator<A> {
         // Step 1: probe the opposite index and filter to the live window.
         let before = out.len();
         if self.instrument {
-            let matches =
-                self.indexes[probe_idx].probe_instrumented(range, probe_bounds.earliest, &mut self.breakdown);
+            let matches = self.indexes[probe_idx].probe_instrumented(
+                range,
+                probe_bounds.earliest,
+                &mut self.breakdown,
+            );
             for e in matches {
                 if probe_bounds.contains(e.seq) {
-                    out.push(JoinResult::new(tuple, Tuple::new(matched_side, e.seq, e.key)));
+                    out.push(JoinResult::new(
+                        tuple,
+                        Tuple::new(matched_side, e.seq, e.key),
+                    ));
                 }
             }
         } else {
             let indexes = &self.indexes;
             indexes[probe_idx].probe(range, &mut |e| {
                 if probe_bounds.contains(e.seq) {
-                    out.push(JoinResult::new(tuple, Tuple::new(matched_side, e.seq, e.key)));
+                    out.push(JoinResult::new(
+                        tuple,
+                        Tuple::new(matched_side, e.seq, e.key),
+                    ));
                 }
             });
         }
@@ -212,7 +221,10 @@ impl<A: WindowIndexAdapter> SingleThreadJoin for IbwjOperator<A> {
         let seq = self.windows[own_idx]
             .append(tuple.key)
             .expect("sliding window slack exhausted");
-        debug_assert_eq!(seq, tuple.seq, "input sequence numbers must match arrival order");
+        debug_assert_eq!(
+            seq, tuple.seq,
+            "input sequence numbers must match arrival order"
+        );
         if self.instrument {
             let timer = StepTimer::start(Step::Insert);
             self.indexes[own_idx].insert(tuple.key, seq);
@@ -265,8 +277,12 @@ pub fn build_single_threaded(
                 ChainedAdapter::new(ChainVariant::IbChain, wr, chain)
             })
         }
-        IndexKind::ImTree => boxed(wr, ws, predicate, self_join, move || ImTreeAdapter::new(pim)),
-        IndexKind::PimTree => boxed(wr, ws, predicate, self_join, move || PimTreeAdapter::new(pim)),
+        IndexKind::ImTree => boxed(wr, ws, predicate, self_join, move || {
+            ImTreeAdapter::new(pim)
+        }),
+        IndexKind::PimTree => boxed(wr, ws, predicate, self_join, move || {
+            PimTreeAdapter::new(pim)
+        }),
         IndexKind::BwTree => boxed(wr, ws, predicate, self_join, BwTreeAdapter::new),
     }
 }
@@ -298,7 +314,11 @@ mod tests {
         let mut seqs = [0u64, 0u64];
         (0..n)
             .map(|_| {
-                let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                let side = if rng.gen::<bool>() {
+                    StreamSide::R
+                } else {
+                    StreamSide::S
+                };
                 let seq = seqs[side.index()];
                 seqs[side.index()] += 1;
                 Tuple::new(side, seq, rng.gen_range(0..domain))
@@ -307,11 +327,15 @@ mod tests {
     }
 
     fn config_with(index: IndexKind, w: usize) -> JoinConfig {
-        let mut pim = PimConfig::for_window(w).with_merge_ratio(0.25).with_insertion_depth(2);
+        let mut pim = PimConfig::for_window(w)
+            .with_merge_ratio(0.25)
+            .with_insertion_depth(2);
         pim.css_fanout = 8;
         pim.css_leaf_size = 8;
         pim.btree_fanout = 8;
-        JoinConfig::symmetric(w, index).with_chain_length(3).with_pim(pim)
+        JoinConfig::symmetric(w, index)
+            .with_chain_length(3)
+            .with_pim(pim)
     }
 
     #[test]
@@ -340,7 +364,9 @@ mod tests {
     fn every_index_kind_matches_the_reference_self_join() {
         let tuples: Vec<Tuple> = {
             let mut rng = StdRng::seed_from_u64(11);
-            (0..2000u64).map(|i| Tuple::r(i, rng.gen_range(0..300))).collect()
+            (0..2000u64)
+                .map(|i| Tuple::r(i, rng.gen_range(0..300)))
+                .collect()
         };
         let predicate = BandPredicate::new(1);
         let w = 96;
@@ -376,15 +402,20 @@ mod tests {
     fn operator_reports_merges_and_breakdown() {
         let tuples = random_tuples(4000, 10_000, 13);
         let predicate = BandPredicate::new(5);
-        let pim = PimConfig::for_window(256).with_merge_ratio(0.25).with_insertion_depth(2);
+        let pim = PimConfig::for_window(256)
+            .with_merge_ratio(0.25)
+            .with_insertion_depth(2);
         let mut op = IbwjOperator::new(256, 256, predicate, || PimTreeAdapter::new(pim))
             .with_instrumentation();
         let (stats, _) = op.run(&tuples, false);
-        assert!(stats.merges > 0, "merge ratio 0.25 over 4000 tuples must merge");
+        assert!(
+            stats.merges > 0,
+            "merge ratio 0.25 over 4000 tuples must merge"
+        );
         assert!(stats.merge_time.as_nanos() > 0);
         assert!(stats.breakdown.count(Step::Insert) > 0);
         assert!(stats.breakdown.count(Step::Search) > 0);
-        assert!(stats.breakdown.count(Step::Merge) as u64 == stats.merges);
+        assert!(stats.breakdown.count(Step::Merge) == stats.merges);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!   handshake join / SplitJoin (§2.2.3), with and without local indexes;
 //! * [`parallel`] — the paper's contribution: the parallel shared-index IBWJ
 //!   engine with dynamic task acquisition, edge-tuple tracking, ordered result
-//!   propagation and non-blocking merges (§4);
+//!   propagation and non-blocking merges (§4), running on the lock-free
+//!   MPMC task ring of [`ring`];
+//! * [`ring`] — the fixed-capacity atomic-slot ring buffer distributing work
+//!   between the engine's threads, plus the adaptive idle back-off;
 //! * [`timejoin`] — a time-based (event-time) window band join over the same
 //!   PIM-Tree index, substantiating the paper's claim that the approach
 //!   applies to time-based windows without technical limitation (§2.1);
@@ -28,6 +31,7 @@ pub mod ibwj;
 pub mod nlwj;
 pub mod parallel;
 pub mod reference;
+pub mod ring;
 pub mod stats;
 pub mod timejoin;
 
@@ -39,5 +43,6 @@ pub use ibwj::{build_single_threaded, IbwjOperator, SingleThreadJoin};
 pub use nlwj::NlwjOperator;
 pub use parallel::{ParallelIbwj, SharedIndexKind};
 pub use reference::{canonical, reference_join};
-pub use stats::{EnginePhaseTimes, JoinRunStats};
+pub use ring::{Backoff, ClaimedTask, IdleKind, TaskRing};
+pub use stats::{EnginePhaseTimes, JoinRunStats, RingCounters};
 pub use timejoin::{reference_time_join, TimeBasedIbwj, TimedStreamTuple};

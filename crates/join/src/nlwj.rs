@@ -62,14 +62,22 @@ impl SingleThreadJoin for NlwjOperator {
         let probe_window = &self.windows[probe_idx];
         let bounds = probe_window.bounds();
         let range = self.predicate.probe_range(tuple.key);
-        probe_window.scan_linear(bounds.earliest, bounds.latest_exclusive, range, |seq, key| {
-            out.push(JoinResult::new(tuple, Tuple::new(matched_side, seq, key)));
-        });
+        probe_window.scan_linear(
+            bounds.earliest,
+            bounds.latest_exclusive,
+            range,
+            |seq, key| {
+                out.push(JoinResult::new(tuple, Tuple::new(matched_side, seq, key)));
+            },
+        );
         // Steps 2 and 3: slide the own window (expiry is implicit for NLWJ).
         let seq = self.windows[own_idx]
             .append(tuple.key)
             .expect("sliding window slack exhausted");
-        debug_assert_eq!(seq, tuple.seq, "input sequence numbers must match arrival order");
+        debug_assert_eq!(
+            seq, tuple.seq,
+            "input sequence numbers must match arrival order"
+        );
     }
 }
 
@@ -86,7 +94,11 @@ mod tests {
         let mut seqs = [0u64, 0u64];
         (0..n)
             .map(|_| {
-                let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                let side = if rng.gen::<bool>() {
+                    StreamSide::R
+                } else {
+                    StreamSide::S
+                };
                 let seq = seqs[side.index()];
                 seqs[side.index()] += 1;
                 Tuple::new(side, seq, rng.gen_range(0..domain))
@@ -109,7 +121,9 @@ mod tests {
     fn matches_reference_join_self_join() {
         let tuples: Vec<Tuple> = {
             let mut rng = StdRng::seed_from_u64(2);
-            (0..1500u64).map(|i| Tuple::r(i, rng.gen_range(0..200))).collect()
+            (0..1500u64)
+                .map(|i| Tuple::r(i, rng.gen_range(0..200)))
+                .collect()
         };
         let predicate = BandPredicate::new(1);
         let mut op = NlwjOperator::new_self_join(64, predicate);

@@ -93,17 +93,20 @@ mod tests {
     #[test]
     fn window_limits_matches() {
         // All keys equal; window of 2 on each side.
-        let tuples: Vec<Tuple> = (0..6).map(|i| {
-            if i % 2 == 0 {
-                Tuple::r((i / 2) as u64, 5)
-            } else {
-                Tuple::s((i / 2) as u64, 5)
-            }
-        }).collect();
+        let tuples: Vec<Tuple> = (0..6)
+            .map(|i| {
+                if i % 2 == 0 {
+                    Tuple::r((i / 2) as u64, 5)
+                } else {
+                    Tuple::s((i / 2) as u64, 5)
+                }
+            })
+            .collect();
         let out = reference_join(&tuples, BandPredicate::new(0), 2, 2, false);
         // r0 -> 0 matches; s0 -> 1 (r0); r1 -> 1 (s0); s1 -> 2 (r0, r1);
         // r2 -> 2 (s0, s1); s2 -> 2 (r1, r2) [r0 expired from window of 2].
-        assert_eq!(out.len(), 0 + 1 + 1 + 2 + 2 + 2);
+        let per_tuple_matches = [0, 1, 1, 2, 2, 2];
+        assert_eq!(out.len(), per_tuple_matches.iter().sum::<usize>());
     }
 
     #[test]

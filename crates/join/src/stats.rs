@@ -32,6 +32,77 @@ pub struct JoinRunStats {
     /// account for nearly all of the workers' wall-clock time and are the
     /// basis of the engine-profile diagnostics binary.
     pub phase: EnginePhaseTimes,
+    /// Task-ring acquisition / contention counters (parallel operator only),
+    /// summed over all workers.
+    pub ring: RingCounters,
+}
+
+/// Counters of the parallel engine's lock-free task ring, recording how often
+/// each coordination point was exercised and how often it was contended.
+/// All counts are summed across workers by [`JoinRunStats::absorb`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingCounters {
+    /// Successful task acquisitions (claim batches).
+    pub tasks_acquired: u64,
+    /// Tuples acquired across all claim batches.
+    pub tuples_acquired: u64,
+    /// Failed compare-exchange attempts on the claim ticket — the direct
+    /// measure of acquisition contention.
+    pub claim_retries: u64,
+    /// Times a worker won the ingest token and batch-filled the ring.
+    pub ingest_batches: u64,
+    /// Times a worker skipped ingestion because another held the token.
+    pub ingest_token_contended: u64,
+    /// Ingestion stalls due to the non-indexed-suffix admission bound.
+    pub ingest_stalls: u64,
+    /// Drains that propagated at least one completed slot.
+    pub drain_batches: u64,
+    /// Times propagation was skipped because another worker was draining.
+    pub drain_contended: u64,
+    /// Slots propagated to the sink in arrival order.
+    pub slots_drained: u64,
+    /// Idle rounds resolved by busy-spinning.
+    pub idle_spins: u64,
+    /// Idle rounds resolved by yielding the time slice.
+    pub idle_yields: u64,
+    /// Idle rounds resolved by parking (short sleep).
+    pub idle_parks: u64,
+}
+
+impl RingCounters {
+    /// Folds another worker's counters into this one.
+    pub fn merge_from(&mut self, other: &RingCounters) {
+        self.tasks_acquired += other.tasks_acquired;
+        self.tuples_acquired += other.tuples_acquired;
+        self.claim_retries += other.claim_retries;
+        self.ingest_batches += other.ingest_batches;
+        self.ingest_token_contended += other.ingest_token_contended;
+        self.ingest_stalls += other.ingest_stalls;
+        self.drain_batches += other.drain_batches;
+        self.drain_contended += other.drain_contended;
+        self.slots_drained += other.slots_drained;
+        self.idle_spins += other.idle_spins;
+        self.idle_yields += other.idle_yields;
+        self.idle_parks += other.idle_parks;
+    }
+
+    /// Mean tuples per successful acquisition (the effective task size).
+    pub fn mean_task_size(&self) -> f64 {
+        if self.tasks_acquired == 0 {
+            0.0
+        } else {
+            self.tuples_acquired as f64 / self.tasks_acquired as f64
+        }
+    }
+
+    /// Claim-ticket retries per acquired task — 0 means uncontended.
+    pub fn claim_contention(&self) -> f64 {
+        if self.tasks_acquired == 0 {
+            0.0
+        } else {
+            self.claim_retries as f64 / self.tasks_acquired as f64
+        }
+    }
 }
 
 /// Wall-clock time spent by the parallel engine's workers in each phase of the
@@ -120,6 +191,7 @@ impl JoinRunStats {
         self.bytes_loaded += other.bytes_loaded;
         self.bytes_stored += other.bytes_stored;
         self.phase.merge_from(&other.phase);
+        self.ring.merge_from(&other.ring);
     }
 }
 
@@ -158,6 +230,26 @@ mod tests {
         };
         assert!((s.load_gbps() - 2.0).abs() < 1e-9);
         assert!((s.store_gbps() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_counters_absorb_and_derive() {
+        let mut a = JoinRunStats::default();
+        a.ring.tasks_acquired = 4;
+        a.ring.tuples_acquired = 16;
+        a.ring.claim_retries = 2;
+        let mut b = JoinRunStats::default();
+        b.ring.tasks_acquired = 6;
+        b.ring.tuples_acquired = 24;
+        b.ring.drain_contended = 3;
+        a.absorb(&b);
+        assert_eq!(a.ring.tasks_acquired, 10);
+        assert_eq!(a.ring.tuples_acquired, 40);
+        assert_eq!(a.ring.drain_contended, 3);
+        assert!((a.ring.mean_task_size() - 4.0).abs() < 1e-9);
+        assert!((a.ring.claim_contention() - 0.2).abs() < 1e-9);
+        assert_eq!(RingCounters::default().mean_task_size(), 0.0);
+        assert_eq!(RingCounters::default().claim_contention(), 0.0);
     }
 
     #[test]

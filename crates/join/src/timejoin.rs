@@ -277,7 +277,10 @@ pub fn reference_time_join(
         let probe = Tuple::new(t.side, next_seq[own], t.key);
         for &(seq, key, ts) in &live[other] {
             if ts >= horizon && predicate.matches(t.key, key) {
-                out.push(JoinResult::new(probe, Tuple::new(t.side.opposite(), seq, key)));
+                out.push(JoinResult::new(
+                    probe,
+                    Tuple::new(t.side.opposite(), seq, key),
+                ));
             }
         }
         live[own].push((next_seq[own], t.key, t.timestamp));
@@ -309,7 +312,11 @@ mod tests {
         (0..n)
             .map(|_| {
                 ts += rng.gen_range(0..=max_gap);
-                let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                let side = if rng.gen::<bool>() {
+                    StreamSide::R
+                } else {
+                    StreamSide::S
+                };
                 TimedStreamTuple {
                     side,
                     key: rng.gen_range(0..domain),
@@ -371,7 +378,10 @@ mod tests {
         op.advance_watermark(100);
         assert_eq!(op.live_len(StreamSide::R), 0);
         op.process(TimedStreamTuple::s(5, 120), &mut out);
-        assert!(out.is_empty(), "expired tuples must not match after a punctuation");
+        assert!(
+            out.is_empty(),
+            "expired tuples must not match after a punctuation"
+        );
     }
 
     #[test]

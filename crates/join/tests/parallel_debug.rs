@@ -1,7 +1,9 @@
 //! Diagnostic harness for the parallel engine (used while developing; kept as
 //! an extra cross-checking integration test).
 
-use pimtree_common::{BandPredicate, IndexKind, JoinConfig, MergePolicy, PimConfig, StreamSide, Tuple};
+use pimtree_common::{
+    BandPredicate, IndexKind, JoinConfig, MergePolicy, PimConfig, StreamSide, Tuple,
+};
 use pimtree_join::parallel::{ParallelIbwj, SharedIndexKind};
 use pimtree_join::reference::{canonical, reference_join};
 use rand::rngs::StdRng;
@@ -12,7 +14,11 @@ fn random_tuples(n: usize, domain: i64, seed: u64) -> Vec<Tuple> {
     let mut seqs = [0u64, 0u64];
     (0..n)
         .map(|_| {
-            let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+            let side = if rng.gen::<bool>() {
+                StreamSide::R
+            } else {
+                StreamSide::S
+            };
             let seq = seqs[side.index()];
             seqs[side.index()] += 1;
             Tuple::new(side, seq, rng.gen_range(0..domain))
@@ -38,7 +44,11 @@ fn diff_report(ours: &[(u8, u64, u8, u64)], expected: &[(u8, u64, u8, u64)]) -> 
     use std::collections::HashSet;
     let a: HashSet<_> = ours.iter().collect();
     let b: HashSet<_> = expected.iter().collect();
-    let missing: Vec<_> = expected.iter().filter(|x| !a.contains(x)).take(10).collect();
+    let missing: Vec<_> = expected
+        .iter()
+        .filter(|x| !a.contains(x))
+        .take(10)
+        .collect();
     let extra: Vec<_> = ours.iter().filter(|x| !b.contains(x)).take(10).collect();
     format!(
         "ours={} expected={} missing(sample)={:?} extra(sample)={:?}",
@@ -54,8 +64,13 @@ fn bwtree_backend_round_trips_under_contention() {
     let tuples = random_tuples(4000, 500, 34);
     let predicate = BandPredicate::new(2);
     let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
-    let op = ParallelIbwj::new(config(128, 4, 4, 1.0), predicate, SharedIndexKind::BwTree, false)
-        .with_collected_results(true);
+    let op = ParallelIbwj::new(
+        config(128, 4, 4, 1.0),
+        predicate,
+        SharedIndexKind::BwTree,
+        false,
+    )
+    .with_collected_results(true);
     let (_, results) = op.run(&tuples);
     let ours = canonical(&results);
     assert_eq!(ours, expected, "{}", diff_report(&ours, &expected));
@@ -64,11 +79,18 @@ fn bwtree_backend_round_trips_under_contention() {
 #[test]
 fn pim_self_join_round_trips_under_contention() {
     let mut rng = StdRng::seed_from_u64(35);
-    let tuples: Vec<Tuple> = (0..4000u64).map(|i| Tuple::r(i, rng.gen_range(0..300))).collect();
+    let tuples: Vec<Tuple> = (0..4000u64)
+        .map(|i| Tuple::r(i, rng.gen_range(0..300)))
+        .collect();
     let predicate = BandPredicate::new(1);
     let expected = canonical(&reference_join(&tuples, predicate, 128, 128, true));
-    let op = ParallelIbwj::new(config(128, 4, 4, 0.5), predicate, SharedIndexKind::PimTree, true)
-        .with_collected_results(true);
+    let op = ParallelIbwj::new(
+        config(128, 4, 4, 0.5),
+        predicate,
+        SharedIndexKind::PimTree,
+        true,
+    )
+    .with_collected_results(true);
     let (_, results) = op.run(&tuples);
     let ours = canonical(&results);
     assert_eq!(ours, expected, "{}", diff_report(&ours, &expected));

@@ -72,7 +72,8 @@ pub fn im_tree_cost(p: &ModelParams, merge_ratio: f64) -> CostEstimate {
     let avg_ti = ((m * p.window as f64) / 2.0).max(1.0) as usize;
     let h_i = ModelParams::tree_height(avg_ti, p.btree_fanout);
     // One merge moves about (1 + m)·w entries and happens every m·w tuples.
-    let amortised_merge = merge_cost(p, ((1.0 + m) * p.window as f64) as usize) / (m * p.window as f64);
+    let amortised_merge =
+        merge_cost(p, ((1.0 + m) * p.window as f64) as usize) / (m * p.window as f64);
     CostEstimate {
         search: h_s * p.css_search_node
             + h_i * p.btree_search_node
@@ -94,7 +95,8 @@ pub fn pim_tree_cost(p: &ModelParams, merge_ratio: f64, insertion_depth: usize) 
     let partitions = (p.css_fanout as f64).powf(d_i).max(1.0);
     let avg_sub = ((m * p.window as f64) / (2.0 * partitions)).max(1.0) as usize;
     let h_i = ModelParams::tree_height(avg_sub, p.btree_fanout);
-    let amortised_merge = merge_cost(p, ((1.0 + m) * p.window as f64) as usize) / (m * p.window as f64);
+    let amortised_merge =
+        merge_cost(p, ((1.0 + m) * p.window as f64) as usize) / (m * p.window as f64);
     CostEstimate {
         search: h_s * p.css_search_node
             + h_i * p.btree_search_node
@@ -128,17 +130,26 @@ mod tests {
             let im = im_tree_cost(&params, 1.0 / 8.0).total();
             let pim = pim_tree_cost(&params, 1.0 / 8.0, 3).total();
             assert!(im < b, "IM-Tree {im} vs B+-Tree {b} at w=2^{exp}");
-            assert!(pim <= im * 1.05, "PIM-Tree {pim} vs IM-Tree {im} at w=2^{exp}");
+            assert!(
+                pim <= im * 1.05,
+                "PIM-Tree {pim} vs IM-Tree {im} at w=2^{exp}"
+            );
         }
     }
 
     #[test]
-    fn chained_index_search_grows_with_chain_length(){
+    fn chained_index_search_grows_with_chain_length() {
         let params = p(1 << 20);
         let c2 = chained_cost(&params, 2);
         let c8 = chained_cost(&params, 8);
-        assert!(c8.search > c2.search, "longer chains search more sub-indexes");
-        assert!(c8.insert <= c2.insert, "longer chains have smaller active sub-indexes");
+        assert!(
+            c8.search > c2.search,
+            "longer chains search more sub-indexes"
+        );
+        assert!(
+            c8.insert <= c2.insert,
+            "longer chains have smaller active sub-indexes"
+        );
     }
 
     #[test]
@@ -169,7 +180,10 @@ mod tests {
         let tiny = im_tree_cost(&params, 1.0 / 512.0).total();
         let moderate = im_tree_cost(&params, 1.0 / 8.0).total();
         let huge = im_tree_cost(&params, 1.0).total();
-        assert!(moderate < tiny, "too-frequent merges dominate: {moderate} vs {tiny}");
+        assert!(
+            moderate < tiny,
+            "too-frequent merges dominate: {moderate} vs {tiny}"
+        );
         // The penalty for very rare merges (large TI, more expired tuples in
         // scans) is milder in the model than the too-frequent-merge penalty,
         // matching the asymmetric shape of Figure 9c/9d.

@@ -155,7 +155,15 @@ mod tests {
 
     #[test]
     fn key_mapping_preserves_order() {
-        let codes = [0u64, 1, 1 << 31, (1 << 63) - 1, 1 << 63, u64::MAX - 1, u64::MAX];
+        let codes = [
+            0u64,
+            1,
+            1 << 31,
+            (1 << 63) - 1,
+            1 << 63,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
         for w in codes.windows(2) {
             assert!(code_to_key(w[0]) < code_to_key(w[1]));
             assert_eq!(key_to_code(code_to_key(w[0])), w[0]);
@@ -239,11 +247,16 @@ mod tests {
     fn three_dimensional_points_work() {
         let idx = MdPimTree::<3>::new(config(512));
         for seq in 0..512u64 {
-            idx.insert([(seq % 8) as u16, ((seq / 8) % 8) as u16, (seq / 64) as u16], seq);
+            idx.insert(
+                [(seq % 8) as u16, ((seq / 8) % 8) as u16, (seq / 64) as u16],
+                seq,
+            );
         }
         let got = idx.query_box_collect([2, 2, 2], [4, 4, 4], 0);
         assert_eq!(got.len(), 27);
-        assert!(got.iter().all(|e| e.point.iter().all(|&c| (2..=4).contains(&c))));
+        assert!(got
+            .iter()
+            .all(|e| e.point.iter().all(|&c| (2..=4).contains(&c))));
     }
 
     #[test]

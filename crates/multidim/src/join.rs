@@ -56,12 +56,20 @@ pub struct MdTuple<const D: usize> {
 impl<const D: usize> MdTuple<D> {
     /// Creates a tuple for stream `R`.
     pub fn r(seq: Seq, point: [Coord; D]) -> Self {
-        MdTuple { side: StreamSide::R, seq, point }
+        MdTuple {
+            side: StreamSide::R,
+            seq,
+            point,
+        }
     }
 
     /// Creates a tuple for stream `S`.
     pub fn s(seq: Seq, point: [Coord; D]) -> Self {
-        MdTuple { side: StreamSide::S, seq, point }
+        MdTuple {
+            side: StreamSide::S,
+            seq,
+            point,
+        }
     }
 }
 
@@ -136,7 +144,11 @@ impl<const D: usize> MultiDimIbwj<D> {
     pub fn process(&mut self, tuple: MdTuple<D>, out: &mut Vec<MdJoinResult<D>>) {
         let own = tuple.side.index();
         let other = tuple.side.opposite().index();
-        debug_assert_eq!(tuple.seq as usize, self.arrived[own].len(), "tuples must arrive in order");
+        debug_assert_eq!(
+            tuple.seq as usize,
+            self.arrived[own].len(),
+            "tuples must arrive in order"
+        );
 
         // Step 1: probe the opposite window.
         let (lo, hi) = self.predicate.probe_box(tuple.point);
@@ -162,8 +174,7 @@ impl<const D: usize> MultiDimIbwj<D> {
         self.indexes[own].insert(tuple.point, tuple.seq);
         self.arrived[own].push(tuple.point);
         if self.indexes[own].needs_merge() {
-            let earliest =
-                (self.arrived[own].len() as u64).saturating_sub(self.window_size as u64);
+            let earliest = (self.arrived[own].len() as u64).saturating_sub(self.window_size as u64);
             self.indexes[own].merge(earliest);
             self.merges += 1;
         }
@@ -230,7 +241,11 @@ mod tests {
         let mut seqs = [0u64; 2];
         (0..n)
             .map(|_| {
-                let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                let side = if rng.gen::<bool>() {
+                    StreamSide::R
+                } else {
+                    StreamSide::S
+                };
                 let seq = seqs[side.index()];
                 seqs[side.index()] += 1;
                 MdTuple {

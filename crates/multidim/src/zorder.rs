@@ -124,7 +124,11 @@ pub fn query_ranges<const D: usize>(
     let mut stack: Vec<(u64, u32)> = vec![(0, total_bits)];
     while let Some((prefix, bits)) = stack.pop() {
         let node_lo = prefix;
-        let node_hi = if bits == 64 { u64::MAX } else { prefix | ((1u64 << bits) - 1) };
+        let node_hi = if bits == 64 {
+            u64::MAX
+        } else {
+            prefix | ((1u64 << bits) - 1)
+        };
         let cell_lo = decode::<D>(node_lo);
         let cell_hi = decode::<D>(node_hi);
         // The node's cell is an axis-aligned box in point space.
@@ -136,7 +140,13 @@ pub fn query_ranges<const D: usize>(
         // Splitting stops when the node is fully covered, is a single code, or
         // enough ranges have been emitted already.
         if contained || bits == 0 || out.len() >= allowance {
-            push_merged(&mut out, ZRange { lo: node_lo, hi: node_hi });
+            push_merged(
+                &mut out,
+                ZRange {
+                    lo: node_lo,
+                    hi: node_hi,
+                },
+            );
             continue;
         }
         // Recurse into the 2^D children; push in reverse code order so the
@@ -241,7 +251,11 @@ mod tests {
         for budget in [1, 2, 4, 8] {
             let ranges = query_ranges::<2>(lo, hi, budget);
             assert!(!ranges.is_empty());
-            assert!(ranges.len() <= budget, "budget {budget} exceeded: {}", ranges.len());
+            assert!(
+                ranges.len() <= budget,
+                "budget {budget} exceeded: {}",
+                ranges.len()
+            );
             for x in [lo[0], (lo[0] + hi[0]) / 2, hi[0]] {
                 for y in [lo[1], (lo[1] + hi[1]) / 2, hi[1]] {
                     let code = encode::<2>([x, y]);

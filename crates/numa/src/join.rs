@@ -195,7 +195,10 @@ impl NumaPartitionedJoin {
             let mut touched = 0u64;
             self.nodes[node].indexes[other].range_live(range, earliest_live, |e| {
                 touched += 1;
-                out.push(JoinResult::new(tuple, Tuple::new(matched_side, e.seq, e.key)));
+                out.push(JoinResult::new(
+                    tuple,
+                    Tuple::new(matched_side, e.seq, e.key),
+                ));
             });
             // Charge the index descent plus the touched matches.
             self.traffic.record(home, node, 1 + touched);
@@ -286,7 +289,11 @@ mod tests {
         let mut seqs = [0u64; 2];
         (0..n)
             .map(|_| {
-                let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                let side = if rng.gen::<bool>() {
+                    StreamSide::R
+                } else {
+                    StreamSide::S
+                };
                 let seq = seqs[side.index()];
                 seqs[side.index()] += 1;
                 Tuple::new(side, seq, rng.gen_range(0..domain))
@@ -303,7 +310,14 @@ mod tests {
     ) -> NumaPartitionedJoin {
         let topo = NumaTopology::new(nodes, 90, 180);
         let partitioner = RangePartitioner::from_key_sample(nodes, sample);
-        NumaPartitionedJoin::with_pim_config(topo, strategy, partitioner, w, predicate, small_config(w))
+        NumaPartitionedJoin::with_pim_config(
+            topo,
+            strategy,
+            partitioner,
+            w,
+            predicate,
+            small_config(w),
+        )
     }
 
     #[test]
@@ -315,7 +329,13 @@ mod tests {
             let expected = canonical(&reference_band_join(&tuples, predicate, w));
             assert!(!expected.is_empty());
             let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
-            let mut op = build(PlacementStrategy::RangePartitioned, 4, w, predicate, &sample);
+            let mut op = build(
+                PlacementStrategy::RangePartitioned,
+                4,
+                w,
+                predicate,
+                &sample,
+            );
             let got = op.run(&tuples);
             assert_eq!(canonical(&got), expected, "seed {seed}");
         }
@@ -339,7 +359,13 @@ mod tests {
         let w = 256;
         let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
 
-        let mut range = build(PlacementStrategy::RangePartitioned, 4, w, predicate, &sample);
+        let mut range = build(
+            PlacementStrategy::RangePartitioned,
+            4,
+            w,
+            predicate,
+            &sample,
+        );
         range.run(&tuples);
         let mut rr = build(PlacementStrategy::RoundRobin, 4, w, predicate, &sample);
         rr.run(&tuples);
@@ -365,7 +391,11 @@ mod tests {
         let mut seqs = [0u64; 2];
         let tuples: Vec<Tuple> = (0..6000)
             .map(|_| {
-                let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                let side = if rng.gen::<bool>() {
+                    StreamSide::R
+                } else {
+                    StreamSide::S
+                };
                 let seq = seqs[side.index()];
                 seqs[side.index()] += 1;
                 let key = if rng.gen_bool(0.8) {
@@ -379,7 +409,13 @@ mod tests {
         let predicate = BandPredicate::new(1);
         let w = 256;
         let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
-        let mut op = build(PlacementStrategy::RangePartitioned, 4, w, predicate, &sample);
+        let mut op = build(
+            PlacementStrategy::RangePartitioned,
+            4,
+            w,
+            predicate,
+            &sample,
+        );
         op.run(&tuples);
         assert!(
             op.load_imbalance() < 1.6,
@@ -394,7 +430,13 @@ mod tests {
         let w = 128;
         // The partitioner was built for keys 0..1000 ...
         let initial_sample: Vec<i64> = (0..1000).collect();
-        let mut op = build(PlacementStrategy::RangePartitioned, 4, w, predicate, &initial_sample);
+        let mut op = build(
+            PlacementStrategy::RangePartitioned,
+            4,
+            w,
+            predicate,
+            &initial_sample,
+        );
         // ... but the stream has drifted to 50_000..51_000: almost everything
         // lands on the last node.
         let drifted = {
@@ -402,7 +444,11 @@ mod tests {
             let mut seqs = [0u64; 2];
             (0..3000)
                 .map(|_| {
-                    let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+                    let side = if rng.gen::<bool>() {
+                        StreamSide::R
+                    } else {
+                        StreamSide::S
+                    };
                     let seq = seqs[side.index()];
                     seqs[side.index()] += 1;
                     Tuple::new(side, seq, rng.gen_range(50_000..51_000))
@@ -435,7 +481,13 @@ mod tests {
     #[test]
     fn self_and_empty_inputs_are_safe() {
         let predicate = BandPredicate::new(1);
-        let mut op = build(PlacementStrategy::RangePartitioned, 2, 16, predicate, &[1, 2, 3]);
+        let mut op = build(
+            PlacementStrategy::RangePartitioned,
+            2,
+            16,
+            predicate,
+            &[1, 2, 3],
+        );
         assert!(op.run(&[]).is_empty());
         assert_eq!(op.results(), 0);
         assert_eq!(op.traffic().local() + op.traffic().remote(), 0);
@@ -448,6 +500,12 @@ mod tests {
     fn mismatched_partitioner_rejected() {
         let topo = NumaTopology::two_socket();
         let partitioner = RangePartitioner::from_key_sample(4, &[1, 2, 3]);
-        let _ = NumaPartitionedJoin::new(topo, PlacementStrategy::RangePartitioned, partitioner, 16, BandPredicate::new(1));
+        let _ = NumaPartitionedJoin::new(
+            topo,
+            PlacementStrategy::RangePartitioned,
+            partitioner,
+            16,
+            BandPredicate::new(1),
+        );
     }
 }

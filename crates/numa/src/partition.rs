@@ -53,8 +53,7 @@ impl RangePartitioner {
                 nodes,
             };
         }
-        let mut weighted: Vec<(Key, u64)> =
-            sample.iter().map(|&(k, w)| (k, 1 + w)).collect();
+        let mut weighted: Vec<(Key, u64)> = sample.iter().map(|&(k, w)| (k, 1 + w)).collect();
         weighted.sort_unstable_by_key(|&(k, _)| k);
         let total: u64 = weighted.iter().map(|&(_, w)| w).sum();
         let per_node = total.div_ceil(nodes as u64).max(1);
@@ -119,7 +118,11 @@ impl RangePartitioner {
             .sum();
         RepartitionPlan {
             new_partitioner: new,
-            moved_fraction: if total == 0 { 0.0 } else { moved as f64 / total as f64 },
+            moved_fraction: if total == 0 {
+                0.0
+            } else {
+                moved as f64 / total as f64
+            },
         }
     }
 
@@ -135,7 +138,10 @@ impl RangePartitioner {
             return 1.0;
         }
         let ideal = total as f64 / self.nodes as f64;
-        per_node.iter().map(|&w| w as f64 / ideal).fold(0.0, f64::max)
+        per_node
+            .iter()
+            .map(|&w| w as f64 / ideal)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -185,7 +191,11 @@ mod tests {
             .collect();
         let p = RangePartitioner::from_key_sample(4, &keys);
         let observed: Vec<(Key, u64)> = keys.iter().map(|&k| (k, 0)).collect();
-        assert!(p.imbalance(&observed) < 1.3, "imbalance {}", p.imbalance(&observed));
+        assert!(
+            p.imbalance(&observed) < 1.3,
+            "imbalance {}",
+            p.imbalance(&observed)
+        );
     }
 
     #[test]
@@ -225,7 +235,11 @@ mod tests {
     fn empty_sample_degenerates_gracefully() {
         let p = RangePartitioner::from_key_sample(4, &[]);
         assert_eq!(p.nodes(), 4);
-        assert_eq!(p.node_of(12345), 0, "all keys land on node 0 without a sample");
+        assert_eq!(
+            p.node_of(12345),
+            0,
+            "all keys land on node 0 without a sample"
+        );
     }
 
     #[test]

@@ -52,6 +52,26 @@ impl WindowBounds {
     pub fn contains(&self, seq: Seq) -> bool {
         self.earliest <= seq && seq < self.latest_exclusive
     }
+
+    /// Upper bound (exclusive) of the *index-covered* part of this snapshot,
+    /// given an edge-tuple snapshot of the probed window: everything before
+    /// the edge is findable through the index, everything from the edge up to
+    /// the snapshot's end must come from the linear scan. An outdated edge
+    /// snapshot only lengthens the scan, never loses results (§4.1).
+    #[inline]
+    pub fn index_horizon(&self, edge: Seq) -> Seq {
+        edge.min(self.latest_exclusive)
+    }
+
+    /// Lower bound (inclusive) of the linear-scan range for this snapshot,
+    /// given an edge-tuple snapshot: the scan starts at the edge but never
+    /// before the snapshot's earliest live tuple — when the edge lags behind
+    /// the expiry horizon (e.g. while a merge freezes it), everything before
+    /// `earliest` is expired for this probe and must not match.
+    #[inline]
+    pub fn scan_start(&self, edge: Seq) -> Seq {
+        edge.max(self.earliest)
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +87,20 @@ mod tests {
         assert!(!b.contains(20));
         assert_eq!(b.len(), 10);
         assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn probe_split_helpers_clamp_to_the_snapshot() {
+        let b = WindowBounds::new(10, 20);
+        // Edge inside the snapshot: index covers [10, 14), scan covers [14, 20).
+        assert_eq!(b.index_horizon(14), 14);
+        assert_eq!(b.scan_start(14), 14);
+        // Edge beyond the snapshot: everything comes from the index.
+        assert_eq!(b.index_horizon(25), 20);
+        assert_eq!(b.scan_start(25), 25, "scan range [25, 20) is empty");
+        // Edge lagging behind expiry: expired prefix is excluded from the scan.
+        assert_eq!(b.index_horizon(4), 4);
+        assert_eq!(b.scan_start(4), 10);
     }
 
     #[test]

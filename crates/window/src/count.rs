@@ -183,6 +183,21 @@ impl SlidingWindow {
         self.edge.load(Ordering::Acquire)
     }
 
+    /// Length of the non-indexed window suffix (`head - edge`).
+    ///
+    /// This is the admission-control signal of the parallel engine's task
+    /// ring: ingestion stalls while the suffix exceeds its bound, because
+    /// every probe's linear scan covers the suffix and would otherwise grow
+    /// without limit while a merge defers index updates. The two loads are
+    /// not one atomic snapshot; the edge can only trail the head, so the
+    /// returned length may be momentarily over-estimated (head advanced
+    /// in between), which errs on the side of admitting less — never more.
+    #[inline]
+    pub fn unindexed_len(&self) -> u64 {
+        let head = self.head();
+        head.saturating_sub(self.edge.load(Ordering::Acquire))
+    }
+
     /// Attempts to advance the edge tuple past consecutively indexed tuples.
     ///
     /// Mirrors the paper's test-and-set scheme: if another thread currently
@@ -295,7 +310,10 @@ mod tests {
         }
         assert_eq!(w.live_len(), 4);
         // Keys of live tuples are still correct after many wraps.
-        assert_eq!(w.live_tuples(), vec![(96, 96), (97, 97), (98, 98), (99, 99)]);
+        assert_eq!(
+            w.live_tuples(),
+            vec![(96, 96), (97, 97), (98, 98), (99, 99)]
+        );
     }
 
     #[test]
@@ -334,6 +352,25 @@ mod tests {
     }
 
     #[test]
+    fn unindexed_len_tracks_head_minus_edge() {
+        let w = SlidingWindow::new(8, 8);
+        assert_eq!(w.unindexed_len(), 0);
+        for i in 0..5i64 {
+            w.append(i).unwrap();
+        }
+        assert_eq!(w.unindexed_len(), 5);
+        for seq in 0..3u64 {
+            w.mark_indexed(seq);
+        }
+        assert!(w.try_advance_edge());
+        assert_eq!(w.unindexed_len(), 2);
+        w.mark_indexed(3);
+        w.mark_indexed(4);
+        assert!(w.try_advance_edge());
+        assert_eq!(w.unindexed_len(), 0);
+    }
+
+    #[test]
     fn edge_never_passes_head() {
         let w = SlidingWindow::new(8, 8);
         for i in 0..3i64 {
@@ -352,11 +389,16 @@ mod tests {
             w.append(i * 5).unwrap();
         }
         let mut hits = Vec::new();
-        let examined = w.scan_linear(2, 8, KeyRange::new(14, 31), |seq, key| hits.push((seq, key)));
+        let examined = w.scan_linear(2, 8, KeyRange::new(14, 31), |seq, key| {
+            hits.push((seq, key))
+        });
         assert_eq!(examined, 6);
         assert_eq!(hits, vec![(3, 15), (4, 20), (5, 25), (6, 30)]);
         // Empty scan range.
-        assert_eq!(w.scan_linear(5, 5, KeyRange::new(0, 100), |_, _| panic!()), 0);
+        assert_eq!(
+            w.scan_linear(5, 5, KeyRange::new(0, 100), |_, _| panic!()),
+            0
+        );
     }
 
     #[test]

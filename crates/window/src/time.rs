@@ -58,7 +58,11 @@ impl TimeWindow {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.watermark = timestamp;
-        self.tuples.push_back(TimedTuple { seq, key, timestamp });
+        self.tuples.push_back(TimedTuple {
+            seq,
+            key,
+            timestamp,
+        });
         self.evict();
         seq
     }
@@ -66,7 +70,10 @@ impl TimeWindow {
     /// Advances the watermark without appending (e.g. on a punctuation) and
     /// evicts expired tuples.
     pub fn advance_watermark(&mut self, timestamp: u64) {
-        assert!(timestamp >= self.watermark, "watermark cannot move backwards");
+        assert!(
+            timestamp >= self.watermark,
+            "watermark cannot move backwards"
+        );
         self.watermark = timestamp;
         self.evict();
     }

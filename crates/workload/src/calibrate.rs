@@ -71,7 +71,8 @@ pub fn calibrate_diff(
     let mut lo: Key = 0;
     let mut hi: Key = dist.scale() as Key;
     // Make sure the upper bound is large enough.
-    while expected_matches(&sample, window, hi) < target_match_rate && hi < (dist.scale() as Key) * 4
+    while expected_matches(&sample, window, hi) < target_match_rate
+        && hi < (dist.scale() as Key) * 4
     {
         hi *= 2;
     }
@@ -98,7 +99,10 @@ mod tests {
         let w = 1 << 20;
         let diff = uniform_diff_for_match_rate(w, 2.0, DEFAULT_KEY_SCALE);
         let achieved = w as f64 * (2.0 * diff as f64 + 1.0) / DEFAULT_KEY_SCALE;
-        assert!((achieved - 2.0).abs() < 0.01, "achieved match rate {achieved}");
+        assert!(
+            (achieved - 2.0).abs() < 0.01,
+            "achieved match rate {achieved}"
+        );
     }
 
     #[test]
@@ -185,7 +189,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(77);
         let w = 1 << 14;
         let diff = uniform_diff_for_match_rate(w, 2.0, DEFAULT_KEY_SCALE);
-        let mut window: Vec<Key> = (0..w).map(|_| rng.gen_range(0..DEFAULT_KEY_SCALE as i64)).collect();
+        let mut window: Vec<Key> = (0..w)
+            .map(|_| rng.gen_range(0..DEFAULT_KEY_SCALE as i64))
+            .collect();
         window.sort_unstable();
         let mut total = 0usize;
         let probes = 3000;

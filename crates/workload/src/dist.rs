@@ -139,7 +139,10 @@ pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 /// Gamma(`shape`, `theta`) sample via the Marsaglia–Tsang method, with the
 /// standard boost for `shape < 1`.
 pub fn sample_gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64, theta: f64) -> f64 {
-    assert!(shape > 0.0 && theta > 0.0, "gamma parameters must be positive");
+    assert!(
+        shape > 0.0 && theta > 0.0,
+        "gamma parameters must be positive"
+    );
     if shape < 1.0 {
         // Gamma(a) = Gamma(a + 1) * U^(1/a)
         let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
@@ -176,7 +179,9 @@ mod tests {
     #[test]
     fn standard_normal_has_unit_moments() {
         let mut rng = StdRng::seed_from_u64(1);
-        let samples: Vec<f64> = (0..200_000).map(|_| sample_standard_normal(&mut rng)).collect();
+        let samples: Vec<f64> = (0..200_000)
+            .map(|_| sample_standard_normal(&mut rng))
+            .collect();
         let (mean, var) = mean_and_var(&samples);
         assert!(mean.abs() < 0.02, "mean = {mean}");
         assert!((var - 1.0).abs() < 0.03, "var = {var}");
@@ -186,7 +191,9 @@ mod tests {
     fn gamma_moments_match_theory() {
         let mut rng = StdRng::seed_from_u64(2);
         for &(k, theta) in &[(3.0, 3.0), (1.0, 5.0), (0.5, 2.0)] {
-            let samples: Vec<f64> = (0..200_000).map(|_| sample_gamma(&mut rng, k, theta)).collect();
+            let samples: Vec<f64> = (0..200_000)
+                .map(|_| sample_gamma(&mut rng, k, theta))
+                .collect();
             let (mean, var) = mean_and_var(&samples);
             let expect_mean = k * theta;
             let expect_var = k * theta * theta;
@@ -223,14 +230,20 @@ mod tests {
         let d = KeyDistribution::gaussian_paper();
         let keys = d.sample_many(&mut rng, 100_000);
         let mean = keys.iter().map(|&k| k as f64).sum::<f64>() / keys.len() as f64;
-        assert!((mean / DEFAULT_KEY_SCALE - 0.5).abs() < 0.01, "mean = {mean}");
+        assert!(
+            (mean / DEFAULT_KEY_SCALE - 0.5).abs() < 0.01,
+            "mean = {mean}"
+        );
         // Gaussian keys are much more concentrated than uniform ones.
         let within_one_sigma = keys
             .iter()
             .filter(|&&k| ((k as f64 / DEFAULT_KEY_SCALE) - 0.5).abs() <= 0.125)
             .count() as f64
             / keys.len() as f64;
-        assert!((within_one_sigma - 0.68).abs() < 0.02, "1σ mass = {within_one_sigma}");
+        assert!(
+            (within_one_sigma - 0.68).abs() < 0.02,
+            "1σ mass = {within_one_sigma}"
+        );
     }
 
     #[test]
@@ -242,7 +255,10 @@ mod tests {
         let mut sorted = keys.clone();
         sorted.sort_unstable();
         let median = sorted[sorted.len() / 2] as f64;
-        assert!(mean > median, "gamma is right-skewed: mean {mean} median {median}");
+        assert!(
+            mean > median,
+            "gamma is right-skewed: mean {mean} median {median}"
+        );
     }
 
     #[test]

@@ -97,9 +97,15 @@ mod tests {
         assert_eq!(g.total(), 400);
         assert!((g.mean_at(0) - 0.5).abs() < 1e-12);
         assert!((g.mean_at(99) - 0.5).abs() < 1e-12);
-        assert!((g.mean_at(200) - 1.0).abs() < 1e-12, "midway through the drift");
+        assert!(
+            (g.mean_at(200) - 1.0).abs() < 1e-12,
+            "midway through the drift"
+        );
         assert!((g.mean_at(399) - 1.5).abs() < 1e-12);
-        assert!((g.mean_at(10_000) - 1.5).abs() < 1e-12, "past the end stays at the target");
+        assert!(
+            (g.mean_at(10_000) - 1.5).abs() < 1e-12,
+            "past the end stays at the target"
+        );
     }
 
     #[test]
@@ -119,8 +125,14 @@ mod tests {
         let avg = |s: &[Key]| s.iter().map(|&k| k as f64).sum::<f64>() / s.len() as f64;
         let phase1_mean = avg(&keys[..20_000]) / DEFAULT_KEY_SCALE;
         let phase3_mean = avg(&keys[40_000..]) / DEFAULT_KEY_SCALE;
-        assert!((phase1_mean - 0.5).abs() < 0.01, "phase 1 mean {phase1_mean}");
-        assert!((phase3_mean - 1.3).abs() < 0.01, "phase 3 mean {phase3_mean}");
+        assert!(
+            (phase1_mean - 0.5).abs() < 0.01,
+            "phase 1 mean {phase1_mean}"
+        );
+        assert!(
+            (phase3_mean - 1.3).abs() < 0.01,
+            "phase 3 mean {phase3_mean}"
+        );
     }
 
     #[test]

@@ -32,7 +32,10 @@ impl StreamMix {
 
     /// `s_percent`% of tuples come from stream `S` (Figure 11b sweeps 0–50%).
     pub fn with_s_percent(s_percent: f64) -> Self {
-        assert!((0.0..=100.0).contains(&s_percent), "percentage out of range");
+        assert!(
+            (0.0..=100.0).contains(&s_percent),
+            "percentage out of range"
+        );
         StreamMix {
             s_fraction: s_percent / 100.0,
         }
@@ -117,7 +120,11 @@ impl StreamGenerator {
     pub fn generate_alternating<R: Rng + ?Sized>(&mut self, rng: &mut R, n: usize) -> Vec<Tuple> {
         (0..n)
             .map(|i| {
-                let side = if i % 2 == 0 { StreamSide::R } else { StreamSide::S };
+                let side = if i % 2 == 0 {
+                    StreamSide::R
+                } else {
+                    StreamSide::S
+                };
                 self.next_tuple_on(rng, side)
             })
             .collect()
@@ -155,10 +162,15 @@ mod tests {
     #[test]
     fn asymmetric_mix_respects_percentage() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut g = StreamGenerator::new(KeyDistribution::uniform(), StreamMix::with_s_percent(10.0));
+        let mut g =
+            StreamGenerator::new(KeyDistribution::uniform(), StreamMix::with_s_percent(10.0));
         let tuples = g.generate(&mut rng, 100_000);
         let s = tuples.iter().filter(|t| t.side == StreamSide::S).count() as f64;
-        assert!((s / 100_000.0 - 0.1).abs() < 0.01, "S share = {}", s / 100_000.0);
+        assert!(
+            (s / 100_000.0 - 0.1).abs() < 0.01,
+            "S share = {}",
+            s / 100_000.0
+        );
     }
 
     #[test]
@@ -175,7 +187,11 @@ mod tests {
         let mut g = StreamGenerator::uniform_symmetric();
         let tuples = g.generate_alternating(&mut rng, 100);
         for (i, t) in tuples.iter().enumerate() {
-            let expected = if i % 2 == 0 { StreamSide::R } else { StreamSide::S };
+            let expected = if i % 2 == 0 {
+                StreamSide::R
+            } else {
+                StreamSide::S
+            };
             assert_eq!(t.side, expected);
             assert_eq!(t.seq, (i / 2) as u64);
         }

@@ -27,7 +27,7 @@ fn main() {
     let mut now_ms = 0u64;
     let mut events = Vec::with_capacity(total_events);
     for _ in 0..total_events {
-        now_ms += rng.gen_range(0..=1);
+        now_ms += rng.gen_range(0..=1u64);
         let user = rng.gen_range(0..users);
         if rng.gen_bool(0.9) {
             events.push(TimedStreamTuple::r(user, now_ms)); // impression
@@ -45,7 +45,10 @@ fn main() {
     let (stats, results) = join.run(&events);
     let elapsed = start.elapsed();
 
-    let impressions = events.iter().filter(|e| e.side == pimtree::common::StreamSide::R).count();
+    let impressions = events
+        .iter()
+        .filter(|e| e.side == pimtree::common::StreamSide::R)
+        .count();
     let clicks = events.len() - impressions;
     println!(
         "replayed {} events ({} impressions, {} clicks) spanning {:.1}s of event time",
@@ -69,7 +72,10 @@ fn main() {
     // Show a few attributions: click (probe on S) matched with the impression
     // it is attributed to.
     let mut shown = 0;
-    for r in results.iter().filter(|r| r.probe.side == pimtree::common::StreamSide::S) {
+    for r in results
+        .iter()
+        .filter(|r| r.probe.side == pimtree::common::StreamSide::S)
+    {
         println!(
             "  click by user {:>5} attributed to impression #{} of the same user",
             r.probe.key, r.matched.seq

@@ -27,7 +27,9 @@ fn main() {
 
     // 2. Operator: the paper's parallel IBWJ over a shared PIM-Tree per
     //    window, with non-blocking merges and dynamic task scheduling.
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(8);
     let config = JoinConfig::symmetric(window, IndexKind::PimTree)
         .with_threads(threads)
         .with_task_size(8)
@@ -52,7 +54,10 @@ fn main() {
     );
     for r in results.iter().take(5) {
         let (a, b) = r.as_r_s();
-        println!("  sample result: R(seq={}, x={}) ⋈ S(seq={}, x={})", a.seq, a.key, b.seq, b.key);
+        println!(
+            "  sample result: R(seq={}, x={}) ⋈ S(seq={}, x={})",
+            a.seq, a.key, b.seq, b.key
+        );
     }
 
     // 4. The same join single-threaded, for comparison.

@@ -12,8 +12,8 @@
 //! cargo run --release --example rideshare_matching
 //! ```
 
-use pimtree::multidim::{MdBandPredicate, MdTuple, MultiDimIbwj};
 use pimtree::common::StreamSide;
+use pimtree::multidim::{MdBandPredicate, MdTuple, MultiDimIbwj};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -26,7 +26,12 @@ fn main() {
     let predicate = MdBandPredicate::new([120u16, 120]);
 
     // Drivers and requests cluster around a handful of hot spots downtown.
-    let hotspots: [[u16; 2]; 4] = [[12_000, 9_000], [30_000, 31_000], [45_000, 20_000], [52_000, 52_000]];
+    let hotspots: [[u16; 2]; 4] = [
+        [12_000, 9_000],
+        [30_000, 31_000],
+        [45_000, 20_000],
+        [52_000, 52_000],
+    ];
     let mut rng = StdRng::seed_from_u64(99);
     let mut seqs = [0u64; 2];
     let mut tuples = Vec::with_capacity(events);
@@ -37,7 +42,11 @@ fn main() {
             (c as i32 + d).clamp(0, u16::MAX as i32) as u16
         };
         let point = [jitter(hs[0], &mut rng), jitter(hs[1], &mut rng)];
-        let side = if rng.gen_bool(0.8) { StreamSide::R } else { StreamSide::S };
+        let side = if rng.gen_bool(0.8) {
+            StreamSide::R
+        } else {
+            StreamSide::S
+        };
         let seq = seqs[side.index()];
         seqs[side.index()] += 1;
         tuples.push(MdTuple { side, seq, point });

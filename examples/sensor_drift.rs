@@ -19,12 +19,17 @@ use rand::SeedableRng;
 
 fn main() {
     let window = 1usize << 15;
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(8);
     let dist = KeyDistribution::gaussian_paper();
     let diff = calibrate_diff(dist, window, 2.0, 11);
     let predicate = BandPredicate::new(diff);
     println!("self-join over drifting sensor readings (window {window}, band ±{diff})");
-    println!("{:<8} {:>12} {:>16} {:>14}", "drift r", "Mtuples/s", "hottest part.", "idle partitions");
+    println!(
+        "{:<8} {:>12} {:>16} {:>14}",
+        "drift r", "Mtuples/s", "hottest part.", "idle partitions"
+    );
 
     for r in [0.0, 0.2, 0.6, 1.0] {
         let mut rng = StdRng::seed_from_u64(11);
@@ -73,5 +78,7 @@ fn main() {
             hist.len()
         );
     }
-    println!("\nslow drifts keep the load spread out; fast drifts funnel inserts into few partitions");
+    println!(
+        "\nslow drifts keep the load spread out; fast drifts funnel inserts into few partitions"
+    );
 }

@@ -28,7 +28,11 @@ fn order_stream(n: usize, seed: u64) -> Vec<Tuple> {
             mid += rng.gen_range(-1.0..1.0);
             let noise: f64 = rng.gen_range(-50.0..50.0);
             let price = (mid + noise).round() as Key;
-            let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+            let side = if rng.gen::<bool>() {
+                StreamSide::R
+            } else {
+                StreamSide::S
+            };
             let seq = seqs[side.index()];
             seqs[side.index()] += 1;
             Tuple::new(side, seq, price)
@@ -51,7 +55,11 @@ fn main() {
             .with_pim(PimConfig::for_window(window).with_merge_ratio(1.0 / 8.0));
         let mut op = build_single_threaded(&config, predicate, false);
         // NLWJ is quadratic-ish; give it a shorter prefix so the demo stays snappy.
-        let slice: &[Tuple] = if kind == IndexKind::None { &orders[..window] } else { &orders };
+        let slice: &[Tuple] = if kind == IndexKind::None {
+            &orders[..window]
+        } else {
+            &orders
+        };
         let (stats, _) = op.run(slice, false);
         println!(
             "  {:<22} {:>8.2} M orders/s   ({} matched pairs, match rate {:.2})",
@@ -63,7 +71,9 @@ fn main() {
     }
 
     // The parallel engine is what you would deploy: same semantics, every core busy.
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(8);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(8);
     let config = JoinConfig::symmetric(window, IndexKind::PimTree)
         .with_threads(threads)
         .with_task_size(8)

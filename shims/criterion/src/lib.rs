@@ -1,0 +1,200 @@
+//! Local stand-in for the `criterion` crate.
+//!
+//! Implements the slice of the criterion API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`) with a deliberately simple measurement loop:
+//! one warm-up iteration followed by `sample_size` timed iterations, printing
+//! the mean per-iteration time (and throughput when configured). It has none
+//! of criterion's statistics, but it keeps the bench targets compiling and
+//! runnable without crates.io access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus a parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(&id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(&id, |b| f(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean = bencher.elapsed.as_secs_f64() / self.sample_size as f64;
+        let label = format!("{}/{}", self.name, id.name);
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let eps = if mean > 0.0 { n as f64 / mean } else { 0.0 };
+                println!("bench {label}: {:.3} ms/iter, {eps:.0} elem/s", mean * 1e3);
+            }
+            Some(Throughput::Bytes(n)) => {
+                let bps = if mean > 0.0 { n as f64 / mean } else { 0.0 };
+                println!(
+                    "bench {label}: {:.3} ms/iter, {:.1} MB/s",
+                    mean * 1e3,
+                    bps / 1e6
+                );
+            }
+            None => println!("bench {label}: {:.3} ms/iter", mean * 1e3),
+        }
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the measured closure.
+pub struct Bencher {
+    iterations: usize,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, not measured
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Runs `setup` outside the measured region and `routine` inside it.
+    pub fn iter_with_setup<S, O, FS, FR>(&mut self, mut setup: FS, mut routine: FR)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> O,
+    {
+        black_box(routine(setup())); // warm-up, not measured
+        self.elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $( $group(&mut criterion); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 4, "one warm-up plus three samples");
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("f", "x"), &21u64, |b, &i| b.iter(|| i * 2));
+    }
+}

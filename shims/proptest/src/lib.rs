@@ -1,0 +1,292 @@
+//! Local stand-in for the `proptest` crate.
+//!
+//! The build environment cannot fetch crates.io dependencies, so this shim
+//! re-implements the subset of the proptest API the workspace's tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`), the
+//! [`Strategy`] trait over integer ranges / `any::<T>()` / tuples /
+//! `collection::vec` / `sample::select` / `bool::ANY`, and the
+//! `prop_assert*` / `prop_assume!` macros.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure seeds:
+//! each case is generated from a deterministic per-case seed, so failures
+//! reproduce across runs, and the failing case's seed index appears in the
+//! panic location's loop iteration. That is sufficient for the model-checking
+//! style tests in this workspace.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (only the case count is supported).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// The deterministic RNG driving a test case.
+pub type TestRng = StdRng;
+
+/// Builds the RNG for case number `case` (deterministic across runs).
+pub fn test_rng(case: u32) -> TestRng {
+    StdRng::seed_from_u64(0x5EED_CAFE_0000_0000 ^ u64::from(case).wrapping_mul(0x9E37_79B9))
+}
+
+/// A value generator: the proptest strategy trait without shrinking.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+
+/// Types with a canonical "any value" strategy (proptest's `Arbitrary`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: rand::Standard> Arbitrary for T {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.gen()
+    }
+}
+
+/// Strategy producing any value of `A` (uniform over the type's domain).
+pub struct Any<A>(PhantomData<A>);
+
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct BoolStrategy;
+
+    /// Uniformly random booleans (`prop::bool::ANY`).
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = core::primitive::bool;
+        fn generate(&self, rng: &mut TestRng) -> core::primitive::bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(
+            !size.is_empty(),
+            "vec strategy needs a non-empty size range"
+        );
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Picks uniformly from a fixed set of options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Everything a test module needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+/// Skips the remainder of the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The proptest entry macro: expands each contained function into a `#[test]`
+/// that runs `config.cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_rng(case);
+                $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                let case_fn = move || $body;
+                case_fn();
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn pair() -> impl Strategy<Value = Vec<(i64, bool)>> {
+        prop::collection::vec((0i64..100, prop::bool::ANY), 1..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, y in -5i64..5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-5..5).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn vec_of_tuples_has_requested_shape(v in pair()) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (k, _) in v {
+                prop_assert!((0..100).contains(&k));
+            }
+        }
+
+        #[test]
+        fn any_and_select_compose(a in any::<u16>(), m in prop::sample::select(vec![2u64, 4, 8])) {
+            prop_assert_ne!(m, 0);
+            prop_assume!(a > 0);
+            prop_assert_eq!(u64::from(a) * m / m, u64::from(a));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<i64> = (0..5)
+            .map(|c| Strategy::generate(&(0i64..1000), &mut crate::test_rng(c)))
+            .collect();
+        let b: Vec<i64> = (0..5)
+            .map(|c| Strategy::generate(&(0i64..1000), &mut crate::test_rng(c)))
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "cases vary");
+    }
+}

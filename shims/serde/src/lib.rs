@@ -1,0 +1,9 @@
+//! Local stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros from the
+//! sibling `serde_derive` shim so that `use serde::{Serialize, Deserialize}`
+//! and the derive attributes compile unchanged. No serialization framework is
+//! provided — nothing in the workspace serializes (JSON output is hand
+//! formatted by the bench binaries).
+
+pub use serde_derive::{Deserialize, Serialize};

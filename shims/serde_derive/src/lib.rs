@@ -1,0 +1,19 @@
+//! Local stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its config and value
+//! types so that downstream users can persist them, but nothing inside the
+//! workspace serializes anything. With crates.io unavailable, these derive
+//! macros expand to nothing: the attribute positions stay valid and the code
+//! compiles unchanged.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -12,7 +12,11 @@ fn mixed_tuples(n: usize, domain: i64, seed: u64) -> Vec<Tuple> {
     let mut seqs = [0u64, 0u64];
     (0..n)
         .map(|_| {
-            let side = if rng.gen::<bool>() { StreamSide::R } else { StreamSide::S };
+            let side = if rng.gen::<bool>() {
+                StreamSide::R
+            } else {
+                StreamSide::S
+            };
             let seq = seqs[side.index()];
             seqs[side.index()] += 1;
             Tuple::new(side, seq, rng.gen_range(0..domain))
@@ -38,11 +42,15 @@ fn all_operators_agree_on_the_same_workload() {
         IndexKind::PimTree,
         IndexKind::BwTree,
     ] {
-        let mut pim = PimConfig::for_window(w).with_merge_ratio(0.25).with_insertion_depth(2);
+        let mut pim = PimConfig::for_window(w)
+            .with_merge_ratio(0.25)
+            .with_insertion_depth(2);
         pim.css_fanout = 8;
         pim.css_leaf_size = 8;
         pim.btree_fanout = 8;
-        let config = JoinConfig::symmetric(w, kind).with_chain_length(3).with_pim(pim);
+        let config = JoinConfig::symmetric(w, kind)
+            .with_chain_length(3)
+            .with_pim(pim);
         let mut op = build_single_threaded(&config, predicate, false);
         let (_, results) = op.run(&tuples, true);
         assert_eq!(canonical(&results), expected, "single-threaded {kind}");
@@ -74,7 +82,11 @@ fn all_operators_agree_on_the_same_workload() {
             .with_pim(pim);
         let op = ParallelIbwj::new(config, predicate, kind, false).with_collected_results(true);
         let (_, results) = op.run(&tuples);
-        assert_eq!(canonical(&results), expected, "parallel {kind:?} {policy:?}");
+        assert_eq!(
+            canonical(&results),
+            expected,
+            "parallel {kind:?} {policy:?}"
+        );
     }
 }
 
@@ -86,19 +98,29 @@ fn parallel_engine_is_deterministic_in_content_across_runs() {
     let config = JoinConfig::symmetric(w, IndexKind::PimTree)
         .with_threads(8)
         .with_task_size(4)
-        .with_pim(PimConfig::for_window(w).with_merge_ratio(0.5).with_insertion_depth(2));
+        .with_pim(
+            PimConfig::for_window(w)
+                .with_merge_ratio(0.5)
+                .with_insertion_depth(2),
+        );
     let op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false)
         .with_collected_results(true);
     let (_, a) = op.run(&tuples);
     let (_, b) = op.run(&tuples);
-    assert_eq!(canonical(&a), canonical(&b), "result content must not depend on scheduling");
+    assert_eq!(
+        canonical(&a),
+        canonical(&b),
+        "result content must not depend on scheduling"
+    );
 }
 
 #[test]
 fn self_join_parallel_scales_without_changing_results() {
     let w = 256usize;
     let mut rng = StdRng::seed_from_u64(3);
-    let tuples: Vec<Tuple> = (0..6000u64).map(|i| Tuple::r(i, rng.gen_range(0..800))).collect();
+    let tuples: Vec<Tuple> = (0..6000u64)
+        .map(|i| Tuple::r(i, rng.gen_range(0..800)))
+        .collect();
     let predicate = BandPredicate::new(2);
     let expected = canonical(&reference_join(&tuples, predicate, w, w, true));
     for threads in [1, 2, 8] {
