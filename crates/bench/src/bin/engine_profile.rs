@@ -5,10 +5,11 @@
 //! drain-token collisions, idle back-off stage mix).
 //!
 //! This binary is not tied to a specific paper figure; it backs the
-//! engine-scaling discussion in EXPERIMENTS.md and is the tool used to verify
+//! engine-scaling notes in `docs/ARCHITECTURE.md` and is the tool used to verify
 //! that task distribution and edge-tuple bookkeeping stay off the per-tuple
 //! critical path. Sweep the ring itself with `--ring-cap= --ingest-target=
-//! --spin= --yield= --park-us=`.
+//! --spin= --yield= --park-us=`, and the batched CSS group probe with
+//! `--probe-batch=on|off --prefetch-dist=`.
 
 use pimtree_bench::harness::*;
 use pimtree_common::{IndexKind, JoinConfig};
@@ -31,11 +32,12 @@ fn main() {
     print_header(
         "engine_profile",
         &format!(
-            "parallel IBWJ phase breakdown and ring contention (w = 2^{}, {} tuples, task size {}, ring {:?})",
+            "parallel IBWJ phase breakdown and ring contention (w = 2^{}, {} tuples, task size {}, ring {:?}, probe {:?})",
             opts.max_exp,
             tuples.len(),
             opts.task_size,
-            opts.ring()
+            opts.ring(),
+            opts.probe()
         ),
         &[
             "threads",
@@ -58,6 +60,10 @@ fn main() {
             "idle_spin",
             "idle_yield",
             "idle_park",
+            "probe_batches",
+            "mean_probe_batch",
+            "probe_dedup_rate",
+            "nodes_prefetched",
         ],
     );
     let mut sweep = vec![1, 2, 4, 8];
@@ -69,7 +75,8 @@ fn main() {
             .with_threads(threads)
             .with_task_size(opts.task_size)
             .with_pim(pim_config(w))
-            .with_ring(opts.ring());
+            .with_ring(opts.ring())
+            .with_probe(opts.probe());
         config.window_r = w;
         config.window_s = w;
         let op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false);
@@ -108,6 +115,10 @@ fn main() {
             stats.ring.idle_spins.to_string(),
             stats.ring.idle_yields.to_string(),
             stats.ring.idle_parks.to_string(),
+            stats.probe.batches.to_string(),
+            format!("{:.2}", stats.probe.mean_batch_size()),
+            format!("{:.3}", stats.probe.dedup_rate()),
+            stats.probe.nodes_prefetched.to_string(),
         ]);
     }
 }

@@ -1,7 +1,7 @@
 //! Figure 11d: effective (logical) memory bandwidth of the parallel IBWJ
 //! using the PIM-Tree, split into load and store traffic, as the number of
-//! threads grows. Hardware PMU counters are substituted by the logical
-//! byte accounting described in DESIGN.md.
+//! threads grows. Hardware PMU counters are substituted by the logical byte
+//! accounting in `pimtree-common`’s `memtraffic` module.
 
 use pimtree_bench::harness::*;
 use pimtree_join::SharedIndexKind;

@@ -67,6 +67,7 @@ fn main() {
             opts.task_size,
             pim_config(w),
             opts.ring(),
+            opts.probe(),
             predicate,
             &two_way,
             false,
@@ -79,6 +80,7 @@ fn main() {
             opts.task_size,
             pim_config(w),
             opts.ring(),
+            opts.probe(),
             self_predicate,
             &self_tuples,
             true,

@@ -40,6 +40,7 @@ fn main() {
                 opts.task_size,
                 pim_config(w),
                 opts.ring(),
+                opts.probe(),
                 predicate,
                 &tuples,
                 false,

@@ -54,6 +54,7 @@ fn main() {
             opts.task_size,
             pim_config(w),
             opts.ring(),
+            opts.probe(),
             predicate,
             &tuples,
             true,
@@ -66,6 +67,7 @@ fn main() {
             opts.task_size,
             pim_config(w),
             opts.ring(),
+            opts.probe(),
             predicate,
             &tuples,
             true,

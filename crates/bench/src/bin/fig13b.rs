@@ -52,6 +52,7 @@ fn main() {
                 opts.task_size,
                 pim_config(w).with_insertion_depth(4),
                 opts.ring(),
+                opts.probe(),
                 predicate,
                 phase,
                 true,

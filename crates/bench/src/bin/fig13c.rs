@@ -61,6 +61,7 @@ fn main() {
             opts.task_size,
             pim_config(w),
             opts.ring(),
+            opts.probe(),
             predicate,
             &tuples,
             false,
@@ -73,6 +74,7 @@ fn main() {
             opts.task_size,
             pim_config(w),
             opts.ring(),
+            opts.probe(),
             predicate,
             &tuples,
             false,
@@ -85,6 +87,7 @@ fn main() {
             opts.task_size,
             pim_config(w).with_merge_policy(MergePolicy::Blocking),
             opts.ring(),
+            opts.probe(),
             predicate,
             &tuples,
             false,

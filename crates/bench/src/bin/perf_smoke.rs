@@ -2,19 +2,55 @@
 //! thread scaling that machines (CI, future PRs) can diff.
 //!
 //! Runs the uniform two-way workload through the parallel IBWJ at 1/2/4/8
-//! worker threads for both shared-index backends (PIM-Tree and Bw-Tree) and
-//! writes the results as JSON to `BENCH_parallel.json` (and stdout), so every
-//! PR leaves a comparable throughput trajectory behind.
+//! worker threads — the PIM-Tree backend with both the batched CSS group
+//! probe and the scalar probe path, and the Bw-Tree backend for reference —
+//! and writes the results as JSON to `BENCH_parallel.json` (and stdout), so
+//! every PR leaves a comparable throughput trajectory behind. The JSON
+//! records its provenance (host core count, architecture, OS, and the full
+//! engine/ring/probe configuration), so trajectories from different hosts —
+//! in particular the 1-core build container versus a real multicore box —
+//! are never silently compared as equals.
 //!
 //! Accepts the shared harness flags (`--max-exp= --tuples= --task-size=
-//! --ring-cap= --spin= --yield= --park-us= --seed=`); the defaults keep the
-//! run under a couple of minutes on a laptop core.
+//! --ring-cap= --spin= --yield= --park-us= --prefetch-dist= --seed=`); the
+//! defaults keep the run under a couple of minutes on a laptop core. The
+//! batched-vs-scalar probe comparison is built in, so unlike the other
+//! binaries perf_smoke ignores `--probe-batch=` (both arms always run);
+//! `--prefetch-dist=` tunes the batched arm.
 
 use std::io::Write;
 
 use pimtree_bench::harness::*;
-use pimtree_join::SharedIndexKind;
+use pimtree_common::ProbeConfig;
+use pimtree_join::{JoinRunStats, SharedIndexKind};
 use pimtree_workload::KeyDistribution;
+
+fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRunStats) -> String {
+    format!(
+        concat!(
+            "    {{\"backend\": \"{}\", \"probe_batch\": {}, \"prefetch_dist\": {}, ",
+            "\"threads\": {}, \"mtps\": {:.4}, \"results\": {}, ",
+            "\"mean_latency_us\": {:.2}, \"claim_retries_per_task\": {:.4}, ",
+            "\"merges\": {}, \"probe_batches\": {}, \"mean_probe_batch\": {:.2}, ",
+            "\"probe_dedup_rate\": {:.4}, \"nodes_prefetched\": {}, ",
+            "\"scalar_probes\": {}}}"
+        ),
+        backend,
+        probe.batch,
+        probe.prefetch_dist,
+        threads,
+        stats.million_tuples_per_second(),
+        stats.results,
+        stats.latency.mean_micros(),
+        stats.ring.claim_contention(),
+        stats.merges,
+        stats.probe.batches,
+        stats.probe.mean_batch_size(),
+        stats.probe.dedup_rate(),
+        stats.probe.nodes_prefetched,
+        stats.probe.scalar_probes,
+    )
+}
 
 fn main() {
     let opts = RunOpts::parse(14, 14);
@@ -32,46 +68,66 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
+    let batched = opts.probe().with_batch(true);
+    let scalar = ProbeConfig::scalar();
     let mut entries = Vec::new();
-    for (backend, kind) in [
-        ("pim_tree", SharedIndexKind::PimTree),
-        ("bw_tree", SharedIndexKind::BwTree),
-    ] {
+    let mut mtps_1t = [0.0f64, 0.0]; // [batched, scalar] PIM-Tree at 1 thread
+                                     // PIM-Tree backend: batched group probe versus the scalar probe path.
+    for (mode, probe) in [(0usize, batched), (1usize, scalar)] {
         for threads in [1usize, 2, 4, 8] {
             let stats = run_parallel_ring(
-                kind,
+                SharedIndexKind::PimTree,
                 w,
                 w,
                 threads,
                 opts.task_size,
                 pim_config(w),
                 opts.ring(),
+                probe,
                 predicate,
                 &tuples,
                 false,
             );
-            let entry = format!(
-                concat!(
-                    "    {{\"backend\": \"{}\", \"threads\": {}, \"mtps\": {:.4}, ",
-                    "\"results\": {}, \"mean_latency_us\": {:.2}, ",
-                    "\"claim_retries_per_task\": {:.4}, \"merges\": {}}}"
-                ),
-                backend,
-                threads,
-                stats.million_tuples_per_second(),
-                stats.results,
-                stats.latency.mean_micros(),
-                stats.ring.claim_contention(),
-                stats.merges,
-            );
+            if threads == 1 {
+                mtps_1t[mode] = stats.million_tuples_per_second();
+            }
             println!(
-                "perf_smoke {backend} threads={threads}: {:.4} Mtps",
+                "perf_smoke pim_tree probe={} threads={threads}: {:.4} Mtps",
+                if probe.batch { "batched" } else { "scalar" },
                 stats.million_tuples_per_second()
             );
-            entries.push(entry);
+            entries.push(entry_json("pim_tree", probe, threads, &stats));
         }
     }
+    // Bw-Tree backend for reference (it has no batched probe path).
+    for threads in [1usize, 2, 4, 8] {
+        let stats = run_parallel_ring(
+            SharedIndexKind::BwTree,
+            w,
+            w,
+            threads,
+            opts.task_size,
+            pim_config(w),
+            opts.ring(),
+            batched,
+            predicate,
+            &tuples,
+            false,
+        );
+        println!(
+            "perf_smoke bw_tree threads={threads}: {:.4} Mtps",
+            stats.million_tuples_per_second()
+        );
+        entries.push(entry_json("bw_tree", batched, threads, &stats));
+    }
+    let speedup_1t = if mtps_1t[1] > 0.0 {
+        mtps_1t[0] / mtps_1t[1]
+    } else {
+        0.0
+    };
+    println!("perf_smoke pim_tree batched/scalar speedup at 1T: {speedup_1t:.3}x");
 
+    let ring = opts.ring();
     let json = format!(
         concat!(
             "{{\n",
@@ -79,7 +135,12 @@ fn main() {
             "  \"window_exp\": {},\n",
             "  \"tuples\": {},\n",
             "  \"task_size\": {},\n",
-            "  \"host_cores\": {},\n",
+            "  \"host\": {{\"cores\": {}, \"arch\": \"{}\", \"os\": \"{}\"}},\n",
+            "  \"engine\": {{\"merge_policy\": \"non_blocking\", ",
+            "\"ring\": {{\"capacity\": {}, \"ingest_target\": {}, \"spin\": {}, ",
+            "\"yield\": {}, \"park_us\": {}}}, ",
+            "\"probe\": {{\"batch\": {}, \"prefetch_dist\": {}}}}},\n",
+            "  \"batched_vs_scalar_1t_speedup\": {:.4},\n",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -87,6 +148,16 @@ fn main() {
         tuples.len(),
         opts.task_size,
         cores,
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        ring.capacity,
+        ring.ingest_target,
+        ring.spin_limit,
+        ring.yield_limit,
+        ring.park_micros,
+        batched.batch,
+        batched.prefetch_dist,
+        speedup_1t,
         entries.join(",\n"),
     );
     let path = "BENCH_parallel.json";

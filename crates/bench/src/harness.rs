@@ -1,6 +1,8 @@
 //! Shared helpers for the per-figure benchmark binaries.
 
-use pimtree_common::{BandPredicate, IndexKind, JoinConfig, PimConfig, RingConfig, Tuple};
+use pimtree_common::{
+    BandPredicate, IndexKind, JoinConfig, PimConfig, ProbeConfig, RingConfig, Tuple,
+};
 use pimtree_join::{
     build_single_threaded, HandshakeJoin, HandshakeMode, JoinRunStats, ParallelIbwj,
     SharedIndexKind,
@@ -35,14 +37,20 @@ pub struct RunOpts {
     pub yield_limit: u32,
     /// Idle back-off: park duration in microseconds (0 = never park).
     pub park_micros: u64,
+    /// Whether result generation uses the batched CSS group probe.
+    pub probe_batch: bool,
+    /// Prefetch distance of the batched probe (keys of lookahead per level).
+    pub prefetch_dist: usize,
 }
 
 impl RunOpts {
     /// Parses `--min-exp= --max-exp= --tuples= --threads= --task-size=
-    /// --seed= --ring-cap= --ingest-target= --spin= --yield= --park-us=`
-    /// from the command line, with figure-specific defaults.
+    /// --seed= --ring-cap= --ingest-target= --spin= --yield= --park-us=
+    /// --probe-batch=on|off --prefetch-dist=` from the command line, with
+    /// figure-specific defaults.
     pub fn parse(default_min: u32, default_max: u32) -> Self {
         let defaults = RingConfig::default();
+        let probe_defaults = ProbeConfig::default();
         let mut opts = RunOpts {
             min_exp: default_min,
             max_exp: default_max,
@@ -58,6 +66,8 @@ impl RunOpts {
             spin_limit: defaults.spin_limit,
             yield_limit: defaults.yield_limit,
             park_micros: defaults.park_micros,
+            probe_batch: probe_defaults.batch,
+            prefetch_dist: probe_defaults.prefetch_dist,
         };
         for arg in std::env::args().skip(1) {
             let mut split = arg.splitn(2, '=');
@@ -80,6 +90,14 @@ impl RunOpts {
                 "--spin" => opts.spin_limit = parse_usize() as u32,
                 "--yield" => opts.yield_limit = parse_usize() as u32,
                 "--park-us" => opts.park_micros = parse_usize() as u64,
+                "--probe-batch" => {
+                    opts.probe_batch = match value {
+                        "on" | "true" | "1" => true,
+                        "off" | "false" | "0" => false,
+                        other => panic!("bad value for --probe-batch: {other} (use on/off)"),
+                    }
+                }
+                "--prefetch-dist" => opts.prefetch_dist = parse_usize(),
                 other => eprintln!("note: ignoring unknown argument '{other}'"),
             }
         }
@@ -111,6 +129,13 @@ impl RunOpts {
             .with_capacity(self.ring_cap)
             .with_ingest_target(self.ingest_target)
             .with_backoff(self.spin_limit, self.yield_limit, self.park_micros)
+    }
+
+    /// The batched-probe configuration selected on the command line.
+    pub fn probe(&self) -> ProbeConfig {
+        ProbeConfig::default()
+            .with_batch(self.probe_batch)
+            .with_prefetch_dist(self.prefetch_dist)
     }
 }
 
@@ -208,6 +233,7 @@ pub fn run_parallel(
         task_size,
         pim,
         RingConfig::default(),
+        ProbeConfig::default(),
         predicate,
         tuples,
         self_join,
@@ -215,7 +241,8 @@ pub fn run_parallel(
 }
 
 /// Runs the parallel shared-index engine with an explicit task-ring / idle
-/// back-off configuration (see [`run_parallel`] for the warmup convention).
+/// back-off and batched-probe configuration (see [`run_parallel`] for the
+/// warmup convention).
 #[allow(clippy::too_many_arguments)]
 pub fn run_parallel_ring(
     kind: SharedIndexKind,
@@ -225,6 +252,7 @@ pub fn run_parallel_ring(
     task_size: usize,
     pim: PimConfig,
     ring: RingConfig,
+    probe: ProbeConfig,
     predicate: BandPredicate,
     tuples: &[Tuple],
     self_join: bool,
@@ -233,7 +261,8 @@ pub fn run_parallel_ring(
         .with_threads(threads)
         .with_task_size(task_size)
         .with_pim(pim)
-        .with_ring(ring);
+        .with_ring(ring)
+        .with_probe(probe);
     config.window_r = window_r;
     config.window_s = window_s;
     let op = ParallelIbwj::new(config, predicate, kind, self_join);
@@ -290,6 +319,8 @@ mod tests {
             spin_limit: 6,
             yield_limit: 16,
             park_micros: 50,
+            probe_batch: true,
+            prefetch_dist: 4,
         };
         assert_eq!(opts.tuples_for(1 << 10), 1 << 16);
         assert_eq!(opts.tuples_for(1 << 18), 1 << 20);
@@ -309,6 +340,15 @@ mod tests {
         assert_eq!(ring.capacity, 512);
         assert_eq!(ring.spin_limit, 2);
         ring.validate().unwrap();
+        let probe = RunOpts {
+            probe_batch: false,
+            prefetch_dist: 16,
+            ..opts
+        }
+        .probe();
+        assert!(!probe.batch);
+        assert_eq!(probe.prefetch_dist, 16);
+        probe.validate().unwrap();
     }
 
     #[test]

@@ -9,6 +9,6 @@
 //! By default each binary runs a *scaled-down* version of the paper's sweep so
 //! that the full set finishes in minutes on a laptop; pass
 //! `--min-exp`/`--max-exp`/`--tuples`/`--threads` to widen the sweep up to the
-//! paper's original ranges (see `EXPERIMENTS.md`).
+//! paper's original ranges.
 
 pub mod harness;

@@ -10,7 +10,7 @@
 //! fades as the tree grows.
 //!
 //! This crate implements that profile with safe Rust primitives (documented as
-//! a substitution in `DESIGN.md`):
+//! a documented substitution):
 //!
 //! * a read-mostly **routing table** (the analogue of the mapping table plus
 //!   inner nodes) maps key ranges to logical leaf pages and is only written by

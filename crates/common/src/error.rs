@@ -9,10 +9,18 @@ pub enum Error {
     /// A configuration value is outside its legal domain.
     InvalidConfig(String),
     /// An exact `(key, seq)` entry scheduled for deletion was not found.
-    EntryNotFound { key: i64, seq: u64 },
+    EntryNotFound {
+        /// Join-attribute key of the missing entry.
+        key: i64,
+        /// Window sequence number of the missing entry.
+        seq: u64,
+    },
     /// The sliding window ring buffer ran out of capacity. This indicates the
     /// over-provisioning factor is too small for the number of in-flight tasks.
-    WindowFull { capacity: usize },
+    WindowFull {
+        /// Configured slot capacity of the window ring buffer.
+        capacity: usize,
+    },
     /// A worker thread panicked inside a parallel operator.
     WorkerPanicked(String),
     /// The operator was asked to do something unsupported in its current state

@@ -14,14 +14,20 @@
 //! The paper this workspace reproduces is *"Parallel Index-based Stream Join on
 //! a Multicore CPU"* (Shahvarani & Jacobsen, SIGMOD 2020).
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod error;
 pub mod memtraffic;
 pub mod metrics;
+pub mod prefetch;
 pub mod types;
 
-pub use config::{IndexKind, JoinConfig, MergePolicy, PimConfig, RingConfig};
+pub use config::{IndexKind, JoinConfig, MergePolicy, PimConfig, ProbeConfig, RingConfig};
 pub use error::{Error, Result};
 pub use memtraffic::MemTraffic;
-pub use metrics::{CostBreakdown, LatencyRecorder, Step, StepTimer, ThroughputMeter};
+pub use metrics::{
+    CostBreakdown, LatencyRecorder, ProbeCounters, Step, StepTimer, ThroughputMeter,
+};
+pub use prefetch::{prefetch_read, prefetch_slice, CACHE_LINE_BYTES};
 pub use types::{BandPredicate, JoinResult, Key, KeyRange, Seq, StreamSide, Tuple};

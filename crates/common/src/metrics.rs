@@ -124,6 +124,62 @@ impl CostBreakdown {
     }
 }
 
+/// Counters of the batched CSS-Tree group probe (see `pimtree-cssbtree`),
+/// recording how much of the result-generation work went through the batched
+/// path and how much prefetching it issued. Filled by `PimTree::probe_batch`
+/// and absorbed into the join engines' run statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeCounters {
+    /// Batched probe calls (one per task and probe side).
+    pub batches: u64,
+    /// Probe keys submitted across all batches (before deduplication).
+    pub batched_keys: u64,
+    /// Largest single batch submitted.
+    pub max_batch: u64,
+    /// Keys that shared a descent with an identical earlier key in the same
+    /// batch (sort + dedup hits).
+    pub dedup_hits: u64,
+    /// Node key blocks (inner nodes and leaf groups) software-prefetched
+    /// ahead of the group descent.
+    pub nodes_prefetched: u64,
+    /// Probes a batched call had to answer through the scalar one-key path
+    /// because the index backend has no batched probe (e.g. the Bw-Tree).
+    /// Stays zero when batching is disabled: the engines then take the
+    /// original scalar code path, which records nothing here.
+    pub scalar_probes: u64,
+}
+
+impl ProbeCounters {
+    /// Folds another worker's counters into this one.
+    pub fn merge_from(&mut self, other: &ProbeCounters) {
+        self.batches += other.batches;
+        self.batched_keys += other.batched_keys;
+        self.max_batch = self.max_batch.max(other.max_batch);
+        self.dedup_hits += other.dedup_hits;
+        self.nodes_prefetched += other.nodes_prefetched;
+        self.scalar_probes += other.scalar_probes;
+    }
+
+    /// Mean keys per batched probe call.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_keys as f64 / self.batches as f64
+        }
+    }
+
+    /// Fraction of batched keys that shared an identical earlier key's
+    /// descent.
+    pub fn dedup_rate(&self) -> f64 {
+        if self.batched_keys == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / self.batched_keys as f64
+        }
+    }
+}
+
 /// A scoped timer that records into a [`CostBreakdown`] bucket on demand.
 ///
 /// The timer is intentionally explicit (call [`StepTimer::finish`]) rather than

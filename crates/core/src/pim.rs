@@ -6,7 +6,7 @@ use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 use pimtree_btree::{BTreeIndex, Entry};
-use pimtree_common::{CostBreakdown, Key, KeyRange, PimConfig, Seq, Step};
+use pimtree_common::{CostBreakdown, Key, KeyRange, PimConfig, ProbeCounters, Seq, Step};
 use pimtree_css::CssTree;
 
 use crate::footprint::PimFootprint;
@@ -84,6 +84,39 @@ impl Generation {
         );
         out
     }
+}
+
+/// Probes one generation for `range`: the immutable component without locks,
+/// then the overlapping mutable partitions one lock at a time (Algorithm 2).
+/// Shared by the scalar probe and the batch-of-one fast path.
+fn probe_generation(gen: &Generation, range: KeyRange, f: &mut dyn FnMut(Entry)) {
+    gen.ts.range_for_each(range, &mut *f);
+    if gen.ti_len.load(Ordering::Relaxed) == 0 {
+        return;
+    }
+    let p_lo = gen.route(Entry::min_for_key(range.lo));
+    let p_hi = gen.route(Entry::max_for_key(range.hi));
+    for p in p_lo..=p_hi {
+        let tree = gen.partitions[p].tree.lock();
+        tree.range_for_each(range, &mut *f);
+    }
+}
+
+/// Sort/dedup bookkeeping and group-descent cursors of
+/// [`PimTree::probe_batch`], kept per thread so the hot path reuses its
+/// buffers instead of allocating five vectors per task.
+#[derive(Default)]
+struct ProbeScratch {
+    order: Vec<usize>,
+    uniq: Vec<KeyRange>,
+    starts: Vec<usize>,
+    targets: Vec<Entry>,
+    positions: Vec<usize>,
+}
+
+thread_local! {
+    static PROBE_SCRATCH: std::cell::RefCell<ProbeScratch> =
+        std::cell::RefCell::new(ProbeScratch::default());
 }
 
 /// A merge that has been prepared (phase 1 of the non-blocking merge) but not
@@ -217,16 +250,110 @@ impl PimTree {
     /// locked, one at a time (Algorithm 2).
     pub fn range_for_each<F: FnMut(Entry)>(&self, range: KeyRange, mut f: F) {
         let gen = self.current.read();
-        gen.ts.range_for_each(range, &mut f);
-        if gen.ti_len.load(Ordering::Relaxed) == 0 {
+        probe_generation(&gen, range, &mut f);
+    }
+
+    /// Batched range probe: calls `f(i, entry)` for every indexed entry whose
+    /// key lies in `ranges[i]`, including entries of expired tuples (callers
+    /// filter by sequence number). Per range, entries arrive exactly as the
+    /// scalar [`PimTree::range_for_each`] would deliver them: the immutable
+    /// component's entries in ascending order, then the overlapping mutable
+    /// partitions.
+    ///
+    /// The batch is sorted and deduplicated (identical ranges share one
+    /// descent), then the immutable component is descended level-by-level for
+    /// the whole group with software prefetching
+    /// (`CssTree::lower_bound_batch`), all under a single acquisition of the
+    /// generation lock — one lock round-trip per task instead of one per
+    /// tuple. `prefetch_dist` is the per-level prefetch lookahead (0 = no
+    /// prefetching); `counters` records batch sizes, dedup hits and nodes
+    /// prefetched. A batch of one degenerates to the scalar descent (there is
+    /// nothing to group, dedup or prefetch ahead of), skipping the batch
+    /// bookkeeping entirely; the sort/dedup/cursor buffers of larger batches
+    /// are reused through a per-thread scratch, so the steady state allocates
+    /// nothing.
+    pub fn probe_batch<F: FnMut(usize, Entry)>(
+        &self,
+        ranges: &[KeyRange],
+        prefetch_dist: usize,
+        counters: &mut ProbeCounters,
+        mut f: F,
+    ) {
+        let n = ranges.len();
+        if n == 0 {
             return;
         }
-        let p_lo = gen.route(Entry::min_for_key(range.lo));
-        let p_hi = gen.route(Entry::max_for_key(range.hi));
-        for p in p_lo..=p_hi {
-            let tree = gen.partitions[p].tree.lock();
-            tree.range_for_each(range, &mut f);
+        counters.batches += 1;
+        counters.batched_keys += n as u64;
+        counters.max_batch = counters.max_batch.max(n as u64);
+
+        let gen = self.current.read();
+        if n == 1 {
+            probe_generation(&gen, ranges[0], &mut |e| f(0, e));
+            return;
         }
+        // Taking the scratch out (instead of borrowing it in place) keeps a
+        // re-entrant callback from panicking: an inner call simply starts
+        // from an empty default and the outer buffers win the put-back.
+        let mut s = PROBE_SCRATCH.with(|cell| cell.take());
+        // Sort the batch so equal ranges are adjacent (deduplicated below)
+        // and the group descent visits nodes left to right.
+        s.order.clear();
+        s.order.extend(0..n);
+        s.order
+            .sort_unstable_by_key(|&i| (ranges[i].lo, ranges[i].hi));
+        s.uniq.clear();
+        s.starts.clear();
+        for (pos, &i) in s.order.iter().enumerate() {
+            if s.uniq.last() != Some(&ranges[i]) {
+                s.uniq.push(ranges[i]);
+                s.starts.push(pos);
+            }
+        }
+        s.starts.push(n);
+        counters.dedup_hits += (n - s.uniq.len()) as u64;
+
+        // One level-wise group descent resolves every unique range's start
+        // position in the immutable component.
+        s.positions.clear();
+        if !gen.ts.is_empty() {
+            s.targets.clear();
+            s.targets
+                .extend(s.uniq.iter().map(|r| Entry::min_for_key(r.lo)));
+            counters.nodes_prefetched +=
+                gen.ts
+                    .lower_bound_batch(&s.targets, prefetch_dist, &mut s.positions);
+        }
+        let ti_populated = gen.ti_len.load(Ordering::Relaxed) > 0;
+        for (j, &range) in s.uniq.iter().enumerate() {
+            let group = &s.order[s.starts[j]..s.starts[j + 1]];
+            if !gen.ts.is_empty() {
+                let mut pos = s.positions[j];
+                while pos < gen.ts.len() {
+                    let e = gen.ts.entry_at(pos);
+                    if e.key > range.hi {
+                        break;
+                    }
+                    for &i in group {
+                        f(i, e);
+                    }
+                    pos += 1;
+                }
+            }
+            if ti_populated {
+                let p_lo = gen.route(Entry::min_for_key(range.lo));
+                let p_hi = gen.route(Entry::max_for_key(range.hi));
+                for p in p_lo..=p_hi {
+                    let tree = gen.partitions[p].tree.lock();
+                    tree.range_for_each(range, |e| {
+                        for &i in group {
+                            f(i, e);
+                        }
+                    });
+                }
+            }
+        }
+        PROBE_SCRATCH.with(|cell| cell.replace(s));
     }
 
     /// Calls `f` for every *live* entry (sequence number at or after
@@ -631,6 +758,83 @@ mod tests {
         assert_eq!(t.ti_len(), (threads * per_thread) as usize);
         let all = t.range_collect_live(KeyRange::new(i64::MIN, i64::MAX), 0);
         assert_eq!(all.len(), (1 << 14) + (threads * per_thread) as usize);
+    }
+
+    #[test]
+    fn batched_probe_matches_scalar_on_both_components() {
+        let t = PimTree::new(config(512, 1.0, 2));
+        // TS from the merge, TI from post-merge inserts, duplicates in both.
+        for i in 0..512i64 {
+            t.insert((i * 3) % 700, i as Seq);
+        }
+        t.merge(0);
+        for i in 512..700i64 {
+            t.insert((i * 3) % 700, i as Seq);
+        }
+        let ranges = [
+            KeyRange::new(100, 160),
+            KeyRange::new(100, 160),   // duplicate of the first
+            KeyRange::new(-50, -1),    // below the domain
+            KeyRange::new(5000, 6000), // above the domain
+            KeyRange::new(0, 2000),    // everything
+            KeyRange::point(300),
+        ];
+        let mut counters = ProbeCounters::default();
+        let mut batched: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
+        for dist in [0usize, 1, 4, 64] {
+            for v in batched.iter_mut() {
+                v.clear();
+            }
+            t.probe_batch(&ranges, dist, &mut counters, |i, e| batched[i].push(e));
+            for (range, got) in ranges.iter().zip(&batched) {
+                let mut scalar = Vec::new();
+                t.range_for_each(*range, |e| scalar.push(e));
+                assert_eq!(got, &scalar, "range {range:?}, prefetch_dist {dist}");
+            }
+        }
+        assert_eq!(counters.batches, 4);
+        assert_eq!(counters.batched_keys, 4 * ranges.len() as u64);
+        assert_eq!(counters.max_batch, ranges.len() as u64);
+        assert_eq!(counters.dedup_hits, 4, "one duplicate range per call");
+        assert!(
+            counters.nodes_prefetched > 0,
+            "distances > 0 must prefetch nodes of the populated TS"
+        );
+    }
+
+    #[test]
+    fn batched_probe_on_empty_tree_and_empty_batch() {
+        let t = PimTree::new(config(64, 1.0, 2));
+        let mut counters = ProbeCounters::default();
+        t.probe_batch(&[], 4, &mut counters, |_, _| {
+            panic!("empty batch must not call back")
+        });
+        assert_eq!(counters.batches, 0, "empty batches are not counted");
+        t.probe_batch(&[KeyRange::new(0, 100)], 4, &mut counters, |_, _| {
+            panic!("empty tree must not call back")
+        });
+        assert_eq!(counters.batches, 1);
+        assert_eq!(counters.nodes_prefetched, 0);
+    }
+
+    #[test]
+    fn batched_probe_before_first_merge_sees_only_ti() {
+        // Everything still lives in the mutable component (TS is empty).
+        let t = PimTree::new(config(256, 1.0, 2));
+        for i in 0..100i64 {
+            t.insert(i, i as Seq);
+        }
+        let ranges = [KeyRange::new(10, 20), KeyRange::new(95, 200)];
+        let mut counters = ProbeCounters::default();
+        let mut got: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
+        t.probe_batch(&ranges, 4, &mut counters, |i, e| got[i].push(e));
+        assert_eq!(got[0].len(), 11);
+        assert_eq!(got[1].len(), 5);
+        for (range, entries) in ranges.iter().zip(&got) {
+            let mut scalar = Vec::new();
+            t.range_for_each(*range, |e| scalar.push(e));
+            assert_eq!(entries, &scalar);
+        }
     }
 
     #[test]

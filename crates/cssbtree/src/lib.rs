@@ -11,6 +11,15 @@
 //! The structure is completely read-only after construction, which is what
 //! makes `TS` traversal lock-free in the PIM-Tree: concurrent readers share an
 //! `Arc<CssTree>` and the merge installs a fresh tree by swapping the `Arc`.
+//!
+//! The breadth-first layout has a second payoff beyond fan-out: because child
+//! positions are arithmetic, a *group* of lookups can descend level by level
+//! with every next-level node known — and software-prefetched — before it is
+//! touched. [`tree::CssTree::lower_bound_batch`] and
+//! [`tree::CssTree::probe_batch`] implement that batched group probe, which
+//! the join engines use to answer a whole task's probes at once.
+
+#![warn(missing_docs)]
 
 pub mod build;
 pub mod tree;

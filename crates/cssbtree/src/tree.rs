@@ -1,7 +1,7 @@
 //! The immutable CSS-Tree structure and its search operations.
 
 use pimtree_btree::Entry;
-use pimtree_common::{Key, KeyRange};
+use pimtree_common::{prefetch_slice, Key, KeyRange};
 
 /// Structural statistics of a [`CssTree`], used for the memory-footprint
 /// comparison of Figure 11a.
@@ -191,6 +191,135 @@ impl CssTree {
     #[inline]
     pub fn lower_bound_key(&self, key: Key) -> usize {
         self.lower_bound(Entry::min_for_key(key))
+    }
+
+    /// The entries of leaf group `group` (the last group may be short).
+    #[inline]
+    fn leaf_group_slice(&self, group: usize) -> &[Entry] {
+        let start = group * self.leaf_size;
+        let end = (start + self.leaf_size).min(self.leaves.len());
+        &self.leaves[start..end]
+    }
+
+    /// Batched [`CssTree::lower_bound`]: resolves the leaf position of every
+    /// target in one level-wise group descent, issuing software prefetches
+    /// for the node key blocks the group is about to visit.
+    ///
+    /// Instead of walking root → leaf once per key (each level a dependent
+    /// cache miss), the whole group advances one level at a time: while the
+    /// descent resolves key `i` at a level, the key block that key `i +
+    /// prefetch_dist` will binary-search at the same level is already being
+    /// prefetched, and the first `prefetch_dist` children computed in a pass
+    /// are prefetched immediately so the next level starts with its lookahead
+    /// window in flight. This is the group-probe pattern the cache-sensitive
+    /// breadth-first layout was designed for: node addresses are computed
+    /// arithmetically, so the next level's blocks are known before any of
+    /// them is touched. A `prefetch_dist` of 0 keeps the batch descent but
+    /// issues no prefetches; sorting `targets` improves locality but is not
+    /// required for correctness.
+    ///
+    /// `positions` is cleared and filled with one leaf position per target
+    /// (same order, same values as scalar [`CssTree::lower_bound`]); the
+    /// return value is the number of node blocks prefetched.
+    pub fn lower_bound_batch(
+        &self,
+        targets: &[Entry],
+        prefetch_dist: usize,
+        positions: &mut Vec<usize>,
+    ) -> u64 {
+        positions.clear();
+        let n = targets.len();
+        if n == 0 {
+            return 0;
+        }
+        if self.leaves.is_empty() {
+            positions.resize(n, 0);
+            return 0;
+        }
+        if self.level_sizes.is_empty() {
+            // Single leaf level: no inner nodes to descend or prefetch.
+            positions.extend(
+                targets
+                    .iter()
+                    .map(|&t| self.leaves.partition_point(|&e| e < t)),
+            );
+            return 0;
+        }
+        // `positions` doubles as the per-target node cursor while descending.
+        positions.resize(n, 0);
+        let d = prefetch_dist;
+        let levels = self.level_sizes.len();
+        let mut prefetched = 0u64;
+        for level in 0..levels {
+            for i in 0..n {
+                // Rolling lookahead within the level (skipped at the root,
+                // where every key reads the same block).
+                if level > 0 && d > 0 && i + d < n {
+                    prefetch_slice(self.keys_of(level, positions[i + d]));
+                    prefetched += 1;
+                }
+                let keys = self.keys_of(level, positions[i]);
+                let mut k = keys.partition_point(|&e| e < targets[i]);
+                let real = self.real_children(level, positions[i]);
+                if k >= real {
+                    k = real - 1;
+                }
+                let child = positions[i] * self.fanout + k;
+                positions[i] = child;
+                // Seed the next level's lookahead window with the first `d`
+                // children computed in this pass.
+                if d > 0 && i < d {
+                    if level + 1 < levels {
+                        prefetch_slice(self.keys_of(level + 1, child));
+                    } else {
+                        prefetch_slice(self.leaf_group_slice(child));
+                    }
+                    prefetched += 1;
+                }
+            }
+        }
+        // Leaf pass: the cursors now hold leaf-group indexes.
+        for i in 0..n {
+            if d > 0 && i + d < n {
+                prefetch_slice(self.leaf_group_slice(positions[i + d]));
+                prefetched += 1;
+            }
+            let group = self.leaf_group_slice(positions[i]);
+            let start = positions[i] * self.leaf_size;
+            positions[i] = start + group.partition_point(|&e| e < targets[i]);
+        }
+        prefetched
+    }
+
+    /// Batched range probe: calls `f(i, entry)` for every entry whose key
+    /// lies in `ranges[i]` (bounds inclusive), entries of each range in
+    /// ascending order. The positions of all range starts are resolved with
+    /// one prefetched group descent ([`CssTree::lower_bound_batch`]); returns
+    /// the number of node blocks prefetched.
+    pub fn probe_batch<F: FnMut(usize, Entry)>(
+        &self,
+        ranges: &[KeyRange],
+        prefetch_dist: usize,
+        mut f: F,
+    ) -> u64 {
+        if ranges.is_empty() || self.leaves.is_empty() {
+            return 0;
+        }
+        let targets: Vec<Entry> = ranges.iter().map(|r| Entry::min_for_key(r.lo)).collect();
+        let mut positions = Vec::with_capacity(ranges.len());
+        let prefetched = self.lower_bound_batch(&targets, prefetch_dist, &mut positions);
+        for (i, (range, &start)) in ranges.iter().zip(positions.iter()).enumerate() {
+            let mut pos = start;
+            while pos < self.leaves.len() {
+                let e = self.leaves[pos];
+                if e.key > range.hi {
+                    break;
+                }
+                f(i, e);
+                pos += 1;
+            }
+        }
+        prefetched
     }
 
     /// Calls `f` for every entry whose key lies in `range` (bounds inclusive),
@@ -404,6 +533,117 @@ mod tests {
         assert_eq!(s.leaf_bytes, 1000 * std::mem::size_of::<Entry>());
         assert!(s.inner_bytes > 0);
         assert_eq!(s.total_bytes(), s.leaf_bytes + s.inner_bytes);
+    }
+
+    /// Scalar/batched parity over every target in `probes`, for every
+    /// prefetch distance in `dists`.
+    fn assert_batch_matches_scalar(t: &CssTree, probes: &[Entry], dists: &[usize]) {
+        let expected: Vec<usize> = probes.iter().map(|&p| t.lower_bound(p)).collect();
+        for &d in dists {
+            let mut got = Vec::new();
+            t.lower_bound_batch(probes, d, &mut got);
+            assert_eq!(got, expected, "prefetch_dist = {d}");
+        }
+    }
+
+    #[test]
+    fn batched_lower_bound_on_empty_tree() {
+        let t = CssTree::empty();
+        let probes = [Entry::min_for_key(0), Entry::min_for_key(100)];
+        let mut got = Vec::new();
+        let prefetched = t.lower_bound_batch(&probes, 4, &mut got);
+        assert_eq!(got, vec![0, 0]);
+        assert_eq!(prefetched, 0, "nothing to prefetch in an empty tree");
+        t.probe_batch(&[KeyRange::new(0, 100)], 4, |_, _| {
+            panic!("empty tree must produce no entries")
+        });
+    }
+
+    #[test]
+    fn batched_lower_bound_on_single_node_tree() {
+        // One entry, and separately one leaf group (no inner levels).
+        for n in [1usize, 7] {
+            let t = tree(n, 4, 8);
+            assert_eq!(t.inner_levels(), 0);
+            let probes: Vec<Entry> = (-2..2 * n as i64 + 2).map(Entry::min_for_key).collect();
+            assert_batch_matches_scalar(&t, &probes, &[0, 1, 4, 64]);
+        }
+    }
+
+    #[test]
+    fn batched_lower_bound_with_all_duplicate_keys() {
+        let entries: Vec<Entry> = (0..200u64).map(|s| Entry::new(42, s)).collect();
+        let t = crate::CssBuilder::new()
+            .fanout(4)
+            .leaf_size(4)
+            .build(entries);
+        let probes = vec![Entry::min_for_key(42); 16];
+        assert_batch_matches_scalar(&t, &probes, &[0, 2, 16]);
+        let mut per_range = vec![0usize; 3];
+        let ranges = [
+            KeyRange::point(42),
+            KeyRange::new(0, 41),
+            KeyRange::new(43, 100),
+        ];
+        t.probe_batch(&ranges, 4, |i, e| {
+            assert_eq!(e.key, 42);
+            per_range[i] += 1;
+        });
+        assert_eq!(per_range, vec![200, 0, 0]);
+    }
+
+    #[test]
+    fn batched_lower_bound_outside_the_indexed_range() {
+        let t = tree(1000, 8, 8); // keys 0, 2, ..., 1998
+        let probes = [
+            Entry::min_for_key(-500),
+            Entry::min_for_key(i64::MIN),
+            Entry::min_for_key(5000),
+            Entry::min_for_key(i64::MAX),
+            Entry::max_for_key(1998),
+        ];
+        assert_batch_matches_scalar(&t, &probes, &[0, 1, 3, 8]);
+        let mut hits = 0;
+        t.probe_batch(
+            &[KeyRange::new(-100, -1), KeyRange::new(2000, 9000)],
+            4,
+            |_, _| hits += 1,
+        );
+        assert_eq!(hits, 0, "out-of-range probes must match nothing");
+    }
+
+    #[test]
+    fn batched_lower_bound_matches_scalar_on_random_batches() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for (n, fanout, leaf) in [(9, 4, 4), (100, 4, 4), (1000, 8, 8), (5000, 32, 32)] {
+            let t = tree(n, fanout, leaf);
+            for batch in [1usize, 2, 8, 33] {
+                let probes: Vec<Entry> = (0..batch)
+                    .map(|_| Entry::new(rng.gen_range(-10..2 * n as i64 + 10), rng.gen()))
+                    .collect();
+                assert_batch_matches_scalar(&t, &probes, &[0, 1, 4, 7, 1024]);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_probe_matches_range_collect() {
+        let t = tree(2000, 8, 8);
+        let ranges = [
+            KeyRange::new(100, 150),
+            KeyRange::new(0, 0),
+            KeyRange::new(3990, 4100),
+            KeyRange::new(-5, 5),
+            KeyRange::new(700, 700),
+        ];
+        let mut got: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
+        let prefetched = t.probe_batch(&ranges, 2, |i, e| got[i].push(e));
+        assert!(prefetched > 0, "a multi-level tree prefetches nodes");
+        for (range, entries) in ranges.iter().zip(&got) {
+            assert_eq!(entries, &t.range_collect(*range), "range {range:?}");
+        }
     }
 
     #[test]

@@ -18,7 +18,9 @@
 use pimtree_btree::{BTreeIndex, Entry};
 use pimtree_bwtree::BwTreeIndex;
 use pimtree_chained::{ChainVariant, ChainedIndex};
-use pimtree_common::{CostBreakdown, Key, KeyRange, PimConfig, Seq, Step, StepTimer};
+use pimtree_common::{
+    CostBreakdown, Key, KeyRange, PimConfig, ProbeCounters, Seq, Step, StepTimer,
+};
 use pimtree_core::{ImTree, MergeReport, PimTree};
 
 /// Uniform interface over the sliding-window index structures, used by the
@@ -37,6 +39,28 @@ pub trait WindowIndexAdapter {
     /// Calls `f` for candidate entries with key in `range`. Entries of
     /// expired tuples may be reported; the caller filters by sequence number.
     fn probe(&self, range: KeyRange, f: &mut dyn FnMut(Entry));
+
+    /// Batched range probe: calls `f(i, entry)` for candidate entries with
+    /// key in `ranges[i]`, entries of each range in the same order as
+    /// [`WindowIndexAdapter::probe`] would deliver them.
+    ///
+    /// The default implementation answers each range through the scalar
+    /// probe (recorded in `counters.scalar_probes`); indexes with a genuine
+    /// group probe — the PIM-Tree's prefetched CSS-Tree descent — override
+    /// it. `prefetch_dist` is the per-level prefetch lookahead.
+    fn probe_batch(
+        &self,
+        ranges: &[KeyRange],
+        prefetch_dist: usize,
+        counters: &mut ProbeCounters,
+        f: &mut dyn FnMut(usize, Entry),
+    ) {
+        let _ = prefetch_dist;
+        for (i, &range) in ranges.iter().enumerate() {
+            counters.scalar_probes += 1;
+            self.probe(range, &mut |e| f(i, e));
+        }
+    }
 
     /// Periodic maintenance (the merge of the two-stage trees). Returns a
     /// report when maintenance actually ran.
@@ -290,6 +314,16 @@ impl WindowIndexAdapter for PimTreeAdapter {
         self.tree.range_for_each(range, f);
     }
 
+    fn probe_batch(
+        &self,
+        ranges: &[KeyRange],
+        prefetch_dist: usize,
+        counters: &mut ProbeCounters,
+        f: &mut dyn FnMut(usize, Entry),
+    ) {
+        self.tree.probe_batch(ranges, prefetch_dist, counters, f);
+    }
+
     fn maintain(&mut self, earliest_live: Seq) -> Option<MergeReport> {
         if self.tree.needs_merge() {
             Some(self.tree.merge(earliest_live))
@@ -482,6 +516,55 @@ mod tests {
             assert_eq!(instrumented, plain, "{}", a.name());
             assert!(breakdown.count(Step::Search) >= 1, "{}", a.name());
         }
+    }
+
+    #[test]
+    fn batched_probe_matches_scalar_probe_for_every_adapter() {
+        let pim_cfg = PimConfig::for_window(256).with_insertion_depth(2);
+        let mut adapters: Vec<Box<dyn WindowIndexAdapter>> = vec![
+            Box::new(BTreeAdapter::new()),
+            Box::new(ChainedAdapter::new(ChainVariant::BChain, 256, 3)),
+            Box::new(ImTreeAdapter::new(pim_cfg)),
+            Box::new(PimTreeAdapter::new(pim_cfg)),
+            Box::new(BwTreeAdapter::new()),
+        ];
+        for a in adapters.iter_mut() {
+            for i in 0..256u64 {
+                a.insert(((i * 7) % 300) as Key, i);
+            }
+            a.maintain(0);
+            // Keep some entries in the PIM/IM mutable component as well.
+            for i in 256..300u64 {
+                a.insert(((i * 7) % 300) as Key, i);
+            }
+        }
+        let ranges = [
+            KeyRange::new(50, 80),
+            KeyRange::new(50, 80), // duplicate
+            KeyRange::new(-10, -1),
+            KeyRange::new(290, 400),
+        ];
+        for a in adapters.iter() {
+            let mut counters = ProbeCounters::default();
+            let mut batched: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
+            a.probe_batch(&ranges, 4, &mut counters, &mut |i, e| batched[i].push(e));
+            for (range, got) in ranges.iter().zip(&batched) {
+                let mut scalar = Vec::new();
+                a.probe(*range, &mut |e| scalar.push(e));
+                assert_eq!(got, &scalar, "{} range {range:?}", a.name());
+            }
+        }
+        // The PIM-Tree adapter routes the batch through the real group probe.
+        let pim = PimTreeAdapter::new(pim_cfg);
+        let mut counters = ProbeCounters::default();
+        pim.probe_batch(&ranges, 4, &mut counters, &mut |_, _| {});
+        assert_eq!(counters.batches, 1);
+        assert_eq!(counters.scalar_probes, 0);
+        // The B+-Tree adapter falls back to scalar probes.
+        let bt = BTreeAdapter::new();
+        let mut counters = ProbeCounters::default();
+        bt.probe_batch(&ranges, 4, &mut counters, &mut |_, _| {});
+        assert_eq!(counters.scalar_probes, ranges.len() as u64);
     }
 
     #[test]

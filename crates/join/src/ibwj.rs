@@ -11,7 +11,8 @@
 use std::time::Instant;
 
 use pimtree_common::{
-    BandPredicate, IndexKind, JoinConfig, JoinResult, Step, StepTimer, StreamSide, Tuple,
+    BandPredicate, IndexKind, JoinConfig, JoinResult, ProbeConfig, ProbeCounters, Step, StepTimer,
+    StreamSide, Tuple,
 };
 use pimtree_window::SlidingWindow;
 
@@ -72,6 +73,8 @@ pub struct IbwjOperator<A: WindowIndexAdapter> {
     predicate: BandPredicate,
     self_join: bool,
     instrument: bool,
+    probe: ProbeConfig,
+    probe_counters: ProbeCounters,
     results_count: u64,
     merges: u64,
     merge_time: std::time::Duration,
@@ -96,6 +99,8 @@ impl<A: WindowIndexAdapter> IbwjOperator<A> {
             predicate,
             self_join: false,
             instrument: false,
+            probe: ProbeConfig::default(),
+            probe_counters: ProbeCounters::default(),
             results_count: 0,
             merges: 0,
             merge_time: std::time::Duration::ZERO,
@@ -120,6 +125,8 @@ impl<A: WindowIndexAdapter> IbwjOperator<A> {
             predicate,
             self_join: true,
             instrument: false,
+            probe: ProbeConfig::default(),
+            probe_counters: ProbeCounters::default(),
             results_count: 0,
             merges: 0,
             merge_time: std::time::Duration::ZERO,
@@ -128,9 +135,22 @@ impl<A: WindowIndexAdapter> IbwjOperator<A> {
     }
 
     /// Enables per-step cost instrumentation (Figure 9b). Instrumentation adds
-    /// two clock reads per step and is off by default.
+    /// two clock reads per step and is off by default. The instrumented probe
+    /// always takes the scalar path (its purpose is the per-step cost split).
     pub fn with_instrumentation(mut self) -> Self {
         self.instrument = true;
+        self
+    }
+
+    /// Overrides the probe tuning. With batching enabled (the default) each
+    /// tuple's probe goes through the index's batched API as a group of one —
+    /// which degenerates to the scalar descent (no sort/dedup/prefetch
+    /// overhead) but keeps the probe counters and exercises the exact entry
+    /// point the parallel engine batches across a whole task; disabling it
+    /// restores the plain scalar probe call unchanged.
+    pub fn with_probe_config(mut self, probe: ProbeConfig) -> Self {
+        probe.validate().expect("invalid probe configuration");
+        self.probe = probe;
         self
     }
 
@@ -156,6 +176,7 @@ impl<A: WindowIndexAdapter> SingleThreadJoin for IbwjOperator<A> {
             merges: self.merges,
             merge_time: self.merge_time,
             breakdown: self.breakdown.clone(),
+            probe: self.probe_counters,
             ..Default::default()
         }
     }
@@ -189,6 +210,26 @@ impl<A: WindowIndexAdapter> SingleThreadJoin for IbwjOperator<A> {
                     ));
                 }
             }
+        } else if self.probe.batch {
+            // A group of one through the batched entry point: the PIM-Tree
+            // answers it with its scalar fast path, so this differs from the
+            // scalar branch only in the counters — but it keeps the
+            // single-threaded engine on the same API the parallel engine
+            // batches across a whole task.
+            let indexes = &self.indexes;
+            indexes[probe_idx].probe_batch(
+                std::slice::from_ref(&range),
+                self.probe.prefetch_dist,
+                &mut self.probe_counters,
+                &mut |_, e| {
+                    if probe_bounds.contains(e.seq) {
+                        out.push(JoinResult::new(
+                            tuple,
+                            Tuple::new(matched_side, e.seq, e.key),
+                        ));
+                    }
+                },
+            );
         } else {
             let indexes = &self.indexes;
             indexes[probe_idx].probe(range, &mut |e| {
@@ -254,6 +295,7 @@ pub fn build_single_threaded(
 ) -> Box<dyn SingleThreadJoin> {
     let (wr, ws) = (config.window_r, config.window_s);
     let pim = config.pim;
+    let probe = config.probe;
     match config.index {
         IndexKind::None => {
             if self_join {
@@ -262,28 +304,28 @@ pub fn build_single_threaded(
                 Box::new(crate::nlwj::NlwjOperator::new(wr, ws, predicate))
             }
         }
-        IndexKind::BTree => boxed(wr, ws, predicate, self_join, move || {
+        IndexKind::BTree => boxed(wr, ws, predicate, self_join, probe, move || {
             BTreeAdapter::with_fanout(pim.btree_fanout)
         }),
         IndexKind::BChain => {
             let chain = config.chain_length;
-            boxed(wr, ws, predicate, self_join, move || {
+            boxed(wr, ws, predicate, self_join, probe, move || {
                 ChainedAdapter::new(ChainVariant::BChain, wr, chain)
             })
         }
         IndexKind::IbChain => {
             let chain = config.chain_length;
-            boxed(wr, ws, predicate, self_join, move || {
+            boxed(wr, ws, predicate, self_join, probe, move || {
                 ChainedAdapter::new(ChainVariant::IbChain, wr, chain)
             })
         }
-        IndexKind::ImTree => boxed(wr, ws, predicate, self_join, move || {
+        IndexKind::ImTree => boxed(wr, ws, predicate, self_join, probe, move || {
             ImTreeAdapter::new(pim)
         }),
-        IndexKind::PimTree => boxed(wr, ws, predicate, self_join, move || {
+        IndexKind::PimTree => boxed(wr, ws, predicate, self_join, probe, move || {
             PimTreeAdapter::new(pim)
         }),
-        IndexKind::BwTree => boxed(wr, ws, predicate, self_join, BwTreeAdapter::new),
+        IndexKind::BwTree => boxed(wr, ws, predicate, self_join, probe, BwTreeAdapter::new),
     }
 }
 
@@ -292,12 +334,13 @@ fn boxed<A: WindowIndexAdapter + 'static>(
     ws: usize,
     predicate: BandPredicate,
     self_join: bool,
+    probe: ProbeConfig,
     make_index: impl FnMut() -> A,
 ) -> Box<dyn SingleThreadJoin> {
     if self_join {
-        Box::new(IbwjOperator::new_self_join(wr, predicate, make_index))
+        Box::new(IbwjOperator::new_self_join(wr, predicate, make_index).with_probe_config(probe))
     } else {
-        Box::new(IbwjOperator::new(wr, ws, predicate, make_index))
+        Box::new(IbwjOperator::new(wr, ws, predicate, make_index).with_probe_config(probe))
     }
 }
 
@@ -396,6 +439,47 @@ mod tests {
         let mut op = build_single_threaded(&config, predicate, false);
         let (_, results) = op.run(&tuples, true);
         assert_eq!(canonical(&results), expected);
+    }
+
+    #[test]
+    fn batched_and_scalar_probe_paths_agree_for_every_index_kind() {
+        let tuples = random_tuples(2500, 60, 15); // small domain: many dup keys
+        let predicate = BandPredicate::new(2);
+        let w = 96;
+        let expected = canonical(&reference_join(&tuples, predicate, w, w, false));
+        assert!(!expected.is_empty());
+        for kind in [
+            IndexKind::BTree,
+            IndexKind::ImTree,
+            IndexKind::PimTree,
+            IndexKind::BwTree,
+        ] {
+            let mut config = config_with(kind, w);
+            config.probe = pimtree_common::ProbeConfig::default();
+            let mut batched = build_single_threaded(&config, predicate, false);
+            config.probe = pimtree_common::ProbeConfig::scalar();
+            let mut scalar = build_single_threaded(&config, predicate, false);
+            let (batched_stats, batched_results) = batched.run(&tuples, true);
+            let (scalar_stats, scalar_results) = scalar.run(&tuples, true);
+            assert_eq!(canonical(&batched_results), expected, "batched {kind}");
+            assert_eq!(canonical(&scalar_results), expected, "scalar {kind}");
+            assert_eq!(
+                scalar_stats.probe,
+                Default::default(),
+                "scalar path must not touch probe counters ({kind})"
+            );
+            match kind {
+                IndexKind::PimTree => {
+                    assert_eq!(batched_stats.probe.batches, tuples.len() as u64);
+                    assert_eq!(batched_stats.probe.scalar_probes, 0);
+                }
+                _ => assert_eq!(
+                    batched_stats.probe.scalar_probes,
+                    tuples.len() as u64,
+                    "{kind} has no batched path and falls back per probe"
+                ),
+            }
+        }
     }
 
     #[test]

@@ -18,12 +18,20 @@
 //! * [`timejoin`] — a time-based (event-time) window band join over the same
 //!   PIM-Tree index, substantiating the paper's claim that the approach
 //!   applies to time-based windows without technical limitation (§2.1);
-//! * [`reference`] — a brute-force oracle used by the test suite to validate
+//! * [`reference`](mod@reference) — a brute-force oracle used by the test suite to validate
 //!   every operator's output;
 //! * [`stats`] — run statistics shared by all operators.
 //!
 //! The operators consume a pre-generated, interleaved tuple sequence (see
 //! `pimtree-workload`) and produce band-join results in arrival order.
+//!
+//! Result generation in both engines defaults to the **batched CSS group
+//! probe** (`ProbeConfig` in `pimtree-common`): a task's probe keys are
+//! sorted, deduplicated and resolved by one software-prefetched level-wise
+//! descent of the immutable index instead of one root-to-leaf walk per
+//! tuple. `ProbeConfig::scalar()` restores the original per-tuple path.
+
+#![warn(missing_docs)]
 
 pub mod adapter;
 pub mod handshake;

@@ -10,7 +10,10 @@
 //!    window captured at ingestion,
 //! 2. **generates results** by probing the opposite index for the already
 //!    indexed window prefix and linearly scanning the window suffix past the
-//!    *edge tuple* (the earliest non-indexed tuple),
+//!    *edge tuple* (the earliest non-indexed tuple) — by default the task's
+//!    probe keys are sorted, deduplicated and answered with one software-
+//!    prefetched CSS-Tree group descent per side (`generate_batched`;
+//!    [`ProbeConfig`] switches back to the scalar per-tuple path),
 //! 3. **publishes results** with one release store per slot (no lock), and
 //!    **updates the index** with its tuples, trying to advance the edge, and
 //! 4. **propagates results** of the completed ring prefix in arrival order:
@@ -39,7 +42,7 @@
 //!   structural: the cursor cannot pass an uncompleted slot, so results
 //!   always leave in arrival order of the probing tuple.
 //! * **The merge horizon** is read in O(1) from per-side monotone counters
-//!   maintained at claim time (see [`merge_horizon`]), instead of scanning
+//!   maintained at claim time (see `merge_horizon`), instead of scanning
 //!   every queued task under the queue lock.
 //! * **Idle back-off** is adaptive (spin → yield → short park,
 //!   [`crate::ring::Backoff`]) instead of a fixed 20µs sleep, so a worker
@@ -55,7 +58,7 @@
 //! * The engine's gate/in-flight handshake (`SeqCst` store-then-load on both
 //!   sides) guarantees a merging thread observes either the gate stopping a
 //!   worker's claim or that worker's task in `in_flight` — never neither.
-//! * Merging with [`merge_horizon`] never drops an index entry that any
+//! * Merging with `merge_horizon` never drops an index entry that any
 //!   claimed or future task may still probe: unclaimed tasks of a side have
 //!   bounds at least as large as the last claimed one (windows only grow and
 //!   ingestion is in arrival order), and the horizon additionally floors at
@@ -75,8 +78,8 @@ use parking_lot::Mutex;
 use pimtree_btree::Entry;
 use pimtree_bwtree::BwTreeIndex;
 use pimtree_common::{
-    BandPredicate, JoinConfig, JoinResult, Key, KeyRange, LatencyRecorder, MergePolicy, Seq,
-    StreamSide, Tuple,
+    BandPredicate, JoinConfig, JoinResult, Key, KeyRange, LatencyRecorder, MergePolicy,
+    ProbeConfig, ProbeCounters, Seq, StreamSide, Tuple,
 };
 use pimtree_core::PimTree;
 use pimtree_window::SlidingWindow;
@@ -116,6 +119,28 @@ impl SharedIndex {
         match self {
             SharedIndex::Pim(t) => t.range_for_each(range, f),
             SharedIndex::Bw(t) => t.range_for_each(range, f),
+        }
+    }
+
+    /// Batched range probe: `f(i, entry)` for entries in `ranges[i]`. The
+    /// PIM-Tree answers the whole batch with one sorted/deduplicated,
+    /// prefetched CSS-Tree group descent; the Bw-Tree has no batched path
+    /// and falls back to per-range scalar probes (counted as such).
+    fn probe_batch(
+        &self,
+        ranges: &[KeyRange],
+        prefetch_dist: usize,
+        counters: &mut ProbeCounters,
+        f: &mut dyn FnMut(usize, Entry),
+    ) {
+        match self {
+            SharedIndex::Pim(t) => t.probe_batch(ranges, prefetch_dist, counters, &mut *f),
+            SharedIndex::Bw(t) => {
+                for (i, &range) in ranges.iter().enumerate() {
+                    counters.scalar_probes += 1;
+                    t.range_for_each(range, &mut |e| f(i, e));
+                }
+            }
         }
     }
 
@@ -175,6 +200,7 @@ struct Shared<'a> {
     merge_policy: MergePolicy,
     collect_results: bool,
     backoff: pimtree_common::RingConfig,
+    probe: ProbeConfig,
 
     ring: TaskRing,
     /// Next input position to ingest; written only under the ingest token.
@@ -344,6 +370,7 @@ impl ParallelIbwj {
             merge_policy: self.config.pim.merge_policy,
             collect_results: self.collect_results,
             backoff: self.config.ring,
+            probe: self.config.probe,
             ring: TaskRing::with_capacity(ring_cap),
             next_ingest: AtomicUsize::new(0),
             claim_meta: [ClaimMeta::default(), ClaimMeta::default()],
@@ -416,6 +443,17 @@ struct WorkerScratch {
     inserts: [Vec<(Key, Seq)>; 2],
     /// Sequence numbers to mark as indexed after the batch insert, per side.
     indexed: [Vec<Seq>; 2],
+    /// Batched probe: this task's probe ranges, grouped per probe-side index.
+    probe_ranges: [Vec<KeyRange>; 2],
+    /// Batched probe: the item index behind each entry of `probe_ranges`.
+    probe_items: [Vec<usize>; 2],
+    /// Batched probe: per-item edge-tuple snapshot taken before the probe.
+    edges: Vec<Seq>,
+    /// Batched probe: per-item match counts.
+    counts: Vec<u64>,
+    /// Batched probe: per-item collected results (moved into the ring slot
+    /// when the item completes).
+    collected: Vec<Vec<JoinResult>>,
 }
 
 impl WorkerScratch {
@@ -424,6 +462,11 @@ impl WorkerScratch {
             items: Vec::new(),
             inserts: [Vec::new(), Vec::new()],
             indexed: [Vec::new(), Vec::new()],
+            probe_ranges: [Vec::new(), Vec::new()],
+            probe_items: [Vec::new(), Vec::new()],
+            edges: Vec::new(),
+            counts: Vec::new(),
+            collected: Vec::new(),
         }
     }
 }
@@ -583,6 +626,65 @@ fn process_task(
     // the draining worker can start propagating the prefix while this task
     // is still working on its remaining tuples.
     let generate_start = Instant::now();
+    if shared.probe.batch {
+        generate_batched(shared, scratch, local);
+    } else {
+        generate_scalar(shared, scratch, local);
+    }
+    local.phase.generate += generate_start.elapsed();
+    // Latency is the task processing time (§5): acquisition to results ready.
+    let task_latency = acquired_at.elapsed();
+    for _ in 0..scratch.items.len() {
+        latency.record(task_latency);
+    }
+    // Step 3: index update, batched per side so the generation lock and the
+    // shared counters are touched once per task instead of once per tuple.
+    let update_start = Instant::now();
+    scratch.inserts[0].clear();
+    scratch.inserts[1].clear();
+    scratch.indexed[0].clear();
+    scratch.indexed[1].clear();
+    for &ClaimedTask { tuple, .. } in &scratch.items {
+        let own = shared.own_idx(tuple.side);
+        if shared.no_index_updates[own].load(Ordering::Acquire) {
+            shared.pending[own].lock().push((tuple.key, tuple.seq));
+        } else {
+            scratch.inserts[own].push((tuple.key, tuple.seq));
+            scratch.indexed[own].push(tuple.seq);
+        }
+    }
+    for own in 0..2 {
+        if scratch.inserts[own].is_empty() {
+            continue;
+        }
+        shared.indexes[own].insert_batch(&scratch.inserts[own]);
+        local.bytes_stored += scratch.inserts[own].len() as u64 * entry_bytes;
+        if let SharedIndex::Bw(bw) = &shared.indexes[own] {
+            // Eager expiry deletion with a lag large enough that no in-flight
+            // task can still need the deleted entry (a slot is drained before
+            // its ring position is reused, so bounds of any live task lag the
+            // window head by less than the ring capacity).
+            let w = shared.window_sizes[own] as u64;
+            for &(_, seq) in &scratch.inserts[own] {
+                if seq >= w + shared.deletion_lag {
+                    let expired_seq = seq - w - shared.deletion_lag;
+                    let expired_key = shared.windows[own].key_of(expired_seq);
+                    bw.remove(expired_key, expired_seq);
+                }
+            }
+        }
+        for &seq in &scratch.indexed[own] {
+            shared.windows[own].mark_indexed(seq);
+        }
+        shared.windows[own].try_advance_edge();
+    }
+    local.phase.update += update_start.elapsed();
+}
+
+/// Scalar result generation: the original one-tuple-at-a-time probe path,
+/// taken verbatim when `ProbeConfig::batch` is off.
+fn generate_scalar(shared: &Shared<'_>, scratch: &mut WorkerScratch, local: &mut JoinRunStats) {
+    let entry_bytes = std::mem::size_of::<Entry>() as u64;
     for &ClaimedTask { gid, tuple, bounds } in &scratch.items {
         let probe = shared.probe_idx(tuple.side);
         let matched_side = shared.matched_side(tuple.side);
@@ -638,54 +740,108 @@ fn process_task(
         local.tuples += 1;
         shared.ring.complete(gid, count, results);
     }
-    local.phase.generate += generate_start.elapsed();
-    // Latency is the task processing time (§5): acquisition to results ready.
-    let task_latency = acquired_at.elapsed();
-    for _ in 0..scratch.items.len() {
-        latency.record(task_latency);
+}
+
+/// Batched result generation: the whole task's index probes are answered by
+/// at most one group probe per side before the per-tuple window scans run.
+///
+/// The task's probe ranges are gathered per probe-side index and handed to
+/// [`SharedIndex::probe_batch`]; for the PIM-Tree that is one sorted,
+/// deduplicated, software-prefetched CSS-Tree group descent under a single
+/// generation-lock acquisition, instead of `task_size` independent root-leaf
+/// walks. Each tuple's edge snapshot is taken *before* the group probe and
+/// used for both the index filter and the window-scan start, which keeps the
+/// two sides of the edge split consistent per tuple — the snapshot being a
+/// little older than in the scalar path only lengthens the linear scan, never
+/// changes the result set (§4.1). Ring slots are still completed per tuple,
+/// so ordered propagation is unaffected.
+fn generate_batched(shared: &Shared<'_>, scratch: &mut WorkerScratch, local: &mut JoinRunStats) {
+    let entry_bytes = std::mem::size_of::<Entry>() as u64;
+    let n = scratch.items.len();
+    let collect = shared.collect_results;
+    scratch.counts.clear();
+    scratch.counts.resize(n, 0);
+    scratch.collected.clear();
+    scratch.collected.resize_with(n, Vec::new);
+    scratch.edges.clear();
+    for side in 0..2 {
+        scratch.probe_ranges[side].clear();
+        scratch.probe_items[side].clear();
     }
-    // Step 3: index update, batched per side so the generation lock and the
-    // shared counters are touched once per task instead of once per tuple.
-    let update_start = Instant::now();
-    scratch.inserts[0].clear();
-    scratch.inserts[1].clear();
-    scratch.indexed[0].clear();
-    scratch.indexed[1].clear();
-    for &ClaimedTask { tuple, .. } in &scratch.items {
-        let own = shared.own_idx(tuple.side);
-        if shared.no_index_updates[own].load(Ordering::Acquire) {
-            shared.pending[own].lock().push((tuple.key, tuple.seq));
-        } else {
-            scratch.inserts[own].push((tuple.key, tuple.seq));
-            scratch.indexed[own].push(tuple.seq);
-        }
+    for (i, &ClaimedTask { tuple, bounds, .. }) in scratch.items.iter().enumerate() {
+        let probe = shared.probe_idx(tuple.side);
+        scratch
+            .edges
+            .push(bounds.index_horizon(shared.windows[probe].edge()));
+        scratch.probe_ranges[probe].push(shared.predicate.probe_range(tuple.key));
+        scratch.probe_items[probe].push(i);
     }
-    for own in 0..2 {
-        if scratch.inserts[own].is_empty() {
+    let search_start = Instant::now();
+    for side in 0..2 {
+        if scratch.probe_ranges[side].is_empty() {
             continue;
         }
-        shared.indexes[own].insert_batch(&scratch.inserts[own]);
-        local.bytes_stored += scratch.inserts[own].len() as u64 * entry_bytes;
-        if let SharedIndex::Bw(bw) = &shared.indexes[own] {
-            // Eager expiry deletion with a lag large enough that no in-flight
-            // task can still need the deleted entry (a slot is drained before
-            // its ring position is reused, so bounds of any live task lag the
-            // window head by less than the ring capacity).
-            let w = shared.window_sizes[own] as u64;
-            for &(_, seq) in &scratch.inserts[own] {
-                if seq >= w + shared.deletion_lag {
-                    let expired_seq = seq - w - shared.deletion_lag;
-                    let expired_key = shared.windows[own].key_of(expired_seq);
-                    bw.remove(expired_key, expired_seq);
+        let items = &scratch.items;
+        let idxs = &scratch.probe_items[side];
+        let edges = &scratch.edges;
+        let counts = &mut scratch.counts;
+        let collected = &mut scratch.collected;
+        shared.indexes[side].probe_batch(
+            &scratch.probe_ranges[side],
+            shared.probe.prefetch_dist,
+            &mut local.probe,
+            &mut |j, e| {
+                let i = idxs[j];
+                let item = &items[i];
+                if e.seq >= item.bounds.earliest && e.seq < edges[i] {
+                    counts[i] += 1;
+                    if collect {
+                        let matched = shared.matched_side(item.tuple.side);
+                        collected[i].push(JoinResult::new(
+                            item.tuple,
+                            Tuple::new(matched, e.seq, e.key),
+                        ));
+                    }
                 }
-            }
-        }
-        for &seq in &scratch.indexed[own] {
-            shared.windows[own].mark_indexed(seq);
-        }
-        shared.windows[own].try_advance_edge();
+            },
+        );
     }
-    local.phase.update += update_start.elapsed();
+    local.breakdown.record_nanos(
+        pimtree_common::Step::Search,
+        search_start.elapsed().as_nanos() as u64,
+    );
+    // Window-suffix scans and slot publication, per tuple (see
+    // `generate_scalar` for the edge-split invariants).
+    let scan_start = Instant::now();
+    for (i, &ClaimedTask { gid, tuple, bounds }) in scratch.items.iter().enumerate() {
+        let probe = shared.probe_idx(tuple.side);
+        let matched_side = shared.matched_side(tuple.side);
+        let range = shared.predicate.probe_range(tuple.key);
+        let edge = scratch.edges[i];
+        let mut count = scratch.counts[i];
+        let mut results = std::mem::take(&mut scratch.collected[i]);
+        let scan_from = bounds.scan_start(edge);
+        let examined = shared.windows[probe].scan_linear(
+            scan_from,
+            bounds.latest_exclusive,
+            range,
+            |seq, key| {
+                count += 1;
+                if collect {
+                    results.push(JoinResult::new(tuple, Tuple::new(matched_side, seq, key)));
+                }
+            },
+        );
+        local.bytes_loaded += (examined as u64 + count + 8) * entry_bytes;
+        local.bytes_stored += count * std::mem::size_of::<JoinResult>() as u64;
+        local.results += count;
+        local.tuples += 1;
+        shared.ring.complete(gid, count, results);
+    }
+    local.breakdown.record_nanos(
+        pimtree_common::Step::Scan,
+        scan_start.elapsed().as_nanos() as u64,
+    );
 }
 
 /// Propagates the completed ring prefix into the sink in arrival order.
@@ -1089,6 +1245,124 @@ mod tests {
         );
         assert!(stats.ring.ingest_batches > 0);
         assert!(stats.ring.mean_task_size() > 0.0);
+    }
+
+    /// The tentpole differential: the batched group probe and the scalar
+    /// probe must produce the exact same result set under both merge
+    /// policies and both shared-index backends, and only the batched run may
+    /// touch the probe-batch counters.
+    #[test]
+    fn batched_probe_matches_scalar_and_reference() {
+        let tuples = random_tuples(5000, 400, 81);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        for policy in [MergePolicy::NonBlocking, MergePolicy::Blocking] {
+            for kind in [SharedIndexKind::PimTree, SharedIndexKind::BwTree] {
+                for threads in [1usize, 4] {
+                    let base = config(128, threads, 4, 0.5, policy);
+                    let batched = ParallelIbwj::new(
+                        base.with_probe(ProbeConfig::default()),
+                        predicate,
+                        kind,
+                        false,
+                    )
+                    .with_collected_results(true);
+                    let scalar = ParallelIbwj::new(
+                        base.with_probe(ProbeConfig::scalar()),
+                        predicate,
+                        kind,
+                        false,
+                    )
+                    .with_collected_results(true);
+                    let (batched_stats, batched_results) = batched.run(&tuples);
+                    let (scalar_stats, scalar_results) = scalar.run(&tuples);
+                    let label = format!("{policy:?}/{kind:?}/{threads}T");
+                    assert_eq!(canonical(&batched_results), expected, "batched {label}");
+                    assert_eq!(canonical(&scalar_results), expected, "scalar {label}");
+                    assert_eq!(
+                        scalar_stats.probe,
+                        Default::default(),
+                        "the scalar path must not touch probe counters ({label})"
+                    );
+                    if kind == SharedIndexKind::PimTree {
+                        assert!(batched_stats.probe.batches > 0, "batched {label}");
+                        assert_eq!(batched_stats.probe.scalar_probes, 0, "{label}");
+                    } else {
+                        // The Bw-Tree has no batched path: every probe of a
+                        // batched run falls back to the scalar probe.
+                        assert_eq!(batched_stats.probe.batches, 0, "{label}");
+                        assert!(batched_stats.probe.scalar_probes > 0, "{label}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Duplicate-heavy keys: a tiny key domain makes many probe ranges in a
+    /// task identical, exercising the sort/dedup path of the group probe.
+    #[test]
+    fn batched_probe_with_duplicate_keys_matches_reference() {
+        let tuples = random_tuples(5000, 12, 82);
+        let predicate = BandPredicate::new(1);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        for policy in [MergePolicy::NonBlocking, MergePolicy::Blocking] {
+            let op = ParallelIbwj::new(
+                config(128, 4, 8, 0.5, policy),
+                predicate,
+                SharedIndexKind::PimTree,
+                false,
+            )
+            .with_collected_results(true);
+            let (stats, results) = op.run(&tuples);
+            assert_eq!(canonical(&results), expected, "{policy:?}");
+            assert!(
+                stats.probe.dedup_hits > 0,
+                "a 12-key domain must produce duplicate probe ranges in a task of 8"
+            );
+        }
+    }
+
+    /// Window-edge case: probe ranges reaching past both ends of the key
+    /// domain, plus a window as large as the whole input (nothing ever
+    /// expires) and a window of 1 (everything expires immediately).
+    #[test]
+    fn batched_probe_at_window_and_domain_edges() {
+        let tuples = random_tuples(2000, 50, 83);
+        let predicate = BandPredicate::new(100); // ranges always overflow the domain
+        for w in [1usize, 4096] {
+            let expected = canonical(&reference_join(&tuples, predicate, w, w, false));
+            for probe in [ProbeConfig::default(), ProbeConfig::scalar()] {
+                let op = ParallelIbwj::new(
+                    config(w, 2, 4, 1.0, MergePolicy::NonBlocking).with_probe(probe),
+                    predicate,
+                    SharedIndexKind::PimTree,
+                    false,
+                )
+                .with_collected_results(true);
+                let (_, results) = op.run(&tuples);
+                assert_eq!(canonical(&results), expected, "w={w}, probe={probe:?}");
+            }
+        }
+    }
+
+    /// Self-join through the batched probe, with prefetching disabled and at
+    /// a large distance (the knob must never change results).
+    #[test]
+    fn batched_probe_prefetch_distance_is_result_invariant() {
+        let tuples = self_join_tuples(3000, 200, 84);
+        let predicate = BandPredicate::new(1);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, true));
+        assert!(!expected.is_empty());
+        for dist in [0usize, 1, 64] {
+            let cfg = config(128, 4, 4, 0.5, MergePolicy::NonBlocking)
+                .with_probe(ProbeConfig::default().with_prefetch_dist(dist));
+            let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, true)
+                .with_collected_results(true);
+            let (_, results) = op.run(&tuples);
+            assert_eq!(canonical(&results), expected, "prefetch_dist {dist}");
+        }
     }
 
     /// The ISSUE's stress configuration: many threads, tiny tasks, and a ring

@@ -101,8 +101,11 @@ impl Slot {
 /// window's boundary snapshot captured at ingestion.
 #[derive(Debug, Clone, Copy)]
 pub struct ClaimedTask {
+    /// Global slot id of the claim; passed back to [`TaskRing::complete`].
     pub gid: u64,
+    /// The claimed tuple.
     pub tuple: Tuple,
+    /// Boundary snapshot of the opposite window, taken at ingestion.
     pub bounds: WindowBounds,
 }
 
@@ -341,8 +344,11 @@ impl Drop for IngestGuard<'_> {
 /// What one idle round did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IdleKind {
+    /// Busy-spun for a short exponentially growing window.
     Spin,
+    /// Yielded the time slice to the scheduler.
     Yield,
+    /// Slept for the configured short park duration.
     Park,
 }
 
@@ -361,6 +367,7 @@ pub struct Backoff {
 }
 
 impl Backoff {
+    /// Creates a back-off following the limits in `config`.
     pub fn new(config: &RingConfig) -> Self {
         Backoff {
             spin_limit: config.spin_limit,

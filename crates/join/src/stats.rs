@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use pimtree_common::{CostBreakdown, LatencyRecorder};
+use pimtree_common::{CostBreakdown, LatencyRecorder, ProbeCounters};
 
 /// Statistics of one join run over a tuple sequence.
 #[derive(Debug, Clone, Default)]
@@ -35,6 +35,9 @@ pub struct JoinRunStats {
     /// Task-ring acquisition / contention counters (parallel operator only),
     /// summed over all workers.
     pub ring: RingCounters,
+    /// Batched-probe counters (batch sizes, dedup hits, nodes prefetched),
+    /// summed over all workers. All zero when the scalar probe path is used.
+    pub probe: ProbeCounters,
 }
 
 /// Counters of the parallel engine's lock-free task ring, recording how often
@@ -192,6 +195,7 @@ impl JoinRunStats {
         self.bytes_stored += other.bytes_stored;
         self.phase.merge_from(&other.phase);
         self.ring.merge_from(&other.ring);
+        self.probe.merge_from(&other.probe);
     }
 }
 
@@ -250,6 +254,29 @@ mod tests {
         assert!((a.ring.claim_contention() - 0.2).abs() < 1e-9);
         assert_eq!(RingCounters::default().mean_task_size(), 0.0);
         assert_eq!(RingCounters::default().claim_contention(), 0.0);
+    }
+
+    #[test]
+    fn probe_counters_absorb_and_derive() {
+        let mut a = JoinRunStats::default();
+        a.probe.batches = 2;
+        a.probe.batched_keys = 10;
+        a.probe.max_batch = 6;
+        a.probe.dedup_hits = 1;
+        let mut b = JoinRunStats::default();
+        b.probe.batches = 3;
+        b.probe.batched_keys = 10;
+        b.probe.max_batch = 4;
+        b.probe.nodes_prefetched = 7;
+        a.absorb(&b);
+        assert_eq!(a.probe.batches, 5);
+        assert_eq!(a.probe.batched_keys, 20);
+        assert_eq!(a.probe.max_batch, 6, "max, not sum");
+        assert_eq!(a.probe.nodes_prefetched, 7);
+        assert!((a.probe.mean_batch_size() - 4.0).abs() < 1e-9);
+        assert!((a.probe.dedup_rate() - 0.05).abs() < 1e-9);
+        assert_eq!(ProbeCounters::default().mean_batch_size(), 0.0);
+        assert_eq!(ProbeCounters::default().dedup_rate(), 0.0);
     }
 
     #[test]

@@ -24,8 +24,8 @@
 //! ```
 //!
 //! The individual subsystems remain available as their own crates
-//! (`pimtree-core`, `pimtree-join`, …); see `DESIGN.md` for the system
-//! inventory and `EXPERIMENTS.md` for the reproduction results.
+//! (`pimtree-core`, `pimtree-join`, …); see `README.md` for the crate map
+//! and `docs/ARCHITECTURE.md` for how a tuple flows through the system.
 
 pub use pimtree_btree as btree;
 pub use pimtree_bwtree as bwtree;
@@ -45,7 +45,7 @@ pub mod prelude {
     pub use pimtree_btree::{BTreeIndex, Entry};
     pub use pimtree_common::{
         BandPredicate, IndexKind, JoinConfig, JoinResult, Key, KeyRange, MergePolicy, PimConfig,
-        Seq, StreamSide, Tuple,
+        ProbeConfig, ProbeCounters, RingConfig, Seq, StreamSide, Tuple,
     };
     pub use pimtree_core::{ImTree, PimTree};
     pub use pimtree_css::CssTree;

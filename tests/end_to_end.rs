@@ -91,6 +91,53 @@ fn all_operators_agree_on_the_same_workload() {
 }
 
 #[test]
+fn batched_and_scalar_probe_agree_end_to_end() {
+    // The batched, prefetched CSS group probe is a pure performance
+    // optimisation: across engines, thread counts and probe tunings the
+    // result set must be exactly the scalar path's (and the oracle's).
+    let w = 160usize;
+    let tuples = mixed_tuples(4500, 350, 123);
+    let predicate = BandPredicate::new(2);
+    let expected = canonical(&reference_join(&tuples, predicate, w, w, false));
+    assert!(!expected.is_empty());
+    let mut pim = PimConfig::for_window(w)
+        .with_merge_ratio(0.5)
+        .with_insertion_depth(2);
+    pim.css_fanout = 8;
+    pim.css_leaf_size = 8;
+    pim.btree_fanout = 8;
+    for probe in [
+        ProbeConfig::default(),
+        ProbeConfig::default().with_prefetch_dist(0),
+        ProbeConfig::default().with_prefetch_dist(64),
+        ProbeConfig::scalar(),
+    ] {
+        let config = JoinConfig::symmetric(w, IndexKind::PimTree)
+            .with_pim(pim)
+            .with_probe(probe);
+        let mut st = build_single_threaded(&config, predicate, false);
+        let (_, results) = st.run(&tuples, true);
+        assert_eq!(canonical(&results), expected, "single-threaded {probe:?}");
+        for threads in [1usize, 4] {
+            let config = config.with_threads(threads).with_task_size(5);
+            let op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false)
+                .with_collected_results(true);
+            let (stats, results) = op.run(&tuples);
+            assert_eq!(
+                canonical(&results),
+                expected,
+                "parallel {threads}T {probe:?}"
+            );
+            if probe.batch {
+                assert!(stats.probe.batches > 0, "parallel {threads}T {probe:?}");
+            } else {
+                assert_eq!(stats.probe.batches, 0, "parallel {threads}T {probe:?}");
+            }
+        }
+    }
+}
+
+#[test]
 fn parallel_engine_is_deterministic_in_content_across_runs() {
     let w = 128usize;
     let tuples = mixed_tuples(5000, 400, 7);
