@@ -8,12 +8,15 @@
 //! engine-scaling notes in `docs/ARCHITECTURE.md` and is the tool used to verify
 //! that task distribution and edge-tuple bookkeeping stay off the per-tuple
 //! critical path. Sweep the ring itself with `--ring-cap= --ingest-target=
-//! --spin= --yield= --park-us=`, and the batched CSS group probe with
-//! `--probe-batch=on|off --prefetch-dist=`.
+//! --spin= --yield= --park-us=`, the batched CSS group probe with
+//! `--probe-batch=on|off --prefetch-dist=`, and the sharded ring layer with
+//! `--shards= --steal-batch= --steal-threshold=` (shards > 1 routes
+//! ingestion by key range and reports steal/remote-traffic counters).
 
 use pimtree_bench::harness::*;
 use pimtree_common::{IndexKind, JoinConfig};
 use pimtree_join::{ParallelIbwj, SharedIndexKind};
+use pimtree_numa::RangePartitioner;
 use pimtree_workload::KeyDistribution;
 
 fn main() {
@@ -32,12 +35,13 @@ fn main() {
     print_header(
         "engine_profile",
         &format!(
-            "parallel IBWJ phase breakdown and ring contention (w = 2^{}, {} tuples, task size {}, ring {:?}, probe {:?})",
+            "parallel IBWJ phase breakdown and ring contention (w = 2^{}, {} tuples, task size {}, ring {:?}, probe {:?}, shard {:?})",
             opts.max_exp,
             tuples.len(),
             opts.task_size,
             opts.ring(),
-            opts.probe()
+            opts.probe(),
+            opts.shard()
         ),
         &[
             "threads",
@@ -64,6 +68,12 @@ fn main() {
             "mean_probe_batch",
             "probe_dedup_rate",
             "nodes_prefetched",
+            "shards",
+            "steal_tasks",
+            "stolen_tuples",
+            "steal_fraction",
+            "shard_remote_fraction",
+            "shard_full_stalls",
         ],
     );
     let mut sweep = vec![1, 2, 4, 8];
@@ -76,10 +86,15 @@ fn main() {
             .with_task_size(opts.task_size)
             .with_pim(pim_config(w))
             .with_ring(opts.ring())
-            .with_probe(opts.probe());
+            .with_probe(opts.probe())
+            .with_shard(opts.shard());
         config.window_r = w;
         config.window_s = w;
-        let op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false);
+        let mut op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false);
+        if opts.shards > 1 {
+            let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
+            op = op.with_partitioner(RangePartitioner::from_key_sample(opts.shards, &sample));
+        }
         let (stats, _) = op.run_with_warmup(&tuples, (2 * w).min(tuples.len() / 2));
         let total = stats.phase.total().as_secs_f64().max(1e-12);
         let pct = |d: std::time::Duration| format!("{:.1}", 100.0 * d.as_secs_f64() / total);
@@ -119,6 +134,12 @@ fn main() {
             format!("{:.2}", stats.probe.mean_batch_size()),
             format!("{:.3}", stats.probe.dedup_rate()),
             stats.probe.nodes_prefetched.to_string(),
+            stats.shard.shards.to_string(),
+            stats.shard.steal_tasks.to_string(),
+            stats.shard.stolen_tuples.to_string(),
+            format!("{:.3}", stats.shard.steal_fraction()),
+            format!("{:.3}", stats.shard.remote_fraction()),
+            stats.shard.shard_full_stalls.to_string(),
         ]);
     }
 }

@@ -4,19 +4,23 @@
 //! Runs the uniform two-way workload through the parallel IBWJ at 1/2/4/8
 //! worker threads — the PIM-Tree backend with both the batched CSS group
 //! probe and the scalar probe path, and the Bw-Tree backend for reference —
-//! and writes the results as JSON to `BENCH_parallel.json` (and stdout), so
-//! every PR leaves a comparable throughput trajectory behind. The JSON
-//! records its provenance (host core count, architecture, OS, and the full
-//! engine/ring/probe configuration), so trajectories from different hosts —
-//! in particular the 1-core build container versus a real multicore box —
-//! are never silently compared as equals.
+//! plus a sharded-ring sweep (key-range routed shards with cross-shard
+//! stealing), and writes the results as JSON to `BENCH_parallel.json` (and
+//! stdout), so every PR leaves a comparable throughput trajectory behind.
+//! The JSON records its provenance (host core count, the simulated NUMA node
+//! count of the sharded arm, architecture, OS, and the full
+//! engine/ring/probe/shard configuration), so trajectories from different
+//! hosts — in particular the 1-core build container versus a real multicore
+//! box — are never silently compared as equals.
 //!
 //! Accepts the shared harness flags (`--max-exp= --tuples= --task-size=
-//! --ring-cap= --spin= --yield= --park-us= --prefetch-dist= --seed=`); the
-//! defaults keep the run under a couple of minutes on a laptop core. The
-//! batched-vs-scalar probe comparison is built in, so unlike the other
-//! binaries perf_smoke ignores `--probe-batch=` (both arms always run);
-//! `--prefetch-dist=` tunes the batched arm.
+//! --ring-cap= --spin= --yield= --park-us= --prefetch-dist= --seed=
+//! --shards= --steal-batch= --steal-threshold=`); the defaults keep the run
+//! under a couple of minutes on a laptop core. The batched-vs-scalar probe
+//! comparison is built in, so unlike the other binaries perf_smoke ignores
+//! `--probe-batch=` (both arms always run); `--prefetch-dist=` tunes the
+//! batched arm. `--shards=` pins the sharded sweep to one shard count
+//! (default: sweep 1/2/4).
 
 use std::io::Write;
 
@@ -29,16 +33,19 @@ fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRun
     format!(
         concat!(
             "    {{\"backend\": \"{}\", \"probe_batch\": {}, \"prefetch_dist\": {}, ",
-            "\"threads\": {}, \"mtps\": {:.4}, \"results\": {}, ",
+            "\"threads\": {}, \"shards\": {}, \"mtps\": {:.4}, \"results\": {}, ",
             "\"mean_latency_us\": {:.2}, \"claim_retries_per_task\": {:.4}, ",
             "\"merges\": {}, \"probe_batches\": {}, \"mean_probe_batch\": {:.2}, ",
             "\"probe_dedup_rate\": {:.4}, \"nodes_prefetched\": {}, ",
-            "\"scalar_probes\": {}}}"
+            "\"scalar_probes\": {}, \"steals\": {}, \"stolen_tuples\": {}, ",
+            "\"steal_fraction\": {:.4}, \"shard_remote_fraction\": {:.4}, ",
+            "\"simulated_numa_cost\": {}}}"
         ),
         backend,
         probe.batch,
         probe.prefetch_dist,
         threads,
+        stats.shard.shards.max(1),
         stats.million_tuples_per_second(),
         stats.results,
         stats.latency.mean_micros(),
@@ -49,11 +56,20 @@ fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRun
         stats.probe.dedup_rate(),
         stats.probe.nodes_prefetched,
         stats.probe.scalar_probes,
+        stats.shard.steal_tasks,
+        stats.shard.stolen_tuples,
+        stats.shard.steal_fraction(),
+        stats.shard.remote_fraction(),
+        stats.shard.simulated_numa_cost,
     )
 }
 
 fn main() {
     let opts = RunOpts::parse(14, 14);
+    // The sharded sweep below may override the shard *count*, so validate
+    // the flags up front — a bad `--shards=`/`--steal-*` must fail loudly
+    // instead of being silently replaced by the sweep's values.
+    opts.shard().validate().expect("invalid shard flags");
     let w = 1usize << opts.max_exp;
     let n = opts.tuples_for(w);
     let (tuples, predicate) = two_way_workload(
@@ -120,6 +136,42 @@ fn main() {
         );
         entries.push(entry_json("bw_tree", batched, threads, &stats));
     }
+    // Sharded-ring sweep: key-range routed shards with cross-shard stealing.
+    // An explicit `--shards=` — including 1 — pins a single count (the CI
+    // shard matrix does); the automatic default (0) sweeps the interesting
+    // shapes.
+    let shard_counts: Vec<usize> = if opts.shards > 0 {
+        vec![opts.shards]
+    } else {
+        vec![1, 2, 4]
+    };
+    let numa_nodes_simulated = shard_counts.iter().copied().max().unwrap_or(1);
+    for &shards in &shard_counts {
+        for threads in [2usize, 8] {
+            let stats = run_parallel_sharded(
+                SharedIndexKind::PimTree,
+                w,
+                w,
+                threads,
+                opts.task_size,
+                pim_config(w),
+                opts.ring(),
+                batched,
+                opts.shard().with_shards(shards),
+                None,
+                predicate,
+                &tuples,
+                false,
+            );
+            println!(
+                "perf_smoke pim_tree sharded shards={shards} threads={threads}: \
+                 {:.4} Mtps (steal fraction {:.3})",
+                stats.million_tuples_per_second(),
+                stats.shard.steal_fraction()
+            );
+            entries.push(entry_json("pim_tree_sharded", batched, threads, &stats));
+        }
+    }
     let speedup_1t = if mtps_1t[1] > 0.0 {
         mtps_1t[0] / mtps_1t[1]
     } else {
@@ -128,6 +180,7 @@ fn main() {
     println!("perf_smoke pim_tree batched/scalar speedup at 1T: {speedup_1t:.3}x");
 
     let ring = opts.ring();
+    let shard = opts.shard();
     let json = format!(
         concat!(
             "{{\n",
@@ -135,11 +188,14 @@ fn main() {
             "  \"window_exp\": {},\n",
             "  \"tuples\": {},\n",
             "  \"task_size\": {},\n",
-            "  \"host\": {{\"cores\": {}, \"arch\": \"{}\", \"os\": \"{}\"}},\n",
+            "  \"host\": {{\"cores\": {}, \"numa_nodes_simulated\": {}, ",
+            "\"arch\": \"{}\", \"os\": \"{}\"}},\n",
             "  \"engine\": {{\"merge_policy\": \"non_blocking\", ",
             "\"ring\": {{\"capacity\": {}, \"ingest_target\": {}, \"spin\": {}, ",
             "\"yield\": {}, \"park_us\": {}}}, ",
-            "\"probe\": {{\"batch\": {}, \"prefetch_dist\": {}}}}},\n",
+            "\"probe\": {{\"batch\": {}, \"prefetch_dist\": {}}}, ",
+            "\"shard\": {{\"shards_swept\": {:?}, \"steal_batch\": {}, ",
+            "\"steal_threshold\": {}}}}},\n",
             "  \"batched_vs_scalar_1t_speedup\": {:.4},\n",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
@@ -148,6 +204,7 @@ fn main() {
         tuples.len(),
         opts.task_size,
         cores,
+        numa_nodes_simulated,
         std::env::consts::ARCH,
         std::env::consts::OS,
         ring.capacity,
@@ -157,6 +214,9 @@ fn main() {
         ring.park_micros,
         batched.batch,
         batched.prefetch_dist,
+        shard_counts,
+        shard.steal_batch,
+        shard.steal_threshold,
         speedup_1t,
         entries.join(",\n"),
     );

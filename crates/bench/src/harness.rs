@@ -1,12 +1,13 @@
 //! Shared helpers for the per-figure benchmark binaries.
 
 use pimtree_common::{
-    BandPredicate, IndexKind, JoinConfig, PimConfig, ProbeConfig, RingConfig, Tuple,
+    BandPredicate, IndexKind, JoinConfig, PimConfig, ProbeConfig, RingConfig, ShardConfig, Tuple,
 };
 use pimtree_join::{
     build_single_threaded, HandshakeJoin, HandshakeMode, JoinRunStats, ParallelIbwj,
     SharedIndexKind,
 };
+use pimtree_numa::RangePartitioner;
 use pimtree_workload::{calibrate_diff, KeyDistribution, StreamGenerator, StreamMix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -41,16 +42,27 @@ pub struct RunOpts {
     pub probe_batch: bool,
     /// Prefetch distance of the batched probe (keys of lookahead per level).
     pub prefetch_dist: usize,
+    /// Ring shards (simulated NUMA nodes) for the parallel engine. `0` means
+    /// automatic (the single-ring engine; `perf_smoke` additionally sweeps
+    /// its default shard counts); an explicit value — including 1 — pins the
+    /// shard count everywhere.
+    pub shards: usize,
+    /// Tuples claimed per cross-shard steal (0 = the task size).
+    pub steal_batch: usize,
+    /// First-pass steal threshold (minimum backlog of a steal victim).
+    pub steal_threshold: usize,
 }
 
 impl RunOpts {
     /// Parses `--min-exp= --max-exp= --tuples= --threads= --task-size=
     /// --seed= --ring-cap= --ingest-target= --spin= --yield= --park-us=
-    /// --probe-batch=on|off --prefetch-dist=` from the command line, with
-    /// figure-specific defaults.
+    /// --probe-batch=on|off --prefetch-dist= --shards= --steal-batch=
+    /// --steal-threshold=` from the command line, with figure-specific
+    /// defaults.
     pub fn parse(default_min: u32, default_max: u32) -> Self {
         let defaults = RingConfig::default();
         let probe_defaults = ProbeConfig::default();
+        let shard_defaults = ShardConfig::default();
         let mut opts = RunOpts {
             min_exp: default_min,
             max_exp: default_max,
@@ -68,6 +80,9 @@ impl RunOpts {
             park_micros: defaults.park_micros,
             probe_batch: probe_defaults.batch,
             prefetch_dist: probe_defaults.prefetch_dist,
+            shards: 0,
+            steal_batch: shard_defaults.steal_batch,
+            steal_threshold: shard_defaults.steal_threshold,
         };
         for arg in std::env::args().skip(1) {
             let mut split = arg.splitn(2, '=');
@@ -98,6 +113,9 @@ impl RunOpts {
                     }
                 }
                 "--prefetch-dist" => opts.prefetch_dist = parse_usize(),
+                "--shards" => opts.shards = parse_usize(),
+                "--steal-batch" => opts.steal_batch = parse_usize(),
+                "--steal-threshold" => opts.steal_threshold = parse_usize(),
                 other => eprintln!("note: ignoring unknown argument '{other}'"),
             }
         }
@@ -136,6 +154,16 @@ impl RunOpts {
         ProbeConfig::default()
             .with_batch(self.probe_batch)
             .with_prefetch_dist(self.prefetch_dist)
+    }
+
+    /// The sharded-ring configuration selected on the command line
+    /// (`--shards=0`, the automatic default, resolves to the single-ring
+    /// engine).
+    pub fn shard(&self) -> ShardConfig {
+        ShardConfig::default()
+            .with_shards(self.shards.max(1))
+            .with_steal_batch(self.steal_batch)
+            .with_steal_threshold(self.steal_threshold)
     }
 }
 
@@ -257,15 +285,61 @@ pub fn run_parallel_ring(
     tuples: &[Tuple],
     self_join: bool,
 ) -> JoinRunStats {
+    run_parallel_sharded(
+        kind,
+        window_r,
+        window_s,
+        threads,
+        task_size,
+        pim,
+        ring,
+        probe,
+        ShardConfig::default(),
+        None,
+        predicate,
+        tuples,
+        self_join,
+    )
+}
+
+/// Runs the parallel shared-index engine on a sharded task ring. When
+/// `shard.shards > 1` and no `partitioner` is given, one is built from the
+/// input's key sample so that ingestion routes by key range (the paper's
+/// NUMA partitioning); pass `Some(partitioner)` to control routing, or use
+/// `shard.shards == 1` for the plain single-ring engine.
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_sharded(
+    kind: SharedIndexKind,
+    window_r: usize,
+    window_s: usize,
+    threads: usize,
+    task_size: usize,
+    pim: PimConfig,
+    ring: RingConfig,
+    probe: ProbeConfig,
+    shard: ShardConfig,
+    partitioner: Option<RangePartitioner>,
+    predicate: BandPredicate,
+    tuples: &[Tuple],
+    self_join: bool,
+) -> JoinRunStats {
     let mut config = JoinConfig::symmetric(window_r.max(window_s), IndexKind::PimTree)
         .with_threads(threads)
         .with_task_size(task_size)
         .with_pim(pim)
         .with_ring(ring)
-        .with_probe(probe);
+        .with_probe(probe)
+        .with_shard(shard);
     config.window_r = window_r;
     config.window_s = window_s;
-    let op = ParallelIbwj::new(config, predicate, kind, self_join);
+    let mut op = ParallelIbwj::new(config, predicate, kind, self_join);
+    if shard.shards > 1 {
+        let partitioner = partitioner.unwrap_or_else(|| {
+            let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
+            RangePartitioner::from_key_sample(shard.shards, &sample)
+        });
+        op = op.with_partitioner(partitioner);
+    }
     let warmup = (window_r + window_s).min(tuples.len() / 2);
     let (stats, _) = op.run_with_warmup(tuples, warmup);
     stats
@@ -321,6 +395,9 @@ mod tests {
             park_micros: 50,
             probe_batch: true,
             prefetch_dist: 4,
+            shards: 1,
+            steal_batch: 0,
+            steal_threshold: 1,
         };
         assert_eq!(opts.tuples_for(1 << 10), 1 << 16);
         assert_eq!(opts.tuples_for(1 << 18), 1 << 20);
@@ -349,6 +426,18 @@ mod tests {
         assert!(!probe.batch);
         assert_eq!(probe.prefetch_dist, 16);
         probe.validate().unwrap();
+        let shard = RunOpts {
+            shards: 4,
+            steal_batch: 2,
+            steal_threshold: 3,
+            ..opts
+        }
+        .shard();
+        assert_eq!(
+            (shard.shards, shard.steal_batch, shard.steal_threshold),
+            (4, 2, 3)
+        );
+        shard.validate().unwrap();
     }
 
     #[test]
@@ -404,5 +493,28 @@ mod tests {
         assert_eq!(par.tuples as usize, tuples.len() - 2 * w);
         let hs = run_handshake(HandshakeMode::Ibwj, 2, w, w, predicate, &tuples);
         assert_eq!(hs.tuples as usize, tuples.len());
+        // The sharded runner reports the shard provenance and accounts every
+        // post-warmup claim in the simulated traffic model.
+        let sharded = run_parallel_sharded(
+            SharedIndexKind::PimTree,
+            w,
+            w,
+            2,
+            4,
+            pim_config(w),
+            RingConfig::default(),
+            ProbeConfig::default(),
+            ShardConfig::default().with_shards(2),
+            None,
+            predicate,
+            &tuples,
+            true,
+        );
+        assert_eq!(sharded.tuples, par.tuples);
+        assert_eq!(sharded.shard.shards, 2);
+        assert_eq!(
+            sharded.shard.local_accesses + sharded.shard.remote_accesses,
+            sharded.tuples
+        );
     }
 }

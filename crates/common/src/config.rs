@@ -252,6 +252,87 @@ impl RingConfig {
     }
 }
 
+/// Tuning of the parallel engine's sharded task-ring layer.
+///
+/// With more than one shard, the engine splits its MPMC task ring into an
+/// array of per-NUMA-node rings (see `pimtree-join`'s `shard` module): each
+/// shard has its own ingest cursor, claim ticket and drain cursor, a router
+/// assigns every ingested tuple to the shard owning its key range (or
+/// round-robin without a partitioner), and workers claim from their *home*
+/// shard first, stealing from remote shards only when the home shard runs
+/// dry. `shards = 1` keeps the original single-ring path bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardConfig {
+    /// Number of ring shards (simulated NUMA nodes). `1` disables sharding
+    /// and runs the plain single-ring engine.
+    pub shards: usize,
+    /// How many tuples a worker claims per successful steal from a remote
+    /// shard. `0` selects the engine's task size.
+    pub steal_batch: usize,
+    /// Minimum number of available (ingested, unclaimed) tuples a remote
+    /// shard must hold before the first steal pass targets it; a second pass
+    /// ignores the threshold so below-threshold work can never be stranded.
+    pub steal_threshold: usize,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            steal_batch: 0,
+            steal_threshold: 1,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Sets the number of ring shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the steal batch size (0 = the engine's task size).
+    pub fn with_steal_batch(mut self, steal_batch: usize) -> Self {
+        self.steal_batch = steal_batch;
+        self
+    }
+
+    /// Sets the first-pass steal threshold.
+    pub fn with_steal_threshold(mut self, steal_threshold: usize) -> Self {
+        self.steal_threshold = steal_threshold;
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.shards == 0 {
+            return Err(Error::InvalidConfig(
+                "shard count must be positive (1 disables sharding)".into(),
+            ));
+        }
+        if self.shards > 64 {
+            return Err(Error::InvalidConfig(format!(
+                "shard count {} exceeds the 64-shard ceiling",
+                self.shards
+            )));
+        }
+        if self.steal_batch > 4096 {
+            return Err(Error::InvalidConfig(format!(
+                "steal_batch {} is unreasonably large (max 4096)",
+                self.steal_batch
+            )));
+        }
+        if self.steal_threshold > 1 << 20 {
+            return Err(Error::InvalidConfig(format!(
+                "steal_threshold {} is unreasonably large (max 2^20)",
+                self.steal_threshold
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Tuning of the batched CSS-Tree group probe used during result generation.
 ///
 /// The hot path of both join engines probes the immutable component of the
@@ -337,6 +418,8 @@ pub struct JoinConfig {
     pub ring: RingConfig,
     /// Batched-probe tuning for the result-generation path.
     pub probe: ProbeConfig,
+    /// Sharded-ring tuning (shard count, work-stealing shape).
+    pub shard: ShardConfig,
 }
 
 impl Default for JoinConfig {
@@ -351,6 +434,7 @@ impl Default for JoinConfig {
             pim: PimConfig::for_window(1 << 16),
             ring: RingConfig::default(),
             probe: ProbeConfig::default(),
+            shard: ShardConfig::default(),
         }
     }
 }
@@ -403,6 +487,12 @@ impl JoinConfig {
         self
     }
 
+    /// Overrides the sharded-ring tuning.
+    pub fn with_shard(mut self, shard: ShardConfig) -> Self {
+        self.shard = shard;
+        self
+    }
+
     /// Largest of the two window sizes.
     pub fn max_window(&self) -> usize {
         self.window_r.max(self.window_s)
@@ -426,6 +516,7 @@ impl JoinConfig {
         }
         self.ring.validate()?;
         self.probe.validate()?;
+        self.shard.validate()?;
         self.pim.validate()
     }
 }
@@ -582,6 +673,42 @@ mod tests {
         assert!(
             c.validate().is_err(),
             "JoinConfig::validate covers the probe config"
+        );
+    }
+
+    #[test]
+    fn shard_config_defaults_validate_and_builders_chain() {
+        let s = ShardConfig::default();
+        assert_eq!(s.shards, 1, "sharding is off by default");
+        s.validate().unwrap();
+        let s = ShardConfig::default()
+            .with_shards(4)
+            .with_steal_batch(16)
+            .with_steal_threshold(8);
+        assert_eq!((s.shards, s.steal_batch, s.steal_threshold), (4, 16, 8));
+        s.validate().unwrap();
+        let c = JoinConfig::symmetric(64, IndexKind::PimTree).with_shard(s);
+        assert_eq!(c.shard, s);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn shard_config_rejects_bad_values() {
+        assert!(ShardConfig::default().with_shards(0).validate().is_err());
+        assert!(ShardConfig::default().with_shards(65).validate().is_err());
+        assert!(ShardConfig::default()
+            .with_steal_batch(5000)
+            .validate()
+            .is_err());
+        assert!(ShardConfig::default()
+            .with_steal_threshold((1 << 20) + 1)
+            .validate()
+            .is_err());
+        let mut c = JoinConfig::symmetric(16, IndexKind::PimTree);
+        c.shard.shards = 0;
+        assert!(
+            c.validate().is_err(),
+            "JoinConfig::validate covers the shard config"
         );
     }
 

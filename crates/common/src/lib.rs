@@ -23,7 +23,9 @@ pub mod metrics;
 pub mod prefetch;
 pub mod types;
 
-pub use config::{IndexKind, JoinConfig, MergePolicy, PimConfig, ProbeConfig, RingConfig};
+pub use config::{
+    IndexKind, JoinConfig, MergePolicy, PimConfig, ProbeConfig, RingConfig, ShardConfig,
+};
 pub use error::{Error, Result};
 pub use memtraffic::MemTraffic;
 pub use metrics::{

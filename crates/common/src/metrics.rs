@@ -147,6 +147,14 @@ pub struct ProbeCounters {
     /// Stays zero when batching is disabled: the engines then take the
     /// original scalar code path, which records nothing here.
     pub scalar_probes: u64,
+    /// Mutable-partition (`TI`) locks taken by the batched probe path, which
+    /// groups a batch's unique ranges per partition so every overlapping
+    /// partition is locked once per batch instead of once per range.
+    pub ti_partition_locks: u64,
+    /// Range-over-partition probes answered by the batched `TI` path. The
+    /// difference to `ti_partition_locks` is the number of lock round-trips
+    /// the per-partition grouping saved.
+    pub ti_range_visits: u64,
 }
 
 impl ProbeCounters {
@@ -158,6 +166,8 @@ impl ProbeCounters {
         self.dedup_hits += other.dedup_hits;
         self.nodes_prefetched += other.nodes_prefetched;
         self.scalar_probes += other.scalar_probes;
+        self.ti_partition_locks += other.ti_partition_locks;
+        self.ti_range_visits += other.ti_range_visits;
     }
 
     /// Mean keys per batched probe call.

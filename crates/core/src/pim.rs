@@ -112,6 +112,10 @@ struct ProbeScratch {
     starts: Vec<usize>,
     targets: Vec<Entry>,
     positions: Vec<usize>,
+    groups: Vec<usize>,
+    ends: Vec<usize>,
+    partition_ranges: Vec<(usize, usize)>,
+    pairs: Vec<(usize, usize)>,
 }
 
 thread_local! {
@@ -263,15 +267,21 @@ impl PimTree {
     /// The batch is sorted and deduplicated (identical ranges share one
     /// descent), then the immutable component is descended level-by-level for
     /// the whole group with software prefetching
-    /// (`CssTree::lower_bound_batch`), all under a single acquisition of the
-    /// generation lock — one lock round-trip per task instead of one per
-    /// tuple. `prefetch_dist` is the per-level prefetch lookahead (0 = no
-    /// prefetching); `counters` records batch sizes, dedup hits and nodes
-    /// prefetched. A batch of one degenerates to the scalar descent (there is
-    /// nothing to group, dedup or prefetch ahead of), skipping the batch
-    /// bookkeeping entirely; the sort/dedup/cursor buffers of larger batches
-    /// are reused through a per-thread scratch, so the steady state allocates
-    /// nothing.
+    /// (`CssTree::lower_bound_batch_groups`), all under a single acquisition
+    /// of the generation lock — one lock round-trip per task instead of one
+    /// per tuple. The mutable component is batched too: each range's
+    /// overlapping partition interval is derived *arithmetically* from the
+    /// group descent's leaf group (the routing node at the insertion depth is
+    /// an ancestor of it — no second root-to-leaf walk), and the partitions
+    /// are then visited partition-major, so a partition overlapped by many
+    /// ranges is locked once per batch instead of once per range.
+    /// `prefetch_dist` is the per-level prefetch lookahead (0 = no
+    /// prefetching); `counters` records batch sizes, dedup hits, nodes
+    /// prefetched and the mutable-side lock grouping. A batch of one
+    /// degenerates to the scalar descent (there is nothing to group, dedup or
+    /// prefetch ahead of), skipping the batch bookkeeping entirely; the
+    /// sort/dedup/cursor buffers of larger batches are reused through a
+    /// per-thread scratch, so the steady state allocates nothing.
     pub fn probe_batch<F: FnMut(usize, Entry)>(
         &self,
         ranges: &[KeyRange],
@@ -314,21 +324,35 @@ impl PimTree {
         counters.dedup_hits += (n - s.uniq.len()) as u64;
 
         // One level-wise group descent resolves every unique range's start
-        // position in the immutable component.
+        // position in the immutable component and records the leaf group the
+        // descent landed in — the partition-routing node at the insertion
+        // depth is an arithmetic ancestor of that group, so the mutable-side
+        // routing below never re-descends from the root.
         s.positions.clear();
+        s.groups.clear();
         if !gen.ts.is_empty() {
             s.targets.clear();
             s.targets
                 .extend(s.uniq.iter().map(|r| Entry::min_for_key(r.lo)));
-            counters.nodes_prefetched +=
-                gen.ts
-                    .lower_bound_batch(&s.targets, prefetch_dist, &mut s.positions);
+            counters.nodes_prefetched += gen.ts.lower_bound_batch_groups(
+                &s.targets,
+                prefetch_dist,
+                &mut s.positions,
+                &mut s.groups,
+            );
         }
         let ti_populated = gen.ti_len.load(Ordering::Relaxed) > 0;
+
+        // Immutable component first: per unique range, every `TS` entry is
+        // emitted before any `TI` entry, exactly like the scalar probe. The
+        // scan's end position doubles as the upper routing bound for the
+        // mutable side (it lies in, or one short of, the leaf group holding
+        // the first entry past the range).
+        s.ends.clear();
         for (j, &range) in s.uniq.iter().enumerate() {
             let group = &s.order[s.starts[j]..s.starts[j + 1]];
+            let mut pos = if gen.ts.is_empty() { 0 } else { s.positions[j] };
             if !gen.ts.is_empty() {
-                let mut pos = s.positions[j];
                 while pos < gen.ts.len() {
                     let e = gen.ts.entry_at(pos);
                     if e.key > range.hi {
@@ -340,16 +364,59 @@ impl PimTree {
                     pos += 1;
                 }
             }
-            if ti_populated {
-                let p_lo = gen.route(Entry::min_for_key(range.lo));
-                let p_hi = gen.route(Entry::max_for_key(range.hi));
+            s.ends.push(pos);
+        }
+
+        // Mutable component, batched: each unique range's overlapping
+        // partition interval is derived arithmetically, then the partitions
+        // are visited in ascending order with every overlapping range
+        // answered under a single lock acquisition — one lock round-trip per
+        // (batch, partition) instead of one per (range, partition).
+        if ti_populated {
+            s.partition_ranges.clear();
+            let leaf_size = gen.ts.leaf_size().max(1);
+            let last_group = gen.ts.leaf_groups().saturating_sub(1);
+            for (j, &range) in s.uniq.iter().enumerate() {
+                let (p_lo, p_hi) = if gen.ts.is_empty() {
+                    (0, 0)
+                } else {
+                    // `p_lo` is exact (the descent group's ancestor); `p_hi`
+                    // derived from the scan end is conservative — it can
+                    // overshoot the true routing node by at most one leaf
+                    // group's ancestor, never undershoot it.
+                    let p_lo = gen.ts.ancestor_at_depth(s.groups[j], gen.depth);
+                    let end_group = (s.ends[j] / leaf_size).min(last_group);
+                    let p_hi = gen.ts.ancestor_at_depth(end_group, gen.depth).max(p_lo);
+                    (p_lo, p_hi)
+                };
+                debug_assert!(p_hi < gen.partitions.len());
+                debug_assert_eq!(p_lo, gen.route(Entry::min_for_key(range.lo)));
+                debug_assert!(p_hi >= gen.route(Entry::max_for_key(range.hi)));
+                s.partition_ranges.push((p_lo, p_hi));
+            }
+            s.pairs.clear();
+            for (j, &(p_lo, p_hi)) in s.partition_ranges.iter().enumerate() {
                 for p in p_lo..=p_hi {
-                    let tree = gen.partitions[p].tree.lock();
+                    s.pairs.push((p, j));
+                }
+            }
+            s.pairs.sort_unstable();
+            counters.ti_range_visits += s.pairs.len() as u64;
+            let mut k = 0;
+            while k < s.pairs.len() {
+                let p = s.pairs[k].0;
+                let tree = gen.partitions[p].tree.lock();
+                counters.ti_partition_locks += 1;
+                while k < s.pairs.len() && s.pairs[k].0 == p {
+                    let j = s.pairs[k].1;
+                    let range = s.uniq[j];
+                    let group = &s.order[s.starts[j]..s.starts[j + 1]];
                     tree.range_for_each(range, |e| {
                         for &i in group {
                             f(i, e);
                         }
                     });
+                    k += 1;
                 }
             }
         }
@@ -799,6 +866,51 @@ mod tests {
         assert!(
             counters.nodes_prefetched > 0,
             "distances > 0 must prefetch nodes of the populated TS"
+        );
+    }
+
+    #[test]
+    fn batched_ti_probe_locks_each_partition_once_per_batch() {
+        // A populated TS (many partitions) plus a populated TI, probed with
+        // several wide, overlapping ranges: the partition-major TI path must
+        // lock every partition at most once per batch while producing the
+        // exact scalar result per range.
+        let t = PimTree::new(config(2048, 1.0, 3));
+        for i in 0..2048i64 {
+            t.insert(i, i as Seq);
+        }
+        t.merge(0);
+        assert!(t.partition_count() > 4);
+        for i in 2048..2560i64 {
+            t.insert(i - 2048, i as Seq);
+        }
+        let ranges = [
+            KeyRange::new(0, 600),
+            KeyRange::new(100, 700), // overlaps the first range's partitions
+            KeyRange::new(100, 700), // duplicate: shares the first's descent
+            KeyRange::new(1500, 2047), // disjoint partition interval
+            KeyRange::point(650),
+        ];
+        let mut counters = ProbeCounters::default();
+        let mut batched: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
+        t.probe_batch(&ranges, 4, &mut counters, |i, e| batched[i].push(e));
+        for (range, got) in ranges.iter().zip(&batched) {
+            let mut scalar = Vec::new();
+            t.range_for_each(*range, |e| scalar.push(e));
+            assert_eq!(got, &scalar, "range {range:?}");
+        }
+        assert!(counters.ti_range_visits > 0);
+        assert!(
+            counters.ti_partition_locks <= t.partition_count() as u64,
+            "each partition is locked at most once per batch: {} locks, {} partitions",
+            counters.ti_partition_locks,
+            t.partition_count()
+        );
+        assert!(
+            counters.ti_partition_locks < counters.ti_range_visits,
+            "overlapping ranges must share partition locks ({} locks / {} visits)",
+            counters.ti_partition_locks,
+            counters.ti_range_visits
         );
     }
 

@@ -227,22 +227,77 @@ impl CssTree {
         prefetch_dist: usize,
         positions: &mut Vec<usize>,
     ) -> u64 {
+        self.lower_bound_batch_inner(targets, prefetch_dist, positions, None)
+    }
+
+    /// [`CssTree::lower_bound_batch`] that additionally records, per target,
+    /// the leaf-group index the group descent landed in (always 0 when the
+    /// tree has no inner levels). The group is captured *before* the final
+    /// in-leaf search, so it is exactly the value
+    /// [`CssTree::descend_to_depth`] would return for the full descent —
+    /// callers can derive the routing node at any shallower depth
+    /// arithmetically with [`CssTree::ancestor_at_depth`] instead of
+    /// re-descending from the root.
+    pub fn lower_bound_batch_groups(
+        &self,
+        targets: &[Entry],
+        prefetch_dist: usize,
+        positions: &mut Vec<usize>,
+        groups: &mut Vec<usize>,
+    ) -> u64 {
+        self.lower_bound_batch_inner(targets, prefetch_dist, positions, Some(groups))
+    }
+
+    /// The ancestor node index at `depth` of a leaf group's descent path
+    /// (root = depth 0). Because a descent step computes
+    /// `child = node * fanout + k`, the node visited at `depth` is the
+    /// repeated integer quotient of the leaf group by the fan-out — no
+    /// re-descent needed. A tree without inner levels has a single root
+    /// "node" (index 0); depths at or past the deepest inner level return the
+    /// leaf group itself.
+    pub fn ancestor_at_depth(&self, leaf_group: usize, depth: usize) -> usize {
+        let levels = self.level_sizes.len();
+        if levels == 0 {
+            return 0;
+        }
+        let mut node = leaf_group;
+        for _ in depth.min(levels)..levels {
+            node /= self.fanout;
+        }
+        node
+    }
+
+    fn lower_bound_batch_inner(
+        &self,
+        targets: &[Entry],
+        prefetch_dist: usize,
+        positions: &mut Vec<usize>,
+        groups: Option<&mut Vec<usize>>,
+    ) -> u64 {
         positions.clear();
         let n = targets.len();
         if n == 0 {
+            if let Some(groups) = groups {
+                groups.clear();
+            }
             return 0;
         }
-        if self.leaves.is_empty() {
-            positions.resize(n, 0);
-            return 0;
-        }
-        if self.level_sizes.is_empty() {
-            // Single leaf level: no inner nodes to descend or prefetch.
-            positions.extend(
-                targets
-                    .iter()
-                    .map(|&t| self.leaves.partition_point(|&e| e < t)),
-            );
+        if self.leaves.is_empty() || self.level_sizes.is_empty() {
+            // Empty tree, or a single leaf level: no inner nodes to descend
+            // or prefetch, and no descent path — every "group" is the root.
+            if self.leaves.is_empty() {
+                positions.resize(n, 0);
+            } else {
+                positions.extend(
+                    targets
+                        .iter()
+                        .map(|&t| self.leaves.partition_point(|&e| e < t)),
+                );
+            }
+            if let Some(groups) = groups {
+                groups.clear();
+                groups.resize(n, 0);
+            }
             return 0;
         }
         // `positions` doubles as the per-target node cursor while descending.
@@ -278,7 +333,13 @@ impl CssTree {
                 }
             }
         }
-        // Leaf pass: the cursors now hold leaf-group indexes.
+        // The cursors now hold leaf-group indexes: snapshot them for callers
+        // that derive partition-routing ancestors arithmetically.
+        if let Some(groups) = groups {
+            groups.clear();
+            groups.extend_from_slice(positions);
+        }
+        // Leaf pass.
         for i in 0..n {
             if d > 0 && i + d < n {
                 prefetch_slice(self.leaf_group_slice(positions[i + d]));
@@ -644,6 +705,65 @@ mod tests {
         for (range, entries) in ranges.iter().zip(&got) {
             assert_eq!(entries, &t.range_collect(*range), "range {range:?}");
         }
+    }
+
+    #[test]
+    fn ancestor_at_depth_matches_the_real_descent() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for (n, fanout, leaf) in [(9, 4, 4), (257, 4, 4), (1000, 8, 8), (4096, 8, 32)] {
+            let t = tree(n, fanout, leaf);
+            let levels = t.inner_levels();
+            let probes: Vec<Entry> = (0..64)
+                .map(|_| Entry::new(rng.gen_range(-5..2 * n as i64 + 5), rng.gen()))
+                .collect();
+            for &p in &probes {
+                let group = t.descend_to_depth(p, levels);
+                for depth in 0..=levels {
+                    assert_eq!(
+                        t.ancestor_at_depth(group, depth),
+                        t.descend_to_depth(p, depth),
+                        "n={n} fanout={fanout} target={p:?} depth={depth}"
+                    );
+                }
+            }
+        }
+        // Degenerate shapes: empty tree and single leaf level route to 0.
+        assert_eq!(CssTree::empty().ancestor_at_depth(0, 0), 0);
+        let flat = tree(7, 4, 8);
+        assert_eq!(flat.inner_levels(), 0);
+        assert_eq!(flat.ancestor_at_depth(0, 0), 0);
+        assert_eq!(flat.ancestor_at_depth(3, 2), 0);
+    }
+
+    #[test]
+    fn lower_bound_batch_groups_captures_the_descent_group() {
+        let t = tree(4096, 8, 32);
+        let levels = t.inner_levels();
+        let targets: Vec<Entry> = (-2..50).map(|k| Entry::min_for_key(k * 173)).collect();
+        let mut positions = Vec::new();
+        let mut groups = Vec::new();
+        for dist in [0usize, 1, 4] {
+            let _ = t.lower_bound_batch_groups(&targets, dist, &mut positions, &mut groups);
+            assert_eq!(positions.len(), targets.len());
+            assert_eq!(groups.len(), targets.len());
+            for (i, &target) in targets.iter().enumerate() {
+                assert_eq!(positions[i], t.lower_bound(target), "dist {dist}");
+                assert_eq!(
+                    groups[i],
+                    t.descend_to_depth(target, levels),
+                    "dist {dist}, target {target:?}"
+                );
+            }
+        }
+        // Degenerate shapes report group 0 for every target.
+        for degenerate in [CssTree::empty(), tree(7, 4, 8)] {
+            let _ = degenerate.lower_bound_batch_groups(&targets, 4, &mut positions, &mut groups);
+            assert_eq!(groups, vec![0; targets.len()]);
+        }
+        let _ = t.lower_bound_batch_groups(&[], 4, &mut positions, &mut groups);
+        assert!(positions.is_empty() && groups.is_empty());
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   MPMC task ring of [`ring`];
 //! * [`ring`] — the fixed-capacity atomic-slot ring buffer distributing work
 //!   between the engine's threads, plus the adaptive idle back-off;
+//! * [`shard`] — the NUMA-aware sharded ring layer: per-node ring shards
+//!   behind a key-range router (`pimtree-numa`'s `RangePartitioner`),
+//!   home-shard claiming with bounded cross-shard work stealing charged to a
+//!   simulated NUMA traffic account, and a cross-shard merge cursor that
+//!   keeps result propagation in global arrival order;
 //! * [`timejoin`] — a time-based (event-time) window band join over the same
 //!   PIM-Tree index, substantiating the paper's claim that the approach
 //!   applies to time-based windows without technical limitation (§2.1);
@@ -40,6 +45,7 @@ pub mod nlwj;
 pub mod parallel;
 pub mod reference;
 pub mod ring;
+pub mod shard;
 pub mod stats;
 pub mod timejoin;
 
@@ -52,5 +58,6 @@ pub use nlwj::NlwjOperator;
 pub use parallel::{ParallelIbwj, SharedIndexKind};
 pub use reference::{canonical, reference_join};
 pub use ring::{Backoff, ClaimedTask, IdleKind, TaskRing};
-pub use stats::{EnginePhaseTimes, JoinRunStats, RingCounters};
+pub use shard::{ShardClaim, ShardIngestGuard, ShardedRing};
+pub use stats::{EnginePhaseTimes, JoinRunStats, RingCounters, ShardCounters};
 pub use timejoin::{reference_time_join, TimeBasedIbwj, TimedStreamTuple};

@@ -41,12 +41,19 @@
 //! * **Propagation** advances a completed-prefix cursor. Ordering is
 //!   structural: the cursor cannot pass an uncompleted slot, so results
 //!   always leave in arrival order of the probing tuple.
-//! * **The merge horizon** is read in O(1) from per-side monotone counters
-//!   maintained at claim time (see `merge_horizon`), instead of scanning
-//!   every queued task under the queue lock.
+//! * **The merge horizon** is folded from per-shard, per-side monotone
+//!   counters maintained at claim time (see `merge_horizon`), instead of
+//!   scanning every queued task under the queue lock.
 //! * **Idle back-off** is adaptive (spin → yield → short park,
 //!   [`crate::ring::Backoff`]) instead of a fixed 20µs sleep, so a worker
 //!   that just missed work re-checks within nanoseconds.
+//!
+//! With `ShardConfig::shards > 1` the single ring becomes a
+//! [`crate::shard::ShardedRing`]: per-NUMA-node ring shards behind a
+//! key-range router ([`ParallelIbwj::with_partitioner`]), home-shard
+//! claiming with bounded cross-shard stealing (charged to a simulated NUMA
+//! traffic account), and a cross-shard merge cursor that preserves global
+//! arrival-order propagation. One shard short-circuits to the plain ring.
 //!
 //! # Invariants
 //!
@@ -82,9 +89,11 @@ use pimtree_common::{
     ProbeConfig, ProbeCounters, Seq, StreamSide, Tuple,
 };
 use pimtree_core::PimTree;
+use pimtree_numa::RangePartitioner;
 use pimtree_window::SlidingWindow;
 
-use crate::ring::{Backoff, ClaimedTask, IdleKind, TaskRing};
+use crate::ring::{Backoff, ClaimedTask, IdleKind};
+use crate::shard::ShardedRing;
 use crate::stats::JoinRunStats;
 
 /// Which shared index the parallel engine maintains over each window.
@@ -152,15 +161,19 @@ impl SharedIndex {
     }
 }
 
-/// Per-probe-side bookkeeping that makes the merge horizon an O(1) read.
+/// Per-shard, per-probe-side bookkeeping that makes the merge horizon a
+/// handful of atomic reads.
 ///
 /// `last_claimed_bound` is a running maximum over the bounds of every claimed
-/// task of this side. Because both window heads only grow and tuples are
-/// ingested in arrival order, the bounds stored in ring slots are
-/// non-decreasing in slot id per side; claims take slot ids in order, so
-/// every *unclaimed* task of the side has bounds at least this large — which
-/// makes the value a safe (conservative) stand-in for "the oldest sequence
-/// number any pending task of this side may still probe".
+/// task of one shard and side. Because both window heads only grow and tuples
+/// are ingested in arrival order, the bounds stored in a shard's slots are
+/// non-decreasing in slot id per side (each shard receives a subsequence of
+/// the global arrival order); a shard's claims take its slot ids in order, so
+/// every *unclaimed* task of the side on that shard has bounds at least this
+/// large — which makes the value a safe (conservative) stand-in for "the
+/// oldest sequence number any pending task of this side on this shard may
+/// still probe". Claims across shards are not ordered, so the counters must
+/// stay per shard and the global horizon is their fold (minimum).
 #[derive(Debug, Default)]
 struct ClaimMeta {
     /// Tuples ingested whose probe targets this side.
@@ -202,11 +215,15 @@ struct Shared<'a> {
     backoff: pimtree_common::RingConfig,
     probe: ProbeConfig,
 
-    ring: TaskRing,
+    ring: ShardedRing,
     /// Next input position to ingest; written only under the ingest token.
     next_ingest: AtomicUsize,
-    /// Per-probe-side claim progress for the O(1) merge horizon.
-    claim_meta: [ClaimMeta; 2],
+    /// Per-shard, per-probe-side claim progress for the O(shards) merge
+    /// horizon (see [`merge_horizon`]): claims within one shard take slot ids
+    /// in order, so the per-shard running maxima stay safe stand-ins for
+    /// that shard's unclaimed bounds even though claims across shards are
+    /// not globally ordered.
+    claim_meta: Vec<[ClaimMeta; 2]>,
     /// Blocks new task acquisition while a merge phase transition is pending.
     gate: AtomicBool,
     /// Number of tasks currently being processed (acquired, not yet done with
@@ -265,12 +282,14 @@ pub struct ParallelIbwj {
     kind: SharedIndexKind,
     self_join: bool,
     collect_results: bool,
+    partitioner: Option<RangePartitioner>,
 }
 
 impl ParallelIbwj {
     /// Creates the operator. `config.threads` worker threads are used,
-    /// `config.pim` configures the PIM-Tree (including its merge policy) and
-    /// `config.ring` tunes the task ring and idle back-off.
+    /// `config.pim` configures the PIM-Tree (including its merge policy),
+    /// `config.ring` tunes the task ring and idle back-off, and
+    /// `config.shard` shards the ring across simulated NUMA nodes.
     pub fn new(
         config: JoinConfig,
         predicate: BandPredicate,
@@ -284,12 +303,26 @@ impl ParallelIbwj {
             kind,
             self_join,
             collect_results: false,
+            partitioner: None,
         }
     }
 
     /// Collect result tuples (for tests); by default only counts are kept.
     pub fn with_collected_results(mut self, collect: bool) -> Self {
         self.collect_results = collect;
+        self
+    }
+
+    /// Routes ingestion by key range: each tuple is ingested on the ring
+    /// shard owning its key interval instead of round-robin. The
+    /// partitioner's node count must equal `config.shard.shards`.
+    pub fn with_partitioner(mut self, partitioner: RangePartitioner) -> Self {
+        assert_eq!(
+            partitioner.nodes(),
+            self.config.shard.shards,
+            "partitioner and shard config disagree on the shard count"
+        );
+        self.partitioner = Some(partitioner);
         self
     }
 
@@ -317,12 +350,28 @@ impl ParallelIbwj {
         let warmup = warmup.min(tuples.len());
         let threads = self.config.threads;
         let task_size = self.config.task_size;
+        let shards = self.config.shard.shards;
         let ring_cap = if self.config.ring.capacity > 0 {
             self.config.ring.capacity
         } else {
             (threads * task_size * 64).max(4096)
         };
-        let ring_cap = ring_cap.max(2 * task_size).next_power_of_two();
+        // `ring.capacity` configures the *total* capacity; each shard gets an
+        // equal slice, floored so even a deliberately tiny ring leaves every
+        // shard room for a whole task.
+        let per_shard_cap = (ring_cap / shards)
+            .max(2 * task_size)
+            .max(4)
+            .next_power_of_two();
+        let ring = ShardedRing::new(
+            &self.config.shard,
+            task_size,
+            per_shard_cap,
+            self.partitioner.clone(),
+        );
+        // Total capacity across shards: the bound on how far any in-flight
+        // task can lag the ingest frontier.
+        let ring_cap = ring.capacity();
         let max_unindexed = (8 * threads * task_size).max(1024);
         // The window must keep slots readable well past expiry: in-flight
         // tasks reach back up to one ring capacity of ingests, and the
@@ -371,9 +420,9 @@ impl ParallelIbwj {
             collect_results: self.collect_results,
             backoff: self.config.ring,
             probe: self.config.probe,
-            ring: TaskRing::with_capacity(ring_cap),
+            ring,
             next_ingest: AtomicUsize::new(0),
-            claim_meta: [ClaimMeta::default(), ClaimMeta::default()],
+            claim_meta: (0..shards).map(|_| Default::default()).collect(),
             gate: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
             no_index_updates: [AtomicBool::new(false), AtomicBool::new(false)],
@@ -389,8 +438,9 @@ impl ParallelIbwj {
         let mut warmup_results = Vec::new();
         if warmup > 0 {
             std::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|| worker_loop(&shared));
+                let shared = &shared;
+                for worker in 0..threads {
+                    scope.spawn(move || worker_loop(shared, worker));
                 }
             });
             shared.worker_stats.lock().clear();
@@ -399,12 +449,19 @@ impl ParallelIbwj {
             warmup_results = results;
             shared.ingest_limit = tuples.len();
         }
+        // The ring's traffic account spans both phases; remember the warmup
+        // baseline so the reported counters cover only the measured tuples.
+        let (warm_local, warm_remote) = (
+            shared.ring.traffic().local(),
+            shared.ring.traffic().remote(),
+        );
 
         let measured = (tuples.len() - warmup) as u64;
         let start = Instant::now();
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| worker_loop(&shared));
+            let shared = &shared;
+            for worker in 0..threads {
+                scope.spawn(move || worker_loop(shared, worker));
             }
         });
         let elapsed = start.elapsed();
@@ -418,6 +475,12 @@ impl ParallelIbwj {
             stats.absorb(w);
         }
         stats.tuples = measured;
+        stats.shard.shards = shared.ring.shards() as u64;
+        stats.shard.local_accesses = shared.ring.traffic().local() - warm_local;
+        stats.shard.remote_accesses = shared.ring.traffic().remote() - warm_remote;
+        stats.shard.simulated_numa_cost = stats.shard.local_accesses
+            * shared.ring.topology().local_cost
+            + stats.shard.remote_accesses * shared.ring.topology().remote_cost;
         let (merges, merge_time) = *shared.merge_stats.lock();
         stats.merges = merges;
         stats.merge_time = merge_time;
@@ -439,6 +502,9 @@ impl ParallelIbwj {
 struct WorkerScratch {
     /// Tuples of the current task, straight out of the ring claim.
     items: Vec<ClaimedTask>,
+    /// The ring shard the current task was claimed from (home or victim);
+    /// slot completion must go back to the same shard.
+    task_shard: usize,
     /// Tuples destined for each side's index, inserted as one batch per task.
     inserts: [Vec<(Key, Seq)>; 2],
     /// Sequence numbers to mark as indexed after the batch insert, per side.
@@ -460,6 +526,7 @@ impl WorkerScratch {
     fn new() -> Self {
         WorkerScratch {
             items: Vec::new(),
+            task_shard: 0,
             inserts: [Vec::new(), Vec::new()],
             indexed: [Vec::new(), Vec::new()],
             probe_ranges: [Vec::new(), Vec::new()],
@@ -471,15 +538,19 @@ impl WorkerScratch {
     }
 }
 
-fn worker_loop(shared: &Shared<'_>) {
+fn worker_loop(shared: &Shared<'_>, worker: usize) {
     let mut local = JoinRunStats::default();
     let mut latency = LatencyRecorder::new();
     let mut scratch = WorkerScratch::new();
     let mut backoff = Backoff::new(&shared.backoff);
+    // Workers are pinned round-robin to a home shard; on a real NUMA host
+    // this is where the worker's thread would also be pinned to the shard's
+    // socket.
+    let home = worker % shared.ring.shards();
     loop {
         maybe_merge(shared, &mut local);
         let acquire_start = Instant::now();
-        let acquired = acquire_task(shared, &mut scratch, &mut local);
+        let acquired = acquire_task(shared, home, &mut scratch, &mut local);
         local.phase.acquire += acquire_start.elapsed();
         if acquired {
             let acquired_at = Instant::now();
@@ -533,6 +604,7 @@ fn is_finished(shared: &Shared<'_>) -> bool {
 /// a claim can never slip past a closing gate unnoticed.
 fn acquire_task(
     shared: &Shared<'_>,
+    home: usize,
     scratch: &mut WorkerScratch,
     local: &mut JoinRunStats,
 ) -> bool {
@@ -545,20 +617,23 @@ fn acquire_task(
         try_ingest(shared, local);
     }
     scratch.items.clear();
-    if shared
-        .ring
-        .claim(shared.task_size, &mut scratch.items, &mut local.ring)
-        == 0
-    {
+    let Some(claim) = shared.ring.claim(
+        home,
+        shared.task_size,
+        &mut scratch.items,
+        &mut local.ring,
+        &mut local.shard,
+    ) else {
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         return false;
-    }
-    // Record claim progress per probe side for the O(1) merge horizon. This
-    // happens while the task is counted in `in_flight`, so a merger that
-    // observed quiescence is guaranteed to see it.
+    };
+    scratch.task_shard = claim.shard;
+    // Record claim progress per (shard, probe side) for the O(shards) merge
+    // horizon. This happens while the task is counted in `in_flight`, so a
+    // merger that observed quiescence is guaranteed to see it.
     for task in &scratch.items {
         let probe = shared.probe_idx(task.tuple.side);
-        let meta = &shared.claim_meta[probe];
+        let meta = &shared.claim_meta[claim.shard][probe];
         meta.last_claimed_bound
             .fetch_max(task.bounds.earliest, Ordering::AcqRel);
         meta.claimed.fetch_add(1, Ordering::Release);
@@ -571,7 +646,10 @@ fn acquire_task(
 /// of the mutex-based engine: the opposite window's bounds are snapshotted
 /// *before* the tuple is appended to its own window (which matters for
 /// self-joins), and ingestion stalls while a window's non-indexed suffix
-/// exceeds its bound.
+/// exceeds its bound. Each tuple is routed to the ring shard owning its key
+/// range (round-robin without a partitioner); a full *routed* shard stalls
+/// ingestion entirely, because admitting later arrivals on other shards
+/// would break the global arrival order the merge cursor relies on.
 fn try_ingest(shared: &Shared<'_>, local: &mut JoinRunStats) {
     let Some(guard) = shared.ring.try_ingest() else {
         local.ring.ingest_token_contended += 1;
@@ -580,12 +658,17 @@ fn try_ingest(shared: &Shared<'_>, local: &mut JoinRunStats) {
     let mut pos = shared.next_ingest.load(Ordering::Relaxed);
     let mut ingested_any = false;
     while pos < shared.ingest_limit && shared.ring.available() < shared.ingest_target {
-        // Capacity is checked before the window append so that a published
-        // window tuple is always matched by a published ring slot.
-        if !guard.can_push() {
+        let t = shared.input[pos];
+        // Capacity of the routed shard is checked before the window append so
+        // that a published window tuple is always matched by a published ring
+        // slot.
+        let shard = guard.route(t.key);
+        if !guard.can_push(shard) {
+            if shared.ring.shards() > 1 {
+                local.shard.shard_full_stalls += 1;
+            }
             break;
         }
-        let t = shared.input[pos];
         let own = shared.own_idx(t.side);
         if shared.windows[own].unindexed_len() as usize >= shared.max_unindexed {
             local.ring.ingest_stalls += 1;
@@ -600,8 +683,8 @@ fn try_ingest(shared: &Shared<'_>, local: &mut JoinRunStats) {
             seq, t.seq,
             "input sequence numbers must match arrival order"
         );
-        guard.push(t, bounds);
-        shared.claim_meta[probe]
+        guard.push(shard, t, bounds);
+        shared.claim_meta[shard][probe]
             .ingested
             .fetch_add(1, Ordering::Release);
         pos += 1;
@@ -685,6 +768,7 @@ fn process_task(
 /// taken verbatim when `ProbeConfig::batch` is off.
 fn generate_scalar(shared: &Shared<'_>, scratch: &mut WorkerScratch, local: &mut JoinRunStats) {
     let entry_bytes = std::mem::size_of::<Entry>() as u64;
+    let task_shard = scratch.task_shard;
     for &ClaimedTask { gid, tuple, bounds } in &scratch.items {
         let probe = shared.probe_idx(tuple.side);
         let matched_side = shared.matched_side(tuple.side);
@@ -738,7 +822,7 @@ fn generate_scalar(shared: &Shared<'_>, scratch: &mut WorkerScratch, local: &mut
         local.bytes_stored += count * std::mem::size_of::<JoinResult>() as u64;
         local.results += count;
         local.tuples += 1;
-        shared.ring.complete(gid, count, results);
+        shared.ring.complete(task_shard, gid, count, results);
     }
 }
 
@@ -813,6 +897,7 @@ fn generate_batched(shared: &Shared<'_>, scratch: &mut WorkerScratch, local: &mu
     // Window-suffix scans and slot publication, per tuple (see
     // `generate_scalar` for the edge-split invariants).
     let scan_start = Instant::now();
+    let task_shard = scratch.task_shard;
     for (i, &ClaimedTask { gid, tuple, bounds }) in scratch.items.iter().enumerate() {
         let probe = shared.probe_idx(tuple.side);
         let matched_side = shared.matched_side(tuple.side);
@@ -836,7 +921,7 @@ fn generate_batched(shared: &Shared<'_>, scratch: &mut WorkerScratch, local: &mu
         local.bytes_stored += count * std::mem::size_of::<JoinResult>() as u64;
         local.results += count;
         local.tuples += 1;
-        shared.ring.complete(gid, count, results);
+        shared.ring.complete(task_shard, gid, count, results);
     }
     local.breakdown.record_nanos(
         pimtree_common::Step::Scan,
@@ -889,16 +974,22 @@ fn open_gate(shared: &Shared<'_>) {
 ///
 /// Called with the gate closed and the engine quiescent (`in_flight == 0`),
 /// so the only tasks that still need old entries are the ingested-but-
-/// unclaimed ones. Their bounds are at least `last_claimed_bound` (bounds are
-/// non-decreasing in slot id per side, and claims take ids in order), so the
-/// horizon is read from two atomics instead of scanning the ring: the
-/// result is never larger than the true minimum, which keeps it safe — at
-/// worst a few already-expired tuples survive one extra merge.
+/// unclaimed ones. Per shard, their bounds are at least that shard's
+/// `last_claimed_bound` (bounds are non-decreasing in slot id per side —
+/// each shard receives a subsequence of the globally ordered ingest — and a
+/// shard's claims take its slot ids in order). Claims across shards are
+/// *not* globally ordered, which is exactly why the counters are kept per
+/// shard: the global horizon is the fold (minimum) of the per-shard monotone
+/// counters, a handful of atomic reads instead of a ring scan. The result is
+/// never larger than the true minimum, which keeps it safe — at worst a few
+/// already-expired tuples survive one extra merge.
 fn merge_horizon(shared: &Shared<'_>, side: usize) -> Seq {
     let mut horizon = shared.windows[side].earliest_live();
-    let meta = &shared.claim_meta[side];
-    if meta.ingested.load(Ordering::Acquire) > meta.claimed.load(Ordering::Acquire) {
-        horizon = horizon.min(meta.last_claimed_bound.load(Ordering::Acquire));
+    for shard_meta in &shared.claim_meta {
+        let meta = &shard_meta[side];
+        if meta.ingested.load(Ordering::Acquire) > meta.claimed.load(Ordering::Acquire) {
+            horizon = horizon.min(meta.last_claimed_bound.load(Ordering::Acquire));
+        }
     }
     horizon
 }
@@ -974,7 +1065,7 @@ fn maybe_merge(shared: &Shared<'_>, local: &mut JoinRunStats) {
 mod tests {
     use super::*;
     use crate::reference::{canonical, reference_join};
-    use pimtree_common::{IndexKind, PimConfig, RingConfig};
+    use pimtree_common::{IndexKind, PimConfig, RingConfig, ShardConfig};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -1471,6 +1562,191 @@ mod tests {
             .with_collected_results(true);
         let (_, results) = op.run(&tuples);
         assert_eq!(canonical(&results), expected);
+    }
+
+    /// The shard counts the sharded differential tests sweep. CI's shard
+    /// matrix pins a single count via `PIMTREE_TEST_SHARDS`; local runs sweep
+    /// the interesting shapes (off, even split, more shards than threads).
+    fn shard_sweep() -> Vec<usize> {
+        match std::env::var("PIMTREE_TEST_SHARDS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            Some(n) => vec![n],
+            None => vec![1, 2, 4],
+        }
+    }
+
+    /// The tentpole differential: the sharded engine must produce the exact
+    /// same results as the single-ring engine and the brute-force oracle,
+    /// across shard counts, merge policies and index backends, and its
+    /// claim accounting must cover every tuple.
+    #[test]
+    fn sharded_engine_matches_single_ring_and_reference() {
+        let tuples = random_tuples(5000, 400, 101);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        for policy in [MergePolicy::NonBlocking, MergePolicy::Blocking] {
+            for kind in [SharedIndexKind::PimTree, SharedIndexKind::BwTree] {
+                for shards in shard_sweep() {
+                    let cfg = config(128, 4, 4, 0.5, policy)
+                        .with_shard(ShardConfig::default().with_shards(shards));
+                    let op =
+                        ParallelIbwj::new(cfg, predicate, kind, false).with_collected_results(true);
+                    let (stats, results) = op.run(&tuples);
+                    let label = format!("{policy:?}/{kind:?}/{shards} shards");
+                    assert_eq!(canonical(&results), expected, "{label}");
+                    assert_eq!(stats.ring.tuples_acquired, 5000, "{label}");
+                    assert_eq!(stats.ring.slots_drained, 5000, "{label}");
+                    assert_eq!(stats.shard.shards, shards as u64, "{label}");
+                    assert_eq!(
+                        stats.shard.local_tuples + stats.shard.stolen_tuples,
+                        5000,
+                        "every tuple claimed home or stolen ({label})"
+                    );
+                    assert_eq!(
+                        stats.shard.local_accesses + stats.shard.remote_accesses,
+                        5000,
+                        "every claim charged to the traffic account ({label})"
+                    );
+                    if shards == 1 {
+                        assert_eq!(stats.shard.stolen_tuples, 0, "{label}");
+                        assert_eq!(stats.shard.remote_accesses, 0, "{label}");
+                        assert_eq!(stats.shard.shard_full_stalls, 0, "{label}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Key-range routing through a real `RangePartitioner`: results are
+    /// identical and the traffic account stays consistent.
+    #[test]
+    fn sharded_engine_with_range_partitioner_matches_reference() {
+        let tuples = random_tuples(5000, 600, 102);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
+        for shards in shard_sweep() {
+            let partitioner = RangePartitioner::from_key_sample(shards, &sample);
+            let cfg = config(128, 4, 4, 0.5, MergePolicy::NonBlocking)
+                .with_shard(ShardConfig::default().with_shards(shards));
+            let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+                .with_partitioner(partitioner)
+                .with_collected_results(true);
+            let (stats, results) = op.run(&tuples);
+            assert_eq!(canonical(&results), expected, "{shards} shards");
+            assert_eq!(
+                stats.shard.local_accesses + stats.shard.remote_accesses,
+                5000,
+                "{shards} shards"
+            );
+            assert!(
+                stats.shard.simulated_numa_cost >= 5000 * 90,
+                "{shards} shards"
+            );
+        }
+    }
+
+    /// Duplicate-heavy keys and domain-overflowing probe ranges under
+    /// sharding, with a window that never expires and one that expires
+    /// immediately.
+    #[test]
+    fn sharded_engine_duplicate_keys_and_window_edges() {
+        let predicate = BandPredicate::new(100);
+        let tuples = random_tuples(2000, 50, 103);
+        for shards in shard_sweep() {
+            for w in [1usize, 4096] {
+                let expected = canonical(&reference_join(&tuples, predicate, w, w, false));
+                let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
+                let cfg = config(w, 3, 4, 1.0, MergePolicy::NonBlocking)
+                    .with_shard(ShardConfig::default().with_shards(shards));
+                let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+                    .with_partitioner(RangePartitioner::from_key_sample(shards, &sample))
+                    .with_collected_results(true);
+                let (_, results) = op.run(&tuples);
+                assert_eq!(canonical(&results), expected, "shards {shards}, w {w}");
+            }
+        }
+    }
+
+    /// Sharded self-join with tiny per-shard rings: every slot is recycled
+    /// many times and the cross-shard merge cursor interleaves constantly.
+    #[test]
+    fn sharded_engine_self_join_tiny_rings() {
+        let tuples = self_join_tuples(4000, 250, 104);
+        let predicate = BandPredicate::new(1);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, true));
+        assert!(!expected.is_empty());
+        for shards in shard_sweep() {
+            let cfg = config(128, 6, 2, 0.5, MergePolicy::NonBlocking)
+                .with_ring(
+                    RingConfig::default()
+                        .with_capacity(64)
+                        .with_backoff(2, 4, 10),
+                )
+                .with_shard(
+                    ShardConfig::default()
+                        .with_shards(shards)
+                        .with_steal_batch(1),
+                );
+            let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, true)
+                .with_collected_results(true);
+            let (_, results) = op.run(&tuples);
+            assert_eq!(canonical(&results), expected, "shards {shards}");
+        }
+    }
+
+    /// Steals must never break the ordering contract: the propagated result
+    /// stream follows the probing tuples' global arrival order even when a
+    /// skewed partitioner forces most claims to be steals.
+    #[test]
+    fn sharded_steals_preserve_arrival_order() {
+        let tuples = random_tuples(3000, 200, 105);
+        let predicate = BandPredicate::new(2);
+        for shards in shard_sweep() {
+            // An empty-sample partitioner routes every key to shard 0, so
+            // with several shards the workers homed elsewhere can only steal.
+            let partitioner = RangePartitioner::from_key_sample(shards, &[]);
+            let cfg = config(128, 6, 2, 1.0, MergePolicy::NonBlocking).with_shard(
+                ShardConfig::default()
+                    .with_shards(shards)
+                    .with_steal_batch(2),
+            );
+            let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+                .with_partitioner(partitioner)
+                .with_collected_results(true);
+            let (stats, results) = op.run(&tuples);
+            assert!(!results.is_empty());
+            let mut pos_of = std::collections::HashMap::new();
+            for (i, t) in tuples.iter().enumerate() {
+                pos_of.insert((t.side, t.seq), i);
+            }
+            let positions: Vec<usize> = results
+                .iter()
+                .map(|r| pos_of[&(r.probe.side, r.probe.seq)])
+                .collect();
+            assert!(
+                positions.windows(2).all(|w| w[0] <= w[1]),
+                "steals must not reorder result propagation ({shards} shards)"
+            );
+            assert_eq!(
+                stats.shard.local_tuples + stats.shard.stolen_tuples,
+                3000,
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the shard count")]
+    fn sharded_engine_rejects_mismatched_partitioner() {
+        let cfg = config(64, 2, 4, 1.0, MergePolicy::NonBlocking)
+            .with_shard(ShardConfig::default().with_shards(2));
+        let _ = ParallelIbwj::new(cfg, BandPredicate::new(1), SharedIndexKind::PimTree, false)
+            .with_partitioner(RangePartitioner::from_key_sample(4, &[1, 2, 3]));
     }
 
     #[test]

@@ -76,6 +76,11 @@ struct Slot {
     bound_earliest: AtomicU64,
     bound_latest: AtomicU64,
     result_count: AtomicU64,
+    /// Global arrival stamp of the ingested tuple. Within a single ring it
+    /// equals the slot's gid; under the sharded engine it is the position in
+    /// the *global* arrival order, which the cross-shard merge cursor uses to
+    /// interleave per-shard drains back into one ordered stream.
+    arrival: AtomicU64,
     /// Collected matches; only touched when result collection is enabled
     /// (tests), and then only by the slot's current owner, so the mutex is
     /// uncontended by construction.
@@ -92,6 +97,7 @@ impl Slot {
             bound_earliest: AtomicU64::new(0),
             bound_latest: AtomicU64::new(0),
             result_count: AtomicU64::new(0),
+            arrival: AtomicU64::new(0),
             results: Mutex::new(Vec::new()),
         }
     }
@@ -292,6 +298,56 @@ impl TaskRing {
         self.drain_token.store(false, Ordering::Release);
         Some(head - start)
     }
+
+    /// Arrival stamp and completion state of the head (next-to-drain) slot,
+    /// or `None` when every ingested slot has been drained. Used by the
+    /// sharded ring's cross-shard merge cursor: the shard whose head carries
+    /// the smallest arrival stamp holds the globally next result. The peek is
+    /// only stable while the caller serialises draining (the sharded ring's
+    /// global drain token does); concurrent ingestion can only *add* slots
+    /// with larger arrival stamps, never disturb the head.
+    pub fn head_arrival(&self) -> Option<(u64, bool)> {
+        let head = self.head.load(Ordering::Acquire);
+        if head == self.tail.load(Ordering::Acquire) {
+            return None;
+        }
+        let slot = self.slot(head);
+        let state = slot.state.load(Ordering::Acquire);
+        Some((slot.arrival.load(Ordering::Relaxed), state == COMPLETED))
+    }
+
+    /// Drains exactly the head slot if it is completed, invoking `emit` and
+    /// recycling the slot. Returns `None` when another thread holds the drain
+    /// token, otherwise whether a slot was drained. The sharded ring uses
+    /// this to interleave drains across shards one arrival at a time.
+    pub fn drain_one<F: FnOnce(u64, Vec<JoinResult>)>(
+        &self,
+        collect: bool,
+        emit: F,
+    ) -> Option<bool> {
+        if self.drain_token.swap(true, Ordering::AcqRel) {
+            return None;
+        }
+        let head = self.head.load(Ordering::Relaxed);
+        let mut drained = false;
+        if head != self.tail.load(Ordering::Acquire) {
+            let slot = self.slot(head);
+            if slot.state.load(Ordering::Acquire) == COMPLETED {
+                let count = slot.result_count.load(Ordering::Relaxed);
+                let results = if collect {
+                    std::mem::take(&mut *slot.results.lock())
+                } else {
+                    Vec::new()
+                };
+                slot.state.store(EMPTY, Ordering::Release);
+                self.head.store(head + 1, Ordering::Release);
+                emit(count, results);
+                drained = true;
+            }
+        }
+        self.drain_token.store(false, Ordering::Release);
+        Some(drained)
+    }
 }
 
 /// Exclusive ingestion handle; released on drop.
@@ -305,20 +361,51 @@ impl IngestGuard<'_> {
     /// subsequent [`push`](Self::push) cannot fail: between the check and the
     /// push only the drainer touches the ring, and it only frees slots.
     pub fn can_push(&self) -> bool {
-        let tail = self.ring.tail.load(Ordering::Relaxed);
-        let head = self.ring.head.load(Ordering::Acquire);
-        tail - head < self.ring.capacity() as u64
-            && self.ring.slot(tail).state.load(Ordering::Acquire) == EMPTY
+        self.ring.can_push_unguarded()
     }
 
     /// Ingests one tuple with its opposite-window boundary snapshot. The
     /// caller must gate on [`can_push`](Self::can_push) — pushing into a full
     /// ring corrupts an undrained slot (checked in debug builds only, to keep
-    /// the redundant loads off the release ingest path).
+    /// the redundant loads off the release ingest path). The slot's arrival
+    /// stamp is its gid — correct for a stand-alone ring, where arrival order
+    /// and slot order coincide.
     pub fn push(&self, tuple: Tuple, bounds: WindowBounds) -> u64 {
-        debug_assert!(self.can_push(), "TaskRing::push on a full ring");
-        let tail = self.ring.tail.load(Ordering::Relaxed);
-        let slot = self.ring.slot(tail);
+        let gid = self.ring.tail.load(Ordering::Relaxed);
+        self.push_with_arrival(tuple, bounds, gid)
+    }
+
+    /// [`push`](Self::push) with an explicit arrival stamp, used by the
+    /// sharded ring whose router spreads one global arrival order over
+    /// several rings. Stamps must be strictly increasing per ring (the
+    /// sharded ingest, serialised by its global token, guarantees this).
+    pub fn push_with_arrival(&self, tuple: Tuple, bounds: WindowBounds, arrival: u64) -> u64 {
+        self.ring.push_unguarded(tuple, bounds, arrival)
+    }
+}
+
+impl TaskRing {
+    /// [`IngestGuard::can_push`] without the token. Crate-internal: the
+    /// sharded ring's single *global* ingest token already serialises all
+    /// pushes across its shards, so taking every shard's token per ingest
+    /// batch would only add allocation and atomic traffic to the hot path.
+    #[inline]
+    pub(crate) fn can_push_unguarded(&self) -> bool {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        tail - head < self.capacity() as u64
+            && self.slot(tail).state.load(Ordering::Acquire) == EMPTY
+    }
+
+    /// [`IngestGuard::push_with_arrival`] without the token; see
+    /// [`can_push_unguarded`](Self::can_push_unguarded) for why the sharded
+    /// ring may call this. The caller must hold whatever exclusion makes it
+    /// the only ingester of this ring.
+    pub(crate) fn push_unguarded(&self, tuple: Tuple, bounds: WindowBounds, arrival: u64) -> u64 {
+        debug_assert!(self.can_push_unguarded(), "TaskRing::push on a full ring");
+        let tail = self.tail.load(Ordering::Relaxed);
+        let slot = self.slot(tail);
+        slot.arrival.store(arrival, Ordering::Relaxed);
         slot.side.store(tuple.side.index() as u8, Ordering::Relaxed);
         slot.seq.store(tuple.seq, Ordering::Relaxed);
         slot.key.store(tuple.key, Ordering::Relaxed);
@@ -328,7 +415,7 @@ impl IngestGuard<'_> {
             .store(bounds.latest_exclusive, Ordering::Relaxed);
         slot.result_count.store(0, Ordering::Relaxed);
         slot.state.store(INGESTED, Ordering::Release);
-        self.ring.tail.store(tail + 1, Ordering::Release);
+        self.tail.store(tail + 1, Ordering::Release);
         tail
     }
 }
@@ -631,6 +718,45 @@ mod tests {
         assert_eq!(claimed.load(Ordering::Relaxed), total);
         assert_eq!(drained.load(Ordering::Relaxed), total);
         assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn head_arrival_and_drain_one_step_through_slots() {
+        let ring = TaskRing::with_capacity(8);
+        let mut c = counters();
+        assert_eq!(ring.head_arrival(), None, "empty ring has no head");
+        // Explicit arrival stamps (as the sharded router would assign them).
+        {
+            let guard = ring.try_ingest().unwrap();
+            for (i, arrival) in [5u64, 9, 12].into_iter().enumerate() {
+                guard.push_with_arrival(Tuple::r(i as u64, 0), WindowBounds::empty(), arrival);
+            }
+        }
+        assert_eq!(ring.head_arrival(), Some((5, false)), "ingested, not done");
+        assert_eq!(
+            ring.drain_one(false, |_, _| panic!("head not completed")),
+            Some(false)
+        );
+        let mut out = Vec::new();
+        ring.claim(3, &mut out, &mut c);
+        // Complete out of order: the head peek reflects only the head slot.
+        ring.complete(out[1].gid, 1, Vec::new());
+        assert_eq!(ring.head_arrival(), Some((5, false)));
+        ring.complete(out[0].gid, 7, Vec::new());
+        assert_eq!(ring.head_arrival(), Some((5, true)));
+        let mut seen = Vec::new();
+        assert_eq!(ring.drain_one(false, |n, _| seen.push(n)), Some(true));
+        assert_eq!(ring.head_arrival(), Some((9, true)));
+        assert_eq!(ring.drain_one(false, |n, _| seen.push(n)), Some(true));
+        assert_eq!(ring.head_arrival(), Some((12, false)));
+        ring.complete(out[2].gid, 3, Vec::new());
+        assert_eq!(ring.drain_one(false, |n, _| seen.push(n)), Some(true));
+        assert_eq!(seen, vec![7, 1, 3]);
+        assert!(ring.is_empty());
+        assert_eq!(ring.head_arrival(), None);
+        // Plain pushes stamp the gid as the arrival.
+        push_n(&ring, 3, 1);
+        assert_eq!(ring.head_arrival(), Some((3, false)));
     }
 
     #[test]

@@ -38,6 +38,85 @@ pub struct JoinRunStats {
     /// Batched-probe counters (batch sizes, dedup hits, nodes prefetched),
     /// summed over all workers. All zero when the scalar probe path is used.
     pub probe: ProbeCounters,
+    /// Sharded-ring counters (home-shard claims, cross-shard steals,
+    /// simulated NUMA traffic), summed over all workers. With one shard the
+    /// claim accounting is still filled (every claim is a home claim charged
+    /// as a local access); only the steal and routed-shard-stall counters
+    /// are necessarily zero.
+    pub shard: ShardCounters,
+}
+
+/// Counters of the sharded task-ring layer: how work was routed across the
+/// per-NUMA-node ring shards, how often workers had to steal from a remote
+/// shard, and what the steals cost under the simulated NUMA topology.
+/// Claim/steal counts are per worker and summed by [`JoinRunStats::absorb`];
+/// the traffic fields are filled once per run from the ring's global
+/// `TrafficAccount`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardCounters {
+    /// Number of ring shards the engine ran with (`max`-merged, not summed).
+    pub shards: u64,
+    /// Tasks claimed from the worker's home shard.
+    pub local_tasks: u64,
+    /// Tuples claimed from the worker's home shard.
+    pub local_tuples: u64,
+    /// Tasks claimed by stealing from a remote shard.
+    pub steal_tasks: u64,
+    /// Tuples acquired through steals.
+    pub stolen_tuples: u64,
+    /// Claim rounds in which neither the home shard nor any remote shard had
+    /// work (the sharded analogue of an empty-ring miss).
+    pub claim_rounds_empty: u64,
+    /// Ingestion stalls because the *routed* shard was full while other
+    /// shards still had room — the cost of preserving global arrival order
+    /// under a skewed key distribution.
+    pub shard_full_stalls: u64,
+    /// Simulated node-local memory accesses charged by the ring's traffic
+    /// account (claims from the home shard).
+    pub local_accesses: u64,
+    /// Simulated remote (interconnect) accesses charged by the ring's
+    /// traffic account (steals).
+    pub remote_accesses: u64,
+    /// Total simulated memory-access cost under the ring's `NumaTopology`.
+    pub simulated_numa_cost: u64,
+}
+
+impl ShardCounters {
+    /// Folds another worker's counters into this one.
+    pub fn merge_from(&mut self, other: &ShardCounters) {
+        self.shards = self.shards.max(other.shards);
+        self.local_tasks += other.local_tasks;
+        self.local_tuples += other.local_tuples;
+        self.steal_tasks += other.steal_tasks;
+        self.stolen_tuples += other.stolen_tuples;
+        self.claim_rounds_empty += other.claim_rounds_empty;
+        self.shard_full_stalls += other.shard_full_stalls;
+        self.local_accesses += other.local_accesses;
+        self.remote_accesses += other.remote_accesses;
+        self.simulated_numa_cost += other.simulated_numa_cost;
+    }
+
+    /// Fraction of acquired tuples that came from a remote shard (0 when
+    /// nothing was acquired).
+    pub fn steal_fraction(&self) -> f64 {
+        let total = self.local_tuples + self.stolen_tuples;
+        if total == 0 {
+            0.0
+        } else {
+            self.stolen_tuples as f64 / total as f64
+        }
+    }
+
+    /// Fraction of simulated accesses that crossed the interconnect (0 when
+    /// nothing was recorded).
+    pub fn remote_fraction(&self) -> f64 {
+        let total = self.local_accesses + self.remote_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_accesses as f64 / total as f64
+        }
+    }
 }
 
 /// Counters of the parallel engine's lock-free task ring, recording how often
@@ -196,6 +275,7 @@ impl JoinRunStats {
         self.phase.merge_from(&other.phase);
         self.ring.merge_from(&other.ring);
         self.probe.merge_from(&other.probe);
+        self.shard.merge_from(&other.shard);
     }
 }
 
@@ -277,6 +357,31 @@ mod tests {
         assert!((a.probe.dedup_rate() - 0.05).abs() < 1e-9);
         assert_eq!(ProbeCounters::default().mean_batch_size(), 0.0);
         assert_eq!(ProbeCounters::default().dedup_rate(), 0.0);
+    }
+
+    #[test]
+    fn shard_counters_absorb_and_derive() {
+        let mut a = JoinRunStats::default();
+        a.shard.shards = 4;
+        a.shard.local_tasks = 3;
+        a.shard.local_tuples = 12;
+        a.shard.steal_tasks = 1;
+        a.shard.stolen_tuples = 4;
+        let mut b = JoinRunStats::default();
+        b.shard.shards = 4;
+        b.shard.local_tuples = 4;
+        b.shard.claim_rounds_empty = 2;
+        b.shard.local_accesses = 7;
+        b.shard.remote_accesses = 1;
+        a.absorb(&b);
+        assert_eq!(a.shard.shards, 4, "max, not sum");
+        assert_eq!(a.shard.local_tuples, 16);
+        assert_eq!(a.shard.stolen_tuples, 4);
+        assert_eq!(a.shard.claim_rounds_empty, 2);
+        assert!((a.shard.steal_fraction() - 0.2).abs() < 1e-9);
+        assert!((a.shard.remote_fraction() - 0.125).abs() < 1e-9);
+        assert_eq!(ShardCounters::default().steal_fraction(), 0.0);
+        assert_eq!(ShardCounters::default().remote_fraction(), 0.0);
     }
 
     #[test]

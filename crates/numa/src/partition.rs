@@ -145,6 +145,100 @@ impl RangePartitioner {
     }
 }
 
+/// Drift-driven repartition hook: accumulates a sliding sample of
+/// `(key, output_weight)` observations and decides when the observed load
+/// has drifted far enough from a partitioning to justify the data transfer a
+/// repartition costs.
+///
+/// The monitor is deliberately decoupled from any operator: the sharded join
+/// engine (or the simulated NUMA join) feeds it ingested keys between runs,
+/// asks [`should_repartition`](Self::should_repartition), and adopts
+/// [`plan`](Self::plan)'s partitioner when the answer is yes. Observations
+/// are kept in a fixed-capacity ring so the monitor's footprint — and the
+/// sample a repartition is computed from — stays bounded under unbounded
+/// streams.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    sample: Vec<(Key, u64)>,
+    capacity: usize,
+    cursor: usize,
+    imbalance_trigger: f64,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor keeping the most recent `capacity` observations and
+    /// recommending a repartition once the observed imbalance exceeds
+    /// `imbalance_trigger` (1.0 = perfectly balanced; a typical trigger is
+    /// 1.5–2.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or the trigger is below 1.0.
+    pub fn new(capacity: usize, imbalance_trigger: f64) -> Self {
+        assert!(capacity > 0, "drift monitor needs a positive capacity");
+        assert!(
+            imbalance_trigger >= 1.0,
+            "an imbalance below 1.0 is unreachable"
+        );
+        DriftMonitor {
+            sample: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            cursor: 0,
+            imbalance_trigger,
+        }
+    }
+
+    /// Records one observation, evicting the oldest once at capacity.
+    pub fn observe(&mut self, key: Key, output_weight: u64) {
+        if self.sample.len() < self.capacity {
+            self.sample.push((key, output_weight));
+        } else {
+            self.sample[self.cursor] = (key, output_weight);
+            self.cursor = (self.cursor + 1) % self.capacity;
+        }
+    }
+
+    /// Number of observations currently held.
+    pub fn len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sample.is_empty()
+    }
+
+    /// The current observation window (unspecified order).
+    pub fn sample(&self) -> &[(Key, u64)] {
+        &self.sample
+    }
+
+    /// Observed load imbalance under `partitioner` (1.0 when no observations
+    /// were recorded).
+    pub fn imbalance(&self, partitioner: &RangePartitioner) -> f64 {
+        partitioner.imbalance(&self.sample)
+    }
+
+    /// Whether the observed drift exceeds the trigger. A sample smaller than
+    /// half the capacity never triggers — early observations are too noisy
+    /// to justify moving data.
+    pub fn should_repartition(&self, partitioner: &RangePartitioner) -> bool {
+        self.sample.len() * 2 >= self.capacity
+            && self.imbalance(partitioner) > self.imbalance_trigger
+    }
+
+    /// Computes the repartition plan for the observed window.
+    pub fn plan(&self, partitioner: &RangePartitioner) -> RepartitionPlan {
+        partitioner.repartition(&self.sample)
+    }
+
+    /// Discards all observations (after a plan has been adopted).
+    pub fn clear(&mut self) {
+        self.sample.clear();
+        self.cursor = 0;
+    }
+}
+
 /// Outcome of a repartitioning decision.
 #[derive(Debug, Clone)]
 pub struct RepartitionPlan {
@@ -240,6 +334,52 @@ mod tests {
             0,
             "all keys land on node 0 without a sample"
         );
+    }
+
+    #[test]
+    fn drift_monitor_triggers_only_after_real_drift() {
+        let initial: Vec<Key> = (0..1000).collect();
+        let p = RangePartitioner::from_key_sample(4, &initial);
+        let mut monitor = DriftMonitor::new(400, 1.5);
+        assert!(monitor.is_empty());
+        // A balanced stream (spread over the whole key domain) never
+        // triggers.
+        for k in 0..400 {
+            monitor.observe((k * 5) % 1000, 0);
+        }
+        assert_eq!(monitor.len(), 400);
+        assert!(
+            !monitor.should_repartition(&p),
+            "balanced load must not trigger"
+        );
+        // Drifted keys overwrite the window (ring eviction) and trigger.
+        for k in 0..400 {
+            monitor.observe(5000 + k, 0);
+        }
+        assert_eq!(monitor.len(), 400, "window stays bounded");
+        assert!(monitor.imbalance(&p) > 1.5);
+        assert!(monitor.should_repartition(&p));
+        let plan = monitor.plan(&p);
+        assert!(plan.new_partitioner.imbalance(monitor.sample()) < 1.3);
+        assert!(plan.moved_fraction > 0.5);
+        monitor.clear();
+        assert!(monitor.is_empty());
+        assert!(
+            !monitor.should_repartition(&p),
+            "a cleared (undersized) sample must not trigger"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn drift_monitor_rejects_zero_capacity() {
+        let _ = DriftMonitor::new(0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn drift_monitor_rejects_sub_one_trigger() {
+        let _ = DriftMonitor::new(16, 0.5);
     }
 
     #[test]

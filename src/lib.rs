@@ -45,7 +45,7 @@ pub mod prelude {
     pub use pimtree_btree::{BTreeIndex, Entry};
     pub use pimtree_common::{
         BandPredicate, IndexKind, JoinConfig, JoinResult, Key, KeyRange, MergePolicy, PimConfig,
-        ProbeConfig, ProbeCounters, RingConfig, Seq, StreamSide, Tuple,
+        ProbeConfig, ProbeCounters, RingConfig, Seq, ShardConfig, StreamSide, Tuple,
     };
     pub use pimtree_core::{ImTree, PimTree};
     pub use pimtree_css::CssTree;
@@ -56,7 +56,7 @@ pub mod prelude {
     };
     pub use pimtree_multidim::{MdBandPredicate, MdPimTree, MdTuple, MultiDimIbwj};
     pub use pimtree_numa::{
-        NumaPartitionedJoin, NumaTopology, PlacementStrategy, RangePartitioner,
+        DriftMonitor, NumaPartitionedJoin, NumaTopology, PlacementStrategy, RangePartitioner,
     };
     pub use pimtree_window::{SlidingWindow, TimeWindow};
     pub use pimtree_workload::{

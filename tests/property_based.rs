@@ -144,6 +144,71 @@ proptest! {
     }
 
     #[test]
+    fn sharded_engine_steals_never_violate_arrival_order(
+        keys in prop::collection::vec(0i64..300, 40..250),
+        sides in prop::collection::vec(prop::bool::ANY, 40..250),
+        shards in 1usize..5,
+        threads in 1usize..5,
+        steal_batch in 0usize..5,
+        range_routed in prop::bool::ANY,
+        window_exp in 3usize..6,
+    ) {
+        let n = keys.len().min(sides.len());
+        let mut seqs = [0u64, 0u64];
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|i| {
+                let side = if sides[i] { StreamSide::R } else { StreamSide::S };
+                let seq = seqs[side.index()];
+                seqs[side.index()] += 1;
+                Tuple::new(side, seq, keys[i])
+            })
+            .collect();
+        let w = 1usize << window_exp;
+        let predicate = BandPredicate::new(2);
+        let expected = pimtree_join::canonical(&pimtree_join::reference_join(&tuples, predicate, w, w, false));
+        let mut pim = PimConfig::for_window(w).with_merge_ratio(0.5).with_insertion_depth(2);
+        pim.css_fanout = 4;
+        pim.css_leaf_size = 4;
+        pim.btree_fanout = 4;
+        let config = JoinConfig::symmetric(w, IndexKind::PimTree)
+            .with_threads(threads)
+            .with_task_size(2)
+            .with_pim(pim)
+            .with_shard(
+                ShardConfig::default()
+                    .with_shards(shards)
+                    .with_steal_batch(steal_batch),
+            );
+        let mut op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false)
+            .with_collected_results(true);
+        if range_routed {
+            let sample: Vec<Key> = tuples.iter().map(|t| t.key).collect();
+            op = op.with_partitioner(RangePartitioner::from_key_sample(shards, &sample));
+        }
+        let (stats, results) = op.run(&tuples);
+        // Exactness: the sharded engine is a pure scaling layer.
+        prop_assert_eq!(pimtree_join::canonical(&results), expected);
+        // Accounting: every tuple claimed exactly once, home or stolen.
+        prop_assert_eq!(stats.shard.local_tuples + stats.shard.stolen_tuples, n as u64);
+        // Ordering: steals must never reorder the propagated stream — the
+        // probing tuples appear in their global arrival order.
+        let mut pos_of = std::collections::HashMap::new();
+        for (i, t) in tuples.iter().enumerate() {
+            pos_of.insert((t.side, t.seq), i);
+        }
+        let positions: Vec<usize> = results
+            .iter()
+            .map(|r| pos_of[&(r.probe.side, r.probe.seq)])
+            .collect();
+        prop_assert!(
+            positions.windows(2).all(|w| w[0] <= w[1]),
+            "arrival-order propagation violated at shards={}, threads={}",
+            shards,
+            threads
+        );
+    }
+
+    #[test]
     fn single_threaded_ibwj_matches_reference_on_random_workloads(
         keys in prop::collection::vec(0i64..300, 10..300),
         sides in prop::collection::vec(prop::bool::ANY, 10..300),
