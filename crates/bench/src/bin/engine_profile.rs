@@ -12,6 +12,9 @@
 //! `--probe-batch=on|off --prefetch-dist=`, and the sharded ring layer with
 //! `--shards= --steal-batch= --steal-threshold=` (shards > 1 routes
 //! ingestion by key range and reports steal/remote-traffic counters).
+//! `--partition-index=on` additionally partitions the index and window state
+//! per shard (the `ShardStore` layer) and reports its probe fan-out and
+//! simulated store-traffic counters.
 
 use pimtree_bench::harness::*;
 use pimtree_common::{IndexKind, JoinConfig};
@@ -74,12 +77,25 @@ fn main() {
             "steal_fraction",
             "shard_remote_fraction",
             "shard_full_stalls",
+            "partition_index",
+            "store_shards",
+            "mean_probe_fanout",
+            "single_shard_probes",
+            "store_remote_fraction",
+            "simulated_store_cost",
         ],
     );
     let mut sweep = vec![1, 2, 4, 8];
     if opts.threads > 0 && !sweep.contains(&opts.threads) {
         sweep.push(opts.threads);
     }
+    // One partitioner for the whole sweep, from a bounded strided key
+    // subsample — the partitioner only needs N − 1 quantiles, not every key.
+    let partitioner = (opts.shards > 1).then(|| {
+        let step = (tuples.len() / 4096).max(1);
+        let sample: Vec<i64> = tuples.iter().step_by(step).map(|t| t.key).collect();
+        RangePartitioner::from_key_sample(opts.shards, &sample)
+    });
     for threads in sweep {
         let mut config = JoinConfig::symmetric(w, IndexKind::PimTree)
             .with_threads(threads)
@@ -91,9 +107,8 @@ fn main() {
         config.window_r = w;
         config.window_s = w;
         let mut op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false);
-        if opts.shards > 1 {
-            let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
-            op = op.with_partitioner(RangePartitioner::from_key_sample(opts.shards, &sample));
+        if let Some(p) = &partitioner {
+            op = op.with_partitioner(p.clone());
         }
         let (stats, _) = op.run_with_warmup(&tuples, (2 * w).min(tuples.len() / 2));
         let total = stats.phase.total().as_secs_f64().max(1e-12);
@@ -140,6 +155,12 @@ fn main() {
             format!("{:.3}", stats.shard.steal_fraction()),
             format!("{:.3}", stats.shard.remote_fraction()),
             stats.shard.shard_full_stalls.to_string(),
+            stats.store.partitioned.to_string(),
+            stats.store.store_shards.max(1).to_string(),
+            format!("{:.3}", stats.store.mean_probe_fanout()),
+            stats.store.single_shard_probes.to_string(),
+            format!("{:.3}", stats.store.remote_fraction()),
+            stats.store.simulated_store_cost.to_string(),
         ]);
     }
 }

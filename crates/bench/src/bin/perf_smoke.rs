@@ -5,7 +5,9 @@
 //! worker threads — the PIM-Tree backend with both the batched CSS group
 //! probe and the scalar probe path, and the Bw-Tree backend for reference —
 //! plus a sharded-ring sweep (key-range routed shards with cross-shard
-//! stealing), and writes the results as JSON to `BENCH_parallel.json` (and
+//! stealing) and a partitioned-store sweep (the same shard counts with the
+//! per-shard index/window store on, against the shared-store arm as its
+//! baseline), and writes the results as JSON to `BENCH_parallel.json` (and
 //! stdout), so every PR leaves a comparable throughput trajectory behind.
 //! The JSON records its provenance (host core count, the simulated NUMA node
 //! count of the sharded arm, architecture, OS, and the full
@@ -39,7 +41,10 @@ fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRun
             "\"probe_dedup_rate\": {:.4}, \"nodes_prefetched\": {}, ",
             "\"scalar_probes\": {}, \"steals\": {}, \"stolen_tuples\": {}, ",
             "\"steal_fraction\": {:.4}, \"shard_remote_fraction\": {:.4}, ",
-            "\"simulated_numa_cost\": {}}}"
+            "\"simulated_numa_cost\": {}, ",
+            "\"partition_index\": {}, \"store_shards\": {}, ",
+            "\"mean_probe_fanout\": {:.4}, \"single_shard_probes\": {}, ",
+            "\"store_remote_fraction\": {:.4}, \"simulated_store_cost\": {}}}"
         ),
         backend,
         probe.batch,
@@ -61,6 +66,12 @@ fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRun
         stats.shard.steal_fraction(),
         stats.shard.remote_fraction(),
         stats.shard.simulated_numa_cost,
+        stats.store.partitioned == 1,
+        stats.store.store_shards.max(1),
+        stats.store.mean_probe_fanout(),
+        stats.store.single_shard_probes,
+        stats.store.remote_fraction(),
+        stats.store.simulated_store_cost,
     )
 }
 
@@ -157,7 +168,7 @@ fn main() {
                 pim_config(w),
                 opts.ring(),
                 batched,
-                opts.shard().with_shards(shards),
+                opts.shard().with_shards(shards).with_partition_index(false),
                 None,
                 predicate,
                 &tuples,
@@ -170,6 +181,37 @@ fn main() {
                 stats.shard.steal_fraction()
             );
             entries.push(entry_json("pim_tree_sharded", batched, threads, &stats));
+        }
+    }
+    // Partitioned-store sweep: the same sharded configurations with the
+    // per-shard index/window store on — the shared-store arm directly above
+    // is its baseline. With one shard the store short-circuits to the shared
+    // path, so that row doubles as a no-overhead check.
+    for &shards in &shard_counts {
+        for threads in [2usize, 8] {
+            let stats = run_parallel_sharded(
+                SharedIndexKind::PimTree,
+                w,
+                w,
+                threads,
+                opts.task_size,
+                pim_config(w),
+                opts.ring(),
+                batched,
+                opts.shard().with_shards(shards).with_partition_index(true),
+                None,
+                predicate,
+                &tuples,
+                false,
+            );
+            println!(
+                "perf_smoke pim_tree partitioned shards={shards} threads={threads}: \
+                 {:.4} Mtps (mean probe fan-out {:.3}, store remote fraction {:.3})",
+                stats.million_tuples_per_second(),
+                stats.store.mean_probe_fanout(),
+                stats.store.remote_fraction()
+            );
+            entries.push(entry_json("pim_tree_partitioned", batched, threads, &stats));
         }
     }
     let speedup_1t = if mtps_1t[1] > 0.0 {
@@ -195,7 +237,7 @@ fn main() {
             "\"yield\": {}, \"park_us\": {}}}, ",
             "\"probe\": {{\"batch\": {}, \"prefetch_dist\": {}}}, ",
             "\"shard\": {{\"shards_swept\": {:?}, \"steal_batch\": {}, ",
-            "\"steal_threshold\": {}}}}},\n",
+            "\"steal_threshold\": {}, \"partition_index_swept\": true}}}},\n",
             "  \"batched_vs_scalar_1t_speedup\": {:.4},\n",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"

@@ -51,14 +51,18 @@ pub struct RunOpts {
     pub steal_batch: usize,
     /// First-pass steal threshold (minimum backlog of a steal victim).
     pub steal_threshold: usize,
+    /// Whether the engine partitions its index and window state per shard
+    /// (the `ShardStore` layer) instead of sharing one index/window pair per
+    /// side. Only meaningful with more than one shard.
+    pub partition_index: bool,
 }
 
 impl RunOpts {
     /// Parses `--min-exp= --max-exp= --tuples= --threads= --task-size=
     /// --seed= --ring-cap= --ingest-target= --spin= --yield= --park-us=
     /// --probe-batch=on|off --prefetch-dist= --shards= --steal-batch=
-    /// --steal-threshold=` from the command line, with figure-specific
-    /// defaults.
+    /// --steal-threshold= --partition-index=on|off` from the command line,
+    /// with figure-specific defaults.
     pub fn parse(default_min: u32, default_max: u32) -> Self {
         let defaults = RingConfig::default();
         let probe_defaults = ProbeConfig::default();
@@ -83,6 +87,7 @@ impl RunOpts {
             shards: 0,
             steal_batch: shard_defaults.steal_batch,
             steal_threshold: shard_defaults.steal_threshold,
+            partition_index: shard_defaults.partition_index,
         };
         for arg in std::env::args().skip(1) {
             let mut split = arg.splitn(2, '=');
@@ -116,6 +121,13 @@ impl RunOpts {
                 "--shards" => opts.shards = parse_usize(),
                 "--steal-batch" => opts.steal_batch = parse_usize(),
                 "--steal-threshold" => opts.steal_threshold = parse_usize(),
+                "--partition-index" => {
+                    opts.partition_index = match value {
+                        "on" | "true" | "1" => true,
+                        "off" | "false" | "0" => false,
+                        other => panic!("bad value for --partition-index: {other} (use on/off)"),
+                    }
+                }
                 other => eprintln!("note: ignoring unknown argument '{other}'"),
             }
         }
@@ -164,6 +176,7 @@ impl RunOpts {
             .with_shards(self.shards.max(1))
             .with_steal_batch(self.steal_batch)
             .with_steal_threshold(self.steal_threshold)
+            .with_partition_index(self.partition_index)
     }
 }
 
@@ -335,7 +348,10 @@ pub fn run_parallel_sharded(
     let mut op = ParallelIbwj::new(config, predicate, kind, self_join);
     if shard.shards > 1 {
         let partitioner = partitioner.unwrap_or_else(|| {
-            let sample: Vec<i64> = tuples.iter().map(|t| t.key).collect();
+            // Bounded strided subsample: the partitioner only needs N − 1
+            // quantiles, not a sorted copy of every key.
+            let step = (tuples.len() / 4096).max(1);
+            let sample: Vec<i64> = tuples.iter().step_by(step).map(|t| t.key).collect();
             RangePartitioner::from_key_sample(shard.shards, &sample)
         });
         op = op.with_partitioner(partitioner);
@@ -398,6 +414,7 @@ mod tests {
             shards: 1,
             steal_batch: 0,
             steal_threshold: 1,
+            partition_index: false,
         };
         assert_eq!(opts.tuples_for(1 << 10), 1 << 16);
         assert_eq!(opts.tuples_for(1 << 18), 1 << 20);
@@ -430,6 +447,7 @@ mod tests {
             shards: 4,
             steal_batch: 2,
             steal_threshold: 3,
+            partition_index: true,
             ..opts
         }
         .shard();
@@ -437,6 +455,7 @@ mod tests {
             (shard.shards, shard.steal_batch, shard.steal_threshold),
             (4, 2, 3)
         );
+        assert!(shard.partition_index);
         shard.validate().unwrap();
     }
 
@@ -516,5 +535,34 @@ mod tests {
             sharded.shard.local_accesses + sharded.shard.remote_accesses,
             sharded.tuples
         );
+        // The partitioned-store runner routes every post-warmup insert and
+        // probe through the per-shard store and charges its traffic model.
+        let partitioned = run_parallel_sharded(
+            SharedIndexKind::PimTree,
+            w,
+            w,
+            2,
+            4,
+            pim_config(w),
+            RingConfig::default(),
+            ProbeConfig::default(),
+            ShardConfig::default()
+                .with_shards(2)
+                .with_partition_index(true),
+            None,
+            predicate,
+            &tuples,
+            true,
+        );
+        assert_eq!(partitioned.tuples, par.tuples);
+        assert_eq!(partitioned.results, sharded.results);
+        assert_eq!(partitioned.store.partitioned, 1);
+        assert_eq!(partitioned.store.store_shards, 2);
+        assert_eq!(
+            partitioned.store.local_inserts + partitioned.store.remote_inserts,
+            partitioned.tuples
+        );
+        assert_eq!(partitioned.store.probes, partitioned.tuples);
+        assert!(partitioned.store.simulated_store_cost > 0);
     }
 }

@@ -273,6 +273,14 @@ pub struct ShardConfig {
     /// shard must hold before the first steal pass targets it; a second pass
     /// ignores the threshold so below-threshold work can never be stranded.
     pub steal_threshold: usize,
+    /// Whether the engine also partitions its *index and window state* per
+    /// shard (the `ShardStore` layer): each shard owns one index plus one
+    /// window slice per side covering only its key range, inserts are routed
+    /// to the owning shard and probes fan out across exactly the shards
+    /// overlapping the band-join range. `false` (the default) keeps one
+    /// shared index/window pair per side; with one shard the flag is a no-op
+    /// (the partitioned store short-circuits to the shared path).
+    pub partition_index: bool,
 }
 
 impl Default for ShardConfig {
@@ -281,6 +289,7 @@ impl Default for ShardConfig {
             shards: 1,
             steal_batch: 0,
             steal_threshold: 1,
+            partition_index: false,
         }
     }
 }
@@ -301,6 +310,12 @@ impl ShardConfig {
     /// Sets the first-pass steal threshold.
     pub fn with_steal_threshold(mut self, steal_threshold: usize) -> Self {
         self.steal_threshold = steal_threshold;
+        self
+    }
+
+    /// Enables or disables the per-shard index/window store.
+    pub fn with_partition_index(mut self, partition_index: bool) -> Self {
+        self.partition_index = partition_index;
         self
     }
 
@@ -680,12 +695,15 @@ mod tests {
     fn shard_config_defaults_validate_and_builders_chain() {
         let s = ShardConfig::default();
         assert_eq!(s.shards, 1, "sharding is off by default");
+        assert!(!s.partition_index, "the partitioned store is opt-in");
         s.validate().unwrap();
         let s = ShardConfig::default()
             .with_shards(4)
             .with_steal_batch(16)
-            .with_steal_threshold(8);
+            .with_steal_threshold(8)
+            .with_partition_index(true);
         assert_eq!((s.shards, s.steal_batch, s.steal_threshold), (4, 16, 8));
+        assert!(s.partition_index);
         s.validate().unwrap();
         let c = JoinConfig::symmetric(64, IndexKind::PimTree).with_shard(s);
         assert_eq!(c.shard, s);

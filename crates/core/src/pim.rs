@@ -423,6 +423,73 @@ impl PimTree {
         PROBE_SCRATCH.with(|cell| cell.replace(s));
     }
 
+    /// Scalar batch probe: answers `ranges` with one scalar descent per range
+    /// — no sorting, deduplication or cross-range prefetching — while still
+    /// *batching the mutable-side partition routing* the way
+    /// [`PimTree::probe_batch`] does. Each range's overlapping partition
+    /// interval is computed up front and the partitions are then visited
+    /// partition-major, so a partition overlapped by several of the task's
+    /// ranges is locked once per call instead of once per range
+    /// (`counters.ti_partition_locks` / `counters.ti_range_visits`; the
+    /// group-descent counters stay untouched, so runs through this path
+    /// remain distinguishable from the batched probe).
+    ///
+    /// Per range, entries arrive exactly as the scalar
+    /// [`PimTree::range_for_each`] would deliver them: the immutable
+    /// component's entries in ascending order, then the overlapping mutable
+    /// partitions in ascending partition order. A batch of one degenerates to
+    /// the scalar probe (there is nothing to group).
+    pub fn probe_ranges_scalar<F: FnMut(usize, Entry)>(
+        &self,
+        ranges: &[KeyRange],
+        counters: &mut ProbeCounters,
+        mut f: F,
+    ) {
+        let n = ranges.len();
+        if n == 0 {
+            return;
+        }
+        let gen = self.current.read();
+        if n == 1 {
+            probe_generation(&gen, ranges[0], &mut |e| f(0, e));
+            return;
+        }
+        // Immutable component first, per range, exactly like the scalar
+        // probe delivers it (one scalar descent per range, by design).
+        for (j, &range) in ranges.iter().enumerate() {
+            gen.ts.range_for_each(range, &mut |e| f(j, e));
+        }
+        if gen.ti_len.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        // Mutable component, partition-major: route every range to its
+        // partition interval, then lock each overlapped partition once and
+        // answer all of its ranges under that one acquisition.
+        let mut s = PROBE_SCRATCH.with(|cell| cell.take());
+        s.pairs.clear();
+        for (j, &range) in ranges.iter().enumerate() {
+            let p_lo = gen.route(Entry::min_for_key(range.lo));
+            let p_hi = gen.route(Entry::max_for_key(range.hi));
+            for p in p_lo..=p_hi {
+                s.pairs.push((p, j));
+            }
+        }
+        counters.ti_range_visits += s.pairs.len() as u64;
+        s.pairs.sort_unstable();
+        let mut k = 0;
+        while k < s.pairs.len() {
+            let p = s.pairs[k].0;
+            let tree = gen.partitions[p].tree.lock();
+            counters.ti_partition_locks += 1;
+            while k < s.pairs.len() && s.pairs[k].0 == p {
+                let j = s.pairs[k].1;
+                tree.range_for_each(ranges[j], |e| f(j, e));
+                k += 1;
+            }
+        }
+        PROBE_SCRATCH.with(|cell| cell.replace(s));
+    }
+
     /// Calls `f` for every *live* entry (sequence number at or after
     /// `earliest_live`) whose key lies in `range`.
     pub fn range_live<F: FnMut(Entry)>(&self, range: KeyRange, earliest_live: Seq, mut f: F) {
@@ -912,6 +979,71 @@ mod tests {
             counters.ti_partition_locks,
             counters.ti_range_visits
         );
+    }
+
+    #[test]
+    fn scalar_ranges_probe_matches_scalar_and_batches_partition_locks() {
+        // Mirror of `batched_ti_probe_locks_each_partition_once_per_batch`
+        // for the scalar path: per-range descents, but the TI partitions are
+        // still locked once per call.
+        let t = PimTree::new(config(2048, 1.0, 3));
+        for i in 0..2048i64 {
+            t.insert(i, i as Seq);
+        }
+        t.merge(0);
+        assert!(t.partition_count() > 4);
+        for i in 2048..2560i64 {
+            t.insert(i - 2048, i as Seq);
+        }
+        let ranges = [
+            KeyRange::new(0, 600),
+            KeyRange::new(100, 700),
+            KeyRange::new(100, 700),   // duplicate: no dedup on this path
+            KeyRange::new(1500, 2047), // disjoint partition interval
+            KeyRange::new(-50, -1),    // below the domain
+            KeyRange::point(650),
+        ];
+        let mut counters = ProbeCounters::default();
+        let mut got: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
+        t.probe_ranges_scalar(&ranges, &mut counters, |i, e| got[i].push(e));
+        for (range, entries) in ranges.iter().zip(&got) {
+            let mut scalar = Vec::new();
+            t.range_for_each(*range, |e| scalar.push(e));
+            assert_eq!(entries, &scalar, "range {range:?}");
+        }
+        assert!(
+            counters.ti_partition_locks <= t.partition_count() as u64,
+            "each partition locked at most once per call"
+        );
+        assert!(
+            counters.ti_partition_locks < counters.ti_range_visits,
+            "overlapping ranges must share partition locks ({} locks / {} visits)",
+            counters.ti_partition_locks,
+            counters.ti_range_visits
+        );
+        assert_eq!(counters.batches, 0, "the scalar path never group-descends");
+        assert_eq!(counters.dedup_hits, 0);
+        assert_eq!(counters.nodes_prefetched, 0);
+    }
+
+    #[test]
+    fn scalar_ranges_probe_degenerate_batches() {
+        let t = PimTree::new(config(256, 1.0, 2));
+        for i in 0..100i64 {
+            t.insert(i, i as Seq);
+        }
+        let mut counters = ProbeCounters::default();
+        t.probe_ranges_scalar(&[], &mut counters, |_, _| {
+            panic!("empty batch must not call back")
+        });
+        // A batch of one takes the plain scalar probe (nothing to batch).
+        let mut single = Vec::new();
+        t.probe_ranges_scalar(&[KeyRange::new(10, 20)], &mut counters, |i, e| {
+            assert_eq!(i, 0);
+            single.push(e);
+        });
+        assert_eq!(single.len(), 11);
+        assert_eq!(counters.ti_partition_locks, 0, "batch of one is unbatched");
     }
 
     #[test]

@@ -62,6 +62,29 @@ pub trait WindowIndexAdapter {
         }
     }
 
+    /// Scalar batch probe: answers each of `ranges` with one scalar descent
+    /// (no grouping, deduplication or prefetching), calling `f(i, entry)`
+    /// for candidate entries with key in `ranges[i]` in the same per-range
+    /// order as [`WindowIndexAdapter::probe`].
+    ///
+    /// The default implementation is exactly a loop of scalar probes;
+    /// indexes with partitioned mutable state — the PIM-Tree — override it
+    /// to batch the *partition routing* (one mutable-partition lock per
+    /// unique partition per call instead of one per range, recorded in
+    /// `counters.ti_partition_locks`) while keeping the per-range descents
+    /// scalar.
+    fn probe_ranges_scalar(
+        &self,
+        ranges: &[KeyRange],
+        counters: &mut ProbeCounters,
+        f: &mut dyn FnMut(usize, Entry),
+    ) {
+        let _ = counters;
+        for (i, &range) in ranges.iter().enumerate() {
+            self.probe(range, &mut |e| f(i, e));
+        }
+    }
+
     /// Periodic maintenance (the merge of the two-stage trees). Returns a
     /// report when maintenance actually ran.
     fn maintain(&mut self, earliest_live: Seq) -> Option<MergeReport>;
@@ -324,6 +347,15 @@ impl WindowIndexAdapter for PimTreeAdapter {
         self.tree.probe_batch(ranges, prefetch_dist, counters, f);
     }
 
+    fn probe_ranges_scalar(
+        &self,
+        ranges: &[KeyRange],
+        counters: &mut ProbeCounters,
+        f: &mut dyn FnMut(usize, Entry),
+    ) {
+        self.tree.probe_ranges_scalar(ranges, counters, f);
+    }
+
     fn maintain(&mut self, earliest_live: Seq) -> Option<MergeReport> {
         if self.tree.needs_merge() {
             Some(self.tree.merge(earliest_live))
@@ -565,6 +597,63 @@ mod tests {
         let mut counters = ProbeCounters::default();
         bt.probe_batch(&ranges, 4, &mut counters, &mut |_, _| {});
         assert_eq!(counters.scalar_probes, ranges.len() as u64);
+    }
+
+    #[test]
+    fn scalar_ranges_probe_matches_scalar_probe_for_every_adapter() {
+        let pim_cfg = PimConfig::for_window(256).with_insertion_depth(2);
+        let mut adapters: Vec<Box<dyn WindowIndexAdapter>> = vec![
+            Box::new(BTreeAdapter::new()),
+            Box::new(ChainedAdapter::new(ChainVariant::BChain, 256, 3)),
+            Box::new(ImTreeAdapter::new(pim_cfg)),
+            Box::new(PimTreeAdapter::new(pim_cfg)),
+            Box::new(BwTreeAdapter::new()),
+        ];
+        for a in adapters.iter_mut() {
+            for i in 0..256u64 {
+                a.insert(((i * 7) % 300) as Key, i);
+            }
+            a.maintain(0);
+            for i in 256..300u64 {
+                a.insert(((i * 7) % 300) as Key, i);
+            }
+        }
+        let ranges = [
+            KeyRange::new(50, 120),
+            KeyRange::new(80, 160), // overlaps the first range's partitions
+            KeyRange::new(-10, -1),
+            KeyRange::new(290, 400),
+        ];
+        for a in adapters.iter() {
+            let mut counters = ProbeCounters::default();
+            let mut batched: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
+            a.probe_ranges_scalar(&ranges, &mut counters, &mut |i, e| batched[i].push(e));
+            for (range, got) in ranges.iter().zip(&batched) {
+                let mut scalar = Vec::new();
+                a.probe(*range, &mut |e| scalar.push(e));
+                assert_eq!(got, &scalar, "{} range {range:?}", a.name());
+            }
+            assert_eq!(
+                counters.batches,
+                0,
+                "{}: the scalar path never group-descends",
+                a.name()
+            );
+        }
+        // The PIM-Tree adapter batches the mutable-side partition locks; the
+        // overlapping ranges above must share at least one acquisition.
+        let pim = PimTreeAdapter::new(pim_cfg);
+        for i in 0..256u64 {
+            pim.tree().insert(((i * 7) % 300) as Key, i);
+        }
+        pim.tree().merge(0);
+        for i in 256..300u64 {
+            pim.tree().insert(((i * 7) % 300) as Key, i);
+        }
+        let mut counters = ProbeCounters::default();
+        pim.probe_ranges_scalar(&ranges, &mut counters, &mut |_, _| {});
+        assert!(counters.ti_range_visits > 0);
+        assert!(counters.ti_partition_locks <= counters.ti_range_visits);
     }
 
     #[test]

@@ -231,15 +231,24 @@ impl<A: WindowIndexAdapter> SingleThreadJoin for IbwjOperator<A> {
                 },
             );
         } else {
+            // A group of one through the scalar-batch entry point: it
+            // degenerates to the plain scalar probe (no partition-lock
+            // grouping for a single range, no counters touched), but keeps
+            // the single-threaded engine on the same API the parallel
+            // engine's scalar path batches across a whole task.
             let indexes = &self.indexes;
-            indexes[probe_idx].probe(range, &mut |e| {
-                if probe_bounds.contains(e.seq) {
-                    out.push(JoinResult::new(
-                        tuple,
-                        Tuple::new(matched_side, e.seq, e.key),
-                    ));
-                }
-            });
+            indexes[probe_idx].probe_ranges_scalar(
+                std::slice::from_ref(&range),
+                &mut self.probe_counters,
+                &mut |_, e| {
+                    if probe_bounds.contains(e.seq) {
+                        out.push(JoinResult::new(
+                            tuple,
+                            Tuple::new(matched_side, e.seq, e.key),
+                        ));
+                    }
+                },
+            );
         }
         self.results_count += (out.len() - before) as u64;
 

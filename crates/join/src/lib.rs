@@ -20,6 +20,12 @@
 //!   home-shard claiming with bounded cross-shard work stealing charged to a
 //!   simulated NUMA traffic account, and a cross-shard merge cursor that
 //!   keeps result propagation in global arrival order;
+//! * [`store`] — the per-shard index/window store: with `partition_index`
+//!   on, each shard owns one index plus one window slice per side covering
+//!   only its key range; inserts route to the owning shard and probes fan
+//!   out across exactly the shards overlapping the band-join range, all
+//!   charged to a simulated NUMA traffic account (one shard short-circuits
+//!   to the original shared index/window pair);
 //! * [`timejoin`] — a time-based (event-time) window band join over the same
 //!   PIM-Tree index, substantiating the paper's claim that the approach
 //!   applies to time-based windows without technical limitation (§2.1);
@@ -47,6 +53,7 @@ pub mod reference;
 pub mod ring;
 pub mod shard;
 pub mod stats;
+pub mod store;
 pub mod timejoin;
 
 pub use adapter::{
@@ -59,5 +66,6 @@ pub use parallel::{ParallelIbwj, SharedIndexKind};
 pub use reference::{canonical, reference_join};
 pub use ring::{Backoff, ClaimedTask, IdleKind, TaskRing};
 pub use shard::{ShardClaim, ShardIngestGuard, ShardedRing};
-pub use stats::{EnginePhaseTimes, JoinRunStats, RingCounters, ShardCounters};
+pub use stats::{EnginePhaseTimes, JoinRunStats, RingCounters, ShardCounters, StoreCounters};
+pub use store::{ShardStore, StoreShardFootprint, StoreSideFootprint};
 pub use timejoin::{reference_time_join, TimeBasedIbwj, TimedStreamTuple};

@@ -55,6 +55,15 @@
 //! traffic account), and a cross-shard merge cursor that preserves global
 //! arrival-order propagation. One shard short-circuits to the plain ring.
 //!
+//! With `ShardConfig::partition_index` on top, the *index and window state*
+//! is partitioned as well ([`crate::store::ShardStore`]): each shard owns one
+//! index plus one window slice per side covering only its key range, inserts
+//! route to the owning shard, and probes fan out across exactly the shards
+//! whose ranges overlap the band-join range — the paper's §7 NUMA design,
+//! where each socket serves its key range from local memory. The same
+//! partitioner drives ring routing and store placement, so a worker's home
+//! ring shard and home store shard coincide.
+//!
 //! # Invariants
 //!
 //! * Claimed slot ids are strictly increasing per the ticket counter; a slot
@@ -83,18 +92,17 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use pimtree_btree::Entry;
-use pimtree_bwtree::BwTreeIndex;
 use pimtree_common::{
     BandPredicate, JoinConfig, JoinResult, Key, KeyRange, LatencyRecorder, MergePolicy,
-    ProbeConfig, ProbeCounters, Seq, StreamSide, Tuple,
+    ProbeConfig, Seq, StreamSide, Tuple,
 };
-use pimtree_core::PimTree;
 use pimtree_numa::RangePartitioner;
-use pimtree_window::SlidingWindow;
+use pimtree_window::WindowBounds;
 
 use crate::ring::{Backoff, ClaimedTask, IdleKind};
 use crate::shard::ShardedRing;
 use crate::stats::JoinRunStats;
+use crate::store::{ShardStore, StoreParams};
 
 /// Which shared index the parallel engine maintains over each window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,61 +112,6 @@ pub enum SharedIndexKind {
     /// The Bw-Tree-style general-purpose concurrent index (no merges; expired
     /// tuples are deleted eagerly with a small lag).
     BwTree,
-}
-
-#[allow(clippy::large_enum_variant)] // two instances per run; size is irrelevant
-enum SharedIndex {
-    Pim(PimTree),
-    Bw(BwTreeIndex),
-}
-
-impl SharedIndex {
-    fn insert_batch(&self, entries: &[(Key, Seq)]) {
-        match self {
-            SharedIndex::Pim(t) => t.insert_batch(entries),
-            SharedIndex::Bw(t) => {
-                for &(key, seq) in entries {
-                    t.insert(key, seq);
-                }
-            }
-        }
-    }
-
-    fn probe(&self, range: KeyRange, f: &mut dyn FnMut(Entry)) {
-        match self {
-            SharedIndex::Pim(t) => t.range_for_each(range, f),
-            SharedIndex::Bw(t) => t.range_for_each(range, f),
-        }
-    }
-
-    /// Batched range probe: `f(i, entry)` for entries in `ranges[i]`. The
-    /// PIM-Tree answers the whole batch with one sorted/deduplicated,
-    /// prefetched CSS-Tree group descent; the Bw-Tree has no batched path
-    /// and falls back to per-range scalar probes (counted as such).
-    fn probe_batch(
-        &self,
-        ranges: &[KeyRange],
-        prefetch_dist: usize,
-        counters: &mut ProbeCounters,
-        f: &mut dyn FnMut(usize, Entry),
-    ) {
-        match self {
-            SharedIndex::Pim(t) => t.probe_batch(ranges, prefetch_dist, counters, &mut *f),
-            SharedIndex::Bw(t) => {
-                for (i, &range) in ranges.iter().enumerate() {
-                    counters.scalar_probes += 1;
-                    t.range_for_each(range, &mut |e| f(i, e));
-                }
-            }
-        }
-    }
-
-    fn needs_merge(&self) -> bool {
-        match self {
-            SharedIndex::Pim(t) => t.needs_merge(),
-            SharedIndex::Bw(_) => false,
-        }
-    }
 }
 
 /// Per-shard, per-probe-side bookkeeping that makes the merge horizon a
@@ -206,10 +159,10 @@ struct Shared<'a> {
     /// updates.
     max_unindexed: usize,
     self_join: bool,
-    window_sizes: [usize; 2],
-    windows: [SlidingWindow; 2],
-    indexes: [SharedIndex; 2],
-    deletion_lag: u64,
+    /// Per-side index and window state: one shared pair per side, or — with
+    /// `partition_index` on and several shards — one pair per shard behind a
+    /// key-range partitioner (see [`crate::store`]).
+    store: ShardStore,
     merge_policy: MergePolicy,
     collect_results: bool,
     backoff: pimtree_common::RingConfig,
@@ -347,6 +300,37 @@ impl ParallelIbwj {
         tuples: &[Tuple],
         warmup: usize,
     ) -> (JoinRunStats, Vec<JoinResult>) {
+        self.run_inner(tuples, warmup, None)
+    }
+
+    /// Runs the join like [`ParallelIbwj::run_with_warmup`] and hands the
+    /// engine's [`ShardStore`] to `inspect` after the run, before teardown —
+    /// the hook the per-shard footprint tests use to assert that a shard's
+    /// index and window never hold a key outside its range.
+    pub fn run_with_store_inspector(
+        &self,
+        tuples: &[Tuple],
+        warmup: usize,
+        inspect: impl FnOnce(&ShardStore),
+    ) -> (JoinRunStats, Vec<JoinResult>) {
+        let mut inspect = Some(inspect);
+        self.run_inner(
+            tuples,
+            warmup,
+            Some(&mut |store: &ShardStore| {
+                if let Some(f) = inspect.take() {
+                    f(store);
+                }
+            }),
+        )
+    }
+
+    fn run_inner(
+        &self,
+        tuples: &[Tuple],
+        warmup: usize,
+        inspect: Option<&mut dyn FnMut(&ShardStore)>,
+    ) -> (JoinRunStats, Vec<JoinResult>) {
         let warmup = warmup.min(tuples.len());
         let threads = self.config.threads;
         let task_size = self.config.task_size;
@@ -363,11 +347,30 @@ impl ParallelIbwj {
             .max(2 * task_size)
             .max(4)
             .next_power_of_two();
+        // One partitioner drives both layers: ring-shard routing and (with
+        // `partition_index` on) the per-shard index/window placement, so a
+        // worker's home ring shard and home store shard coincide. When the
+        // partitioned store is requested without an explicit partitioner,
+        // one is derived from the input's key sample (the same policy the
+        // bench harness applies to ring routing).
+        let partitioned = self.config.shard.partition_index && shards > 1;
+        let partitioner = match (&self.partitioner, partitioned) {
+            (Some(p), _) => Some(p.clone()),
+            (None, true) => {
+                // A bounded strided subsample picks (nearly) the same
+                // boundaries as the full key set at O(1) memory — the
+                // partitioner only needs N − 1 quantiles, not every key.
+                let step = (tuples.len() / 4096).max(1);
+                let sample: Vec<Key> = tuples.iter().step_by(step).map(|t| t.key).collect();
+                Some(RangePartitioner::from_key_sample(shards, &sample))
+            }
+            (None, false) => None,
+        };
         let ring = ShardedRing::new(
             &self.config.shard,
             task_size,
             per_shard_cap,
-            self.partitioner.clone(),
+            partitioner.clone(),
         );
         // Total capacity across shards: the bound on how far any in-flight
         // task can lag the ingest frontier.
@@ -392,14 +395,22 @@ impl ParallelIbwj {
         } else {
             [self.config.window_r, self.config.window_s]
         };
-        let make_index = || match self.kind {
-            SharedIndexKind::PimTree => {
-                let mut pim_cfg = self.config.pim;
-                pim_cfg.window_size = self.config.max_window();
-                SharedIndex::Pim(PimTree::new(pim_cfg))
-            }
-            SharedIndexKind::BwTree => SharedIndex::Bw(BwTreeIndex::new()),
-        };
+        let mut pim_cfg = self.config.pim;
+        pim_cfg.window_size = self.config.max_window();
+        let store = ShardStore::new(
+            StoreParams {
+                kind: self.kind,
+                pim: pim_cfg,
+                window_sizes,
+                slack,
+                deletion_lag: ring_cap as u64,
+            },
+            partitioned.then(|| {
+                partitioner
+                    .clone()
+                    .expect("partitioned store needs a partitioner")
+            }),
+        );
 
         let mut shared = Shared {
             input: tuples,
@@ -407,15 +418,9 @@ impl ParallelIbwj {
             predicate: self.predicate,
             task_size,
             self_join: self.self_join,
-            window_sizes,
             ingest_target,
             max_unindexed,
-            windows: [
-                SlidingWindow::new(window_sizes[0], slack),
-                SlidingWindow::new(window_sizes[1], slack),
-            ],
-            indexes: [make_index(), make_index()],
-            deletion_lag: ring_cap as u64,
+            store,
             merge_policy: self.config.pim.merge_policy,
             collect_results: self.collect_results,
             backoff: self.config.ring,
@@ -449,12 +454,17 @@ impl ParallelIbwj {
             warmup_results = results;
             shared.ingest_limit = tuples.len();
         }
-        // The ring's traffic account spans both phases; remember the warmup
-        // baseline so the reported counters cover only the measured tuples.
+        // The ring's and store's traffic accounts span both phases; remember
+        // the warmup baselines so the reported counters cover only the
+        // measured tuples.
         let (warm_local, warm_remote) = (
             shared.ring.traffic().local(),
             shared.ring.traffic().remote(),
         );
+        let (warm_store_local, warm_store_remote) = match shared.store.traffic() {
+            Some(t) => (t.local(), t.remote()),
+            None => (0, 0),
+        };
 
         let measured = (tuples.len() - warmup) as u64;
         let start = Instant::now();
@@ -481,6 +491,26 @@ impl ParallelIbwj {
         stats.shard.simulated_numa_cost = stats.shard.local_accesses
             * shared.ring.topology().local_cost
             + stats.shard.remote_accesses * shared.ring.topology().remote_cost;
+        if shared.store.is_partitioned() {
+            stats.store.partitioned = 1;
+            stats.store.store_shards = shared.store.shards() as u64;
+            let (traffic, topology) = (
+                shared
+                    .store
+                    .traffic()
+                    .expect("partitioned store has traffic"),
+                shared
+                    .store
+                    .topology()
+                    .expect("partitioned store has topology"),
+            );
+            stats.store.simulated_store_cost = (traffic.local() - warm_store_local)
+                * topology.local_cost
+                + (traffic.remote() - warm_store_remote) * topology.remote_cost;
+        }
+        if let Some(inspect) = inspect {
+            inspect(&shared.store);
+        }
         let (merges, merge_time) = *shared.merge_stats.lock();
         stats.merges = merges;
         stats.merge_time = merge_time;
@@ -507,18 +537,17 @@ struct WorkerScratch {
     task_shard: usize,
     /// Tuples destined for each side's index, inserted as one batch per task.
     inserts: [Vec<(Key, Seq)>; 2],
-    /// Sequence numbers to mark as indexed after the batch insert, per side.
-    indexed: [Vec<Seq>; 2],
-    /// Batched probe: this task's probe ranges, grouped per probe-side index.
+    /// This task's probe ranges, grouped per probe-side index.
     probe_ranges: [Vec<KeyRange>; 2],
-    /// Batched probe: the item index behind each entry of `probe_ranges`.
+    /// The opposite-window bounds snapshot behind each entry of
+    /// `probe_ranges`.
+    probe_bounds: [Vec<WindowBounds>; 2],
+    /// The item index behind each entry of `probe_ranges`.
     probe_items: [Vec<usize>; 2],
-    /// Batched probe: per-item edge-tuple snapshot taken before the probe.
-    edges: Vec<Seq>,
-    /// Batched probe: per-item match counts.
+    /// Per-item match counts.
     counts: Vec<u64>,
-    /// Batched probe: per-item collected results (moved into the ring slot
-    /// when the item completes).
+    /// Per-item collected results (moved into the ring slot when the item
+    /// completes).
     collected: Vec<Vec<JoinResult>>,
 }
 
@@ -528,10 +557,9 @@ impl WorkerScratch {
             items: Vec::new(),
             task_shard: 0,
             inserts: [Vec::new(), Vec::new()],
-            indexed: [Vec::new(), Vec::new()],
             probe_ranges: [Vec::new(), Vec::new()],
+            probe_bounds: [Vec::new(), Vec::new()],
             probe_items: [Vec::new(), Vec::new()],
-            edges: Vec::new(),
             counts: Vec::new(),
             collected: Vec::new(),
         }
@@ -548,13 +576,20 @@ fn worker_loop(shared: &Shared<'_>, worker: usize) {
     // socket.
     let home = worker % shared.ring.shards();
     loop {
-        maybe_merge(shared, &mut local);
+        maybe_merge(shared, home, &mut local);
         let acquire_start = Instant::now();
         let acquired = acquire_task(shared, home, &mut scratch, &mut local);
         local.phase.acquire += acquire_start.elapsed();
         if acquired {
             let acquired_at = Instant::now();
-            process_task(shared, acquired_at, &mut scratch, &mut local, &mut latency);
+            process_task(
+                shared,
+                home,
+                acquired_at,
+                &mut scratch,
+                &mut local,
+                &mut latency,
+            );
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
             backoff.reset();
             let propagate_start = Instant::now();
@@ -573,9 +608,9 @@ fn worker_loop(shared: &Shared<'_>, worker: usize) {
             // stale with no indexing work left to trigger another attempt —
             // then back off adaptively instead of hammering the shared
             // counters that the productive workers need.
-            shared.windows[0].try_advance_edge();
+            shared.store.try_advance_edge(0);
             if !shared.self_join {
-                shared.windows[1].try_advance_edge();
+                shared.store.try_advance_edge(1);
             }
             let idle_start = Instant::now();
             match backoff.idle() {
@@ -670,14 +705,15 @@ fn try_ingest(shared: &Shared<'_>, local: &mut JoinRunStats) {
             break;
         }
         let own = shared.own_idx(t.side);
-        if shared.windows[own].unindexed_len() as usize >= shared.max_unindexed {
+        if shared.store.unindexed_len(own) as usize >= shared.max_unindexed {
             local.ring.ingest_stalls += 1;
             break;
         }
         let probe = shared.probe_idx(t.side);
-        let bounds = shared.windows[probe].bounds();
-        let seq = shared.windows[own]
-            .append(t.key)
+        let bounds = shared.store.bounds(probe);
+        let seq = shared
+            .store
+            .append(own, t.key)
             .expect("sliding window slack exhausted");
         debug_assert_eq!(
             seq, t.seq,
@@ -698,6 +734,7 @@ fn try_ingest(shared: &Shared<'_>, local: &mut JoinRunStats) {
 
 fn process_task(
     shared: &Shared<'_>,
+    home: usize,
     acquired_at: Instant,
     scratch: &mut WorkerScratch,
     local: &mut JoinRunStats,
@@ -709,11 +746,7 @@ fn process_task(
     // the draining worker can start propagating the prefix while this task
     // is still working on its remaining tuples.
     let generate_start = Instant::now();
-    if shared.probe.batch {
-        generate_batched(shared, scratch, local);
-    } else {
-        generate_scalar(shared, scratch, local);
-    }
+    generate(shared, home, scratch, local);
     local.phase.generate += generate_start.elapsed();
     // Latency is the task processing time (§5): acquisition to results ready.
     let task_latency = acquired_at.elapsed();
@@ -722,211 +755,103 @@ fn process_task(
     }
     // Step 3: index update, batched per side so the generation lock and the
     // shared counters are touched once per task instead of once per tuple.
+    // The store routes each entry to the shard owning its key, retires newly
+    // expired entries of eager-deletion backends, marks the inserted tuples
+    // indexed and advances the edge(s).
     let update_start = Instant::now();
     scratch.inserts[0].clear();
     scratch.inserts[1].clear();
-    scratch.indexed[0].clear();
-    scratch.indexed[1].clear();
     for &ClaimedTask { tuple, .. } in &scratch.items {
         let own = shared.own_idx(tuple.side);
         if shared.no_index_updates[own].load(Ordering::Acquire) {
             shared.pending[own].lock().push((tuple.key, tuple.seq));
         } else {
             scratch.inserts[own].push((tuple.key, tuple.seq));
-            scratch.indexed[own].push(tuple.seq);
         }
     }
     for own in 0..2 {
         if scratch.inserts[own].is_empty() {
             continue;
         }
-        shared.indexes[own].insert_batch(&scratch.inserts[own]);
+        shared
+            .store
+            .insert_batch(own, &scratch.inserts[own], home, local);
         local.bytes_stored += scratch.inserts[own].len() as u64 * entry_bytes;
-        if let SharedIndex::Bw(bw) = &shared.indexes[own] {
-            // Eager expiry deletion with a lag large enough that no in-flight
-            // task can still need the deleted entry (a slot is drained before
-            // its ring position is reused, so bounds of any live task lag the
-            // window head by less than the ring capacity).
-            let w = shared.window_sizes[own] as u64;
-            for &(_, seq) in &scratch.inserts[own] {
-                if seq >= w + shared.deletion_lag {
-                    let expired_seq = seq - w - shared.deletion_lag;
-                    let expired_key = shared.windows[own].key_of(expired_seq);
-                    bw.remove(expired_key, expired_seq);
-                }
-            }
-        }
-        for &seq in &scratch.indexed[own] {
-            shared.windows[own].mark_indexed(seq);
-        }
-        shared.windows[own].try_advance_edge();
     }
     local.phase.update += update_start.elapsed();
 }
 
-/// Scalar result generation: the original one-tuple-at-a-time probe path,
-/// taken verbatim when `ProbeConfig::batch` is off.
-fn generate_scalar(shared: &Shared<'_>, scratch: &mut WorkerScratch, local: &mut JoinRunStats) {
-    let entry_bytes = std::mem::size_of::<Entry>() as u64;
-    let task_shard = scratch.task_shard;
-    for &ClaimedTask { gid, tuple, bounds } in &scratch.items {
-        let probe = shared.probe_idx(tuple.side);
-        let matched_side = shared.matched_side(tuple.side);
-        let range = shared.predicate.probe_range(tuple.key);
-        // Snapshot of the edge tuple: everything before it is guaranteed to be
-        // in the index; everything from it up to the task's window boundary is
-        // covered by the linear scan. An outdated snapshot only makes the
-        // linear scan longer, never wrong (§4.1).
-        let edge = bounds.index_horizon(shared.windows[probe].edge());
-        let mut count = 0u64;
-        let mut results = Vec::new();
-        let collect = shared.collect_results;
-        let search_start = Instant::now();
-        shared.indexes[probe].probe(range, &mut |e| {
-            if e.seq >= bounds.earliest && e.seq < edge {
-                count += 1;
-                if collect {
-                    results.push(JoinResult::new(
-                        tuple,
-                        Tuple::new(matched_side, e.seq, e.key),
-                    ));
-                }
-            }
-        });
-        let scan_start = Instant::now();
-        local.breakdown.record_nanos(
-            pimtree_common::Step::Search,
-            (scan_start - search_start).as_nanos() as u64,
-        );
-        // The linear scan covers the not-yet-indexed suffix, clamped below to
-        // the task's earliest live tuple: when the edge lags behind the
-        // expiry horizon (e.g. while a merge freezes it), everything before
-        // `bounds.earliest` is expired for this probe and must not match.
-        let scan_from = bounds.scan_start(edge);
-        let examined = shared.windows[probe].scan_linear(
-            scan_from,
-            bounds.latest_exclusive,
-            range,
-            |seq, key| {
-                count += 1;
-                if collect {
-                    results.push(JoinResult::new(tuple, Tuple::new(matched_side, seq, key)));
-                }
-            },
-        );
-        local.breakdown.record_nanos(
-            pimtree_common::Step::Scan,
-            scan_start.elapsed().as_nanos() as u64,
-        );
-        local.bytes_loaded += (examined as u64 + count + 8) * entry_bytes;
-        local.bytes_stored += count * std::mem::size_of::<JoinResult>() as u64;
-        local.results += count;
-        local.tuples += 1;
-        shared.ring.complete(task_shard, gid, count, results);
-    }
-}
-
-/// Batched result generation: the whole task's index probes are answered by
-/// at most one group probe per side before the per-tuple window scans run.
+/// Result generation: the whole task's probes are gathered per probe side and
+/// answered through the store — the batched CSS group descent or the scalar
+/// per-range path ([`pimtree_common::ProbeConfig::batch`]), against the shared
+/// index/window pair or fanned out across the store shards overlapping each
+/// band-join range.
 ///
-/// The task's probe ranges are gathered per probe-side index and handed to
-/// [`SharedIndex::probe_batch`]; for the PIM-Tree that is one sorted,
-/// deduplicated, software-prefetched CSS-Tree group descent under a single
-/// generation-lock acquisition, instead of `task_size` independent root-leaf
-/// walks. Each tuple's edge snapshot is taken *before* the group probe and
-/// used for both the index filter and the window-scan start, which keeps the
-/// two sides of the edge split consistent per tuple — the snapshot being a
-/// little older than in the scalar path only lengthens the linear scan, never
+/// Each tuple's edge snapshot is taken inside the store *before* the index
+/// probe it covers and used for both the index filter and the window-scan
+/// start, which keeps the two sides of the edge split consistent per tuple —
+/// a snapshot that is a little stale only lengthens the linear scan, never
 /// changes the result set (§4.1). Ring slots are still completed per tuple,
 /// so ordered propagation is unaffected.
-fn generate_batched(shared: &Shared<'_>, scratch: &mut WorkerScratch, local: &mut JoinRunStats) {
-    let entry_bytes = std::mem::size_of::<Entry>() as u64;
+fn generate(
+    shared: &Shared<'_>,
+    home: usize,
+    scratch: &mut WorkerScratch,
+    local: &mut JoinRunStats,
+) {
     let n = scratch.items.len();
     let collect = shared.collect_results;
     scratch.counts.clear();
     scratch.counts.resize(n, 0);
     scratch.collected.clear();
     scratch.collected.resize_with(n, Vec::new);
-    scratch.edges.clear();
     for side in 0..2 {
         scratch.probe_ranges[side].clear();
+        scratch.probe_bounds[side].clear();
         scratch.probe_items[side].clear();
     }
     for (i, &ClaimedTask { tuple, bounds, .. }) in scratch.items.iter().enumerate() {
         let probe = shared.probe_idx(tuple.side);
-        scratch
-            .edges
-            .push(bounds.index_horizon(shared.windows[probe].edge()));
         scratch.probe_ranges[probe].push(shared.predicate.probe_range(tuple.key));
+        scratch.probe_bounds[probe].push(bounds);
         scratch.probe_items[probe].push(i);
     }
-    let search_start = Instant::now();
     for side in 0..2 {
         if scratch.probe_ranges[side].is_empty() {
             continue;
         }
         let items = &scratch.items;
         let idxs = &scratch.probe_items[side];
-        let edges = &scratch.edges;
         let counts = &mut scratch.counts;
         let collected = &mut scratch.collected;
-        shared.indexes[side].probe_batch(
+        shared.store.generate(
+            side,
             &scratch.probe_ranges[side],
-            shared.probe.prefetch_dist,
-            &mut local.probe,
-            &mut |j, e| {
+            &scratch.probe_bounds[side],
+            &shared.probe,
+            home,
+            local,
+            &mut |j, seq, key| {
                 let i = idxs[j];
-                let item = &items[i];
-                if e.seq >= item.bounds.earliest && e.seq < edges[i] {
-                    counts[i] += 1;
-                    if collect {
-                        let matched = shared.matched_side(item.tuple.side);
-                        collected[i].push(JoinResult::new(
-                            item.tuple,
-                            Tuple::new(matched, e.seq, e.key),
-                        ));
-                    }
+                counts[i] += 1;
+                if collect {
+                    let item = &items[i];
+                    let matched = shared.matched_side(item.tuple.side);
+                    collected[i].push(JoinResult::new(item.tuple, Tuple::new(matched, seq, key)));
                 }
             },
         );
     }
-    local.breakdown.record_nanos(
-        pimtree_common::Step::Search,
-        search_start.elapsed().as_nanos() as u64,
-    );
-    // Window-suffix scans and slot publication, per tuple (see
-    // `generate_scalar` for the edge-split invariants).
-    let scan_start = Instant::now();
+    // Slot publication, per tuple, in task order.
     let task_shard = scratch.task_shard;
-    for (i, &ClaimedTask { gid, tuple, bounds }) in scratch.items.iter().enumerate() {
-        let probe = shared.probe_idx(tuple.side);
-        let matched_side = shared.matched_side(tuple.side);
-        let range = shared.predicate.probe_range(tuple.key);
-        let edge = scratch.edges[i];
-        let mut count = scratch.counts[i];
-        let mut results = std::mem::take(&mut scratch.collected[i]);
-        let scan_from = bounds.scan_start(edge);
-        let examined = shared.windows[probe].scan_linear(
-            scan_from,
-            bounds.latest_exclusive,
-            range,
-            |seq, key| {
-                count += 1;
-                if collect {
-                    results.push(JoinResult::new(tuple, Tuple::new(matched_side, seq, key)));
-                }
-            },
-        );
-        local.bytes_loaded += (examined as u64 + count + 8) * entry_bytes;
+    for (i, &ClaimedTask { gid, .. }) in scratch.items.iter().enumerate() {
+        let count = scratch.counts[i];
+        let results = std::mem::take(&mut scratch.collected[i]);
         local.bytes_stored += count * std::mem::size_of::<JoinResult>() as u64;
         local.results += count;
         local.tuples += 1;
         shared.ring.complete(task_shard, gid, count, results);
     }
-    local.breakdown.record_nanos(
-        pimtree_common::Step::Scan,
-        scan_start.elapsed().as_nanos() as u64,
-    );
 }
 
 /// Propagates the completed ring prefix into the sink in arrival order.
@@ -984,7 +909,7 @@ fn open_gate(shared: &Shared<'_>) {
 /// never larger than the true minimum, which keeps it safe — at worst a few
 /// already-expired tuples survive one extra merge.
 fn merge_horizon(shared: &Shared<'_>, side: usize) -> Seq {
-    let mut horizon = shared.windows[side].earliest_live();
+    let mut horizon = shared.store.earliest_live(side);
     for shard_meta in &shared.claim_meta {
         let meta = &shard_meta[side];
         if meta.ingested.load(Ordering::Acquire) > meta.claimed.load(Ordering::Acquire) {
@@ -994,19 +919,22 @@ fn merge_horizon(shared: &Shared<'_>, side: usize) -> Seq {
     horizon
 }
 
-fn maybe_merge(shared: &Shared<'_>, local: &mut JoinRunStats) {
+fn maybe_merge(shared: &Shared<'_>, home: usize, local: &mut JoinRunStats) {
     for side in 0..if shared.self_join { 1 } else { 2 } {
-        if !shared.indexes[side].needs_merge() {
+        if shared.store.merge_candidate(side).is_none() {
             continue;
         }
         if shared.merge_claimed.swap(true, Ordering::AcqRel) {
             return; // another thread is already merging
         }
-        if !shared.indexes[side].needs_merge() {
+        // Re-check under the claim; under the partitioned store each shard's
+        // tree merges independently, one shard per claim (a subsequent claim
+        // picks up the next shard over the threshold).
+        let Some(shard) = shared.store.merge_candidate(side) else {
             shared.merge_claimed.store(false, Ordering::Release);
             return;
-        }
-        let SharedIndex::Pim(pim) = &shared.indexes[side] else {
+        };
+        let Some(pim) = shared.store.pim(side, shard) else {
             shared.merge_claimed.store(false, Ordering::Release);
             return;
         };
@@ -1032,18 +960,17 @@ fn maybe_merge(shared: &Shared<'_>, local: &mut JoinRunStats) {
                 // paper's workers resume joining (with index updates) while the
                 // merging thread drains the pending list. Pending tuples stay
                 // reachable through the linear window scan until they are
-                // marked indexed, so probes remain correct throughout.
+                // marked indexed, so probes remain correct throughout. The
+                // replay goes through the store, which routes each buffered
+                // tuple back to the shard owning its key (phase 1 buffered the
+                // whole side, not just the merging shard).
                 close_gate_and_wait(shared);
                 let report = pim.install_merge(prepared);
                 let pending = std::mem::take(&mut *shared.pending[side].lock());
                 shared.no_index_updates[side].store(false, Ordering::Release);
                 open_gate(shared);
                 for chunk in pending.chunks(4096) {
-                    pim.insert_batch(chunk);
-                    for &(_, seq) in chunk {
-                        shared.windows[side].mark_indexed(seq);
-                    }
-                    shared.windows[side].try_advance_edge();
+                    shared.store.insert_batch(side, chunk, home, local);
                 }
                 report
             }
@@ -1371,15 +1298,25 @@ mod tests {
                     let label = format!("{policy:?}/{kind:?}/{threads}T");
                     assert_eq!(canonical(&batched_results), expected, "batched {label}");
                     assert_eq!(canonical(&scalar_results), expected, "scalar {label}");
-                    assert_eq!(
-                        scalar_stats.probe,
-                        Default::default(),
-                        "the scalar path must not touch probe counters ({label})"
-                    );
+                    // The scalar path never group-descends, dedups or
+                    // prefetches; its only counters are the batched TI
+                    // partition locks (the ROADMAP's scalar partition-routing
+                    // follow-up), and those only for the PIM-Tree backend.
+                    assert_eq!(scalar_stats.probe.batches, 0, "{label}");
+                    assert_eq!(scalar_stats.probe.batched_keys, 0, "{label}");
+                    assert_eq!(scalar_stats.probe.dedup_hits, 0, "{label}");
+                    assert_eq!(scalar_stats.probe.nodes_prefetched, 0, "{label}");
+                    assert_eq!(scalar_stats.probe.scalar_probes, 0, "{label}");
                     if kind == SharedIndexKind::PimTree {
+                        assert!(
+                            scalar_stats.probe.ti_partition_locks
+                                <= scalar_stats.probe.ti_range_visits,
+                            "scalar TI partition locks are shared per task ({label})"
+                        );
                         assert!(batched_stats.probe.batches > 0, "batched {label}");
                         assert_eq!(batched_stats.probe.scalar_probes, 0, "{label}");
                     } else {
+                        assert_eq!(scalar_stats.probe.ti_partition_locks, 0, "{label}");
                         // The Bw-Tree has no batched path: every probe of a
                         // batched run falls back to the scalar probe.
                         assert_eq!(batched_stats.probe.batches, 0, "{label}");
@@ -1738,6 +1675,273 @@ mod tests {
                 "{shards} shards"
             );
         }
+    }
+
+    /// Whether the partitioned-store differential tests run with the store
+    /// on, off, or both. CI's shard matrix pins it via
+    /// `PIMTREE_TEST_PARTITION_INDEX`; local runs sweep both arms.
+    fn partition_sweep() -> Vec<bool> {
+        match std::env::var("PIMTREE_TEST_PARTITION_INDEX")
+            .ok()
+            .as_deref()
+        {
+            Some("on") | Some("true") | Some("1") => vec![true],
+            Some("off") | Some("false") | Some("0") => vec![false],
+            _ => vec![false, true],
+        }
+    }
+
+    /// The tentpole differential: with the per-shard index/window store the
+    /// engine must produce the exact same results as the shared-store engine
+    /// and the brute-force oracle, across shard counts, merge policies and
+    /// index backends, and its insert/probe routing must account for every
+    /// tuple.
+    #[test]
+    fn partitioned_store_matches_shared_store_and_reference() {
+        let tuples = random_tuples(5000, 400, 111);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        for policy in [MergePolicy::NonBlocking, MergePolicy::Blocking] {
+            for kind in [SharedIndexKind::PimTree, SharedIndexKind::BwTree] {
+                for shards in shard_sweep() {
+                    for partition in partition_sweep() {
+                        let cfg = config(128, 4, 4, 0.5, policy).with_shard(
+                            ShardConfig::default()
+                                .with_shards(shards)
+                                .with_partition_index(partition),
+                        );
+                        let op = ParallelIbwj::new(cfg, predicate, kind, false)
+                            .with_collected_results(true);
+                        let (stats, results) = op.run(&tuples);
+                        let label =
+                            format!("{policy:?}/{kind:?}/{shards} shards/partition={partition}");
+                        assert_eq!(canonical(&results), expected, "{label}");
+                        assert_eq!(stats.ring.tuples_acquired, 5000, "{label}");
+                        assert_eq!(stats.ring.slots_drained, 5000, "{label}");
+                        if kind == SharedIndexKind::PimTree {
+                            // Per-shard trees are provisioned for their key
+                            // slice, so merges fire at the same cadence as
+                            // the shared engine (regression: a global-window
+                            // threshold left partitioned shards merge-less).
+                            assert!(stats.merges > 0, "{label}");
+                        }
+                        if partition && shards > 1 {
+                            assert_eq!(stats.store.partitioned, 1, "{label}");
+                            assert_eq!(stats.store.store_shards, shards as u64, "{label}");
+                            assert_eq!(
+                                stats.store.local_inserts + stats.store.remote_inserts,
+                                5000,
+                                "every tuple routed to exactly one store shard ({label})"
+                            );
+                            assert_eq!(
+                                stats.store.probes, 5000,
+                                "every tuple's probe routed through the fan-out query ({label})"
+                            );
+                            assert!(
+                                stats.store.probe_shard_visits >= stats.store.probes,
+                                "{label}"
+                            );
+                            assert!(stats.store.max_probe_fanout <= shards as u64, "{label}");
+                            assert!(stats.store.simulated_store_cost > 0, "{label}");
+                        } else {
+                            // Shared store (partitioning off, or one shard):
+                            // the store counters must stay untouched.
+                            assert_eq!(stats.store, Default::default(), "{label}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The tentpole invariant: with `--partition-index on`, each shard's
+    /// index and window hold only tuples inside its key range (inspected via
+    /// per-shard footprints), and probe fan-out visits only the shards whose
+    /// ranges overlap the band-join range.
+    #[test]
+    fn partitioned_store_shards_hold_only_their_key_range() {
+        let tuples = random_tuples(4000, 800, 112);
+        // A band of ±2 over an 800-key domain split 4 ways: most probes must
+        // stay on a single shard.
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        let cfg = config(128, 4, 4, 0.5, MergePolicy::NonBlocking).with_shard(
+            ShardConfig::default()
+                .with_shards(4)
+                .with_partition_index(true),
+        );
+        let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+            .with_collected_results(true);
+        let (stats, results) = op.run_with_store_inspector(&tuples, 0, |store| {
+            assert!(store.is_partitioned());
+            assert_eq!(store.shards(), 4);
+            let partitioner = store.partitioner().expect("partitioned store").clone();
+            let footprints = store.shard_footprints();
+            assert_eq!(footprints.len(), 4);
+            let mut window_total = 0;
+            let mut index_total = 0;
+            for fp in &footprints {
+                for side in &fp.sides {
+                    window_total += side.window_live;
+                    index_total += side.index_entries;
+                    // node_of is monotone in the key, so span containment
+                    // proves every key of the shard lies in its range.
+                    if let Some((lo, hi)) = side.window_key_span {
+                        assert_eq!(partitioner.node_of(lo), fp.shard, "window lo");
+                        assert_eq!(partitioner.node_of(hi), fp.shard, "window hi");
+                    }
+                    if let Some((lo, hi)) = side.index_key_span {
+                        assert_eq!(partitioner.node_of(lo), fp.shard, "index lo");
+                        assert_eq!(partitioner.node_of(hi), fp.shard, "index hi");
+                    }
+                }
+            }
+            assert_eq!(window_total, 128 + 128, "both live windows, sharded");
+            assert!(index_total > 0);
+        });
+        assert_eq!(canonical(&results), expected);
+        // Fan-out: a ±2 band over ~200 keys per shard overwhelmingly stays on
+        // one shard; visiting every shard for every probe would be 4x.
+        assert!(stats.store.single_shard_probes > 0);
+        assert!(
+            stats.store.probe_shard_visits < stats.store.probes * 2,
+            "narrow-band probes must not fan out broadly: {} visits / {} probes",
+            stats.store.probe_shard_visits,
+            stats.store.probes
+        );
+        assert!(stats.store.max_probe_fanout <= 2);
+    }
+
+    /// Duplicate-heavy keys and domain-overflowing probe ranges under the
+    /// partitioned store, with a window that never expires and one that
+    /// expires immediately. Domain-overflowing ranges force full fan-out.
+    #[test]
+    fn partitioned_store_duplicate_keys_and_window_edges() {
+        let predicate = BandPredicate::new(100);
+        let tuples = random_tuples(2000, 50, 113);
+        for shards in shard_sweep() {
+            for w in [1usize, 4096] {
+                let expected = canonical(&reference_join(&tuples, predicate, w, w, false));
+                let cfg = config(w, 3, 4, 1.0, MergePolicy::NonBlocking).with_shard(
+                    ShardConfig::default()
+                        .with_shards(shards)
+                        .with_partition_index(true),
+                );
+                let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+                    .with_collected_results(true);
+                let (stats, results) = op.run(&tuples);
+                assert_eq!(canonical(&results), expected, "shards {shards}, w {w}");
+                if shards > 1 {
+                    // A ±100 band over a 50-key domain overlaps every shard.
+                    assert_eq!(
+                        stats.store.probe_shard_visits,
+                        stats.store.probes * shards as u64,
+                        "domain-covering ranges fan out to every shard"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Partitioned-store self-join through both probe paths (batched and
+    /// scalar), with tiny per-shard rings.
+    #[test]
+    fn partitioned_store_self_join_both_probe_paths() {
+        let tuples = self_join_tuples(4000, 250, 114);
+        let predicate = BandPredicate::new(1);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, true));
+        assert!(!expected.is_empty());
+        for shards in shard_sweep() {
+            for probe in [ProbeConfig::default(), ProbeConfig::scalar()] {
+                let cfg = config(128, 6, 2, 0.5, MergePolicy::NonBlocking)
+                    .with_probe(probe)
+                    .with_ring(
+                        RingConfig::default()
+                            .with_capacity(64)
+                            .with_backoff(2, 4, 10),
+                    )
+                    .with_shard(
+                        ShardConfig::default()
+                            .with_shards(shards)
+                            .with_partition_index(true),
+                    );
+                let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, true)
+                    .with_collected_results(true);
+                let (_, results) = op.run(&tuples);
+                assert_eq!(
+                    canonical(&results),
+                    expected,
+                    "shards {shards}, probe {probe:?}"
+                );
+            }
+        }
+    }
+
+    /// A skewed partitioner under the partitioned store: every key routes to
+    /// shard 0, so all index/window state lives there and all claims by
+    /// workers homed elsewhere are steals — results must still be exact and
+    /// in arrival order.
+    #[test]
+    fn partitioned_store_with_skewed_partitioner_matches_reference() {
+        let tuples = random_tuples(3000, 200, 115);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        for shards in shard_sweep() {
+            if shards == 1 {
+                continue;
+            }
+            let partitioner = RangePartitioner::from_key_sample(shards, &[]);
+            let cfg = config(128, 4, 2, 1.0, MergePolicy::NonBlocking).with_shard(
+                ShardConfig::default()
+                    .with_shards(shards)
+                    .with_partition_index(true),
+            );
+            let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+                .with_partitioner(partitioner)
+                .with_collected_results(true);
+            let (stats, results) = op.run_with_store_inspector(&tuples, 0, |store| {
+                for fp in store.shard_footprints() {
+                    if fp.shard == 0 {
+                        continue;
+                    }
+                    for side in &fp.sides {
+                        assert_eq!(side.window_live, 0, "shard {} window", fp.shard);
+                        assert_eq!(side.index_entries, 0, "shard {} index", fp.shard);
+                    }
+                }
+            });
+            assert_eq!(canonical(&results), expected, "{shards} shards");
+            assert_eq!(
+                stats.store.probe_shard_visits, stats.store.probes,
+                "all probes land on the single populated shard"
+            );
+        }
+    }
+
+    /// Warmup runs under the partitioned store keep the result stream
+    /// identical and exclude the warmup prefix from the store counters.
+    #[test]
+    fn partitioned_store_warmup_produces_identical_results() {
+        let tuples = random_tuples(4000, 400, 116);
+        let predicate = BandPredicate::new(2);
+        let cfg = config(128, 4, 4, 0.5, MergePolicy::NonBlocking).with_shard(
+            ShardConfig::default()
+                .with_shards(2)
+                .with_partition_index(true),
+        );
+        let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+            .with_collected_results(true);
+        let (full_stats, full_results) = op.run(&tuples);
+        let (warm_stats, warm_results) = op.run_with_warmup(&tuples, 1000);
+        assert_eq!(canonical(&warm_results), canonical(&full_results));
+        assert_eq!(warm_stats.tuples, full_stats.tuples - 1000);
+        assert_eq!(
+            warm_stats.store.local_inserts + warm_stats.store.remote_inserts,
+            3000,
+            "warmup inserts are excluded from the measured counters"
+        );
+        assert!(warm_stats.store.simulated_store_cost < full_stats.store.simulated_store_cost);
     }
 
     #[test]

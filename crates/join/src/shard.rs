@@ -10,10 +10,13 @@
 //! * **A key-range router.** Ingestion assigns every tuple to the shard that
 //!   owns its key range, using `pimtree-numa`'s [`RangePartitioner`] (the
 //!   paper's workload-aware NUMA partitioning); without a partitioner the
-//!   router falls back to round-robin. On a real NUMA host each shard (and
-//!   the index partitions its keys probe) would be homed on one socket's
-//!   memory, so a worker claiming from its home shard touches only local
-//!   cache lines.
+//!   router falls back to round-robin. On a real NUMA host each shard would
+//!   be homed on one socket's memory, so a worker claiming from its home
+//!   shard touches only local cache lines — and with
+//!   `ShardConfig::partition_index` the engine places the *index and window
+//!   state* per shard as well ([`crate::store::ShardStore`], driven by the
+//!   same partitioner), so the data a home claim probes is home-shard data
+//!   too.
 //! * **Home-shard claiming with bounded cross-shard stealing.** Every worker
 //!   is pinned to a *home* shard and claims there first. Only when the home
 //!   shard runs dry does it scan the other shards: a first pass steals

@@ -44,6 +44,87 @@ pub struct JoinRunStats {
     /// as a local access); only the steal and routed-shard-stall counters
     /// are necessarily zero.
     pub shard: ShardCounters,
+    /// Partitioned index/window store counters (probe fan-out, routed
+    /// inserts, simulated store traffic), summed over all workers. All zero
+    /// when the shared store is active (`partition_index` off or one shard).
+    pub store: StoreCounters,
+}
+
+/// Counters of the partitioned index/window store (`ShardStore`): how inserts
+/// were routed to their owning shard, how far probes fanned out across the
+/// shards overlapping their band-join range, and what the cross-shard
+/// accesses cost under the store's simulated NUMA topology. Routing and
+/// fan-out counts are per worker and summed by [`JoinRunStats::absorb`]; the
+/// traffic-cost fields are filled once per run from the store's global
+/// `TrafficAccount`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// 1 when the partitioned store was active, 0 under the shared store
+    /// (`max`-merged, not summed).
+    pub partitioned: u64,
+    /// Number of store shards the engine ran with (`max`-merged, not summed).
+    pub store_shards: u64,
+    /// Probe ranges routed through the partitioned store's fan-out query.
+    pub probes: u64,
+    /// Total shards visited across all routed probes (`probes` of them
+    /// visited at least one shard; a probe never visits a shard whose key
+    /// range does not overlap it).
+    pub probe_shard_visits: u64,
+    /// Probes whose band-join range was covered by a single shard.
+    pub single_shard_probes: u64,
+    /// Largest fan-out of a single probe (`max`-merged, not summed).
+    pub max_probe_fanout: u64,
+    /// Tuples inserted into the index/window shard owned by the inserting
+    /// worker's home shard.
+    pub local_inserts: u64,
+    /// Tuples whose owning shard differed from the inserting worker's home
+    /// shard (simulated interconnect traversals).
+    pub remote_inserts: u64,
+    /// Probe shard visits that hit the probing worker's home shard.
+    pub local_probe_visits: u64,
+    /// Probe shard visits that crossed to a remote shard.
+    pub remote_probe_visits: u64,
+    /// Total simulated memory-access cost of the store's probe and insert
+    /// traffic under its `NumaTopology` (filled once per run).
+    pub simulated_store_cost: u64,
+}
+
+impl StoreCounters {
+    /// Folds another worker's counters into this one.
+    pub fn merge_from(&mut self, other: &StoreCounters) {
+        self.partitioned = self.partitioned.max(other.partitioned);
+        self.store_shards = self.store_shards.max(other.store_shards);
+        self.probes += other.probes;
+        self.probe_shard_visits += other.probe_shard_visits;
+        self.single_shard_probes += other.single_shard_probes;
+        self.max_probe_fanout = self.max_probe_fanout.max(other.max_probe_fanout);
+        self.local_inserts += other.local_inserts;
+        self.remote_inserts += other.remote_inserts;
+        self.local_probe_visits += other.local_probe_visits;
+        self.remote_probe_visits += other.remote_probe_visits;
+        self.simulated_store_cost += other.simulated_store_cost;
+    }
+
+    /// Mean shards visited per routed probe (0 when nothing was routed).
+    pub fn mean_probe_fanout(&self) -> f64 {
+        if self.probes == 0 {
+            0.0
+        } else {
+            self.probe_shard_visits as f64 / self.probes as f64
+        }
+    }
+
+    /// Fraction of store accesses (inserts plus probe visits) that crossed
+    /// to a remote shard (0 when nothing was recorded).
+    pub fn remote_fraction(&self) -> f64 {
+        let local = self.local_inserts + self.local_probe_visits;
+        let remote = self.remote_inserts + self.remote_probe_visits;
+        if local + remote == 0 {
+            0.0
+        } else {
+            remote as f64 / (local + remote) as f64
+        }
+    }
 }
 
 /// Counters of the sharded task-ring layer: how work was routed across the
@@ -276,6 +357,7 @@ impl JoinRunStats {
         self.ring.merge_from(&other.ring);
         self.probe.merge_from(&other.probe);
         self.shard.merge_from(&other.shard);
+        self.store.merge_from(&other.store);
     }
 }
 
@@ -382,6 +464,38 @@ mod tests {
         assert!((a.shard.remote_fraction() - 0.125).abs() < 1e-9);
         assert_eq!(ShardCounters::default().steal_fraction(), 0.0);
         assert_eq!(ShardCounters::default().remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn store_counters_absorb_and_derive() {
+        let mut a = JoinRunStats::default();
+        a.store.partitioned = 1;
+        a.store.store_shards = 4;
+        a.store.probes = 10;
+        a.store.probe_shard_visits = 15;
+        a.store.single_shard_probes = 6;
+        a.store.max_probe_fanout = 3;
+        a.store.local_inserts = 8;
+        a.store.local_probe_visits = 12;
+        let mut b = JoinRunStats::default();
+        b.store.partitioned = 1;
+        b.store.store_shards = 4;
+        b.store.probes = 10;
+        b.store.probe_shard_visits = 25;
+        b.store.max_probe_fanout = 4;
+        b.store.remote_inserts = 2;
+        b.store.remote_probe_visits = 3;
+        a.absorb(&b);
+        assert_eq!(a.store.partitioned, 1, "max, not sum");
+        assert_eq!(a.store.store_shards, 4, "max, not sum");
+        assert_eq!(a.store.probes, 20);
+        assert_eq!(a.store.probe_shard_visits, 40);
+        assert_eq!(a.store.max_probe_fanout, 4, "max, not sum");
+        assert!((a.store.mean_probe_fanout() - 2.0).abs() < 1e-9);
+        // 20 local (8 inserts + 12 visits) vs 5 remote (2 + 3).
+        assert!((a.store.remote_fraction() - 0.2).abs() < 1e-9);
+        assert_eq!(StoreCounters::default().mean_probe_fanout(), 0.0);
+        assert_eq!(StoreCounters::default().remote_fraction(), 0.0);
     }
 
     #[test]

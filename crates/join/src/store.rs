@@ -1,0 +1,824 @@
+//! The per-shard index/window store of the parallel engine.
+//!
+//! PR 3 sharded the engine's *coordination* state (the task ring), but every
+//! probe and insert still walked one shared index per side — on a real
+//! multi-socket host exactly the cross-socket memory traffic the paper's NUMA
+//! discussion (§7) says a partitioned index removes. [`ShardStore`] finishes
+//! that design: behind one facade it owns either
+//!
+//! * the **shared store** — one [`SlidingWindow`] plus one index per side,
+//!   the engine's original layout, taken verbatim whenever the partitioned
+//!   store is off or only one shard is configured — or
+//! * the **partitioned store** — per shard, one index *and* one
+//!   [`ShardWindow`] slice per side, each holding only the tuples whose keys
+//!   fall into the shard's range under a [`RangePartitioner`].
+//!
+//! Under the partitioned store:
+//!
+//! * **Inserts route to the owning shard.** An insert touches exactly one
+//!   shard's index and window; inserts from a worker homed on another shard
+//!   are charged as remote accesses to the store's simulated
+//!   [`TrafficAccount`].
+//! * **Probes fan out across overlapping shards only.** A band-join probe
+//!   range `[k − w, k + w]` is routed through
+//!   [`RangePartitioner::covering_shards`]; only the shards whose key ranges
+//!   overlap it are visited (most narrow-band probes visit exactly one), and
+//!   each visit is charged local/remote like an insert. Per visited shard the
+//!   probe splits at *that shard's* edge tuple: index lookups below it, a
+//!   linear scan of the shard's window suffix above it. The per-shard results
+//!   merge by concatenation — shards own disjoint key ranges, so no
+//!   deduplication is ever needed.
+//! * **Expiry stays globally correct.** A tuple expires when `w` newer
+//!   tuples of its *side* arrived, regardless of shard; every liveness
+//!   decision (probe filtering, merge horizons, eager Bw-Tree deletion) is
+//!   made against the side's global head, which the store maintains at
+//!   ingestion. Eager-deletion backends retire each shard's slice through the
+//!   shard window's expiry cursor, so a tuple is never deleted from (or left
+//!   behind in) another shard's index.
+//!
+//! The engine's correctness argument is untouched: per (tuple, shard) the
+//! edge split covers `[earliest, latest)` exactly once, a stale shard edge
+//! only lengthens that shard's scan, and merge horizons are global sequence
+//! numbers, so a per-shard PIM-Tree merge never drops an entry an in-flight
+//! task may still probe.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crossbeam::utils::CachePadded;
+use pimtree_btree::Entry;
+use pimtree_bwtree::BwTreeIndex;
+use pimtree_common::{Key, KeyRange, PimConfig, ProbeConfig, Result, Seq, Step};
+use pimtree_core::PimTree;
+use pimtree_numa::{NumaTopology, RangePartitioner, TrafficAccount};
+use pimtree_window::{ShardWindow, SlidingWindow, WindowBounds};
+
+use crate::parallel::SharedIndexKind;
+use crate::stats::JoinRunStats;
+
+/// One index instance of the store: the PIM-Tree with its merge machinery or
+/// the Bw-Tree-style eager-deletion index.
+#[allow(clippy::large_enum_variant)] // a handful of instances per run; size is irrelevant
+pub(crate) enum StoreIndex {
+    /// The PIM-Tree with the configured merge policy.
+    Pim(PimTree),
+    /// The Bw-Tree-style index (no merges; eager expiry deletion).
+    Bw(BwTreeIndex),
+}
+
+impl StoreIndex {
+    fn new(kind: SharedIndexKind, pim: PimConfig) -> Self {
+        match kind {
+            SharedIndexKind::PimTree => StoreIndex::Pim(PimTree::new(pim)),
+            SharedIndexKind::BwTree => StoreIndex::Bw(BwTreeIndex::new()),
+        }
+    }
+
+    fn insert_batch(&self, entries: &[(Key, Seq)]) {
+        match self {
+            StoreIndex::Pim(t) => t.insert_batch(entries),
+            StoreIndex::Bw(t) => {
+                for &(key, seq) in entries {
+                    t.insert(key, seq);
+                }
+            }
+        }
+    }
+
+    fn probe(&self, range: KeyRange, f: &mut dyn FnMut(Entry)) {
+        match self {
+            StoreIndex::Pim(t) => t.range_for_each(range, f),
+            StoreIndex::Bw(t) => t.range_for_each(range, f),
+        }
+    }
+
+    /// Batched range probe: `f(i, entry)` for entries in `ranges[i]`. The
+    /// PIM-Tree answers the whole batch with one sorted/deduplicated,
+    /// prefetched CSS-Tree group descent; the Bw-Tree has no batched path
+    /// and falls back to per-range scalar probes (counted as such).
+    fn probe_batch(
+        &self,
+        ranges: &[KeyRange],
+        prefetch_dist: usize,
+        counters: &mut pimtree_common::ProbeCounters,
+        f: &mut dyn FnMut(usize, Entry),
+    ) {
+        match self {
+            StoreIndex::Pim(t) => t.probe_batch(ranges, prefetch_dist, counters, &mut *f),
+            StoreIndex::Bw(t) => {
+                for (i, &range) in ranges.iter().enumerate() {
+                    counters.scalar_probes += 1;
+                    t.range_for_each(range, &mut |e| f(i, e));
+                }
+            }
+        }
+    }
+
+    /// Scalar batch probe: one scalar descent per range, with the PIM-Tree's
+    /// mutable-side partition routing batched (one partition lock per unique
+    /// partition per call).
+    fn probe_ranges_scalar(
+        &self,
+        ranges: &[KeyRange],
+        counters: &mut pimtree_common::ProbeCounters,
+        f: &mut dyn FnMut(usize, Entry),
+    ) {
+        match self {
+            StoreIndex::Pim(t) => t.probe_ranges_scalar(ranges, counters, &mut *f),
+            StoreIndex::Bw(t) => {
+                for (i, &range) in ranges.iter().enumerate() {
+                    t.range_for_each(range, &mut |e| f(i, e));
+                }
+            }
+        }
+    }
+
+    fn needs_merge(&self) -> bool {
+        match self {
+            StoreIndex::Pim(t) => t.needs_merge(),
+            StoreIndex::Bw(_) => false,
+        }
+    }
+}
+
+/// Construction parameters shared by both store layouts.
+pub(crate) struct StoreParams {
+    /// Which index backend each window gets.
+    pub kind: SharedIndexKind,
+    /// PIM-Tree tuning (window size already resolved to the larger window).
+    pub pim: PimConfig,
+    /// Live window size per side (side 1 is 1 for self-joins).
+    pub window_sizes: [usize; 2],
+    /// Extra window slots retained past expiry for in-flight readers.
+    pub slack: usize,
+    /// Eager-deletion lag of the Bw-Tree backend (sequence numbers a
+    /// deletion trails the expiry horizon by, so no in-flight task can still
+    /// need the deleted entry).
+    pub deletion_lag: u64,
+}
+
+/// The engine's original layout: one shared window and index per side.
+struct SharedState {
+    windows: [SlidingWindow; 2],
+    indexes: [StoreIndex; 2],
+}
+
+/// One shard of the partitioned store: per side, the index and window slice
+/// covering only the shard's key range.
+struct StoreShard {
+    windows: [ShardWindow; 2],
+    indexes: [StoreIndex; 2],
+}
+
+/// The partitioned layout: one [`StoreShard`] per key range, plus the global
+/// per-side heads that keep expiry count-based on the *global* stream.
+struct PartitionedState {
+    partitioner: RangePartitioner,
+    shards: Vec<StoreShard>,
+    /// Tuples ever appended per side == the side's next sequence number.
+    heads: [CachePadded<AtomicU64>; 2],
+    topology: NumaTopology,
+    traffic: TrafficAccount,
+}
+
+#[allow(clippy::large_enum_variant)] // one instance per run; size is irrelevant
+enum Layout {
+    Shared(SharedState),
+    Partitioned(PartitionedState),
+}
+
+/// Scratch buffers of the store's hot paths, kept per thread so the steady
+/// state allocates nothing (same idiom as the PIM-Tree's probe scratch).
+#[derive(Default)]
+struct StoreScratch {
+    /// Per-item edge snapshots (shared layout) .
+    edges: Vec<Seq>,
+    /// Per-item match counts for the memory-traffic accounting.
+    counts: Vec<u64>,
+    /// Per-item covering shard interval (partitioned layout).
+    cover: Vec<(usize, usize)>,
+    /// Current shard's sub-batch of probe ranges / original item indices.
+    sub_ranges: Vec<KeyRange>,
+    sub_idx: Vec<usize>,
+    /// Current shard's sub-batch of inserts.
+    sub_entries: Vec<(Key, Seq)>,
+    /// Insert routing: `(shard, key, seq)` per entry, grouped shard-major.
+    routed: Vec<(usize, Key, Seq)>,
+}
+
+thread_local! {
+    static STORE_SCRATCH: std::cell::RefCell<StoreScratch> =
+        std::cell::RefCell::new(StoreScratch::default());
+}
+
+/// Per-side window and index state of the parallel engine, either shared
+/// (one window/index pair per side) or partitioned per shard behind a
+/// key-range partitioner. See the module documentation for the protocol.
+pub struct ShardStore {
+    layout: Layout,
+    window_sizes: [usize; 2],
+    deletion_lag: u64,
+    /// Per-side "some index may need merging" hint, set by the insert path
+    /// whenever a just-touched index reports `needs_merge`. Keeps the
+    /// workers' per-loop merge poll at one relaxed load instead of one
+    /// generation read-lock per shard; every threshold crossing happens
+    /// inside an insert, so the inserting call itself always raises the
+    /// hint, and a scan that finds nothing lowers it again.
+    merge_hint: [AtomicBool; 2],
+}
+
+/// Footprint of one store shard, per side: how many live window tuples and
+/// indexed entries the shard holds and the key span they cover. Used by
+/// tests and diagnostics to verify that a shard's state never leaves its key
+/// range.
+#[derive(Debug, Clone, Default)]
+pub struct StoreSideFootprint {
+    /// Live tuples currently held by the shard's window (slice).
+    pub window_live: usize,
+    /// Minimum and maximum key over the live window tuples.
+    pub window_key_span: Option<(Key, Key)>,
+    /// Entries currently held by the shard's index (live and expired).
+    pub index_entries: usize,
+    /// Minimum and maximum key over the indexed entries.
+    pub index_key_span: Option<(Key, Key)>,
+}
+
+/// Footprint of one store shard (both sides).
+#[derive(Debug, Clone)]
+pub struct StoreShardFootprint {
+    /// Shard index.
+    pub shard: usize,
+    /// Per-side footprints (`[R, S]`; self-joins use side 0 only).
+    pub sides: [StoreSideFootprint; 2],
+}
+
+impl ShardStore {
+    /// Creates the store. A partitioner with more than one node selects the
+    /// partitioned layout (one index/window pair per side per shard); `None`
+    /// or a single-node partitioner short-circuits to the shared layout, so
+    /// the single-shard engine is untouched.
+    pub(crate) fn new(params: StoreParams, partitioner: Option<RangePartitioner>) -> Self {
+        let layout = match partitioner {
+            Some(p) if p.nodes() > 1 => {
+                let nodes = p.nodes();
+                // Each shard indexes only its key slice — roughly 1/N of the
+                // window — so the per-shard PIM-Tree is provisioned for that
+                // slice. Leaving the global window size in place would scale
+                // every shard's merge threshold (`m · w`) N times too high:
+                // shards would merge N times more rarely (or never), keeping
+                // the search-optimised immutable component empty and
+                // retaining expired entries far longer than the shared
+                // engine does.
+                let mut shard_pim = params.pim;
+                shard_pim.window_size = (params.pim.window_size / nodes).max(1);
+                let shards = (0..nodes)
+                    .map(|_| StoreShard {
+                        windows: [
+                            ShardWindow::new(params.window_sizes[0], params.slack),
+                            ShardWindow::new(params.window_sizes[1], params.slack),
+                        ],
+                        indexes: [
+                            StoreIndex::new(params.kind, shard_pim),
+                            StoreIndex::new(params.kind, shard_pim),
+                        ],
+                    })
+                    .collect();
+                Layout::Partitioned(PartitionedState {
+                    partitioner: p,
+                    shards,
+                    heads: [
+                        CachePadded::new(AtomicU64::new(0)),
+                        CachePadded::new(AtomicU64::new(0)),
+                    ],
+                    topology: NumaTopology::new(nodes, 90, 150),
+                    traffic: TrafficAccount::new(),
+                })
+            }
+            _ => Layout::Shared(SharedState {
+                windows: [
+                    SlidingWindow::new(params.window_sizes[0], params.slack),
+                    SlidingWindow::new(params.window_sizes[1], params.slack),
+                ],
+                indexes: [
+                    StoreIndex::new(params.kind, params.pim),
+                    StoreIndex::new(params.kind, params.pim),
+                ],
+            }),
+        };
+        ShardStore {
+            layout,
+            window_sizes: params.window_sizes,
+            deletion_lag: params.deletion_lag,
+            merge_hint: [AtomicBool::new(false), AtomicBool::new(false)],
+        }
+    }
+
+    /// Whether the partitioned layout is active.
+    pub fn is_partitioned(&self) -> bool {
+        matches!(self.layout, Layout::Partitioned(_))
+    }
+
+    /// Number of store shards (1 under the shared layout).
+    pub fn shards(&self) -> usize {
+        match &self.layout {
+            Layout::Shared(_) => 1,
+            Layout::Partitioned(p) => p.shards.len(),
+        }
+    }
+
+    /// The key-range partitioner of the partitioned layout.
+    pub fn partitioner(&self) -> Option<&RangePartitioner> {
+        match &self.layout {
+            Layout::Shared(_) => None,
+            Layout::Partitioned(p) => Some(&p.partitioner),
+        }
+    }
+
+    /// The simulated NUMA topology store accesses are charged under
+    /// (partitioned layout only).
+    pub fn topology(&self) -> Option<&NumaTopology> {
+        match &self.layout {
+            Layout::Shared(_) => None,
+            Layout::Partitioned(p) => Some(&p.topology),
+        }
+    }
+
+    /// The simulated local/remote access account of the store (partitioned
+    /// layout only; inserts and probe shard visits).
+    pub fn traffic(&self) -> Option<&TrafficAccount> {
+        match &self.layout {
+            Layout::Shared(_) => None,
+            Layout::Partitioned(p) => Some(&p.traffic),
+        }
+    }
+
+    /// Appends a tuple to `side`'s window state, returning its sequence
+    /// number (the side's global arrival index). Called only under the
+    /// engine's ingest token.
+    pub(crate) fn append(&self, side: usize, key: Key) -> Result<Seq> {
+        match &self.layout {
+            Layout::Shared(s) => s.windows[side].append(key),
+            Layout::Partitioned(p) => {
+                let seq = p.heads[side].load(Ordering::Relaxed);
+                let shard = p.partitioner.node_of(key);
+                let earliest_live = seq.saturating_sub(self.window_sizes[side] as u64);
+                p.shards[shard].windows[side].append(seq, key, earliest_live)?;
+                p.heads[side].store(seq + 1, Ordering::Release);
+                Ok(seq)
+            }
+        }
+    }
+
+    /// Boundary snapshot of `side`'s live window (global arrival indexes).
+    pub(crate) fn bounds(&self, side: usize) -> WindowBounds {
+        match &self.layout {
+            Layout::Shared(s) => s.windows[side].bounds(),
+            Layout::Partitioned(p) => {
+                let head = p.heads[side].load(Ordering::Acquire);
+                WindowBounds::new(head.saturating_sub(self.window_sizes[side] as u64), head)
+            }
+        }
+    }
+
+    /// Sequence number of `side`'s earliest live (non-expired) tuple.
+    pub(crate) fn earliest_live(&self, side: usize) -> Seq {
+        self.bounds(side).earliest
+    }
+
+    /// Length of `side`'s non-indexed suffix (summed over shards), the
+    /// engine's admission-control signal.
+    pub(crate) fn unindexed_len(&self, side: usize) -> u64 {
+        match &self.layout {
+            Layout::Shared(s) => s.windows[side].unindexed_len(),
+            Layout::Partitioned(p) => p
+                .shards
+                .iter()
+                .map(|sh| sh.windows[side].unindexed_len())
+                .sum(),
+        }
+    }
+
+    /// Attempts to advance `side`'s edge tuple(s) past consecutively indexed
+    /// tuples (every shard under the partitioned layout).
+    pub(crate) fn try_advance_edge(&self, side: usize) {
+        match &self.layout {
+            Layout::Shared(s) => {
+                s.windows[side].try_advance_edge();
+            }
+            Layout::Partitioned(p) => {
+                for sh in &p.shards {
+                    sh.windows[side].try_advance_edge();
+                }
+            }
+        }
+    }
+
+    /// Inserts a task's tuples into `side`'s index state: under the
+    /// partitioned layout every entry is routed to the shard owning its key
+    /// (charged local/remote against the inserting worker's `home` shard),
+    /// eager-deletion backends retire newly expired entries of the touched
+    /// shards, and all inserted tuples are marked indexed with the edge(s)
+    /// advanced — the exact protocol of the original engine, per shard.
+    pub(crate) fn insert_batch(
+        &self,
+        side: usize,
+        entries: &[(Key, Seq)],
+        home: usize,
+        stats: &mut JoinRunStats,
+    ) {
+        if entries.is_empty() {
+            return;
+        }
+        match &self.layout {
+            Layout::Shared(s) => {
+                s.indexes[side].insert_batch(entries);
+                if let StoreIndex::Bw(bw) = &s.indexes[side] {
+                    // Eager expiry deletion with a lag large enough that no
+                    // in-flight task can still need the deleted entry.
+                    let w = self.window_sizes[side] as u64;
+                    for &(_, seq) in entries {
+                        if seq >= w + self.deletion_lag {
+                            let expired_seq = seq - w - self.deletion_lag;
+                            let expired_key = s.windows[side].key_of(expired_seq);
+                            bw.remove(expired_key, expired_seq);
+                        }
+                    }
+                }
+                for &(_, seq) in entries {
+                    s.windows[side].mark_indexed(seq);
+                }
+                s.windows[side].try_advance_edge();
+                if s.indexes[side].needs_merge() {
+                    self.merge_hint[side].store(true, Ordering::Relaxed);
+                }
+            }
+            Layout::Partitioned(p) => {
+                let mut scratch = STORE_SCRATCH.with(|cell| cell.take());
+                // Route each entry once, then group shard-major so only the
+                // shards actually touched pay any per-shard work.
+                scratch.routed.clear();
+                for &(key, seq) in entries {
+                    scratch.routed.push((p.partitioner.node_of(key), key, seq));
+                }
+                // Stable sort: entries keep their task order within a shard.
+                scratch.routed.sort_by_key(|&(shard, _, _)| shard);
+                let mut start = 0;
+                while start < scratch.routed.len() {
+                    let shard_idx = scratch.routed[start].0;
+                    let mut end = start;
+                    while end < scratch.routed.len() && scratch.routed[end].0 == shard_idx {
+                        end += 1;
+                    }
+                    scratch.sub_entries.clear();
+                    scratch
+                        .sub_entries
+                        .extend(scratch.routed[start..end].iter().map(|&(_, k, s)| (k, s)));
+                    start = end;
+                    let n = scratch.sub_entries.len() as u64;
+                    p.traffic.record(home, shard_idx, n);
+                    if shard_idx == home {
+                        stats.store.local_inserts += n;
+                    } else {
+                        stats.store.remote_inserts += n;
+                    }
+                    let shard = &p.shards[shard_idx];
+                    shard.indexes[side].insert_batch(&scratch.sub_entries);
+                    if let StoreIndex::Bw(bw) = &shard.indexes[side] {
+                        let w = self.window_sizes[side] as u64;
+                        let newest = scratch
+                            .sub_entries
+                            .iter()
+                            .map(|&(_, seq)| seq)
+                            .max()
+                            .unwrap_or(0);
+                        let upto = (newest + 1).saturating_sub(w + self.deletion_lag);
+                        shard.windows[side].expire_eager(upto, |key, seq| {
+                            bw.remove(key, seq);
+                        });
+                    }
+                    for &(_, seq) in &scratch.sub_entries {
+                        let found = shard.windows[side].mark_indexed(seq);
+                        debug_assert!(found, "inserted tuple {seq} missing from its shard window");
+                    }
+                    shard.windows[side].try_advance_edge();
+                    if shard.indexes[side].needs_merge() {
+                        self.merge_hint[side].store(true, Ordering::Relaxed);
+                    }
+                }
+                STORE_SCRATCH.with(|cell| cell.replace(scratch));
+            }
+        }
+    }
+
+    /// The shard (if any) whose index of `side` has reached its merge
+    /// threshold. The shared layout reports shard 0.
+    ///
+    /// Gated on the per-side merge hint so the workers' per-loop poll costs
+    /// one relaxed load, not a generation read-lock per shard. The hint is
+    /// cleared *before* the scan: a threshold crossing whose hint raise
+    /// lands after the clear survives for the next poll, and one whose
+    /// raise landed before it had already pushed its tree over the
+    /// threshold before the scan started, so the scan reports it — either
+    /// way a crossing is never lost. A found candidate re-raises the hint,
+    /// since other shards may be over their thresholds too.
+    pub(crate) fn merge_candidate(&self, side: usize) -> Option<usize> {
+        if !self.merge_hint[side].load(Ordering::Relaxed) {
+            return None;
+        }
+        self.merge_hint[side].store(false, Ordering::Relaxed);
+        let candidate = match &self.layout {
+            Layout::Shared(s) => s.indexes[side].needs_merge().then_some(0),
+            Layout::Partitioned(p) => p
+                .shards
+                .iter()
+                .position(|sh| sh.indexes[side].needs_merge()),
+        };
+        if candidate.is_some() {
+            self.merge_hint[side].store(true, Ordering::Relaxed);
+        }
+        candidate
+    }
+
+    /// The PIM-Tree of `(side, shard)`, if that backend is active (the merge
+    /// coordinator drives the two-phase merge on it directly).
+    pub(crate) fn pim(&self, side: usize, shard: usize) -> Option<&PimTree> {
+        let index = match &self.layout {
+            Layout::Shared(s) => &s.indexes[side],
+            Layout::Partitioned(p) => &p.shards[shard].indexes[side],
+        };
+        match index {
+            StoreIndex::Pim(t) => Some(t),
+            StoreIndex::Bw(_) => None,
+        }
+    }
+
+    /// Generates the matches of a task's probes against `side`'s store
+    /// state: for every item `j`, each stored tuple of `side` with key in
+    /// `ranges[j]` and sequence number inside `bounds[j]` is reported exactly
+    /// once via `f(j, seq, key)` — through the index below the (per-shard)
+    /// edge snapshot, through the linear window scan above it (§4.1).
+    ///
+    /// `probe.batch` selects the grouped CSS descent or the scalar per-range
+    /// path. Under the partitioned layout the probe fans out across exactly
+    /// the shards overlapping each range (recorded in `stats.store`, charged
+    /// local/remote against `home`). Search/scan timings, probe counters and
+    /// the logical bytes loaded are recorded into `stats`.
+    #[allow(clippy::too_many_arguments)] // one internal call site in the engine
+    pub(crate) fn generate(
+        &self,
+        side: usize,
+        ranges: &[KeyRange],
+        bounds: &[WindowBounds],
+        probe: &ProbeConfig,
+        home: usize,
+        stats: &mut JoinRunStats,
+        f: &mut dyn FnMut(usize, Seq, Key),
+    ) {
+        debug_assert_eq!(ranges.len(), bounds.len());
+        if ranges.is_empty() {
+            return;
+        }
+        match &self.layout {
+            Layout::Shared(s) => self.generate_shared(s, side, ranges, bounds, probe, stats, f),
+            Layout::Partitioned(p) => {
+                self.generate_partitioned(p, side, ranges, bounds, probe, home, stats, f)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal worker of generate()
+    fn generate_shared(
+        &self,
+        state: &SharedState,
+        side: usize,
+        ranges: &[KeyRange],
+        bounds: &[WindowBounds],
+        probe: &ProbeConfig,
+        stats: &mut JoinRunStats,
+        f: &mut dyn FnMut(usize, Seq, Key),
+    ) {
+        let entry_bytes = std::mem::size_of::<Entry>() as u64;
+        let n = ranges.len();
+        let window = &state.windows[side];
+        let mut scratch = STORE_SCRATCH.with(|cell| cell.take());
+        // Per-item edge snapshot, taken before the index probe: everything
+        // below it is findable through the index, everything from it to the
+        // bounds snapshot comes from the linear scan. A snapshot that is a
+        // little stale only lengthens the scan, never changes the result set.
+        scratch.edges.clear();
+        let edge = window.edge();
+        scratch
+            .edges
+            .extend(bounds.iter().map(|b| b.index_horizon(edge)));
+        scratch.counts.clear();
+        scratch.counts.resize(n, 0);
+        let search_start = Instant::now();
+        {
+            let edges = &scratch.edges;
+            let counts = &mut scratch.counts;
+            let mut cb = |j: usize, e: Entry| {
+                if e.seq >= bounds[j].earliest && e.seq < edges[j] {
+                    counts[j] += 1;
+                    f(j, e.seq, e.key);
+                }
+            };
+            if probe.batch {
+                state.indexes[side].probe_batch(
+                    ranges,
+                    probe.prefetch_dist,
+                    &mut stats.probe,
+                    &mut cb,
+                );
+            } else {
+                state.indexes[side].probe_ranges_scalar(ranges, &mut stats.probe, &mut cb);
+            }
+        }
+        stats
+            .breakdown
+            .record_nanos(Step::Search, search_start.elapsed().as_nanos() as u64);
+        let scan_start = Instant::now();
+        for j in 0..n {
+            let scan_from = bounds[j].scan_start(scratch.edges[j]);
+            let mut count = scratch.counts[j];
+            let examined = window.scan_linear(
+                scan_from,
+                bounds[j].latest_exclusive,
+                ranges[j],
+                |seq, key| {
+                    count += 1;
+                    f(j, seq, key);
+                },
+            );
+            scratch.counts[j] = count;
+            stats.bytes_loaded += (examined as u64 + count + 8) * entry_bytes;
+        }
+        stats
+            .breakdown
+            .record_nanos(Step::Scan, scan_start.elapsed().as_nanos() as u64);
+        STORE_SCRATCH.with(|cell| cell.replace(scratch));
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal fan-out worker of generate()
+    fn generate_partitioned(
+        &self,
+        p: &PartitionedState,
+        side: usize,
+        ranges: &[KeyRange],
+        bounds: &[WindowBounds],
+        probe: &ProbeConfig,
+        home: usize,
+        stats: &mut JoinRunStats,
+        f: &mut dyn FnMut(usize, Seq, Key),
+    ) {
+        let entry_bytes = std::mem::size_of::<Entry>() as u64;
+        let n = ranges.len();
+        let mut scratch = STORE_SCRATCH.with(|cell| cell.take());
+        scratch.counts.clear();
+        scratch.counts.resize(n, 0);
+        // Fan-out query: which shards does each band-join range overlap?
+        scratch.cover.clear();
+        for range in ranges {
+            let covered = p.partitioner.covering_shards(range.lo, range.hi);
+            stats.store.probes += 1;
+            stats.store.probe_shard_visits += covered.len() as u64;
+            if covered.len() == 1 {
+                stats.store.single_shard_probes += 1;
+            }
+            stats.store.max_probe_fanout = stats.store.max_probe_fanout.max(covered.len() as u64);
+            scratch.cover.push((covered.start, covered.end));
+        }
+        let mut search_nanos = 0u64;
+        let mut scan_nanos = 0u64;
+        let mut examined_total = 0u64;
+        for (shard_idx, shard) in p.shards.iter().enumerate() {
+            scratch.sub_ranges.clear();
+            scratch.sub_idx.clear();
+            for (j, &(lo, hi)) in scratch.cover.iter().enumerate() {
+                if (lo..hi).contains(&shard_idx) {
+                    scratch.sub_ranges.push(ranges[j]);
+                    scratch.sub_idx.push(j);
+                }
+            }
+            if scratch.sub_ranges.is_empty() {
+                continue;
+            }
+            let visits = scratch.sub_ranges.len() as u64;
+            p.traffic.record(home, shard_idx, visits);
+            if shard_idx == home {
+                stats.store.local_probe_visits += visits;
+            } else {
+                stats.store.remote_probe_visits += visits;
+            }
+            let window = &shard.windows[side];
+            // This shard's edge snapshot, taken before its index probe: the
+            // shard's index covers all *local* entries below it, the shard's
+            // window scan covers the local suffix — per shard exactly the
+            // §4.1 split, and shards partition the key domain, so the union
+            // over visited shards reports every match exactly once.
+            let edge = window.edge_seq();
+            let search_start = Instant::now();
+            {
+                let sub_idx = &scratch.sub_idx;
+                let counts = &mut scratch.counts;
+                let mut cb = |k: usize, e: Entry| {
+                    let j = sub_idx[k];
+                    if e.seq >= bounds[j].earliest && e.seq < bounds[j].index_horizon(edge) {
+                        counts[j] += 1;
+                        f(j, e.seq, e.key);
+                    }
+                };
+                if probe.batch {
+                    shard.indexes[side].probe_batch(
+                        &scratch.sub_ranges,
+                        probe.prefetch_dist,
+                        &mut stats.probe,
+                        &mut cb,
+                    );
+                } else {
+                    shard.indexes[side].probe_ranges_scalar(
+                        &scratch.sub_ranges,
+                        &mut stats.probe,
+                        &mut cb,
+                    );
+                }
+            }
+            search_nanos += search_start.elapsed().as_nanos() as u64;
+            let scan_start = Instant::now();
+            for (k, &j) in scratch.sub_idx.iter().enumerate() {
+                let b = bounds[j];
+                let scan_from = b.scan_start(b.index_horizon(edge));
+                let mut count = scratch.counts[j];
+                examined_total += window.scan_linear(
+                    scan_from,
+                    b.latest_exclusive,
+                    scratch.sub_ranges[k],
+                    |seq, key| {
+                        count += 1;
+                        f(j, seq, key);
+                    },
+                ) as u64;
+                scratch.counts[j] = count;
+            }
+            scan_nanos += scan_start.elapsed().as_nanos() as u64;
+        }
+        let matches: u64 = scratch.counts.iter().sum();
+        stats.bytes_loaded += (examined_total + matches + 8 * n as u64) * entry_bytes;
+        stats.breakdown.record_nanos(Step::Search, search_nanos);
+        stats.breakdown.record_nanos(Step::Scan, scan_nanos);
+        STORE_SCRATCH.with(|cell| cell.replace(scratch));
+    }
+
+    /// Per-shard footprint of the store's windows and indexes — how many
+    /// tuples/entries each shard holds and the key spans they cover. Under
+    /// the partitioned layout every span must lie inside the shard's key
+    /// range (the tentpole invariant tests assert it). Not a hot path.
+    pub fn shard_footprints(&self) -> Vec<StoreShardFootprint> {
+        let full = KeyRange::new(Key::MIN, Key::MAX);
+        let span_fold = |span: &mut Option<(Key, Key)>, key: Key| match span {
+            None => *span = Some((key, key)),
+            Some((lo, hi)) => {
+                *lo = (*lo).min(key);
+                *hi = (*hi).max(key);
+            }
+        };
+        match &self.layout {
+            Layout::Shared(s) => {
+                let mut sides: [StoreSideFootprint; 2] = Default::default();
+                for (side, out) in sides.iter_mut().enumerate() {
+                    for (_, key) in s.windows[side].live_tuples() {
+                        out.window_live += 1;
+                        span_fold(&mut out.window_key_span, key);
+                    }
+                    s.indexes[side].probe(full, &mut |e| {
+                        out.index_entries += 1;
+                        span_fold(&mut out.index_key_span, e.key);
+                    });
+                }
+                vec![StoreShardFootprint { shard: 0, sides }]
+            }
+            Layout::Partitioned(p) => p
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(shard_idx, shard)| {
+                    let mut sides: [StoreSideFootprint; 2] = Default::default();
+                    for (side, out) in sides.iter_mut().enumerate() {
+                        let earliest = self.earliest_live(side);
+                        for (_, key) in shard.windows[side].live_entries(earliest) {
+                            out.window_live += 1;
+                            span_fold(&mut out.window_key_span, key);
+                        }
+                        shard.indexes[side].probe(full, &mut |e| {
+                            out.index_entries += 1;
+                            span_fold(&mut out.index_key_span, e.key);
+                        });
+                    }
+                    StoreShardFootprint {
+                        shard: shard_idx,
+                        sides,
+                    }
+                })
+                .collect(),
+        }
+    }
+}

@@ -104,6 +104,24 @@ impl RangePartitioner {
         (self.node_of(lo), self.node_of(hi))
     }
 
+    /// The shards whose key intervals overlap the *inclusive* range
+    /// `[lo, hi]`, as a half-open shard-index range — the probe fan-out
+    /// query of the partitioned index store.
+    ///
+    /// A degenerate range (`lo > hi`) covers no shard and returns the empty
+    /// range `0..0`; a point range (`lo == hi`) covers exactly the shard
+    /// owning that key. Boundary keys follow [`node_of`](Self::node_of): the
+    /// boundary itself belongs to the lower shard, so `[b, b + 1]` covers two
+    /// shards while `[b - 1, b]` covers one (unless `b - 1` crosses an
+    /// earlier boundary).
+    pub fn covering_shards(&self, lo: Key, hi: Key) -> std::ops::Range<usize> {
+        if lo > hi {
+            return 0..0;
+        }
+        let (first, last) = self.nodes_overlapping(lo, hi);
+        first..last + 1
+    }
+
     /// Computes a repartitioning from freshly observed per-node loads: new
     /// boundaries that re-balance the observed weight, together with the
     /// fraction of observed weight whose home node changes (the data-transfer
@@ -319,6 +337,45 @@ mod tests {
     }
 
     #[test]
+    fn covering_shards_handles_boundaries_and_degenerate_ranges() {
+        let p = RangePartitioner::from_key_sample(4, &(0..4000).collect::<Vec<Key>>());
+        assert_eq!(p.nodes(), 4);
+        let b = p.boundaries()[0];
+        // Boundary key belongs to the lower shard; one key past it crosses.
+        assert_eq!(p.covering_shards(b, b), p.node_of(b)..p.node_of(b) + 1);
+        assert_eq!(p.covering_shards(b, b + 1), 0..2);
+        assert_eq!(p.covering_shards(b - 1, b), 0..1);
+        // Point ranges cover exactly the owning shard.
+        for key in [Key::MIN, 0, b, b + 1, Key::MAX] {
+            let covered = p.covering_shards(key, key);
+            assert_eq!(covered.len(), 1, "point range at {key}");
+            assert_eq!(covered.start, p.node_of(key));
+        }
+        // Degenerate (empty) ranges cover nothing.
+        assert_eq!(p.covering_shards(10, 9), 0..0);
+        assert_eq!(p.covering_shards(Key::MAX, Key::MIN), 0..0);
+        // The full domain covers every shard.
+        assert_eq!(p.covering_shards(Key::MIN, Key::MAX), 0..4);
+        // Every key of the sample lands inside its covering range.
+        for k in (0..4000).step_by(97) {
+            let covered = p.covering_shards(k - 3, k + 3);
+            assert!(covered.contains(&p.node_of(k)), "key {k}");
+        }
+    }
+
+    #[test]
+    fn covering_shards_on_single_node_and_empty_sample() {
+        let one = RangePartitioner::from_key_sample(1, &[5, 6, 7]);
+        assert_eq!(one.covering_shards(Key::MIN, Key::MAX), 0..1);
+        assert_eq!(one.covering_shards(3, 3), 0..1);
+        // Without a sample every key is owned by shard 0, so any
+        // non-degenerate range covers exactly shard 0.
+        let unsampled = RangePartitioner::from_key_sample(4, &[]);
+        assert_eq!(unsampled.covering_shards(-100, 100), 0..1);
+        assert_eq!(unsampled.covering_shards(100, -100), 0..0);
+    }
+
+    #[test]
     fn single_node_owns_everything() {
         let p = RangePartitioner::from_key_sample(1, &[1, 2, 3]);
         assert_eq!(p.node_of(Key::MIN), 0);
@@ -412,6 +469,27 @@ mod tests {
             let p = RangePartitioner::from_key_sample(nodes, &keys);
             let node = p.node_of(probe);
             prop_assert!(node < nodes);
+        }
+
+        #[test]
+        fn covering_shards_agrees_with_node_of(
+            keys in proptest::collection::vec(any::<i64>(), 1..200),
+            nodes in 1usize..8,
+            a in -1000i64..1000,
+            b in -1000i64..1000,
+            probe in -1000i64..1000,
+        ) {
+            let p = RangePartitioner::from_key_sample(nodes, &keys);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let covered = p.covering_shards(lo, hi);
+            prop_assert!(covered.end <= nodes);
+            prop_assert!(!covered.is_empty());
+            // A shard is covered iff it owns at least one key of [lo, hi]:
+            // node_of is monotone, so membership of the probe key decides it.
+            if (lo..=hi).contains(&probe) {
+                prop_assert!(covered.contains(&p.node_of(probe)));
+            }
+            prop_assert!(p.covering_shards(hi, lo).is_empty() || lo == hi);
         }
 
         #[test]
