@@ -5,10 +5,14 @@
 //! worker threads — the PIM-Tree backend with both the batched CSS group
 //! probe and the scalar probe path, and the Bw-Tree backend for reference —
 //! plus a sharded-ring sweep (key-range routed shards with cross-shard
-//! stealing) and a partitioned-store sweep (the same shard counts with the
+//! stealing), a partitioned-store sweep (the same shard counts with the
 //! per-shard index/window store on, against the shared-store arm as its
-//! baseline), and writes the results as JSON to `BENCH_parallel.json` (and
-//! stdout), so every PR leaves a comparable throughput trajectory behind.
+//! baseline), and a drifting-skew sweep whose key range shifts mid-stream —
+//! run with and without `--repartition on`, so the live migration-epoch
+//! path (drift-triggered partitioner swap plus shard-state migration) leaves
+//! its adopted-epoch / moved-tuple / stall counters in the trajectory — and
+//! writes the results as JSON to `BENCH_parallel.json` (and stdout), so
+//! every PR leaves a comparable throughput trajectory behind.
 //! The JSON records its provenance (host core count, the simulated NUMA node
 //! count of the sharded arm, architecture, OS, and the full
 //! engine/ring/probe/shard configuration), so trajectories from different
@@ -22,13 +26,16 @@
 //! comparison is built in, so unlike the other binaries perf_smoke ignores
 //! `--probe-batch=` (both arms always run); `--prefetch-dist=` tunes the
 //! batched arm. `--shards=` pins the sharded sweep to one shard count
-//! (default: sweep 1/2/4).
+//! (default: sweep 1/2/4). The drift sweep always runs both repartition
+//! arms at every swept shard count above 1; `--drift-window=`,
+//! `--drift-trigger=` and `--drift-cost-gate=` tune its monitor.
 
 use std::io::Write;
 
 use pimtree_bench::harness::*;
-use pimtree_common::ProbeConfig;
+use pimtree_common::{DriftConfig, ProbeConfig, Tuple};
 use pimtree_join::{JoinRunStats, SharedIndexKind};
+use pimtree_numa::RangePartitioner;
 use pimtree_workload::KeyDistribution;
 
 fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRunStats) -> String {
@@ -44,7 +51,11 @@ fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRun
             "\"simulated_numa_cost\": {}, ",
             "\"partition_index\": {}, \"store_shards\": {}, ",
             "\"mean_probe_fanout\": {:.4}, \"single_shard_probes\": {}, ",
-            "\"store_remote_fraction\": {:.4}, \"simulated_store_cost\": {}}}"
+            "\"store_remote_fraction\": {:.4}, \"simulated_store_cost\": {}, ",
+            "\"repartition\": {}, \"drift_observations\": {}, ",
+            "\"migration_epochs\": {}, \"migration_plans_rejected\": {}, ",
+            "\"migrated_index_entries\": {}, \"migrated_window_tuples\": {}, ",
+            "\"simulated_move_cost\": {}, \"migration_stall_us\": {:.2}}}"
         ),
         backend,
         probe.batch,
@@ -72,6 +83,14 @@ fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRun
         stats.store.single_shard_probes,
         stats.store.remote_fraction(),
         stats.store.simulated_store_cost,
+        stats.migration.enabled == 1,
+        stats.migration.observations,
+        stats.migration.epochs,
+        stats.migration.plans_rejected,
+        stats.migration.index_entries_moved,
+        stats.migration.window_tuples_moved,
+        stats.migration.simulated_move_cost,
+        stats.migration.stall_micros(),
     )
 }
 
@@ -81,6 +100,7 @@ fn main() {
     // the flags up front — a bad `--shards=`/`--steal-*` must fail loudly
     // instead of being silently replaced by the sweep's values.
     opts.shard().validate().expect("invalid shard flags");
+    opts.drift().validate().expect("invalid drift flags");
     let w = 1usize << opts.max_exp;
     let n = opts.tuples_for(w);
     let (tuples, predicate) = two_way_workload(
@@ -169,6 +189,7 @@ fn main() {
                 opts.ring(),
                 batched,
                 opts.shard().with_shards(shards).with_partition_index(false),
+                DriftConfig::default(),
                 None,
                 predicate,
                 &tuples,
@@ -199,6 +220,7 @@ fn main() {
                 opts.ring(),
                 batched,
                 opts.shard().with_shards(shards).with_partition_index(true),
+                DriftConfig::default(),
                 None,
                 predicate,
                 &tuples,
@@ -214,6 +236,79 @@ fn main() {
             entries.push(entry_json("pim_tree_partitioned", batched, threads, &stats));
         }
     }
+    // Drift-workload sweep: the key distribution shifts to a disjoint range
+    // halfway through the measured stream, so a partitioner fitted to the
+    // first half goes maximally out of balance. The `--repartition on` arm
+    // must adopt at least one plan mid-run (a migration epoch: quiesce,
+    // partitioner swap, shard-state migration); the off arm is its baseline
+    // and doubles as the "flag off leaves the counters untouched" check.
+    let drift_shift = 2_000_000_000i64; // 2x the uniform key scale: disjoint
+    let drifting: Vec<Tuple> = tuples
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            if i >= tuples.len() / 2 {
+                Tuple::new(t.side, t.seq, t.key + drift_shift)
+            } else {
+                *t
+            }
+        })
+        .collect();
+    let first_half_sample: Vec<i64> = drifting[..drifting.len() / 2]
+        .iter()
+        .step_by((drifting.len() / 8192).max(1))
+        .map(|t| t.key)
+        .collect();
+    for &shards in &shard_counts {
+        if shards <= 1 {
+            continue; // drift adoption needs a sharded, range-routed engine
+        }
+        for repartition in [false, true] {
+            let stats = run_parallel_sharded(
+                SharedIndexKind::PimTree,
+                w,
+                w,
+                2,
+                opts.task_size,
+                pim_config(w),
+                opts.ring(),
+                batched,
+                opts.shard().with_shards(shards).with_partition_index(true),
+                opts.drift().with_repartition(repartition),
+                Some(RangePartitioner::from_key_sample(
+                    shards,
+                    &first_half_sample,
+                )),
+                predicate,
+                &drifting,
+                false,
+            );
+            println!(
+                "perf_smoke pim_tree drift shards={shards} repartition={repartition}: \
+                 {:.4} Mtps (epochs {}, moved {}, stall {:.1}us)",
+                stats.million_tuples_per_second(),
+                stats.migration.epochs,
+                stats.migration.tuples_moved(),
+                stats.migration.stall_micros()
+            );
+            if repartition {
+                assert!(
+                    stats.migration.epochs >= 1,
+                    "the drifting workload must adopt at least one repartition plan"
+                );
+                assert!(
+                    stats.migration.tuples_moved() > 0,
+                    "a full key-range shift must migrate shard state"
+                );
+            } else {
+                assert_eq!(
+                    stats.migration.epochs, 0,
+                    "--repartition off must leave the migration counters untouched"
+                );
+            }
+            entries.push(entry_json("pim_tree_drift", batched, 2, &stats));
+        }
+    }
     let speedup_1t = if mtps_1t[1] > 0.0 {
         mtps_1t[0] / mtps_1t[1]
     } else {
@@ -223,6 +318,7 @@ fn main() {
 
     let ring = opts.ring();
     let shard = opts.shard();
+    let drift = opts.drift();
     let json = format!(
         concat!(
             "{{\n",
@@ -237,7 +333,9 @@ fn main() {
             "\"yield\": {}, \"park_us\": {}}}, ",
             "\"probe\": {{\"batch\": {}, \"prefetch_dist\": {}}}, ",
             "\"shard\": {{\"shards_swept\": {:?}, \"steal_batch\": {}, ",
-            "\"steal_threshold\": {}, \"partition_index_swept\": true}}}},\n",
+            "\"steal_threshold\": {}, \"partition_index_swept\": true}}, ",
+            "\"drift\": {{\"repartition_swept\": {}, \"window\": {}, ",
+            "\"imbalance_trigger\": {:.2}, \"cost_gate\": {:.2}}}}},\n",
             "  \"batched_vs_scalar_1t_speedup\": {:.4},\n",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
@@ -259,6 +357,10 @@ fn main() {
         shard_counts,
         shard.steal_batch,
         shard.steal_threshold,
+        shard_counts.iter().any(|&s| s > 1),
+        drift.window,
+        drift.imbalance_trigger,
+        drift.cost_gate,
         speedup_1t,
         entries.join(",\n"),
     );

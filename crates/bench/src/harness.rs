@@ -1,7 +1,8 @@
 //! Shared helpers for the per-figure benchmark binaries.
 
 use pimtree_common::{
-    BandPredicate, IndexKind, JoinConfig, PimConfig, ProbeConfig, RingConfig, ShardConfig, Tuple,
+    BandPredicate, DriftConfig, IndexKind, JoinConfig, PimConfig, ProbeConfig, RingConfig,
+    ShardConfig, Tuple,
 };
 use pimtree_join::{
     build_single_threaded, HandshakeJoin, HandshakeMode, JoinRunStats, ParallelIbwj,
@@ -55,18 +56,29 @@ pub struct RunOpts {
     /// (the `ShardStore` layer) instead of sharing one index/window pair per
     /// side. Only meaningful with more than one shard.
     pub partition_index: bool,
+    /// Whether the engine adopts drift-driven repartition plans live
+    /// (migration epochs). Only meaningful with more than one shard.
+    pub repartition: bool,
+    /// Drift monitor observation window (tuples).
+    pub drift_window: usize,
+    /// Imbalance ratio that triggers a repartition plan.
+    pub drift_trigger: f64,
+    /// Maximum moved-weight fraction a plan may cost and still be adopted.
+    pub drift_cost_gate: f64,
 }
 
 impl RunOpts {
     /// Parses `--min-exp= --max-exp= --tuples= --threads= --task-size=
     /// --seed= --ring-cap= --ingest-target= --spin= --yield= --park-us=
     /// --probe-batch=on|off --prefetch-dist= --shards= --steal-batch=
-    /// --steal-threshold= --partition-index=on|off` from the command line,
-    /// with figure-specific defaults.
+    /// --steal-threshold= --partition-index=on|off --repartition=on|off
+    /// --drift-window= --drift-trigger= --drift-cost-gate=` from the
+    /// command line, with figure-specific defaults.
     pub fn parse(default_min: u32, default_max: u32) -> Self {
         let defaults = RingConfig::default();
         let probe_defaults = ProbeConfig::default();
         let shard_defaults = ShardConfig::default();
+        let drift_defaults = DriftConfig::default();
         let mut opts = RunOpts {
             min_exp: default_min,
             max_exp: default_max,
@@ -88,6 +100,10 @@ impl RunOpts {
             steal_batch: shard_defaults.steal_batch,
             steal_threshold: shard_defaults.steal_threshold,
             partition_index: shard_defaults.partition_index,
+            repartition: drift_defaults.repartition,
+            drift_window: drift_defaults.window,
+            drift_trigger: drift_defaults.imbalance_trigger,
+            drift_cost_gate: drift_defaults.cost_gate,
         };
         for arg in std::env::args().skip(1) {
             let mut split = arg.splitn(2, '=');
@@ -127,6 +143,24 @@ impl RunOpts {
                         "off" | "false" | "0" => false,
                         other => panic!("bad value for --partition-index: {other} (use on/off)"),
                     }
+                }
+                "--repartition" => {
+                    opts.repartition = match value {
+                        "on" | "true" | "1" => true,
+                        "off" | "false" | "0" => false,
+                        other => panic!("bad value for --repartition: {other} (use on/off)"),
+                    }
+                }
+                "--drift-window" => opts.drift_window = parse_usize(),
+                "--drift-trigger" => {
+                    opts.drift_trigger = value
+                        .parse::<f64>()
+                        .unwrap_or_else(|_| panic!("bad value for {key}: {value}"))
+                }
+                "--drift-cost-gate" => {
+                    opts.drift_cost_gate = value
+                        .parse::<f64>()
+                        .unwrap_or_else(|_| panic!("bad value for {key}: {value}"))
                 }
                 other => eprintln!("note: ignoring unknown argument '{other}'"),
             }
@@ -177,6 +211,16 @@ impl RunOpts {
             .with_steal_batch(self.steal_batch)
             .with_steal_threshold(self.steal_threshold)
             .with_partition_index(self.partition_index)
+    }
+
+    /// The drift / live-repartition configuration selected on the command
+    /// line.
+    pub fn drift(&self) -> DriftConfig {
+        DriftConfig::default()
+            .with_repartition(self.repartition)
+            .with_window(self.drift_window)
+            .with_imbalance_trigger(self.drift_trigger)
+            .with_cost_gate(self.drift_cost_gate)
     }
 }
 
@@ -308,6 +352,7 @@ pub fn run_parallel_ring(
         ring,
         probe,
         ShardConfig::default(),
+        DriftConfig::default(),
         None,
         predicate,
         tuples,
@@ -319,7 +364,9 @@ pub fn run_parallel_ring(
 /// `shard.shards > 1` and no `partitioner` is given, one is built from the
 /// input's key sample so that ingestion routes by key range (the paper's
 /// NUMA partitioning); pass `Some(partitioner)` to control routing, or use
-/// `shard.shards == 1` for the plain single-ring engine.
+/// `shard.shards == 1` for the plain single-ring engine. `drift` arms live
+/// repartition adoption (migration epochs) when its `repartition` flag is
+/// on.
 #[allow(clippy::too_many_arguments)]
 pub fn run_parallel_sharded(
     kind: SharedIndexKind,
@@ -331,6 +378,7 @@ pub fn run_parallel_sharded(
     ring: RingConfig,
     probe: ProbeConfig,
     shard: ShardConfig,
+    drift: DriftConfig,
     partitioner: Option<RangePartitioner>,
     predicate: BandPredicate,
     tuples: &[Tuple],
@@ -342,7 +390,8 @@ pub fn run_parallel_sharded(
         .with_pim(pim)
         .with_ring(ring)
         .with_probe(probe)
-        .with_shard(shard);
+        .with_shard(shard)
+        .with_drift(drift);
     config.window_r = window_r;
     config.window_s = window_s;
     let mut op = ParallelIbwj::new(config, predicate, kind, self_join);
@@ -415,6 +464,10 @@ mod tests {
             steal_batch: 0,
             steal_threshold: 1,
             partition_index: false,
+            repartition: false,
+            drift_window: 4096,
+            drift_trigger: 1.5,
+            drift_cost_gate: 0.9,
         };
         assert_eq!(opts.tuples_for(1 << 10), 1 << 16);
         assert_eq!(opts.tuples_for(1 << 18), 1 << 20);
@@ -457,6 +510,19 @@ mod tests {
         );
         assert!(shard.partition_index);
         shard.validate().unwrap();
+        let drift = RunOpts {
+            repartition: true,
+            drift_window: 256,
+            drift_trigger: 2.0,
+            drift_cost_gate: 0.5,
+            ..opts
+        }
+        .drift();
+        assert!(drift.repartition);
+        assert_eq!(drift.window, 256);
+        assert!((drift.imbalance_trigger - 2.0).abs() < 1e-9);
+        assert!((drift.cost_gate - 0.5).abs() < 1e-9);
+        drift.validate().unwrap();
     }
 
     #[test]
@@ -524,6 +590,7 @@ mod tests {
             RingConfig::default(),
             ProbeConfig::default(),
             ShardConfig::default().with_shards(2),
+            DriftConfig::default(),
             None,
             predicate,
             &tuples,
@@ -549,6 +616,7 @@ mod tests {
             ShardConfig::default()
                 .with_shards(2)
                 .with_partition_index(true),
+            DriftConfig::default(),
             None,
             predicate,
             &tuples,

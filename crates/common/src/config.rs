@@ -348,6 +348,126 @@ impl ShardConfig {
     }
 }
 
+/// Tuning of the parallel engine's drift-driven live repartitioning.
+///
+/// With `repartition` on (and more than one shard), the engine feeds every
+/// processed tuple's `(key, match count)` into a `DriftMonitor` sliding
+/// window. When the observed load imbalance under the current
+/// `RangePartitioner` exceeds `imbalance_trigger` and the resulting
+/// repartition plan's moved-weight fraction clears `cost_gate`, the engine
+/// enters a **migration epoch**: ingestion and claiming quiesce behind the
+/// merge gate, the shared partitioner is swapped, every index entry and
+/// window tuple whose key changed home shards is migrated to its new owner
+/// (charged to the store's simulated traffic account), and the workers
+/// resume. Off (the default), the partitioner chosen at construction stays
+/// fixed for the whole run — the pre-PR-5 behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Master switch for live repartition adoption. Off keeps the engine's
+    /// partitioner (ring routing and store placement) fixed for the run.
+    pub repartition: bool,
+    /// Capacity of the drift monitor's sliding observation window (and the
+    /// cooldown after a plan decision), in tuples.
+    pub window: usize,
+    /// Observed max-node/ideal load ratio above which a repartition plan is
+    /// computed (1.0 = perfectly balanced; typical triggers are 1.5–2.0).
+    pub imbalance_trigger: f64,
+    /// Cost gate on plan adoption: the fraction of observed weight whose
+    /// home shard changes must be **at most** this for the plan to be worth
+    /// its data transfer; costlier plans are rejected (counted, and the
+    /// monitor cools down so the decision is retried on fresh data).
+    pub cost_gate: f64,
+    /// Observations between drift checks. `0` selects an automatic interval
+    /// (an eighth of the window, at least 64) so the O(window) imbalance
+    /// fold stays off the per-task fast path.
+    pub check_interval: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            repartition: false,
+            window: 4096,
+            imbalance_trigger: 1.5,
+            cost_gate: 0.9,
+            check_interval: 0,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// Enables or disables live repartition adoption.
+    pub fn with_repartition(mut self, on: bool) -> Self {
+        self.repartition = on;
+        self
+    }
+
+    /// Sets the drift observation window (tuples).
+    pub fn with_window(mut self, window: usize) -> Self {
+        self.window = window;
+        self
+    }
+
+    /// Sets the imbalance trigger.
+    pub fn with_imbalance_trigger(mut self, trigger: f64) -> Self {
+        self.imbalance_trigger = trigger;
+        self
+    }
+
+    /// Sets the moved-fraction cost gate.
+    pub fn with_cost_gate(mut self, gate: f64) -> Self {
+        self.cost_gate = gate;
+        self
+    }
+
+    /// Sets the observations between drift checks (0 = automatic).
+    pub fn with_check_interval(mut self, interval: usize) -> Self {
+        self.check_interval = interval;
+        self
+    }
+
+    /// The effective number of observations between drift checks.
+    pub fn effective_check_interval(&self) -> usize {
+        if self.check_interval > 0 {
+            self.check_interval
+        } else {
+            (self.window / 8).max(64)
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.window == 0 {
+            return Err(Error::InvalidConfig("drift window must be positive".into()));
+        }
+        if self.window > 1 << 24 {
+            return Err(Error::InvalidConfig(format!(
+                "drift window {} exceeds the 2^24-observation ceiling",
+                self.window
+            )));
+        }
+        if self.imbalance_trigger.is_nan() || self.imbalance_trigger < 1.0 {
+            return Err(Error::InvalidConfig(format!(
+                "imbalance trigger must be at least 1.0, got {}",
+                self.imbalance_trigger
+            )));
+        }
+        if !(self.cost_gate > 0.0 && self.cost_gate <= 1.0) {
+            return Err(Error::InvalidConfig(format!(
+                "cost gate must be in (0, 1], got {}",
+                self.cost_gate
+            )));
+        }
+        if self.check_interval > 1 << 24 {
+            return Err(Error::InvalidConfig(format!(
+                "check interval {} is unreasonably large (max 2^24)",
+                self.check_interval
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Tuning of the batched CSS-Tree group probe used during result generation.
 ///
 /// The hot path of both join engines probes the immutable component of the
@@ -435,6 +555,8 @@ pub struct JoinConfig {
     pub probe: ProbeConfig,
     /// Sharded-ring tuning (shard count, work-stealing shape).
     pub shard: ShardConfig,
+    /// Drift-driven live repartitioning of the parallel engine.
+    pub drift: DriftConfig,
 }
 
 impl Default for JoinConfig {
@@ -450,6 +572,7 @@ impl Default for JoinConfig {
             ring: RingConfig::default(),
             probe: ProbeConfig::default(),
             shard: ShardConfig::default(),
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -508,6 +631,12 @@ impl JoinConfig {
         self
     }
 
+    /// Overrides the drift / live-repartition tuning.
+    pub fn with_drift(mut self, drift: DriftConfig) -> Self {
+        self.drift = drift;
+        self
+    }
+
     /// Largest of the two window sizes.
     pub fn max_window(&self) -> usize {
         self.window_r.max(self.window_s)
@@ -532,6 +661,7 @@ impl JoinConfig {
         self.ring.validate()?;
         self.probe.validate()?;
         self.shard.validate()?;
+        self.drift.validate()?;
         self.pim.validate()
     }
 }
@@ -727,6 +857,69 @@ mod tests {
         assert!(
             c.validate().is_err(),
             "JoinConfig::validate covers the shard config"
+        );
+    }
+
+    #[test]
+    fn drift_config_defaults_validate_and_builders_chain() {
+        let d = DriftConfig::default();
+        assert!(!d.repartition, "live repartitioning is opt-in");
+        d.validate().unwrap();
+        assert_eq!(d.effective_check_interval(), 4096 / 8);
+        let d = DriftConfig::default()
+            .with_repartition(true)
+            .with_window(512)
+            .with_imbalance_trigger(2.0)
+            .with_cost_gate(0.5)
+            .with_check_interval(10);
+        assert!(d.repartition);
+        assert_eq!((d.window, d.check_interval), (512, 10));
+        assert_eq!(d.effective_check_interval(), 10);
+        d.validate().unwrap();
+        // Tiny windows floor the automatic check interval at 64.
+        assert_eq!(
+            DriftConfig::default()
+                .with_window(100)
+                .effective_check_interval(),
+            64
+        );
+        let c = JoinConfig::symmetric(64, IndexKind::PimTree).with_drift(d);
+        assert_eq!(c.drift, d);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn drift_config_rejects_bad_values() {
+        assert!(DriftConfig::default().with_window(0).validate().is_err());
+        assert!(DriftConfig::default()
+            .with_window((1 << 24) + 1)
+            .validate()
+            .is_err());
+        assert!(DriftConfig::default()
+            .with_imbalance_trigger(0.5)
+            .validate()
+            .is_err());
+        assert!(DriftConfig::default()
+            .with_imbalance_trigger(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(DriftConfig::default()
+            .with_cost_gate(0.0)
+            .validate()
+            .is_err());
+        assert!(DriftConfig::default()
+            .with_cost_gate(1.5)
+            .validate()
+            .is_err());
+        assert!(DriftConfig::default()
+            .with_check_interval((1 << 24) + 1)
+            .validate()
+            .is_err());
+        let mut c = JoinConfig::symmetric(16, IndexKind::PimTree);
+        c.drift.window = 0;
+        assert!(
+            c.validate().is_err(),
+            "JoinConfig::validate covers the drift config"
         );
     }
 

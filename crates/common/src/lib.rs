@@ -24,7 +24,8 @@ pub mod prefetch;
 pub mod types;
 
 pub use config::{
-    IndexKind, JoinConfig, MergePolicy, PimConfig, ProbeConfig, RingConfig, ShardConfig,
+    DriftConfig, IndexKind, JoinConfig, MergePolicy, PimConfig, ProbeConfig, RingConfig,
+    ShardConfig,
 };
 pub use error::{Error, Result};
 pub use memtraffic::MemTraffic;

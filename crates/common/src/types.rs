@@ -155,10 +155,13 @@ impl BandPredicate {
         BandPredicate { diff }
     }
 
-    /// Evaluates the predicate on a pair of keys.
+    /// Evaluates the predicate on a pair of keys. The difference is taken in
+    /// the widened domain: `a - b` itself can overflow `i64` when the keys
+    /// sit at opposite ends of the key domain (e.g. `Key::MIN` vs
+    /// `Key::MAX`), which a debug build turns into a panic.
     #[inline]
     pub fn matches(&self, a: Key, b: Key) -> bool {
-        (a - b).unsigned_abs() <= self.diff as u64
+        (a as i128 - b as i128).unsigned_abs() <= self.diff as u128
     }
 
     /// Key range of the *opposite* window that can match key `k`, i.e.
@@ -260,6 +263,18 @@ mod tests {
         assert_eq!(r.hi, Key::MAX);
         let r = p.probe_range(Key::MIN + 3);
         assert_eq!(r.lo, Key::MIN);
+    }
+
+    #[test]
+    fn band_predicate_matches_across_the_whole_domain() {
+        // The naive `a - b` overflows i64 for keys at opposite domain ends;
+        // the widened difference must evaluate (to false) instead.
+        let p = BandPredicate::new(10);
+        assert!(!p.matches(Key::MIN, Key::MAX));
+        assert!(!p.matches(Key::MAX, Key::MIN));
+        assert!(p.matches(Key::MAX, Key::MAX - 10));
+        assert!(p.matches(Key::MIN, Key::MIN + 10));
+        assert!(!p.matches(Key::MIN, Key::MIN + 11));
     }
 
     #[test]

@@ -66,6 +66,8 @@ pub use parallel::{ParallelIbwj, SharedIndexKind};
 pub use reference::{canonical, reference_join};
 pub use ring::{Backoff, ClaimedTask, IdleKind, TaskRing};
 pub use shard::{ShardClaim, ShardIngestGuard, ShardedRing};
-pub use stats::{EnginePhaseTimes, JoinRunStats, RingCounters, ShardCounters, StoreCounters};
+pub use stats::{
+    EnginePhaseTimes, JoinRunStats, MigrationCounters, RingCounters, ShardCounters, StoreCounters,
+};
 pub use store::{ShardStore, StoreShardFootprint, StoreSideFootprint};
 pub use timejoin::{reference_time_join, TimeBasedIbwj, TimedStreamTuple};

@@ -93,16 +93,21 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use pimtree_btree::Entry;
 use pimtree_common::{
-    BandPredicate, JoinConfig, JoinResult, Key, KeyRange, LatencyRecorder, MergePolicy,
-    ProbeConfig, Seq, StreamSide, Tuple,
+    BandPredicate, DriftConfig, JoinConfig, JoinResult, Key, KeyRange, LatencyRecorder,
+    MergePolicy, ProbeConfig, Seq, StreamSide, Tuple,
 };
-use pimtree_numa::RangePartitioner;
+use pimtree_numa::{DriftMonitor, RangePartitioner};
 use pimtree_window::WindowBounds;
 
 use crate::ring::{Backoff, ClaimedTask, IdleKind};
 use crate::shard::ShardedRing;
-use crate::stats::JoinRunStats;
+use crate::stats::{JoinRunStats, MigrationCounters};
 use crate::store::{ShardStore, StoreParams};
+
+/// Local drift observations a worker buffers while another worker holds the
+/// drift-monitor lock; bounded because the monitor is a sampling window
+/// anyway — dropping overflow under contention only thins the sample.
+const DRIFT_BACKLOG_CAP: usize = 1024;
 
 /// Which shared index the parallel engine maintains over each window.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +140,30 @@ struct ClaimMeta {
     claimed: AtomicU64,
     /// Maximum `bounds.earliest` over claimed tuples of this side.
     last_claimed_bound: AtomicU64,
+}
+
+/// Shared drift-monitoring state of the live-repartition path, behind one
+/// mutex: workers flush `(key, match count)` observations through a
+/// *try*-lock (contended flushes fall back to a bounded per-worker backlog),
+/// and the periodic drift check turns a triggering sample into a `pending`
+/// plan that whichever worker next passes the maintenance point adopts.
+struct DriftState {
+    monitor: DriftMonitor,
+    /// The partitioner currently driving ring routing and store placement —
+    /// what `should_repartition` measures drift against.
+    partitioner: RangePartitioner,
+    /// A plan that cleared the trigger and the cost gate, awaiting adoption
+    /// at the next quiesce point.
+    pending: Option<RangePartitioner>,
+    /// Observations since the last drift check (the O(window) imbalance fold
+    /// runs every `effective_check_interval`, not per task).
+    since_check: usize,
+    /// Total observations fed into the monitor (folded into
+    /// `MigrationCounters` at the end of the run; kept here so the flush
+    /// path never touches a second global lock).
+    observations: u64,
+    /// Plans rejected by the cost gate (or as no-ops), folded likewise.
+    plans_rejected: u64,
 }
 
 struct Shared<'a> {
@@ -190,6 +219,22 @@ struct Shared<'a> {
     pending: [Mutex<Vec<(Key, Seq)>>; 2],
     merge_claimed: AtomicBool,
     merge_stats: Mutex<(u64, Duration)>,
+    /// Drift monitoring for live repartition adoption; `None` when the
+    /// feature is off (or the engine runs unsharded / unrouted), in which
+    /// case the whole path costs one branch per task.
+    drift: Option<Mutex<DriftState>>,
+    drift_cfg: DriftConfig,
+    /// Test/bench hook: adopt this partitioner once the ingest cursor passes
+    /// the given input position, regardless of observed drift.
+    forced_repartition: Option<(usize, RangePartitioner)>,
+    forced_done: AtomicBool,
+    /// Mirrors `DriftState::pending.is_some()` so the workers' per-loop
+    /// "anything to adopt?" peek is one relaxed load instead of a try-lock
+    /// that would contend with (and starve) the observation flush path.
+    repartition_pending: AtomicBool,
+    /// Run-level migration totals (epochs, moved entries, stall), filled by
+    /// whichever workers performed the epochs.
+    migration_totals: Mutex<MigrationCounters>,
     /// Result sink `(count, collected results)`. Its try-lock doubles as the
     /// election of the propagating worker, exactly like the paper's
     /// test-and-set scheme; the ring's internal drain token additionally
@@ -236,6 +281,7 @@ pub struct ParallelIbwj {
     self_join: bool,
     collect_results: bool,
     partitioner: Option<RangePartitioner>,
+    forced_repartition: Option<(usize, RangePartitioner)>,
 }
 
 impl ParallelIbwj {
@@ -257,6 +303,7 @@ impl ParallelIbwj {
             self_join,
             collect_results: false,
             partitioner: None,
+            forced_repartition: None,
         }
     }
 
@@ -276,6 +323,24 @@ impl ParallelIbwj {
             "partitioner and shard config disagree on the shard count"
         );
         self.partitioner = Some(partitioner);
+        self
+    }
+
+    /// Forces a repartition epoch mid-run: once ingestion passes input
+    /// position `at`, the engine quiesces, adopts `partitioner` (ring
+    /// routing plus, under the partitioned store, a full shard-state
+    /// migration) and resumes — regardless of observed drift. The test and
+    /// bench hook behind the `PIMTREE_TEST_REPARTITION` differential sweep:
+    /// it exercises the exact epoch protocol the drift trigger uses, at a
+    /// deterministic point. The partitioner's node count must equal
+    /// `config.shard.shards`.
+    pub fn with_forced_repartition(mut self, at: usize, partitioner: RangePartitioner) -> Self {
+        assert_eq!(
+            partitioner.nodes(),
+            self.config.shard.shards,
+            "partitioner and shard config disagree on the shard count"
+        );
+        self.forced_repartition = Some((at, partitioner));
         self
     }
 
@@ -352,9 +417,12 @@ impl ParallelIbwj {
         // worker's home ring shard and home store shard coincide. When the
         // partitioned store is requested without an explicit partitioner,
         // one is derived from the input's key sample (the same policy the
-        // bench harness applies to ring routing).
+        // bench harness applies to ring routing). Drift-driven repartitioning
+        // needs a key-range router to measure drift against, so `--repartition
+        // on` derives one too.
         let partitioned = self.config.shard.partition_index && shards > 1;
-        let partitioner = match (&self.partitioner, partitioned) {
+        let drift_on = self.config.drift.repartition && shards > 1;
+        let partitioner = match (&self.partitioner, partitioned || drift_on) {
             (Some(p), _) => Some(p.clone()),
             (None, true) => {
                 // A bounded strided subsample picks (nearly) the same
@@ -434,6 +502,28 @@ impl ParallelIbwj {
             pending: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
             merge_claimed: AtomicBool::new(false),
             merge_stats: Mutex::new((0, Duration::ZERO)),
+            drift: if drift_on {
+                partitioner.clone().map(|p| {
+                    Mutex::new(DriftState {
+                        monitor: DriftMonitor::new(
+                            self.config.drift.window,
+                            self.config.drift.imbalance_trigger,
+                        ),
+                        partitioner: p,
+                        pending: None,
+                        since_check: 0,
+                        observations: 0,
+                        plans_rejected: 0,
+                    })
+                })
+            } else {
+                None
+            },
+            drift_cfg: self.config.drift,
+            forced_repartition: self.forced_repartition.clone(),
+            forced_done: AtomicBool::new(false),
+            repartition_pending: AtomicBool::new(false),
+            migration_totals: Mutex::new(MigrationCounters::default()),
             sink: Mutex::new((0, Vec::new())),
             worker_stats: Mutex::new(Vec::new()),
         };
@@ -450,6 +540,16 @@ impl ParallelIbwj {
             });
             shared.worker_stats.lock().clear();
             *shared.merge_stats.lock() = (0, Duration::ZERO);
+            // Migration totals follow the same convention as the merge
+            // stats: epochs adopted during warmup keep their effect (the
+            // partitioner stays adopted) but only measured-phase counters
+            // are reported.
+            *shared.migration_totals.lock() = MigrationCounters::default();
+            if let Some(drift) = &shared.drift {
+                let mut st = drift.lock();
+                st.observations = 0;
+                st.plans_rejected = 0;
+            }
             let (_, results) = std::mem::take(&mut *shared.sink.lock());
             warmup_results = results;
             shared.ingest_limit = tuples.len();
@@ -508,6 +608,14 @@ impl ParallelIbwj {
                 * topology.local_cost
                 + (traffic.remote() - warm_store_remote) * topology.remote_cost;
         }
+        stats.migration = *shared.migration_totals.lock();
+        if let Some(drift) = &shared.drift {
+            let st = drift.lock();
+            stats.migration.observations += st.observations;
+            stats.migration.plans_rejected += st.plans_rejected;
+        }
+        stats.migration.enabled =
+            (shared.drift.is_some() || shared.forced_repartition.is_some()) as u64;
         if let Some(inspect) = inspect {
             inspect(&shared.store);
         }
@@ -549,6 +657,9 @@ struct WorkerScratch {
     /// Per-item collected results (moved into the ring slot when the item
     /// completes).
     collected: Vec<Vec<JoinResult>>,
+    /// Drift observations buffered while the monitor lock was contended
+    /// (bounded; overflow is dropped — the monitor samples anyway).
+    drift_backlog: Vec<(Key, u64)>,
 }
 
 impl WorkerScratch {
@@ -562,6 +673,7 @@ impl WorkerScratch {
             probe_items: [Vec::new(), Vec::new()],
             counts: Vec::new(),
             collected: Vec::new(),
+            drift_backlog: Vec::new(),
         }
     }
 }
@@ -576,6 +688,7 @@ fn worker_loop(shared: &Shared<'_>, worker: usize) {
     // socket.
     let home = worker % shared.ring.shards();
     loop {
+        maybe_repartition(shared);
         maybe_merge(shared, home, &mut local);
         let acquire_start = Instant::now();
         let acquired = acquire_task(shared, home, &mut scratch, &mut local);
@@ -748,6 +861,11 @@ fn process_task(
     let generate_start = Instant::now();
     generate(shared, home, scratch, local);
     local.phase.generate += generate_start.elapsed();
+    // Feed the drift monitor with this task's `(key, match count)` pairs —
+    // the paper's combined insert+output load signal per key interval.
+    if shared.drift.is_some() {
+        record_drift(shared, scratch);
+    }
     // Latency is the task processing time (§5): acquisition to results ready.
     let task_latency = acquired_at.elapsed();
     for _ in 0..scratch.items.len() {
@@ -877,6 +995,161 @@ fn propagate(shared: &Shared<'_>, local: &mut JoinRunStats) {
             local.ring.drain_batches += 1;
             local.ring.slots_drained += n;
         }
+    }
+}
+
+// ------------------------------------------------------------- repartition
+
+/// Flushes a task's `(key, match count)` observations into the drift
+/// monitor and, every `effective_check_interval` observations, turns a
+/// triggering sample into a pending repartition plan.
+///
+/// The monitor lock is only ever *try*-acquired here: a contended flush
+/// stashes the observations in the worker's bounded backlog instead of
+/// blocking the hot path. Plans that fail the cost gate (or that reproduce
+/// the current boundaries) are rejected and the monitor cools down, so the
+/// same stale sample can neither oscillate nor re-plan every check.
+fn record_drift(shared: &Shared<'_>, scratch: &mut WorkerScratch) {
+    let Some(drift) = &shared.drift else { return };
+    let Some(mut st) = drift.try_lock() else {
+        let room = DRIFT_BACKLOG_CAP.saturating_sub(scratch.drift_backlog.len());
+        for (i, task) in scratch.items.iter().enumerate().take(room) {
+            scratch
+                .drift_backlog
+                .push((task.tuple.key, scratch.counts[i]));
+        }
+        return;
+    };
+    let mut observed = 0u64;
+    for (key, weight) in scratch.drift_backlog.drain(..) {
+        st.monitor.observe(key, weight);
+        observed += 1;
+    }
+    for (i, task) in scratch.items.iter().enumerate() {
+        st.monitor.observe(task.tuple.key, scratch.counts[i]);
+        observed += 1;
+    }
+    st.since_check += observed as usize;
+    st.observations += observed;
+    if st.pending.is_none() && st.since_check >= shared.drift_cfg.effective_check_interval() {
+        st.since_check = 0;
+        if st.monitor.should_repartition(&st.partitioner) {
+            let plan = st.monitor.plan(&st.partitioner);
+            if plan.moved_fraction <= shared.drift_cfg.cost_gate
+                && plan.new_partitioner != st.partitioner
+            {
+                st.pending = Some(plan.new_partitioner);
+                shared.repartition_pending.store(true, Ordering::Release);
+            } else {
+                // Too costly (or a no-op): not worth a migration epoch. The
+                // cooldown makes the next decision wait for a fresh window
+                // instead of re-planning from the same sample every check.
+                st.plans_rejected += 1;
+                st.monitor.note_adoption();
+            }
+        }
+    }
+}
+
+/// Adopts a pending (or forced) repartition plan through a migration epoch.
+/// Called outside the `in_flight` window, like [`maybe_merge`]: the epoch
+/// closes the same gate a blocking merge does, so it must not count itself
+/// as an in-flight task.
+///
+/// The epoch protocol — quiesce → swap → migrate → resume:
+///
+/// 1. **Claim.** The engine's single maintenance claim (`merge_claimed`)
+///    serialises epochs against merges: a migration never swaps a tree out
+///    from under a running merge, and never observes a half-merged side
+///    (phase-1 pending buffers are always drained before the claim is
+///    released).
+/// 2. **Quiesce.** The gate stops task acquisition *and* ingestion (workers
+///    only ingest behind the gate check), then the epoch waits for
+///    `in_flight == 0`. Tuples not yet ingested simply wait in the input —
+///    the "staging buffer" needs no copy. Tuples already in the ring keep
+///    the shard the old routing chose; home claims and the unconditional
+///    steal pass drain them, and arrival stamps keep propagation in global
+///    order regardless of which shard holds them.
+/// 3. **Swap + migrate.** The ring router swaps to the new partitioner, and
+///    the store re-homes every index entry and window tuple whose key
+///    changed shards (see `ShardStore::adopt_partitioner`), charging each
+///    move to the simulated traffic account.
+/// 4. **Resume.** The gate reopens; stalled ingestion re-routes subsequent
+///    input under the new partitioner.
+fn maybe_repartition(shared: &Shared<'_>) {
+    // Forced adoption (deterministic test/bench hook).
+    let forced = match &shared.forced_repartition {
+        Some((at, p))
+            if !shared.forced_done.load(Ordering::Acquire)
+                && shared.next_ingest.load(Ordering::Acquire) >= *at =>
+        {
+            Some(p.clone())
+        }
+        _ => None,
+    };
+    // Drift-driven adoption: anything pending? One relaxed load — a
+    // try-lock peek here would contend with record_drift's flush try-lock
+    // on every worker-loop iteration and thin the drift sample.
+    let drift_pending = forced.is_none() && shared.repartition_pending.load(Ordering::Acquire);
+    if forced.is_none() && !drift_pending {
+        return;
+    }
+    if shared.merge_claimed.swap(true, Ordering::AcqRel) {
+        return; // a merge or another epoch is in progress; retry later
+    }
+    let stall_start = Instant::now();
+    close_gate_and_wait(shared);
+    // Re-resolve the plan under the claim: the forced flag and the pending
+    // plan may have been consumed by a racing epoch between the peek above
+    // and the claim.
+    let new_partitioner = if let Some(p) = forced {
+        if shared.forced_done.swap(true, Ordering::SeqCst) {
+            None
+        } else {
+            Some(p)
+        }
+    } else {
+        shared.drift.as_ref().and_then(|d| d.lock().pending.take())
+    };
+    let Some(new_partitioner) = new_partitioner else {
+        open_gate(shared);
+        shared.merge_claimed.store(false, Ordering::Release);
+        return;
+    };
+    shared.ring.set_partitioner(new_partitioner.clone());
+    let migrated = shared.store.adopt_partitioner(&new_partitioner);
+    if let Some(drift) = &shared.drift {
+        let mut st = drift.lock();
+        st.partitioner = new_partitioner;
+        // Drop any plan computed against the *previous* partitioner — after
+        // a forced adoption it would otherwise survive and migrate the
+        // freshly adopted state right back in the next epoch — then clear
+        // the stale pre-migration sample and cool down, so adoption cannot
+        // oscillate (the satellite regression). The pending flag is lowered
+        // *while the lock is held*: lowering it after release could clobber
+        // a flusher that staged (and flagged) a fresh plan in between,
+        // leaving that plan invisible to every future peek.
+        st.pending = None;
+        st.monitor.note_adoption();
+        shared.repartition_pending.store(false, Ordering::Release);
+    } else {
+        shared.repartition_pending.store(false, Ordering::Release);
+    }
+    open_gate(shared);
+    shared.merge_claimed.store(false, Ordering::Release);
+    let stall = stall_start.elapsed();
+    let remote_cost = shared
+        .store
+        .topology()
+        .unwrap_or_else(|| shared.ring.topology())
+        .remote_cost;
+    let mut totals = shared.migration_totals.lock();
+    totals.epochs += 1;
+    totals.stall_nanos += stall.as_nanos() as u64;
+    if let Some(m) = migrated {
+        totals.index_entries_moved += m.index_entries_moved;
+        totals.window_tuples_moved += m.window_tuples_moved;
+        totals.simulated_move_cost += (m.index_entries_moved + m.window_tuples_moved) * remote_cost;
     }
 }
 
@@ -1531,6 +1804,9 @@ mod tests {
                         .with_shard(ShardConfig::default().with_shards(shards));
                     let op =
                         ParallelIbwj::new(cfg, predicate, kind, false).with_collected_results(true);
+                    // Under the repartition sweep this arm also exercises the
+                    // round-robin → key-range router upgrade mid-run.
+                    let op = with_env_repartition(op, &tuples, shards);
                     let (stats, results) = op.run(&tuples);
                     let label = format!("{policy:?}/{kind:?}/{shards} shards");
                     assert_eq!(canonical(&results), expected, "{label}");
@@ -1691,6 +1967,29 @@ mod tests {
         }
     }
 
+    /// Whether the differential tests additionally force a mid-run
+    /// repartition epoch. CI's repartition legs pin it via
+    /// `PIMTREE_TEST_REPARTITION`; the dedicated repartition tests below run
+    /// the epoch protocol unconditionally.
+    fn repartition_forced() -> bool {
+        matches!(
+            std::env::var("PIMTREE_TEST_REPARTITION").ok().as_deref(),
+            Some("on") | Some("true") | Some("1")
+        )
+    }
+
+    /// Under `PIMTREE_TEST_REPARTITION=on`, arms `op` with a forced
+    /// migration epoch at the stream midpoint, adopting a partitioner
+    /// rebalanced for the second half of the input.
+    fn with_env_repartition(op: ParallelIbwj, tuples: &[Tuple], shards: usize) -> ParallelIbwj {
+        if !repartition_forced() {
+            return op;
+        }
+        let at = tuples.len() / 2;
+        let sample: Vec<Key> = tuples[at..].iter().map(|t| t.key).collect();
+        op.with_forced_repartition(at, RangePartitioner::from_key_sample(shards, &sample))
+    }
+
     /// The tentpole differential: with the per-shard index/window store the
     /// engine must produce the exact same results as the shared-store engine
     /// and the brute-force oracle, across shard counts, merge policies and
@@ -1713,6 +2012,7 @@ mod tests {
                         );
                         let op = ParallelIbwj::new(cfg, predicate, kind, false)
                             .with_collected_results(true);
+                        let op = with_env_repartition(op, &tuples, shards);
                         let (stats, results) = op.run(&tuples);
                         let label =
                             format!("{policy:?}/{kind:?}/{shards} shards/partition={partition}");
@@ -1942,6 +2242,326 @@ mod tests {
             "warmup inserts are excluded from the measured counters"
         );
         assert!(warm_stats.store.simulated_store_cost < full_stats.store.simulated_store_cost);
+    }
+
+    /// A drifting-skew workload: the first half draws keys from one range,
+    /// the second half from a disjoint range, so a partitioner fitted to the
+    /// prefix becomes maximally imbalanced halfway through.
+    fn drifting_tuples(n: usize, domain: i64, shift: i64, seed: u64) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut seqs = [0u64, 0u64];
+        (0..n)
+            .map(|i| {
+                let side = if rng.gen::<bool>() {
+                    StreamSide::R
+                } else {
+                    StreamSide::S
+                };
+                let seq = seqs[side.index()];
+                seqs[side.index()] += 1;
+                let base = rng.gen_range(0..domain);
+                let key = if i < n / 2 { base } else { base + shift };
+                Tuple::new(side, seq, key)
+            })
+            .collect()
+    }
+
+    /// The tentpole acceptance test: under a drifting-skew workload with
+    /// `--repartition on`, the engine adopts at least one repartition plan
+    /// mid-run (quiesce → swap → migrate → resume), the migrated-tuple and
+    /// stall counters fill in, the result stream stays byte-identical to the
+    /// shared-store oracle — and adoption does not oscillate. With the flag
+    /// off, behavior and counters are exactly the PR 4 engine's.
+    #[test]
+    fn drifting_workload_adopts_a_repartition_plan_mid_run() {
+        let tuples = drifting_tuples(8000, 400, 10_000, 121);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        for shards in [2usize, 4] {
+            // The initial partitioner fits the first half only, so the
+            // second half's disjoint key range drifts it out of balance.
+            let first: Vec<Key> = tuples[..tuples.len() / 2].iter().map(|t| t.key).collect();
+            let partitioner = RangePartitioner::from_key_sample(shards, &first);
+            let shard_cfg = ShardConfig::default()
+                .with_shards(shards)
+                .with_partition_index(true);
+            let drift = pimtree_common::DriftConfig::default()
+                .with_repartition(true)
+                .with_window(512)
+                .with_imbalance_trigger(1.5);
+            let on = ParallelIbwj::new(
+                config(128, 4, 4, 0.5, MergePolicy::NonBlocking)
+                    .with_shard(shard_cfg)
+                    .with_drift(drift),
+                predicate,
+                SharedIndexKind::PimTree,
+                false,
+            )
+            .with_partitioner(partitioner.clone())
+            .with_collected_results(true);
+            let (stats, results) = on.run(&tuples);
+            assert_eq!(canonical(&results), expected, "{shards} shards");
+            assert_eq!(stats.migration.enabled, 1, "{shards} shards");
+            assert!(
+                stats.migration.epochs >= 1,
+                "the drifted load must adopt a plan ({shards} shards)"
+            );
+            // While the drift monitor's window still mixes pre- and
+            // post-drift keys, a couple of corrective epochs are legitimate;
+            // without the clear-and-cooldown fix every post-adoption check
+            // (each `window / 8` observations) would re-trigger against the
+            // stale sample — dozens of epochs over this tail.
+            assert!(
+                stats.migration.epochs <= 8,
+                "adoption must not oscillate: {} epochs ({shards} shards)",
+                stats.migration.epochs
+            );
+            assert!(stats.migration.observations > 0, "{shards} shards");
+            assert!(
+                stats.migration.window_tuples_moved > 0,
+                "a full key-range shift must migrate window tuples ({shards} shards)"
+            );
+            assert!(stats.migration.index_entries_moved > 0, "{shards} shards");
+            assert!(stats.migration.simulated_move_cost > 0, "{shards} shards");
+            assert!(stats.migration.stall_nanos > 0, "{shards} shards");
+            // Flag off: identical results, untouched counters — the PR 4
+            // engine bit for bit.
+            let off = ParallelIbwj::new(
+                config(128, 4, 4, 0.5, MergePolicy::NonBlocking).with_shard(shard_cfg),
+                predicate,
+                SharedIndexKind::PimTree,
+                false,
+            )
+            .with_partitioner(partitioner)
+            .with_collected_results(true);
+            let (off_stats, off_results) = off.run(&tuples);
+            assert_eq!(canonical(&off_results), expected, "{shards} shards");
+            assert_eq!(
+                off_stats.migration,
+                Default::default(),
+                "repartition off must leave the migration counters untouched"
+            );
+        }
+    }
+
+    /// A forced epoch adopting the worst-case partitioner (everything to
+    /// shard 0) mid-run: the migration collapses every shard's index and
+    /// window state onto one shard while the ring drains tuples routed under
+    /// the old policy — across both backends and merge policies, the results
+    /// must stay exact and post-migration state must respect the new
+    /// ownership.
+    #[test]
+    fn forced_skewed_repartition_epoch_preserves_results() {
+        let tuples = random_tuples(4000, 400, 122);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        for policy in [MergePolicy::NonBlocking, MergePolicy::Blocking] {
+            for kind in [SharedIndexKind::PimTree, SharedIndexKind::BwTree] {
+                let skewed = RangePartitioner::from_key_sample(4, &[]);
+                let cfg = config(128, 4, 4, 0.5, policy).with_shard(
+                    ShardConfig::default()
+                        .with_shards(4)
+                        .with_partition_index(true),
+                );
+                let op = ParallelIbwj::new(cfg, predicate, kind, false)
+                    .with_forced_repartition(tuples.len() / 2, skewed)
+                    .with_collected_results(true);
+                let label = format!("{policy:?}/{kind:?}");
+                let (stats, results) = op.run_with_store_inspector(&tuples, 0, |store| {
+                    // Post-migration ownership: all state on shard 0.
+                    for fp in store.shard_footprints() {
+                        if fp.shard == 0 {
+                            continue;
+                        }
+                        for side in &fp.sides {
+                            assert_eq!(side.window_live, 0, "shard {}", fp.shard);
+                            assert_eq!(side.index_entries, 0, "shard {}", fp.shard);
+                        }
+                    }
+                    assert_eq!(store.epoch(), 1);
+                });
+                assert_eq!(canonical(&results), expected, "{label}");
+                assert_eq!(stats.migration.enabled, 1, "{label}");
+                assert_eq!(stats.migration.epochs, 1, "{label}");
+                assert!(
+                    stats.migration.window_tuples_moved > 0,
+                    "collapsing 4 shards onto one must move window tuples ({label})"
+                );
+                assert!(stats.migration.stall_nanos > 0, "{label}");
+            }
+        }
+    }
+
+    /// Drift monitoring and a forced epoch armed together: the forced
+    /// adoption drops any drift plan staged against the pre-forced
+    /// partitioner (regression: the stale plan used to survive the forced
+    /// epoch and migrate the freshly adopted state right back), results
+    /// stay exact, and the combined path neither livelocks nor oscillates.
+    #[test]
+    fn forced_epoch_with_drift_armed_stays_exact() {
+        let tuples = drifting_tuples(6000, 400, 10_000, 124);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        let first: Vec<Key> = tuples[..tuples.len() / 2].iter().map(|t| t.key).collect();
+        let drift = pimtree_common::DriftConfig::default()
+            .with_repartition(true)
+            .with_window(512)
+            .with_imbalance_trigger(1.5);
+        let cfg = config(128, 4, 4, 0.5, MergePolicy::NonBlocking)
+            .with_shard(
+                ShardConfig::default()
+                    .with_shards(2)
+                    .with_partition_index(true),
+            )
+            .with_drift(drift);
+        let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+            .with_partitioner(RangePartitioner::from_key_sample(2, &first))
+            .with_forced_repartition(
+                3 * tuples.len() / 4,
+                RangePartitioner::from_key_sample(2, &[]),
+            )
+            .with_collected_results(true);
+        let (stats, results) = op.run(&tuples);
+        assert_eq!(canonical(&results), expected);
+        assert!(stats.migration.epochs >= 1, "the forced epoch must fire");
+        assert!(
+            stats.migration.epochs <= 8,
+            "stale drift plans must not replay after the forced adoption: {} epochs",
+            stats.migration.epochs
+        );
+    }
+
+    /// Domain-edge keys under the partitioned store: key clusters at
+    /// `Key::MIN` and `Key::MAX` put partition boundaries (and probe ranges)
+    /// at the integer domain edges, where the per-shard sub-range clipping
+    /// must use checked arithmetic instead of wrapping (the `boundary + 1`
+    /// satellite bug), including across a forced migration epoch.
+    #[test]
+    fn partitioned_store_domain_edge_keys_match_reference() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut seqs = [0u64, 0u64];
+        let tuples: Vec<Tuple> = (0..3000)
+            .map(|i| {
+                let side = if rng.gen::<bool>() {
+                    StreamSide::R
+                } else {
+                    StreamSide::S
+                };
+                let seq = seqs[side.index()];
+                seqs[side.index()] += 1;
+                // Two clusters hugging the domain edges.
+                let key = if i % 2 == 0 {
+                    Key::MIN + rng.gen_range(0i64..200)
+                } else {
+                    Key::MAX - rng.gen_range(0i64..200)
+                };
+                Tuple::new(side, seq, key)
+            })
+            .collect();
+        let predicate = BandPredicate::new(100);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        for shards in shard_sweep() {
+            for forced in [false, true] {
+                let cfg = config(128, 4, 4, 1.0, MergePolicy::NonBlocking).with_shard(
+                    ShardConfig::default()
+                        .with_shards(shards)
+                        .with_partition_index(true),
+                );
+                let mut op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+                    .with_collected_results(true);
+                if forced {
+                    let sample: Vec<Key> =
+                        tuples[tuples.len() / 2..].iter().map(|t| t.key).collect();
+                    op = op.with_forced_repartition(
+                        tuples.len() / 2,
+                        RangePartitioner::from_key_sample(shards, &sample),
+                    );
+                }
+                let (_, results) = op.run(&tuples);
+                assert_eq!(
+                    canonical(&results),
+                    expected,
+                    "shards {shards}, forced {forced}"
+                );
+            }
+        }
+    }
+
+    mod repartition_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+
+            /// The satellite property: a migration epoch forced at a random
+            /// point in the stream — with either a rebalanced or a
+            /// maximally skewed target partitioner — yields output identical
+            /// to the shared-store oracle across both backends and merge
+            /// policies, and no unexpired tuple is dropped by the migration
+            /// (the live window census after the run is exactly the
+            /// unexpired suffix of each side).
+            #[test]
+            fn forced_migration_matches_oracle_and_drops_no_live_tuple(
+                seed in 0u64..1_000,
+                n in 1_000usize..2_500,
+                at_pct in 0usize..101,
+                shards in 2usize..5,
+                blocking in prop::bool::ANY,
+                bw in prop::bool::ANY,
+                skew in prop::bool::ANY,
+            ) {
+                let tuples = random_tuples(n, 300, seed);
+                let predicate = BandPredicate::new(2);
+                let w = 64usize;
+                let expected = canonical(&reference_join(&tuples, predicate, w, w, false));
+                let at = n * at_pct / 100;
+                let forced = if skew {
+                    RangePartitioner::from_key_sample(shards, &[])
+                } else {
+                    let sample: Vec<Key> = tuples[at.min(n - 1)..].iter().map(|t| t.key).collect();
+                    RangePartitioner::from_key_sample(shards, &sample)
+                };
+                let policy = if blocking {
+                    MergePolicy::Blocking
+                } else {
+                    MergePolicy::NonBlocking
+                };
+                let kind = if bw {
+                    SharedIndexKind::BwTree
+                } else {
+                    SharedIndexKind::PimTree
+                };
+                let cfg = config(w, 4, 4, 0.5, policy).with_shard(
+                    ShardConfig::default()
+                        .with_shards(shards)
+                        .with_partition_index(true),
+                );
+                let op = ParallelIbwj::new(cfg, predicate, kind, false)
+                    .with_forced_repartition(at, forced)
+                    .with_collected_results(true);
+                let mut live_census = [0usize; 2];
+                let (stats, results) = op.run_with_store_inspector(&tuples, 0, |store| {
+                    for fp in store.shard_footprints() {
+                        for (side, counts) in fp.sides.iter().zip(live_census.iter_mut()) {
+                            *counts += side.window_live;
+                        }
+                    }
+                });
+                prop_assert_eq!(canonical(&results), expected);
+                prop_assert_eq!(stats.migration.epochs, 1);
+                // No unexpired tuple dropped (or duplicated): per side the
+                // live census equals the unexpired suffix of the stream.
+                let r_count = tuples.iter().filter(|t| t.side == StreamSide::R).count();
+                let s_count = tuples.len() - r_count;
+                prop_assert_eq!(live_census[0], r_count.min(w), "side R census");
+                prop_assert_eq!(live_census[1], s_count.min(w), "side S census");
+            }
+        }
     }
 
     #[test]

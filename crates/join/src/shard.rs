@@ -56,8 +56,10 @@
 //!   always target the same shard.
 
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
+use parking_lot::RwLock;
 use pimtree_common::{JoinResult, Key, ShardConfig, Tuple};
 use pimtree_numa::{NumaTopology, RangePartitioner, TrafficAccount};
 use pimtree_window::WindowBounds;
@@ -92,7 +94,13 @@ pub struct ShardClaim {
 /// cursor. See the module documentation for the protocol.
 pub struct ShardedRing {
     rings: Box<[TaskRing]>,
-    router: Router,
+    /// The routing policy, swappable mid-run by a repartition epoch
+    /// ([`set_partitioner`](Self::set_partitioner)). Ingestion snapshots the
+    /// `Arc` once per ingest-token acquisition, so the per-tuple routing
+    /// path costs no lock; the swap itself only happens while the engine is
+    /// quiesced (no ingest guard alive), so a guard never observes a torn
+    /// routing decision.
+    router: RwLock<Arc<Router>>,
     steal_batch: usize,
     steal_threshold: usize,
     /// Next global arrival stamp; written only under the global ingest token.
@@ -152,7 +160,7 @@ impl ShardedRing {
             rings: (0..config.shards)
                 .map(|_| TaskRing::with_capacity(per_shard_capacity))
                 .collect(),
-            router,
+            router: RwLock::new(Arc::new(router)),
             steal_batch: if config.steal_batch > 0 {
                 config.steal_batch
             } else {
@@ -226,7 +234,32 @@ impl ShardedRing {
         if self.ingest_token.swap(true, Ordering::AcqRel) {
             return None;
         }
-        Some(ShardIngestGuard { ring: self })
+        // Snapshot the routing policy once per token acquisition: routing
+        // stays lock-free per tuple, and a repartition epoch (which only
+        // swaps the router while no guard is alive) can never change a
+        // guard's routing mid-batch.
+        let router = Arc::clone(&self.router.read());
+        Some(ShardIngestGuard { ring: self, router })
+    }
+
+    /// Swaps the routing policy to key-range routing under `partitioner` —
+    /// the ring half of a repartition epoch. Must only be called while the
+    /// engine is quiesced (no ingest guard alive): tuples already ingested
+    /// keep the shard the old policy chose and are drained by home claims or
+    /// steals, which preserves both claim coverage and (via arrival stamps)
+    /// global propagation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partitioner's node count does not match the shard
+    /// count.
+    pub fn set_partitioner(&self, partitioner: RangePartitioner) {
+        assert_eq!(
+            partitioner.nodes(),
+            self.rings.len(),
+            "partitioner and shard config disagree on the shard count"
+        );
+        *self.router.write() = Arc::new(Router::Range(partitioner));
     }
 
     /// Claims up to `max` tuples for the worker homed on `home`: from the
@@ -363,6 +396,9 @@ impl ShardedRing {
 /// it the arrival-stamp assignment) is only valid while the guard is held.
 pub struct ShardIngestGuard<'a> {
     ring: &'a ShardedRing,
+    /// Routing policy snapshot taken when the token was won (see
+    /// [`ShardedRing::try_ingest`]).
+    router: Arc<Router>,
 }
 
 impl ShardIngestGuard<'_> {
@@ -371,7 +407,7 @@ impl ShardIngestGuard<'_> {
     /// [`push`](Self::push): range routing depends only on the key, and the
     /// round-robin cursor advances only on `push`.
     pub fn route(&self, key: Key) -> usize {
-        match &self.ring.router {
+        match &*self.router {
             Router::RoundRobin => {
                 (self.ring.next_arrival.load(Ordering::Relaxed) % self.ring.rings.len() as u64)
                     as usize
@@ -500,6 +536,64 @@ mod tests {
     fn mismatched_partitioner_rejected() {
         let p = RangePartitioner::from_key_sample(2, &[1, 2, 3]);
         let _ = ShardedRing::new(&config(4), 2, 8, Some(p));
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the shard count")]
+    fn set_partitioner_rejects_mismatched_node_count() {
+        let ring = ShardedRing::new(&config(4), 2, 8, None);
+        ring.set_partitioner(RangePartitioner::from_key_sample(2, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn router_swap_reroutes_new_ingests_and_drains_old_ones_in_order() {
+        // Start with a partitioner sending everything to shard 0, ingest a
+        // prefix, swap to the inverse routing mid-run, ingest a suffix: old
+        // tuples stay where the old policy put them (claimable by steal),
+        // new tuples follow the new policy, and the merge cursor still
+        // drains the union in global arrival order.
+        let all_low = RangePartitioner::from_key_sample(2, &[]);
+        let ring = ShardedRing::new(&config(2), 4, 64, Some(all_low));
+        assert_eq!(ingest_keys(&ring, 0, 10, |i| i as Key), 10);
+        assert_eq!(ring.shard_available(0), 10);
+        assert_eq!(ring.shard_available(1), 0);
+        // New policy: keys below 5 on shard 0, the rest on shard 1.
+        ring.set_partitioner(RangePartitioner::from_key_sample(
+            2,
+            &(0..10).collect::<Vec<Key>>(),
+        ));
+        assert_eq!(ingest_keys(&ring, 10, 10, |i| i as Key), 10);
+        assert!(
+            ring.shard_available(1) > 0,
+            "post-swap high keys route to shard 1"
+        );
+        let (mut rc, mut sc) = counters();
+        let mut tasks = Vec::new();
+        let mut claims = Vec::new();
+        for home in [0usize, 1] {
+            loop {
+                let before = tasks.len();
+                match ring.claim(home, 3, &mut tasks, &mut rc, &mut sc) {
+                    Some(claim) => {
+                        for t in &tasks[before..] {
+                            claims.push((claim.shard, t.gid, t.tuple.seq));
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        assert_eq!(claims.len(), 20, "no tuple stranded across the swap");
+        for &(shard, gid, seq) in claims.iter().rev() {
+            ring.complete(shard, gid, seq, Vec::new());
+        }
+        let mut drained = Vec::new();
+        assert_eq!(ring.try_drain(false, |n, _| drained.push(n)), Some(20));
+        assert_eq!(
+            drained,
+            (0..20).collect::<Vec<u64>>(),
+            "drain follows global arrival order across the router swap"
+        );
     }
 
     #[test]

@@ -48,6 +48,66 @@ pub struct JoinRunStats {
     /// inserts, simulated store traffic), summed over all workers. All zero
     /// when the shared store is active (`partition_index` off or one shard).
     pub store: StoreCounters,
+    /// Live-repartition counters (drift observations, adopted migration
+    /// epochs, moved entries, quiesce stall). All zero when `--repartition`
+    /// is off and no forced adoption was requested — the pre-PR-5 behavior.
+    pub migration: MigrationCounters,
+}
+
+/// Counters of the drift-driven live repartitioning: how many observations
+/// the drift monitor consumed, how many repartition plans were adopted
+/// (migration epochs) or rejected by the cost gate, how much shard state the
+/// migrations moved, and how long the engine was stalled behind the quiesce
+/// gate. Filled once per run from the engine's shared migration totals (not
+/// per worker).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationCounters {
+    /// 1 when live repartitioning (or a forced adoption) was armed for the
+    /// run (`max`-merged, not summed).
+    pub enabled: u64,
+    /// `(key, match count)` observations fed into the drift monitor.
+    pub observations: u64,
+    /// Repartition plans adopted — each one migration epoch.
+    pub epochs: u64,
+    /// Plans whose moved-weight fraction failed the cost gate (or that were
+    /// no-ops against the current partitioner) and were not adopted.
+    pub plans_rejected: u64,
+    /// Index entries whose home shard changed and were re-inserted into the
+    /// new owner, summed over epochs.
+    pub index_entries_moved: u64,
+    /// Window tuples whose home shard changed and were re-homed, summed over
+    /// epochs.
+    pub window_tuples_moved: u64,
+    /// Simulated interconnect cost of the moved entries under the store's
+    /// NUMA topology (remote-access cost per moved entry).
+    pub simulated_move_cost: u64,
+    /// Wall-clock nanoseconds the engine spent quiesced for migrations
+    /// (gate close through gate reopen), summed over epochs.
+    pub stall_nanos: u64,
+}
+
+impl MigrationCounters {
+    /// Folds another run's counters into this one.
+    pub fn merge_from(&mut self, other: &MigrationCounters) {
+        self.enabled = self.enabled.max(other.enabled);
+        self.observations += other.observations;
+        self.epochs += other.epochs;
+        self.plans_rejected += other.plans_rejected;
+        self.index_entries_moved += other.index_entries_moved;
+        self.window_tuples_moved += other.window_tuples_moved;
+        self.simulated_move_cost += other.simulated_move_cost;
+        self.stall_nanos += other.stall_nanos;
+    }
+
+    /// Total entries (index plus window) the migrations re-homed.
+    pub fn tuples_moved(&self) -> u64 {
+        self.index_entries_moved + self.window_tuples_moved
+    }
+
+    /// Total migration stall in microseconds.
+    pub fn stall_micros(&self) -> f64 {
+        self.stall_nanos as f64 / 1_000.0
+    }
 }
 
 /// Counters of the partitioned index/window store (`ShardStore`): how inserts
@@ -358,6 +418,7 @@ impl JoinRunStats {
         self.probe.merge_from(&other.probe);
         self.shard.merge_from(&other.shard);
         self.store.merge_from(&other.store);
+        self.migration.merge_from(&other.migration);
     }
 }
 
@@ -496,6 +557,31 @@ mod tests {
         assert!((a.store.remote_fraction() - 0.2).abs() < 1e-9);
         assert_eq!(StoreCounters::default().mean_probe_fanout(), 0.0);
         assert_eq!(StoreCounters::default().remote_fraction(), 0.0);
+    }
+
+    #[test]
+    fn migration_counters_absorb_and_derive() {
+        let mut a = JoinRunStats::default();
+        a.migration.enabled = 1;
+        a.migration.observations = 100;
+        a.migration.epochs = 1;
+        a.migration.index_entries_moved = 30;
+        a.migration.window_tuples_moved = 20;
+        a.migration.stall_nanos = 5_000;
+        let mut b = JoinRunStats::default();
+        b.migration.enabled = 1;
+        b.migration.epochs = 2;
+        b.migration.plans_rejected = 1;
+        b.migration.window_tuples_moved = 10;
+        b.migration.simulated_move_cost = 1500;
+        a.absorb(&b);
+        assert_eq!(a.migration.enabled, 1, "max, not sum");
+        assert_eq!(a.migration.epochs, 3);
+        assert_eq!(a.migration.plans_rejected, 1);
+        assert_eq!(a.migration.tuples_moved(), 60);
+        assert!((a.migration.stall_micros() - 5.0).abs() < 1e-9);
+        assert_eq!(MigrationCounters::default().tuples_moved(), 0);
+        assert_eq!(MigrationCounters::default().stall_micros(), 0.0);
     }
 
     #[test]

@@ -43,9 +43,11 @@
 //! task may still probe.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::utils::CachePadded;
+use parking_lot::RwLock;
 use pimtree_btree::Entry;
 use pimtree_bwtree::BwTreeIndex;
 use pimtree_common::{Key, KeyRange, PimConfig, ProbeConfig, Result, Seq, Step};
@@ -60,8 +62,12 @@ use crate::stats::JoinRunStats;
 /// the Bw-Tree-style eager-deletion index.
 #[allow(clippy::large_enum_variant)] // a handful of instances per run; size is irrelevant
 pub(crate) enum StoreIndex {
-    /// The PIM-Tree with the configured merge policy.
-    Pim(PimTree),
+    /// The PIM-Tree with the configured merge policy. Behind an `Arc` so the
+    /// merge coordinator can hold a handle across a (long) merge without
+    /// pinning the store's shard table read-locked; the migration epoch
+    /// protocol guarantees the tree is never swapped out from under a merge
+    /// (both paths serialize on the engine's maintenance claim).
+    Pim(Arc<PimTree>),
     /// The Bw-Tree-style index (no merges; eager expiry deletion).
     Bw(BwTreeIndex),
 }
@@ -69,7 +75,7 @@ pub(crate) enum StoreIndex {
 impl StoreIndex {
     fn new(kind: SharedIndexKind, pim: PimConfig) -> Self {
         match kind {
-            SharedIndexKind::PimTree => StoreIndex::Pim(PimTree::new(pim)),
+            SharedIndexKind::PimTree => StoreIndex::Pim(Arc::new(PimTree::new(pim))),
             SharedIndexKind::BwTree => StoreIndex::Bw(BwTreeIndex::new()),
         }
     }
@@ -170,13 +176,28 @@ struct StoreShard {
     indexes: [StoreIndex; 2],
 }
 
-/// The partitioned layout: one [`StoreShard`] per key range, plus the global
-/// per-side heads that keep expiry count-based on the *global* stream.
-struct PartitionedState {
+/// The migratable core of the partitioned layout: the partitioner and the
+/// shard table it routes into always change together (a migration epoch
+/// swaps both atomically), so they live behind one lock.
+struct PartitionedInner {
     partitioner: RangePartitioner,
     shards: Vec<StoreShard>,
+}
+
+/// The partitioned layout: one [`StoreShard`] per key range, plus the global
+/// per-side heads that keep expiry count-based on the *global* stream.
+///
+/// The partitioner/shard table sits behind an `RwLock` so a migration epoch
+/// can swap in a rebalanced partitioning mid-run: the hot paths take
+/// uncontended read locks, the (rare) migration takes the write lock while
+/// the engine is quiesced behind its merge gate — the lock is then free by
+/// construction and only fences the idle workers' edge-advance polls.
+struct PartitionedState {
+    inner: RwLock<PartitionedInner>,
     /// Tuples ever appended per side == the side's next sequence number.
     heads: [CachePadded<AtomicU64>; 2],
+    /// Number of adopted repartition epochs (0 before the first migration).
+    epoch: AtomicU64,
     topology: NumaTopology,
     traffic: TrafficAccount,
 }
@@ -218,6 +239,13 @@ pub struct ShardStore {
     layout: Layout,
     window_sizes: [usize; 2],
     deletion_lag: u64,
+    /// Extra window slots retained past expiry (the migration keep-horizon
+    /// and the rebuilt shard windows are derived from it).
+    slack: usize,
+    /// Index backend, kept so a migration can build fresh per-shard indexes.
+    kind: SharedIndexKind,
+    /// Per-shard PIM-Tree tuning (window size already divided per shard).
+    shard_pim: PimConfig,
     /// Per-side "some index may need merging" hint, set by the insert path
     /// whenever a just-touched index reports `needs_merge`. Keeps the
     /// workers' per-loop merge poll at one relaxed load instead of one
@@ -243,6 +271,17 @@ pub struct StoreSideFootprint {
     pub index_key_span: Option<(Key, Key)>,
 }
 
+/// What one shard-state migration moved: entries whose key's home shard
+/// changed under the adopted partitioner. Entries that stayed home are
+/// rebuilt in place and never charged.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StoreMigration {
+    /// Index entries re-homed to a different shard (both sides).
+    pub index_entries_moved: u64,
+    /// Window tuples re-homed to a different shard (both sides).
+    pub window_tuples_moved: u64,
+}
+
 /// Footprint of one store shard (both sides).
 #[derive(Debug, Clone)]
 pub struct StoreShardFootprint {
@@ -258,19 +297,23 @@ impl ShardStore {
     /// or a single-node partitioner short-circuits to the shared layout, so
     /// the single-shard engine is untouched.
     pub(crate) fn new(params: StoreParams, partitioner: Option<RangePartitioner>) -> Self {
+        // Each shard indexes only its key slice — roughly 1/N of the
+        // window — so the per-shard PIM-Tree is provisioned for that
+        // slice. Leaving the global window size in place would scale
+        // every shard's merge threshold (`m · w`) N times too high:
+        // shards would merge N times more rarely (or never), keeping
+        // the search-optimised immutable component empty and
+        // retaining expired entries far longer than the shared
+        // engine does.
+        let mut shard_pim = params.pim;
+        if let Some(p) = &partitioner {
+            if p.nodes() > 1 {
+                shard_pim.window_size = (params.pim.window_size / p.nodes()).max(1);
+            }
+        }
         let layout = match partitioner {
             Some(p) if p.nodes() > 1 => {
                 let nodes = p.nodes();
-                // Each shard indexes only its key slice — roughly 1/N of the
-                // window — so the per-shard PIM-Tree is provisioned for that
-                // slice. Leaving the global window size in place would scale
-                // every shard's merge threshold (`m · w`) N times too high:
-                // shards would merge N times more rarely (or never), keeping
-                // the search-optimised immutable component empty and
-                // retaining expired entries far longer than the shared
-                // engine does.
-                let mut shard_pim = params.pim;
-                shard_pim.window_size = (params.pim.window_size / nodes).max(1);
                 let shards = (0..nodes)
                     .map(|_| StoreShard {
                         windows: [
@@ -284,12 +327,15 @@ impl ShardStore {
                     })
                     .collect();
                 Layout::Partitioned(PartitionedState {
-                    partitioner: p,
-                    shards,
+                    inner: RwLock::new(PartitionedInner {
+                        partitioner: p,
+                        shards,
+                    }),
                     heads: [
                         CachePadded::new(AtomicU64::new(0)),
                         CachePadded::new(AtomicU64::new(0)),
                     ],
+                    epoch: AtomicU64::new(0),
                     topology: NumaTopology::new(nodes, 90, 150),
                     traffic: TrafficAccount::new(),
                 })
@@ -309,6 +355,9 @@ impl ShardStore {
             layout,
             window_sizes: params.window_sizes,
             deletion_lag: params.deletion_lag,
+            slack: params.slack,
+            kind: params.kind,
+            shard_pim,
             merge_hint: [AtomicBool::new(false), AtomicBool::new(false)],
         }
     }
@@ -322,15 +371,26 @@ impl ShardStore {
     pub fn shards(&self) -> usize {
         match &self.layout {
             Layout::Shared(_) => 1,
-            Layout::Partitioned(p) => p.shards.len(),
+            Layout::Partitioned(p) => p.inner.read().shards.len(),
         }
     }
 
-    /// The key-range partitioner of the partitioned layout.
-    pub fn partitioner(&self) -> Option<&RangePartitioner> {
+    /// The key-range partitioner of the partitioned layout, as of the
+    /// current epoch (cloned: the live partitioner can be swapped by a
+    /// migration epoch at any quiesce point).
+    pub fn partitioner(&self) -> Option<RangePartitioner> {
         match &self.layout {
             Layout::Shared(_) => None,
-            Layout::Partitioned(p) => Some(&p.partitioner),
+            Layout::Partitioned(p) => Some(p.inner.read().partitioner.clone()),
+        }
+    }
+
+    /// Number of repartition epochs adopted by the partitioned layout (0
+    /// before the first migration, and always 0 under the shared layout).
+    pub fn epoch(&self) -> u64 {
+        match &self.layout {
+            Layout::Shared(_) => 0,
+            Layout::Partitioned(p) => p.epoch.load(Ordering::Acquire),
         }
     }
 
@@ -359,10 +419,11 @@ impl ShardStore {
         match &self.layout {
             Layout::Shared(s) => s.windows[side].append(key),
             Layout::Partitioned(p) => {
+                let inner = p.inner.read();
                 let seq = p.heads[side].load(Ordering::Relaxed);
-                let shard = p.partitioner.node_of(key);
+                let shard = inner.partitioner.node_of(key);
                 let earliest_live = seq.saturating_sub(self.window_sizes[side] as u64);
-                p.shards[shard].windows[side].append(seq, key, earliest_live)?;
+                inner.shards[shard].windows[side].append(seq, key, earliest_live)?;
                 p.heads[side].store(seq + 1, Ordering::Release);
                 Ok(seq)
             }
@@ -391,6 +452,8 @@ impl ShardStore {
         match &self.layout {
             Layout::Shared(s) => s.windows[side].unindexed_len(),
             Layout::Partitioned(p) => p
+                .inner
+                .read()
                 .shards
                 .iter()
                 .map(|sh| sh.windows[side].unindexed_len())
@@ -406,7 +469,7 @@ impl ShardStore {
                 s.windows[side].try_advance_edge();
             }
             Layout::Partitioned(p) => {
-                for sh in &p.shards {
+                for sh in &p.inner.read().shards {
                     sh.windows[side].try_advance_edge();
                 }
             }
@@ -453,12 +516,15 @@ impl ShardStore {
                 }
             }
             Layout::Partitioned(p) => {
+                let inner = p.inner.read();
                 let mut scratch = STORE_SCRATCH.with(|cell| cell.take());
                 // Route each entry once, then group shard-major so only the
                 // shards actually touched pay any per-shard work.
                 scratch.routed.clear();
                 for &(key, seq) in entries {
-                    scratch.routed.push((p.partitioner.node_of(key), key, seq));
+                    scratch
+                        .routed
+                        .push((inner.partitioner.node_of(key), key, seq));
                 }
                 // Stable sort: entries keep their task order within a shard.
                 scratch.routed.sort_by_key(|&(shard, _, _)| shard);
@@ -481,7 +547,7 @@ impl ShardStore {
                     } else {
                         stats.store.remote_inserts += n;
                     }
-                    let shard = &p.shards[shard_idx];
+                    let shard = &inner.shards[shard_idx];
                     shard.indexes[side].insert_batch(&scratch.sub_entries);
                     if let StoreIndex::Bw(bw) = &shard.indexes[side] {
                         let w = self.window_sizes[side] as u64;
@@ -529,6 +595,8 @@ impl ShardStore {
         let candidate = match &self.layout {
             Layout::Shared(s) => s.indexes[side].needs_merge().then_some(0),
             Layout::Partitioned(p) => p
+                .inner
+                .read()
                 .shards
                 .iter()
                 .position(|sh| sh.indexes[side].needs_merge()),
@@ -540,16 +608,22 @@ impl ShardStore {
     }
 
     /// The PIM-Tree of `(side, shard)`, if that backend is active (the merge
-    /// coordinator drives the two-phase merge on it directly).
-    pub(crate) fn pim(&self, side: usize, shard: usize) -> Option<&PimTree> {
+    /// coordinator drives the two-phase merge on it directly). Returns an
+    /// owning handle so the caller does not pin the shard table read-locked
+    /// across the merge; the engine's maintenance claim guarantees no
+    /// migration epoch replaces the tree while the merge runs.
+    pub(crate) fn pim(&self, side: usize, shard: usize) -> Option<Arc<PimTree>> {
         let index = match &self.layout {
-            Layout::Shared(s) => &s.indexes[side],
-            Layout::Partitioned(p) => &p.shards[shard].indexes[side],
+            Layout::Shared(s) => match &s.indexes[side] {
+                StoreIndex::Pim(t) => Some(Arc::clone(t)),
+                StoreIndex::Bw(_) => None,
+            },
+            Layout::Partitioned(p) => match &p.inner.read().shards[shard].indexes[side] {
+                StoreIndex::Pim(t) => Some(Arc::clone(t)),
+                StoreIndex::Bw(_) => None,
+            },
         };
-        match index {
-            StoreIndex::Pim(t) => Some(t),
-            StoreIndex::Bw(_) => None,
-        }
+        index
     }
 
     /// Generates the matches of a task's probes against `side`'s store
@@ -672,13 +746,14 @@ impl ShardStore {
     ) {
         let entry_bytes = std::mem::size_of::<Entry>() as u64;
         let n = ranges.len();
+        let inner = p.inner.read();
         let mut scratch = STORE_SCRATCH.with(|cell| cell.take());
         scratch.counts.clear();
         scratch.counts.resize(n, 0);
         // Fan-out query: which shards does each band-join range overlap?
         scratch.cover.clear();
         for range in ranges {
-            let covered = p.partitioner.covering_shards(range.lo, range.hi);
+            let covered = inner.partitioner.covering_shards(range.lo, range.hi);
             stats.store.probes += 1;
             stats.store.probe_shard_visits += covered.len() as u64;
             if covered.len() == 1 {
@@ -690,12 +765,32 @@ impl ShardStore {
         let mut search_nanos = 0u64;
         let mut scan_nanos = 0u64;
         let mut examined_total = 0u64;
-        for (shard_idx, shard) in p.shards.iter().enumerate() {
+        for (shard_idx, shard) in inner.shards.iter().enumerate() {
+            // The shard's own key interval, for clipping each band range to
+            // the sub-range this shard can actually answer. Derived with
+            // checked edge math ([`RangePartitioner::shard_interval`]): at
+            // the `Key::MIN`/`Key::MAX` domain edges naive `boundary ± 1`
+            // arithmetic wraps and would turn an edge probe into a
+            // full-domain (or empty) sub-range. A shard with an empty
+            // interval can never be covered, so skipping it is exact.
+            let Some((shard_lo, shard_hi)) = inner.partitioner.shard_interval(shard_idx) else {
+                continue;
+            };
             scratch.sub_ranges.clear();
             scratch.sub_idx.clear();
             for (j, &(lo, hi)) in scratch.cover.iter().enumerate() {
                 if (lo..hi).contains(&shard_idx) {
-                    scratch.sub_ranges.push(ranges[j]);
+                    // Clip to the shard interval; covered shards overlap the
+                    // range by construction, so the clip is never empty. The
+                    // shard holds only keys of its interval, so the clipped
+                    // probe returns exactly the same matches with a tighter
+                    // index descent.
+                    let clipped = KeyRange {
+                        lo: ranges[j].lo.max(shard_lo),
+                        hi: ranges[j].hi.min(shard_hi),
+                    };
+                    debug_assert!(clipped.lo <= clipped.hi, "covered shard overlaps the range");
+                    scratch.sub_ranges.push(clipped);
                     scratch.sub_idx.push(j);
                 }
             }
@@ -768,6 +863,151 @@ impl ShardStore {
         STORE_SCRATCH.with(|cell| cell.replace(scratch));
     }
 
+    /// Adopts a rebalanced partitioner mid-run: the shard-state migration of
+    /// a repartition epoch. Returns `None` under the shared layout (nothing
+    /// is placed by key range, so only the ring's router matters there).
+    ///
+    /// **The caller must hold the engine quiescent** — merge gate closed, no
+    /// task in flight, no ingestion — exactly like a blocking merge. Under
+    /// that guarantee the write lock is free and the migration sees an exact
+    /// snapshot of every shard.
+    ///
+    /// Per side, the migration:
+    ///
+    /// 1. snapshots every shard window's resident slice and keeps the
+    ///    entries above the *keep horizon* (`head − window − slack`): the
+    ///    set any unclaimed ring task's bounds snapshot or pending
+    ///    `mark_indexed` can still reach. At most `window + slack` entries
+    ///    survive per side, so even a fully skewed re-partitioning fits one
+    ///    shard window's capacity;
+    /// 2. enumerates every shard index's entries (live and expired-but-
+    ///    unmerged alike — expiry stays a probe/merge-time decision against
+    ///    the global heads, which migration never touches);
+    /// 3. re-splits both sets by the new partitioner and rebuilds each
+    ///    shard's windows (preserving indexed flags and re-deriving edges)
+    ///    and indexes (fresh per-shard trees, entries re-inserted);
+    /// 4. charges every entry whose home shard changed to the store's
+    ///    simulated [`TrafficAccount`] as one `old → new` interconnect
+    ///    traversal — the data-transfer cost the paper's §7 worries about.
+    ///
+    /// Expiry of migrated tuples stays count-based on the global per-side
+    /// heads: bounds snapshots, merge horizons and the probe-time liveness
+    /// filter are all in global sequence numbers, so a tuple's remaining
+    /// lifetime is unaffected by where it lives. Rebuilt eager-expiry
+    /// cursors restart at the oldest resident entry; re-reported
+    /// already-deleted entries are no-op removals, and a migrated live entry
+    /// is deleted by its *new* shard exactly once.
+    pub(crate) fn adopt_partitioner(&self, new: &RangePartitioner) -> Option<StoreMigration> {
+        let Layout::Partitioned(p) = &self.layout else {
+            return None;
+        };
+        let mut inner = p.inner.write();
+        let nodes = inner.shards.len();
+        assert_eq!(
+            new.nodes(),
+            nodes,
+            "a repartition epoch cannot change the shard count"
+        );
+        // (old, new) moved-entry counts for the traffic charge.
+        let mut pair_moves = vec![0u64; nodes * nodes];
+        let mut report = StoreMigration::default();
+
+        // Windows: snapshot → keep-horizon filter → re-split → rebuild.
+        let mut window_entries: Vec<[Vec<(Seq, Key, bool)>; 2]> =
+            (0..nodes).map(|_| [Vec::new(), Vec::new()]).collect();
+        for side in [0usize, 1] {
+            let head = p.heads[side].load(Ordering::Acquire);
+            let keep = head.saturating_sub((self.window_sizes[side] + self.slack) as u64);
+            let mut collected: Vec<(usize, Seq, Key, bool)> = Vec::new();
+            for (old_shard, shard) in inner.shards.iter().enumerate() {
+                for (seq, key, indexed) in shard.windows[side].snapshot() {
+                    if seq >= keep {
+                        collected.push((old_shard, seq, key, indexed));
+                    }
+                }
+            }
+            // Global seq order: each rebuilt slice receives its subsequence
+            // ascending, the ShardWindow append contract.
+            collected.sort_unstable_by_key(|&(_, seq, _, _)| seq);
+            for (old_shard, seq, key, indexed) in collected {
+                let dest = new.node_of(key);
+                if dest != old_shard {
+                    report.window_tuples_moved += 1;
+                    pair_moves[old_shard * nodes + dest] += 1;
+                }
+                window_entries[dest][side].push((seq, key, indexed));
+            }
+        }
+
+        // Indexes: enumerate → re-split → rebuild. Entry order within a
+        // shard is irrelevant to index correctness; seq order keeps the
+        // rebuild deterministic.
+        let full = KeyRange::new(Key::MIN, Key::MAX);
+        let mut index_entries: Vec<[Vec<(Key, Seq)>; 2]> =
+            (0..nodes).map(|_| [Vec::new(), Vec::new()]).collect();
+        for side in [0usize, 1] {
+            let mut collected: Vec<(usize, Key, Seq)> = Vec::new();
+            for (old_shard, shard) in inner.shards.iter().enumerate() {
+                shard.indexes[side].probe(full, &mut |e| {
+                    collected.push((old_shard, e.key, e.seq));
+                });
+            }
+            collected.sort_unstable_by_key(|&(_, _, seq)| seq);
+            for (old_shard, key, seq) in collected {
+                let dest = new.node_of(key);
+                if dest != old_shard {
+                    report.index_entries_moved += 1;
+                    pair_moves[old_shard * nodes + dest] += 1;
+                }
+                index_entries[dest][side].push((key, seq));
+            }
+        }
+
+        // Rebuild the shard table against the new partitioner.
+        let new_shards: Vec<StoreShard> = window_entries
+            .into_iter()
+            .zip(index_entries)
+            .map(|(wins, idxs)| {
+                let [win0, win1] = wins;
+                let build_index = |entries: &[(Key, Seq)]| {
+                    let index = StoreIndex::new(self.kind, self.shard_pim);
+                    if !entries.is_empty() {
+                        index.insert_batch(entries);
+                    }
+                    index
+                };
+                StoreShard {
+                    windows: [
+                        ShardWindow::from_entries(self.window_sizes[0], self.slack, &win0),
+                        ShardWindow::from_entries(self.window_sizes[1], self.slack, &win1),
+                    ],
+                    indexes: [build_index(&idxs[0]), build_index(&idxs[1])],
+                }
+            })
+            .collect();
+        inner.shards = new_shards;
+        inner.partitioner = new.clone();
+        // Re-inserted entries land in the mutable components: re-raise the
+        // merge hints so the normal poll notices any tree pushed over its
+        // threshold by the migration.
+        for side in 0..2 {
+            if inner.shards.iter().any(|sh| sh.indexes[side].needs_merge()) {
+                self.merge_hint[side].store(true, Ordering::Relaxed);
+            }
+        }
+        drop(inner);
+        for old in 0..nodes {
+            for dest in 0..nodes {
+                let moved = pair_moves[old * nodes + dest];
+                if moved > 0 {
+                    p.traffic.record(old, dest, moved);
+                }
+            }
+        }
+        p.epoch.fetch_add(1, Ordering::AcqRel);
+        Some(report)
+    }
+
     /// Per-shard footprint of the store's windows and indexes — how many
     /// tuples/entries each shard holds and the key spans they cover. Under
     /// the partitioned layout every span must lie inside the shard's key
@@ -797,6 +1037,8 @@ impl ShardStore {
                 vec![StoreShardFootprint { shard: 0, sides }]
             }
             Layout::Partitioned(p) => p
+                .inner
+                .read()
                 .shards
                 .iter()
                 .enumerate()

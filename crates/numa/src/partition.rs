@@ -66,7 +66,15 @@ impl RangePartitioner {
             }
             acc += w;
             if acc >= target {
-                boundaries.push(key);
+                // A near-constant sample can hit several targets on the same
+                // key; duplicate boundaries would make `covering_shards`
+                // report fan-out onto shards that `node_of` can never route
+                // to (their interval is empty). Keep each boundary once —
+                // the skipped shards become trailing `Key::MAX` intervals,
+                // the same convention the empty-sample path uses.
+                if boundaries.last() != Some(&key) {
+                    boundaries.push(key);
+                }
                 target += per_node;
             }
         }
@@ -96,6 +104,39 @@ impl RangePartitioner {
     /// node).
     pub fn boundaries(&self) -> &[Key] {
         &self.boundaries
+    }
+
+    /// The inclusive key interval shard `shard` owns, or `None` when the
+    /// interval is empty (a shard behind a duplicate or `Key::MAX` boundary
+    /// that [`node_of`](Self::node_of) can never route a key to).
+    ///
+    /// The lower end is `boundaries[shard - 1] + 1`, computed with *checked*
+    /// arithmetic: at the `Key::MAX` domain edge the increment would wrap to
+    /// `Key::MIN` and silently claim the whole domain for an empty shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_interval(&self, shard: usize) -> Option<(Key, Key)> {
+        assert!(
+            shard < self.nodes,
+            "shard {shard} out of {} nodes",
+            self.nodes
+        );
+        let lo = if shard == 0 {
+            Key::MIN
+        } else {
+            // A boundary at Key::MAX leaves nothing above it: checked, not
+            // wrapping, so the empty shard reports `None` instead of the
+            // full domain.
+            self.boundaries[shard - 1].checked_add(1)?
+        };
+        let hi = if shard == self.nodes - 1 {
+            Key::MAX
+        } else {
+            self.boundaries[shard]
+        };
+        (lo <= hi).then_some((lo, hi))
     }
 
     /// The nodes whose intervals overlap `[lo, hi]` (a band-join probe range),
@@ -181,6 +222,12 @@ pub struct DriftMonitor {
     capacity: usize,
     cursor: usize,
     imbalance_trigger: f64,
+    /// Observations remaining before the monitor may trigger again after a
+    /// plan decision. Without it, the stale pre-migration sample would
+    /// immediately re-trigger [`should_repartition`](Self::should_repartition)
+    /// against the freshly adopted partitioner and the system would
+    /// oscillate between partitionings.
+    cooldown: usize,
 }
 
 impl DriftMonitor {
@@ -203,11 +250,13 @@ impl DriftMonitor {
             capacity,
             cursor: 0,
             imbalance_trigger,
+            cooldown: 0,
         }
     }
 
     /// Records one observation, evicting the oldest once at capacity.
     pub fn observe(&mut self, key: Key, output_weight: u64) {
+        self.cooldown = self.cooldown.saturating_sub(1);
         if self.sample.len() < self.capacity {
             self.sample.push((key, output_weight));
         } else {
@@ -239,10 +288,28 @@ impl DriftMonitor {
 
     /// Whether the observed drift exceeds the trigger. A sample smaller than
     /// half the capacity never triggers — early observations are too noisy
-    /// to justify moving data.
+    /// to justify moving data — and neither does a monitor still cooling
+    /// down after a plan decision (see
+    /// [`note_adoption`](Self::note_adoption)).
     pub fn should_repartition(&self, partitioner: &RangePartitioner) -> bool {
-        self.sample.len() * 2 >= self.capacity
+        self.cooldown == 0
+            && self.sample.len() * 2 >= self.capacity
             && self.imbalance(partitioner) > self.imbalance_trigger
+    }
+
+    /// Observations still to go before the monitor may trigger again.
+    pub fn cooldown(&self) -> usize {
+        self.cooldown
+    }
+
+    /// Records that a plan was decided on (adopted or rejected by a cost
+    /// gate): discards the sliding sample — it was observed under the *old*
+    /// partitioner and would otherwise immediately re-trigger against the
+    /// new one — and arms a cooldown of `capacity` observations so the next
+    /// decision is made from an entirely fresh window.
+    pub fn note_adoption(&mut self) {
+        self.clear();
+        self.cooldown = self.capacity;
     }
 
     /// Computes the repartition plan for the observed window.
@@ -428,6 +495,142 @@ mod tests {
     }
 
     #[test]
+    fn constant_sample_dedupes_boundaries_and_keeps_fanout_consistent() {
+        // Every sampled key is 7: without deduplication the boundaries
+        // collapse to [7, 7, 7], every tuple lands on shard 0 or 3, and
+        // `covering_shards` still reports 4-way fan-out for band ranges.
+        let p = RangePartitioner::from_weighted_sample(4, &vec![(7, 0); 100]);
+        assert_eq!(p.boundaries(), &[7, Key::MAX, Key::MAX]);
+        assert_eq!(p.node_of(7), 0);
+        assert_eq!(p.node_of(8), 1);
+        // Fan-out is consistent with node_of: a band around the constant key
+        // covers exactly the shards that own keys in it.
+        assert_eq!(p.covering_shards(5, 9), 0..2);
+        assert_eq!(p.covering_shards(8, 100), 1..2);
+        // The shards behind the deduplicated boundaries own empty intervals.
+        assert_eq!(p.shard_interval(0), Some((Key::MIN, 7)));
+        assert_eq!(p.shard_interval(1), Some((8, Key::MAX)));
+        assert_eq!(p.shard_interval(2), None);
+        assert_eq!(p.shard_interval(3), None);
+        // Every key's owner has a non-empty interval containing it.
+        for key in [Key::MIN, 0, 7, 8, Key::MAX] {
+            let (lo, hi) = p.shard_interval(p.node_of(key)).expect("owner non-empty");
+            assert!((lo..=hi).contains(&key), "key {key}");
+        }
+    }
+
+    #[test]
+    fn two_value_sample_splits_between_the_values() {
+        // Half the weight on key 10, half on key 20: shard 0 gets [MIN, 10],
+        // shard 1 the rest, and the two trailing shards stay empty.
+        let mut sample: Vec<(Key, u64)> = vec![(10, 0); 50];
+        sample.extend(vec![(20, 0); 50]);
+        let p = RangePartitioner::from_weighted_sample(4, &sample);
+        assert_eq!(p.node_of(10), 0);
+        assert_eq!(p.node_of(11), p.node_of(20), "both route to the same shard");
+        assert!(p.node_of(20) < 4);
+        // covering_shards only reports shards node_of can route to.
+        let covered = p.covering_shards(0, 100);
+        for shard in covered.clone() {
+            assert!(
+                p.shard_interval(shard).is_some(),
+                "covered shard {shard} must own a non-empty interval"
+            );
+        }
+        assert_eq!(covered, 0..3, "boundaries [10, 20, MAX]: three live shards");
+    }
+
+    #[test]
+    fn shard_interval_checked_math_at_domain_edges() {
+        // A boundary at Key::MAX: the shard above it owns nothing, and the
+        // naive `boundary + 1` lower bound would wrap to Key::MIN.
+        let p = RangePartitioner::from_weighted_sample(2, &[(Key::MAX, 0), (Key::MAX, 0)]);
+        assert_eq!(p.boundaries(), &[Key::MAX]);
+        assert_eq!(p.shard_interval(0), Some((Key::MIN, Key::MAX)));
+        assert_eq!(p.shard_interval(1), None);
+        assert_eq!(p.node_of(Key::MAX), 0);
+        assert_eq!(p.covering_shards(Key::MIN, Key::MAX), 0..1);
+        // A boundary at Key::MIN leaves the minimum key on shard 0 and
+        // everything else above it.
+        let p = RangePartitioner::from_weighted_sample(2, &[(Key::MIN, 0), (Key::MAX, 0)]);
+        let b = p.boundaries()[0];
+        let interval0 = p.shard_interval(0).expect("shard 0 non-empty");
+        assert_eq!(interval0, (Key::MIN, b));
+        if b < Key::MAX {
+            assert_eq!(p.shard_interval(1), Some((b + 1, Key::MAX)));
+        }
+    }
+
+    #[test]
+    fn shard_intervals_partition_the_domain() {
+        let keys: Vec<Key> = (0..4000).collect();
+        let p = RangePartitioner::from_key_sample(4, &keys);
+        let mut expected_lo = Key::MIN;
+        for shard in 0..4 {
+            let (lo, hi) = p
+                .shard_interval(shard)
+                .expect("uniform sample: all non-empty");
+            assert_eq!(lo, expected_lo, "intervals are contiguous");
+            assert!(lo <= hi);
+            assert_eq!(p.node_of(lo), shard);
+            assert_eq!(p.node_of(hi), shard);
+            if shard < 3 {
+                expected_lo = hi + 1;
+            } else {
+                assert_eq!(hi, Key::MAX);
+            }
+        }
+    }
+
+    #[test]
+    fn adoption_clears_the_sample_and_cools_down() {
+        let initial: Vec<Key> = (0..1000).collect();
+        let p = RangePartitioner::from_key_sample(4, &initial);
+        let mut monitor = DriftMonitor::new(400, 1.5);
+        // Drift the whole window to a disjoint key range: triggers.
+        for k in 0..400 {
+            monitor.observe(5000 + k, 0);
+        }
+        assert!(monitor.should_repartition(&p));
+        let plan = monitor.plan(&p);
+        let adopted = plan.new_partitioner;
+        // Regression: before the fix the stale pre-migration sample stayed
+        // in the window and could immediately re-trigger after adoption.
+        monitor.note_adoption();
+        assert!(monitor.is_empty(), "sample cleared on adoption");
+        assert_eq!(monitor.cooldown(), 400);
+        assert!(!monitor.should_repartition(&adopted));
+        assert!(
+            !monitor.should_repartition(&p),
+            "no trigger from an empty sample"
+        );
+        // Even a refilled, maximally imbalanced sample must wait out the
+        // cooldown of `capacity` observations...
+        for k in 0..399 {
+            monitor.observe(k % 7, 0);
+            assert!(
+                !monitor.should_repartition(&adopted),
+                "cooldown must hold at observation {k}"
+            );
+        }
+        // ...and may trigger again only once it expired.
+        monitor.observe(3, 0);
+        assert_eq!(monitor.cooldown(), 0);
+        assert!(monitor.should_repartition(&adopted));
+        // Steady state under the adopted partitioner never re-triggers: the
+        // post-adoption stream is balanced by construction of the plan.
+        let mut steady = DriftMonitor::new(400, 1.5);
+        for k in 0..1200 {
+            steady.observe(5000 + (k % 400), 0);
+        }
+        assert!(
+            !steady.should_repartition(&adopted),
+            "adoption must not oscillate: imbalance {}",
+            steady.imbalance(&adopted)
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "positive capacity")]
     fn drift_monitor_rejects_zero_capacity() {
         let _ = DriftMonitor::new(0, 1.5);
@@ -490,6 +693,28 @@ mod tests {
                 prop_assert!(covered.contains(&p.node_of(probe)));
             }
             prop_assert!(p.covering_shards(hi, lo).is_empty() || lo == hi);
+        }
+
+        #[test]
+        fn shard_interval_agrees_with_node_of(
+            keys in proptest::collection::vec(any::<i64>(), 1..200),
+            nodes in 1usize..8,
+            probe in any::<i64>(),
+        ) {
+            let p = RangePartitioner::from_key_sample(nodes, &keys);
+            // The owner of any key has a non-empty interval containing it.
+            let owner = p.node_of(probe);
+            let (lo, hi) = p.shard_interval(owner).expect("owner interval non-empty");
+            prop_assert!(lo <= probe && probe <= hi);
+            // Intervals are consistent with ownership at both ends, and
+            // empty intervals are never owners.
+            for shard in 0..nodes {
+                if let Some((lo, hi)) = p.shard_interval(shard) {
+                    prop_assert!(lo <= hi);
+                    prop_assert_eq!(p.node_of(lo), shard);
+                    prop_assert_eq!(p.node_of(hi), shard);
+                }
+            }
         }
 
         #[test]

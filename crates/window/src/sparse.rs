@@ -295,6 +295,59 @@ impl ShardWindow {
         }
     }
 
+    /// Collects every resident local entry — `(seq, key, indexed)` ascending
+    /// in `seq` — including entries past the expiry horizon that the slack
+    /// budget still keeps readable. This is the migration path's view of the
+    /// slice: the caller must hold the engine quiescent (no concurrent
+    /// appends, scans or flag updates), so the snapshot is exact.
+    pub fn snapshot(&self) -> Vec<(Seq, Key, bool)> {
+        let len = self.len.load(Ordering::Acquire);
+        let floor = self.floor(len);
+        (floor..len)
+            .map(|idx| {
+                let pos = self.pos(idx);
+                (
+                    self.seqs[pos].load(Ordering::Relaxed),
+                    self.keys[pos].load(Ordering::Relaxed),
+                    self.flags[pos].load(Ordering::Relaxed) & FLAG_INDEXED != 0,
+                )
+            })
+            .collect()
+    }
+
+    /// Builds a fresh shard slice holding `entries` — `(seq, key, indexed)`
+    /// strictly ascending in `seq` — the migration path's constructor when a
+    /// repartition moves window tuples to a new owner shard. Indexed flags
+    /// are preserved, the edge is re-derived (first non-indexed entry), and
+    /// the eager-expiry cursor restarts at the oldest entry: a re-reported
+    /// already-deleted entry is a harmless no-op removal, whereas skipping a
+    /// migrated entry would leak it in an eager-deletion index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entries do not fit the capacity implied by
+    /// `window_size + slack` (the migration keep-horizon guarantees they do)
+    /// or are not strictly ascending.
+    pub fn from_entries(window_size: usize, slack: usize, entries: &[(Seq, Key, bool)]) -> Self {
+        let w = ShardWindow::new(window_size, slack);
+        assert!(
+            entries.len() <= w.capacity,
+            "{} migrated entries exceed the shard window capacity {}",
+            entries.len(),
+            w.capacity
+        );
+        for &(seq, key, indexed) in entries {
+            w.append(seq, key, 0)
+                .expect("capacity was checked; no recycling can occur");
+            if indexed {
+                let found = w.mark_indexed(seq);
+                debug_assert!(found);
+            }
+        }
+        w.try_advance_edge();
+        w
+    }
+
     /// Collects the local entries that are still live under the global expiry
     /// horizon `earliest_live`, oldest first (footprint inspection; not on
     /// the hot path).
@@ -427,6 +480,69 @@ mod tests {
         assert!(w.append(8, 0, 0).is_err());
         // Raising the keep horizon past the recycled entry unblocks it.
         w.append(8, 0, 1).unwrap();
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_from_entries() {
+        let w = window(16, 16);
+        for seq in [2u64, 5, 9, 14, 21] {
+            w.append(seq, (seq * 3) as Key, 0).unwrap();
+        }
+        w.mark_indexed(2);
+        w.mark_indexed(5);
+        w.mark_indexed(14); // out-of-order: 9 stays unindexed
+        w.try_advance_edge();
+        let snap = w.snapshot();
+        assert_eq!(
+            snap,
+            vec![
+                (2, 6, true),
+                (5, 15, true),
+                (9, 27, false),
+                (14, 42, true),
+                (21, 63, false)
+            ]
+        );
+        let rebuilt = ShardWindow::from_entries(16, 16, &snap);
+        assert_eq!(rebuilt.snapshot(), snap, "round trip is lossless");
+        assert_eq!(
+            rebuilt.edge_seq(),
+            9,
+            "edge re-derived at first non-indexed"
+        );
+        assert_eq!(rebuilt.unindexed_len(), 3);
+        // Scans over the rebuilt slice behave like the original.
+        let mut hits = Vec::new();
+        rebuilt.scan_linear(9, 22, KeyRange::new(0, 100), |seq, key| {
+            hits.push((seq, key))
+        });
+        assert_eq!(hits, vec![(9, 27), (14, 42), (21, 63)]);
+        // The expiry cursor restarts at the oldest entry.
+        let mut expired = Vec::new();
+        rebuilt.expire_eager(10, |_, seq| expired.push(seq));
+        assert_eq!(expired, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn from_entries_accepts_empty_and_full_slices() {
+        let empty = ShardWindow::from_entries(8, 8, &[]);
+        assert_eq!(empty.local_len(), 0);
+        assert_eq!(empty.edge_seq(), Seq::MAX);
+        // Exactly capacity entries fit without recycling.
+        let cap = ShardWindow::new(4, 4).capacity();
+        let entries: Vec<(Seq, Key, bool)> = (0..cap as u64).map(|s| (s, s as Key, true)).collect();
+        let full = ShardWindow::from_entries(4, 4, &entries);
+        assert_eq!(full.local_len(), cap as u64);
+        assert_eq!(full.edge_seq(), Seq::MAX, "all indexed");
+        assert_eq!(full.snapshot(), entries);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the shard window capacity")]
+    fn from_entries_rejects_oversized_slices() {
+        let cap = ShardWindow::new(4, 4).capacity();
+        let entries: Vec<(Seq, Key, bool)> = (0..cap as u64 + 1).map(|s| (s, 0, false)).collect();
+        let _ = ShardWindow::from_entries(4, 4, &entries);
     }
 
     #[test]
