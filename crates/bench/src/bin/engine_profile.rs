@@ -14,10 +14,14 @@
 //! ingestion by key range and reports steal/remote-traffic counters).
 //! `--partition-index=on` additionally partitions the index and window state
 //! per shard (the `ShardStore` layer) and reports its probe fan-out and
-//! simulated store-traffic counters.
+//! simulated store-traffic counters. `--repartition=on` (with
+//! `--migration-mode=epoch|incremental` and `--handoff-budget=`) turns on
+//! drift-driven repartitioning and reports the migration columns (mode,
+//! epochs, handoff steps, worst stall); `--arrival-rate=` paces ingestion
+//! open-loop and reports the arrival-latency tail (p99).
 
 use pimtree_bench::harness::*;
-use pimtree_common::{IndexKind, JoinConfig};
+use pimtree_common::{IndexKind, JoinConfig, MigrationMode};
 use pimtree_join::{ParallelIbwj, SharedIndexKind};
 use pimtree_numa::RangePartitioner;
 use pimtree_workload::KeyDistribution;
@@ -83,6 +87,11 @@ fn main() {
             "single_shard_probes",
             "store_remote_fraction",
             "simulated_store_cost",
+            "migration_mode",
+            "migration_epochs",
+            "handoff_steps",
+            "max_stall_us",
+            "arrival_p99_us",
         ],
     );
     let mut sweep = vec![1, 2, 4, 8];
@@ -103,12 +112,16 @@ fn main() {
             .with_pim(pim_config(w))
             .with_ring(opts.ring())
             .with_probe(opts.probe())
-            .with_shard(opts.shard());
+            .with_shard(opts.shard())
+            .with_drift(opts.drift());
         config.window_r = w;
         config.window_s = w;
         let mut op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false);
         if let Some(p) = &partitioner {
             op = op.with_partitioner(p.clone());
+        }
+        if opts.arrival_rate > 0.0 {
+            op = op.with_open_loop(opts.arrival_rate);
         }
         let (stats, _) = op.run_with_warmup(&tuples, (2 * w).min(tuples.len() / 2));
         let total = stats.phase.total().as_secs_f64().max(1e-12);
@@ -161,6 +174,20 @@ fn main() {
             stats.store.single_shard_probes.to_string(),
             format!("{:.3}", stats.store.remote_fraction()),
             stats.store.simulated_store_cost.to_string(),
+            match opts.migration_mode {
+                MigrationMode::Epoch => "epoch".to_string(),
+                MigrationMode::Incremental => "incremental".to_string(),
+            },
+            stats.migration.epochs.to_string(),
+            stats.migration.handoff_steps.to_string(),
+            format!("{:.1}", stats.migration.max_stall_micros()),
+            format!(
+                "{:.1}",
+                stats
+                    .arrival_latency
+                    .as_ref()
+                    .map_or(0.0, |h| h.p99_micros())
+            ),
         ]);
     }
 }

@@ -55,7 +55,8 @@ fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRun
             "\"repartition\": {}, \"drift_observations\": {}, ",
             "\"migration_epochs\": {}, \"migration_plans_rejected\": {}, ",
             "\"migrated_index_entries\": {}, \"migrated_window_tuples\": {}, ",
-            "\"simulated_move_cost\": {}, \"migration_stall_us\": {:.2}}}"
+            "\"simulated_move_cost\": {}, \"migration_stall_us\": {:.2}, ",
+            "\"migration_handoff_steps\": {}, \"migration_max_stall_us\": {:.2}}}"
         ),
         backend,
         probe.batch,
@@ -91,6 +92,8 @@ fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRun
         stats.migration.window_tuples_moved,
         stats.migration.simulated_move_cost,
         stats.migration.stall_micros(),
+        stats.migration.handoff_steps,
+        stats.migration.max_stall_micros(),
     )
 }
 

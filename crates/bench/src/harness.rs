@@ -1,8 +1,8 @@
 //! Shared helpers for the per-figure benchmark binaries.
 
 use pimtree_common::{
-    BandPredicate, DriftConfig, IndexKind, JoinConfig, PimConfig, ProbeConfig, RingConfig,
-    ShardConfig, Tuple,
+    BandPredicate, DriftConfig, IndexKind, JoinConfig, MigrationMode, PimConfig, ProbeConfig,
+    RingConfig, ShardConfig, Tuple,
 };
 use pimtree_join::{
     build_single_threaded, HandshakeJoin, HandshakeMode, JoinRunStats, ParallelIbwj,
@@ -65,6 +65,15 @@ pub struct RunOpts {
     pub drift_trigger: f64,
     /// Maximum moved-weight fraction a plan may cost and still be adopted.
     pub drift_cost_gate: f64,
+    /// How adopted repartition plans are applied: one wholesale migration
+    /// epoch, or stall-bounded incremental sub-range handoff steps.
+    pub migration_mode: MigrationMode,
+    /// Window tuples moved per incremental handoff step (0 = automatic:
+    /// the drift window).
+    pub handoff_budget: usize,
+    /// Open-loop arrival rate in tuples per second for the latency harness;
+    /// 0 runs closed-loop (ingest as fast as the engine admits).
+    pub arrival_rate: f64,
 }
 
 impl RunOpts {
@@ -104,6 +113,9 @@ impl RunOpts {
             drift_window: drift_defaults.window,
             drift_trigger: drift_defaults.imbalance_trigger,
             drift_cost_gate: drift_defaults.cost_gate,
+            migration_mode: drift_defaults.migration_mode,
+            handoff_budget: drift_defaults.handoff_budget,
+            arrival_rate: 0.0,
         };
         for arg in std::env::args().skip(1) {
             let mut split = arg.splitn(2, '=');
@@ -159,6 +171,23 @@ impl RunOpts {
                 }
                 "--drift-cost-gate" => {
                     opts.drift_cost_gate = value
+                        .parse::<f64>()
+                        .unwrap_or_else(|_| panic!("bad value for {key}: {value}"))
+                }
+                "--migration-mode" => {
+                    opts.migration_mode = match value {
+                        "epoch" | "wholesale" => MigrationMode::Epoch,
+                        "incremental" | "handoff" => MigrationMode::Incremental,
+                        other => {
+                            panic!(
+                                "bad value for --migration-mode: {other} (use epoch/incremental)"
+                            )
+                        }
+                    }
+                }
+                "--handoff-budget" => opts.handoff_budget = parse_usize(),
+                "--arrival-rate" => {
+                    opts.arrival_rate = value
                         .parse::<f64>()
                         .unwrap_or_else(|_| panic!("bad value for {key}: {value}"))
                 }
@@ -221,6 +250,8 @@ impl RunOpts {
             .with_window(self.drift_window)
             .with_imbalance_trigger(self.drift_trigger)
             .with_cost_gate(self.drift_cost_gate)
+            .with_migration_mode(self.migration_mode)
+            .with_handoff_budget(self.handoff_budget)
     }
 }
 
@@ -384,6 +415,48 @@ pub fn run_parallel_sharded(
     tuples: &[Tuple],
     self_join: bool,
 ) -> JoinRunStats {
+    run_parallel_paced(
+        kind,
+        window_r,
+        window_s,
+        threads,
+        task_size,
+        pim,
+        ring,
+        probe,
+        shard,
+        drift,
+        partitioner,
+        0.0,
+        predicate,
+        tuples,
+        self_join,
+    )
+}
+
+/// Runs the parallel engine like [`run_parallel_sharded`], additionally
+/// pacing measured-phase ingestion as an open-loop arrival process at
+/// `arrival_rate` tuples per second (0 = closed loop). Open-loop runs fill
+/// [`JoinRunStats::arrival_latency`] with one arrival → propagation sample
+/// per measured tuple, which is what the tail-latency SLO harness reads.
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_paced(
+    kind: SharedIndexKind,
+    window_r: usize,
+    window_s: usize,
+    threads: usize,
+    task_size: usize,
+    pim: PimConfig,
+    ring: RingConfig,
+    probe: ProbeConfig,
+    shard: ShardConfig,
+    drift: DriftConfig,
+    partitioner: Option<RangePartitioner>,
+    arrival_rate: f64,
+    predicate: BandPredicate,
+    tuples: &[Tuple],
+    self_join: bool,
+) -> JoinRunStats {
     let mut config = JoinConfig::symmetric(window_r.max(window_s), IndexKind::PimTree)
         .with_threads(threads)
         .with_task_size(task_size)
@@ -395,6 +468,9 @@ pub fn run_parallel_sharded(
     config.window_r = window_r;
     config.window_s = window_s;
     let mut op = ParallelIbwj::new(config, predicate, kind, self_join);
+    if arrival_rate > 0.0 {
+        op = op.with_open_loop(arrival_rate);
+    }
     if shard.shards > 1 {
         let partitioner = partitioner.unwrap_or_else(|| {
             // Bounded strided subsample: the partitioner only needs N − 1
@@ -468,6 +544,9 @@ mod tests {
             drift_window: 4096,
             drift_trigger: 1.5,
             drift_cost_gate: 0.9,
+            migration_mode: MigrationMode::Epoch,
+            handoff_budget: 0,
+            arrival_rate: 0.0,
         };
         assert_eq!(opts.tuples_for(1 << 10), 1 << 16);
         assert_eq!(opts.tuples_for(1 << 18), 1 << 20);
@@ -515,6 +594,8 @@ mod tests {
             drift_window: 256,
             drift_trigger: 2.0,
             drift_cost_gate: 0.5,
+            migration_mode: MigrationMode::Incremental,
+            handoff_budget: 32,
             ..opts
         }
         .drift();
@@ -522,6 +603,8 @@ mod tests {
         assert_eq!(drift.window, 256);
         assert!((drift.imbalance_trigger - 2.0).abs() < 1e-9);
         assert!((drift.cost_gate - 0.5).abs() < 1e-9);
+        assert_eq!(drift.migration_mode, MigrationMode::Incremental);
+        assert_eq!(drift.effective_handoff_budget(), 32);
         drift.validate().unwrap();
     }
 
@@ -632,5 +715,30 @@ mod tests {
         );
         assert_eq!(partitioned.store.probes, partitioned.tuples);
         assert!(partitioned.store.simulated_store_cost > 0);
+        // The open-loop runner reports one arrival→drain latency sample per
+        // measured tuple; the closed-loop runs above report none.
+        assert!(partitioned.arrival_latency.is_none());
+        let paced = run_parallel_paced(
+            SharedIndexKind::PimTree,
+            w,
+            w,
+            2,
+            4,
+            pim_config(w),
+            RingConfig::default(),
+            ProbeConfig::default(),
+            ShardConfig::default().with_shards(2),
+            DriftConfig::default(),
+            None,
+            5_000_000.0,
+            predicate,
+            &tuples,
+            true,
+        );
+        let hist = paced
+            .arrival_latency
+            .as_ref()
+            .expect("open-loop run records arrival latency");
+        assert_eq!(hist.len(), paced.tuples);
     }
 }

@@ -24,13 +24,14 @@ pub mod prefetch;
 pub mod types;
 
 pub use config::{
-    DriftConfig, IndexKind, JoinConfig, MergePolicy, PimConfig, ProbeConfig, RingConfig,
-    ShardConfig,
+    DriftConfig, IndexKind, JoinConfig, MergePolicy, MigrationMode, PimConfig, ProbeConfig,
+    RingConfig, ShardConfig,
 };
 pub use error::{Error, Result};
 pub use memtraffic::MemTraffic;
 pub use metrics::{
-    CostBreakdown, LatencyRecorder, ProbeCounters, Step, StepTimer, ThroughputMeter,
+    CostBreakdown, LatencyHistogram, LatencyRecorder, ProbeCounters, Step, StepTimer,
+    ThroughputMeter,
 };
 pub use prefetch::{prefetch_read, prefetch_slice, CACHE_LINE_BYTES};
 pub use types::{BandPredicate, JoinResult, Key, KeyRange, Seq, StreamSide, Tuple};

@@ -93,10 +93,10 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 use pimtree_btree::Entry;
 use pimtree_common::{
-    BandPredicate, DriftConfig, JoinConfig, JoinResult, Key, KeyRange, LatencyRecorder,
-    MergePolicy, ProbeConfig, Seq, StreamSide, Tuple,
+    BandPredicate, DriftConfig, JoinConfig, JoinResult, Key, KeyRange, LatencyHistogram,
+    LatencyRecorder, MergePolicy, MigrationMode, ProbeConfig, Seq, StreamSide, Tuple,
 };
-use pimtree_numa::{DriftMonitor, RangePartitioner};
+use pimtree_numa::{handoff_steps, DriftMonitor, HandoffStep, RangePartitioner};
 use pimtree_window::WindowBounds;
 
 use crate::ring::{Backoff, ClaimedTask, IdleKind};
@@ -164,6 +164,42 @@ struct DriftState {
     observations: u64,
     /// Plans rejected by the cost gate (or as no-ops), folded likewise.
     plans_rejected: u64,
+}
+
+/// The frontier of an in-flight incremental handoff (`--migration-mode
+/// incremental`): the adopted plan decomposed into per-sub-range steps, plus
+/// how far the handoff has progressed.
+///
+/// Invariants (all transitions run quiesced under the maintenance claim):
+///
+/// * Steps complete strictly in order; `next` is the first incomplete step.
+/// * At most one step is *active* at a time — only its sub-range is ever
+///   dual-owned in the store ([`crate::store`] tracks the moved-prefix cut
+///   inside the active step).
+/// * The routing swap to `new_partitioner` (and the bump of the store
+///   epoch) happens only after every step completed, so an interrupted
+///   handoff can always resume from `next` — including after the workers
+///   exit with the handoff unfinished (see `complete_handoff`).
+struct HandoffState {
+    /// The partitioner adopted once every step has completed.
+    new_partitioner: RangePartitioner,
+    /// Disjoint key sub-ranges whose owner changes, in ascending key order.
+    steps: Vec<HandoffStep>,
+    /// Index of the first incomplete step.
+    next: usize,
+    /// Whether `steps[next]` has begun (its remainder is dual-owned).
+    step_active: bool,
+}
+
+/// Open-loop arrival pacing for the SLO harness: tuple `measured_from + i`
+/// of the input becomes *available* at `base + i * nanos_per_tuple`, and its
+/// end-to-end latency is measured from that virtual arrival to the moment
+/// the propagating worker drains its slot — so queueing delay behind a
+/// stalled engine counts, unlike the closed-loop task latency.
+struct OpenLoopPacing {
+    base: Instant,
+    nanos_per_tuple: u64,
+    measured_from: usize,
 }
 
 struct Shared<'a> {
@@ -235,6 +271,23 @@ struct Shared<'a> {
     /// Run-level migration totals (epochs, moved entries, stall), filled by
     /// whichever workers performed the epochs.
     migration_totals: Mutex<MigrationCounters>,
+    /// In-flight incremental handoff (`--migration-mode incremental`); only
+    /// touched under the maintenance claim with the engine quiesced.
+    handoff: Mutex<Option<HandoffState>>,
+    /// Mirrors `handoff.is_some()` so the workers' per-loop peek is one
+    /// relaxed load; while raised, `record_drift` stops staging new plans
+    /// (they would be measured against the partitioner being replaced).
+    handoff_active: AtomicBool,
+    /// Open-loop arrival pacing; `None` runs closed-loop (as fast as the
+    /// engine admits). Armed for the measured phase only.
+    open_loop: Option<OpenLoopPacing>,
+    /// Measured-phase slots drained so far, in global arrival order; pairs
+    /// each drained slot with its virtual arrival time under open-loop
+    /// pacing. Only advanced when `open_loop` is armed (the drain token
+    /// makes the increment uncontended).
+    drained_pos: AtomicUsize,
+    /// End-to-end arrival→drain latency histogram (open-loop runs only).
+    arrival_latency: Mutex<LatencyHistogram>,
     /// Result sink `(count, collected results)`. Its try-lock doubles as the
     /// election of the propagating worker, exactly like the paper's
     /// test-and-set scheme; the ring's internal drain token additionally
@@ -282,6 +335,7 @@ pub struct ParallelIbwj {
     collect_results: bool,
     partitioner: Option<RangePartitioner>,
     forced_repartition: Option<(usize, RangePartitioner)>,
+    open_loop_rate: Option<f64>,
 }
 
 impl ParallelIbwj {
@@ -304,7 +358,33 @@ impl ParallelIbwj {
             collect_results: false,
             partitioner: None,
             forced_repartition: None,
+            open_loop_rate: None,
         }
+    }
+
+    /// Selects how an adopted repartition plan is applied: one wholesale
+    /// migration epoch ([`MigrationMode::Epoch`]) or a sequence of bounded
+    /// per-sub-range handoff steps ([`MigrationMode::Incremental`]).
+    /// Shorthand for setting `config.drift.migration_mode`.
+    pub fn with_migration_mode(mut self, mode: MigrationMode) -> Self {
+        self.config.drift.migration_mode = mode;
+        self
+    }
+
+    /// Paces ingestion as an open-loop arrival process at `rate` tuples per
+    /// second: measured-phase tuple `i` only becomes available for ingestion
+    /// at its virtual arrival time `i / rate`, and the reported
+    /// [`JoinRunStats::arrival_latency`] histogram measures arrival →
+    /// propagation per tuple — so time spent queued behind a stalled or
+    /// saturated engine counts toward the tail, which a closed-loop run
+    /// hides (coordinated omission).
+    pub fn with_open_loop(mut self, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "open-loop arrival rate must be positive"
+        );
+        self.open_loop_rate = Some(rate);
+        self
     }
 
     /// Collect result tuples (for tests); by default only counts are kept.
@@ -524,6 +604,11 @@ impl ParallelIbwj {
             forced_done: AtomicBool::new(false),
             repartition_pending: AtomicBool::new(false),
             migration_totals: Mutex::new(MigrationCounters::default()),
+            handoff: Mutex::new(None),
+            handoff_active: AtomicBool::new(false),
+            open_loop: None,
+            drained_pos: AtomicUsize::new(0),
+            arrival_latency: Mutex::new(LatencyHistogram::new()),
             sink: Mutex::new((0, Vec::new())),
             worker_stats: Mutex::new(Vec::new()),
         };
@@ -568,6 +653,14 @@ impl ParallelIbwj {
 
         let measured = (tuples.len() - warmup) as u64;
         let start = Instant::now();
+        // Open-loop pacing covers the measured phase only: warmup fills the
+        // windows as fast as the engine admits, then the arrival clock
+        // starts with the measurement.
+        shared.open_loop = self.open_loop_rate.map(|rate| OpenLoopPacing {
+            base: start,
+            nanos_per_tuple: (1.0e9 / rate).round().max(0.0) as u64,
+            measured_from: warmup,
+        });
         std::thread::scope(|scope| {
             let shared = &shared;
             for worker in 0..threads {
@@ -575,6 +668,11 @@ impl ParallelIbwj {
             }
         });
         let elapsed = start.elapsed();
+        // An incremental handoff interrupted by input exhaustion resumes
+        // from its frontier and runs to completion before the store is
+        // inspected, so post-run state always respects the adopted
+        // ownership (its remaining stalls still land in the counters).
+        complete_handoff(&shared);
 
         let mut stats = JoinRunStats {
             tuples: measured,
@@ -607,6 +705,9 @@ impl ParallelIbwj {
             stats.store.simulated_store_cost = (traffic.local() - warm_store_local)
                 * topology.local_cost
                 + (traffic.remote() - warm_store_remote) * topology.remote_cost;
+        }
+        if shared.open_loop.is_some() {
+            stats.arrival_latency = Some(std::mem::take(&mut *shared.arrival_latency.lock()));
         }
         stats.migration = *shared.migration_totals.lock();
         if let Some(drift) = &shared.drift {
@@ -806,6 +907,19 @@ fn try_ingest(shared: &Shared<'_>, local: &mut JoinRunStats) {
     let mut pos = shared.next_ingest.load(Ordering::Relaxed);
     let mut ingested_any = false;
     while pos < shared.ingest_limit && shared.ring.available() < shared.ingest_target {
+        // Open-loop pacing: a tuple whose virtual arrival time has not come
+        // yet is simply not available — the worker goes back to draining
+        // whatever is queued (arrival order is preserved because ingestion
+        // is sequential in `pos`).
+        if let Some(ol) = &shared.open_loop {
+            if pos >= ol.measured_from {
+                let due =
+                    ((pos - ol.measured_from) as u64).saturating_mul(ol.nanos_per_tuple) as u128;
+                if ol.base.elapsed().as_nanos() < due {
+                    break;
+                }
+            }
+        }
         let t = shared.input[pos];
         // Capacity of the routed shard is checked before the window append so
         // that a published window tuple is always matched by a published ring
@@ -984,10 +1098,24 @@ fn propagate(shared: &Shared<'_>, local: &mut JoinRunStats) {
         return;
     };
     let collect = shared.collect_results;
+    // Under open-loop pacing, stamp each drained slot's end-to-end latency:
+    // drain time minus the slot's virtual arrival time. Slots drain in
+    // global arrival order (a structural ring invariant), so the drain
+    // cursor position *is* the arrival index.
+    let mut arrivals = shared
+        .open_loop
+        .as_ref()
+        .map(|ol| (ol, shared.arrival_latency.lock(), Instant::now()));
     let drained = shared.ring.try_drain(collect, |count, results| {
         sink.0 += count;
         if collect {
             sink.1.extend(results);
+        }
+        if let Some((ol, hist, now)) = arrivals.as_mut() {
+            let i = shared.drained_pos.fetch_add(1, Ordering::Relaxed) as u64;
+            let due_nanos = i.saturating_mul(ol.nanos_per_tuple);
+            let elapsed = now.saturating_duration_since(ol.base).as_nanos() as u64;
+            hist.record_nanos(elapsed.saturating_sub(due_nanos));
         }
     });
     if let Some(n) = drained {
@@ -1031,7 +1159,14 @@ fn record_drift(shared: &Shared<'_>, scratch: &mut WorkerScratch) {
     }
     st.since_check += observed as usize;
     st.observations += observed;
-    if st.pending.is_none() && st.since_check >= shared.drift_cfg.effective_check_interval() {
+    // While an incremental handoff is in flight no new plan is staged: it
+    // would be measured against the partitioner currently being replaced
+    // (observations keep flowing — the sample stays warm for the next
+    // check after the handoff finalizes).
+    if st.pending.is_none()
+        && !shared.handoff_active.load(Ordering::Relaxed)
+        && st.since_check >= shared.drift_cfg.effective_check_interval()
+    {
         st.since_check = 0;
         if st.monitor.should_repartition(&st.partitioner) {
             let plan = st.monitor.plan(&st.partitioner);
@@ -1077,6 +1212,17 @@ fn record_drift(shared: &Shared<'_>, scratch: &mut WorkerScratch) {
 /// 4. **Resume.** The gate reopens; stalled ingestion re-routes subsequent
 ///    input under the new partitioner.
 fn maybe_repartition(shared: &Shared<'_>) {
+    // Incremental handoff (requires shard state to hand off — without the
+    // partitioned store a "migration" is just the ring router swap, for
+    // which the epoch path below is already minimal).
+    let incremental = shared.drift_cfg.migration_mode == MigrationMode::Incremental
+        && shared.store.is_partitioned();
+    if incremental && shared.handoff_active.load(Ordering::Acquire) {
+        // A handoff is in flight: perform its next bounded transition. New
+        // plan peeks wait until it finalizes.
+        handoff_visit(shared, None);
+        return;
+    }
     // Forced adoption (deterministic test/bench hook).
     let forced = match &shared.forced_repartition {
         Some((at, p))
@@ -1092,6 +1238,10 @@ fn maybe_repartition(shared: &Shared<'_>) {
     // on every worker-loop iteration and thin the drift sample.
     let drift_pending = forced.is_none() && shared.repartition_pending.load(Ordering::Acquire);
     if forced.is_none() && !drift_pending {
+        return;
+    }
+    if incremental {
+        handoff_visit(shared, forced);
         return;
     }
     if shared.merge_claimed.swap(true, Ordering::AcqRel) {
@@ -1145,11 +1295,158 @@ fn maybe_repartition(shared: &Shared<'_>) {
         .remote_cost;
     let mut totals = shared.migration_totals.lock();
     totals.epochs += 1;
-    totals.stall_nanos += stall.as_nanos() as u64;
+    totals.record_stall(stall.as_nanos() as u64);
     if let Some(m) = migrated {
         totals.index_entries_moved += m.index_entries_moved;
         totals.window_tuples_moved += m.window_tuples_moved;
         totals.simulated_move_cost += (m.index_entries_moved + m.window_tuples_moved) * remote_cost;
+    }
+}
+
+/// What one quiesced visit of the incremental handoff protocol did.
+enum HandoffTransition {
+    /// Began the next step: its sub-range became dual-owned (new appends
+    /// re-routed to the destination; probes fan out to both homes).
+    Begun,
+    /// Moved one budgeted chunk of the active step between its shard pair.
+    Advanced(crate::store::StoreMigration),
+    /// Every step done: routing and ownership swapped to the new
+    /// partitioner, handoff dismantled.
+    Finalized,
+}
+
+/// Performs one bounded transition of an incremental handoff under the
+/// maintenance claim — the incremental counterpart of the epoch body in
+/// [`maybe_repartition`]. Each visit quiesces the engine only for its own
+/// short transition (consume a plan and begin its first step, move one
+/// budgeted chunk, or finalize); ingestion and probing resume in between,
+/// which is exactly what bounds the per-stall tail (the epoch path pays for
+/// the whole migration in one quiesce).
+fn handoff_visit(shared: &Shared<'_>, forced: Option<RangePartitioner>) {
+    if shared.merge_claimed.swap(true, Ordering::AcqRel) {
+        return; // a merge or another maintenance visit is in progress
+    }
+    let stall_start = Instant::now();
+    close_gate_and_wait(shared);
+    let outcome = handoff_transition(shared, forced);
+    open_gate(shared);
+    shared.merge_claimed.store(false, Ordering::Release);
+    let Some(outcome) = outcome else { return };
+    let stall = stall_start.elapsed();
+    let remote_cost = shared
+        .store
+        .topology()
+        .unwrap_or_else(|| shared.ring.topology())
+        .remote_cost;
+    let mut totals = shared.migration_totals.lock();
+    totals.record_stall(stall.as_nanos() as u64);
+    match outcome {
+        HandoffTransition::Begun => {}
+        HandoffTransition::Advanced(m) => {
+            totals.handoff_steps += 1;
+            totals.index_entries_moved += m.index_entries_moved;
+            totals.window_tuples_moved += m.window_tuples_moved;
+            totals.simulated_move_cost +=
+                (m.index_entries_moved + m.window_tuples_moved) * remote_cost;
+        }
+        HandoffTransition::Finalized => totals.epochs += 1,
+    }
+}
+
+/// The transition body of [`handoff_visit`]; runs with the gate closed, the
+/// engine quiescent and the maintenance claim held. Returns `None` when
+/// there was nothing to do (the staged plan was consumed by a racing visit
+/// between the caller's peek and the claim).
+fn handoff_transition(
+    shared: &Shared<'_>,
+    forced: Option<RangePartitioner>,
+) -> Option<HandoffTransition> {
+    let mut slot = shared.handoff.lock();
+    if slot.is_none() {
+        // Re-resolve the plan under the claim, exactly like the epoch path.
+        let new = if let Some(p) = forced {
+            (!shared.forced_done.swap(true, Ordering::SeqCst)).then_some(p)
+        } else {
+            shared.drift.as_ref().and_then(|d| {
+                let mut st = d.lock();
+                let p = st.pending.take();
+                if p.is_some() {
+                    // Lowered while the lock is held, for the same reason as
+                    // in the epoch path.
+                    shared.repartition_pending.store(false, Ordering::Release);
+                }
+                p
+            })
+        };
+        let new = new?;
+        let current = shared
+            .store
+            .partitioner()
+            .expect("incremental handoff requires a partitioned store");
+        let steps = handoff_steps(&current, &new);
+        *slot = Some(HandoffState {
+            new_partitioner: new,
+            steps,
+            next: 0,
+            step_active: false,
+        });
+        shared.handoff_active.store(true, Ordering::Release);
+        // Fall through: a no-op plan (no steps) finalizes right away, a
+        // real one begins its first step in this same quiesce.
+    }
+    let st = slot.as_mut().expect("handoff state ensured above");
+    if st.step_active {
+        let adv = shared
+            .store
+            .advance_handoff_step(shared.drift_cfg.effective_handoff_budget());
+        // The frontier cut never leaves the active step's sub-range.
+        debug_assert!(
+            (st.steps[st.next].lo..=st.steps[st.next].hi).contains(&adv.cut),
+            "handoff frontier left its step range"
+        );
+        if adv.done {
+            st.step_active = false;
+            st.next += 1;
+        }
+        return Some(HandoffTransition::Advanced(adv.migration));
+    }
+    if let Some(&step) = st.steps.get(st.next) {
+        shared
+            .store
+            .begin_handoff_step(step.lo, step.hi, step.src, step.dst);
+        // New arrivals of the whole step range go to the destination ring
+        // shard immediately (store appends follow suit), so the sub-range
+        // stops accumulating state at the source while it drains.
+        shared.ring.add_route_override(step.lo, step.hi, step.dst);
+        st.step_active = true;
+        return Some(HandoffTransition::Begun);
+    }
+    // Every sub-range is fully moved: swap the routing wholesale (this
+    // clears the per-step overrides), retire the handoff overlay, and do
+    // the same drift bookkeeping as an epoch adoption so staged-but-stale
+    // plans cannot replay against the freshly adopted partitioner.
+    let new = st.new_partitioner.clone();
+    shared.ring.set_partitioner(new.clone());
+    shared.store.finish_handoff(&new);
+    if let Some(drift) = &shared.drift {
+        let mut d = drift.lock();
+        d.partitioner = new;
+        d.pending = None;
+        d.monitor.note_adoption();
+        shared.repartition_pending.store(false, Ordering::Release);
+    }
+    *slot = None;
+    shared.handoff_active.store(false, Ordering::Release);
+    Some(HandoffTransition::Finalized)
+}
+
+/// Drives an incremental handoff left in flight by input exhaustion to
+/// completion. The workers have exited, so the remaining transitions run
+/// back to back on the coordinating thread; resumability from the frontier
+/// is exactly what makes this a plain loop.
+fn complete_handoff(shared: &Shared<'_>) {
+    while shared.handoff_active.load(Ordering::Acquire) {
+        handoff_visit(shared, None);
     }
 }
 
@@ -1978,9 +2275,21 @@ mod tests {
         )
     }
 
+    /// Which migration mode the env-gated differential sweeps force.
+    /// CI's incremental legs pin `PIMTREE_TEST_MIGRATION=incremental`; the
+    /// default keeps the wholesale epoch protocol.
+    fn env_migration_mode() -> MigrationMode {
+        match std::env::var("PIMTREE_TEST_MIGRATION").ok().as_deref() {
+            Some("incremental") => MigrationMode::Incremental,
+            _ => MigrationMode::Epoch,
+        }
+    }
+
     /// Under `PIMTREE_TEST_REPARTITION=on`, arms `op` with a forced
     /// migration epoch at the stream midpoint, adopting a partitioner
-    /// rebalanced for the second half of the input.
+    /// rebalanced for the second half of the input (applied through the
+    /// `PIMTREE_TEST_MIGRATION` protocol — one wholesale epoch or an
+    /// incremental handoff).
     fn with_env_repartition(op: ParallelIbwj, tuples: &[Tuple], shards: usize) -> ParallelIbwj {
         if !repartition_forced() {
             return op;
@@ -1988,6 +2297,7 @@ mod tests {
         let at = tuples.len() / 2;
         let sample: Vec<Key> = tuples[at..].iter().map(|t| t.key).collect();
         op.with_forced_repartition(at, RangePartitioner::from_key_sample(shards, &sample))
+            .with_migration_mode(env_migration_mode())
     }
 
     /// The tentpole differential: with the per-shard index/window store the
@@ -2434,6 +2744,183 @@ mod tests {
         );
     }
 
+    /// The tentpole differential: a drift-adopted plan applied through the
+    /// incremental handoff protocol (small per-step budget, so the handoff
+    /// spans many bounded quiesces) produces results byte-identical to the
+    /// wholesale epoch protocol and the shared-store oracle, completes at
+    /// least one full handoff, and its worst single stall never exceeds the
+    /// cumulative stall (sanity of the max/total split).
+    #[test]
+    fn incremental_handoff_matches_epoch_and_oracle() {
+        let tuples = drifting_tuples(8000, 400, 10_000, 125);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        for shards in [2usize, 4] {
+            let first: Vec<Key> = tuples[..tuples.len() / 2].iter().map(|t| t.key).collect();
+            let partitioner = RangePartitioner::from_key_sample(shards, &first);
+            let shard_cfg = ShardConfig::default()
+                .with_shards(shards)
+                .with_partition_index(true);
+            let drift = pimtree_common::DriftConfig::default()
+                .with_repartition(true)
+                .with_window(512)
+                .with_imbalance_trigger(1.5)
+                .with_migration_mode(MigrationMode::Incremental)
+                .with_handoff_budget(64);
+            let op = ParallelIbwj::new(
+                config(128, 4, 4, 0.5, MergePolicy::NonBlocking)
+                    .with_shard(shard_cfg)
+                    .with_drift(drift),
+                predicate,
+                SharedIndexKind::PimTree,
+                false,
+            )
+            .with_partitioner(partitioner)
+            .with_collected_results(true);
+            let (stats, results) = op.run_with_store_inspector(&tuples, 0, |store| {
+                assert!(
+                    store.handoff_dual().is_none(),
+                    "no sub-range stays dual-owned after the run"
+                );
+            });
+            assert_eq!(canonical(&results), expected, "{shards} shards");
+            assert!(
+                stats.migration.epochs >= 1,
+                "the drifted load must complete a handoff ({shards} shards)"
+            );
+            assert!(stats.migration.epochs <= 8, "{shards} shards");
+            assert!(
+                stats.migration.handoff_steps >= 1,
+                "a full key-range shift must take budgeted steps ({shards} shards)"
+            );
+            assert!(stats.migration.window_tuples_moved > 0, "{shards} shards");
+            assert!(stats.migration.max_stall_nanos > 0, "{shards} shards");
+            assert!(
+                stats.migration.max_stall_nanos <= stats.migration.stall_nanos,
+                "{shards} shards"
+            );
+        }
+    }
+
+    /// A forced worst-case handoff (collapse 4 shards onto one) through the
+    /// incremental protocol, across both backends and merge policies: exact
+    /// results, post-handoff state entirely on shard 0, nothing dual-owned,
+    /// and the store epoch bumped exactly once at finalization.
+    #[test]
+    fn forced_incremental_collapse_preserves_results() {
+        let tuples = random_tuples(4000, 400, 126);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        for policy in [MergePolicy::NonBlocking, MergePolicy::Blocking] {
+            for kind in [SharedIndexKind::PimTree, SharedIndexKind::BwTree] {
+                let skewed = RangePartitioner::from_key_sample(4, &[]);
+                let cfg = config(128, 4, 4, 0.5, policy)
+                    .with_shard(
+                        ShardConfig::default()
+                            .with_shards(4)
+                            .with_partition_index(true),
+                    )
+                    .with_drift(
+                        pimtree_common::DriftConfig::default()
+                            .with_migration_mode(MigrationMode::Incremental)
+                            .with_handoff_budget(128),
+                    );
+                let op = ParallelIbwj::new(cfg, predicate, kind, false)
+                    .with_forced_repartition(tuples.len() / 2, skewed)
+                    .with_collected_results(true);
+                let label = format!("{policy:?}/{kind:?}");
+                let (stats, results) = op.run_with_store_inspector(&tuples, 0, |store| {
+                    assert!(store.handoff_dual().is_none());
+                    for fp in store.shard_footprints() {
+                        if fp.shard == 0 {
+                            continue;
+                        }
+                        for side in &fp.sides {
+                            assert_eq!(side.window_live, 0, "shard {}", fp.shard);
+                            assert_eq!(side.index_entries, 0, "shard {}", fp.shard);
+                        }
+                    }
+                    assert_eq!(store.epoch(), 1);
+                });
+                assert_eq!(canonical(&results), expected, "{label}");
+                assert_eq!(stats.migration.epochs, 1, "{label}");
+                assert!(stats.migration.handoff_steps >= 1, "{label}");
+                assert!(stats.migration.window_tuples_moved > 0, "{label}");
+                assert!(stats.migration.max_stall_nanos > 0, "{label}");
+            }
+        }
+    }
+
+    /// A handoff forced so late (and with so small a budget) that the input
+    /// ends while sub-ranges are still in flight: the run-end completion
+    /// path must resume from the frontier and finish the handoff, leaving
+    /// ownership fully swapped and nothing dual-owned.
+    #[test]
+    fn incremental_handoff_interrupted_by_input_end_completes() {
+        let tuples = random_tuples(3000, 300, 127);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        let cfg = config(128, 4, 4, 0.5, MergePolicy::NonBlocking)
+            .with_shard(
+                ShardConfig::default()
+                    .with_shards(4)
+                    .with_partition_index(true),
+            )
+            .with_drift(
+                pimtree_common::DriftConfig::default()
+                    .with_migration_mode(MigrationMode::Incremental)
+                    .with_handoff_budget(1),
+            );
+        let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+            .with_forced_repartition(tuples.len() - 50, RangePartitioner::from_key_sample(4, &[]))
+            .with_collected_results(true);
+        let (stats, results) = op.run_with_store_inspector(&tuples, 0, |store| {
+            assert!(store.handoff_dual().is_none());
+            for fp in store.shard_footprints() {
+                if fp.shard == 0 {
+                    continue;
+                }
+                for side in &fp.sides {
+                    assert_eq!(side.window_live, 0, "shard {}", fp.shard);
+                    assert_eq!(side.index_entries, 0, "shard {}", fp.shard);
+                }
+            }
+        });
+        assert_eq!(canonical(&results), expected);
+        assert_eq!(stats.migration.epochs, 1, "completion must finalize");
+        assert!(stats.migration.handoff_steps >= 1);
+    }
+
+    /// Open-loop pacing: arrival-rate runs report one arrival→drain sample
+    /// per measured tuple through the log-bucketed histogram, keep results
+    /// exact, and closed-loop runs report no histogram at all.
+    #[test]
+    fn open_loop_run_records_arrival_latency() {
+        let tuples = random_tuples(2000, 300, 128);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        let op = ParallelIbwj::new(
+            config(128, 4, 4, 0.5, MergePolicy::NonBlocking),
+            predicate,
+            SharedIndexKind::PimTree,
+            false,
+        )
+        .with_collected_results(true);
+        let (closed_stats, _) = op.run(&tuples);
+        assert!(closed_stats.arrival_latency.is_none());
+        let paced = op.clone().with_open_loop(400_000.0);
+        let (stats, results) = paced.run_with_warmup(&tuples, 500);
+        assert_eq!(canonical(&results), expected);
+        let hist = stats
+            .arrival_latency
+            .expect("open-loop run records latency");
+        assert_eq!(hist.len(), 1500, "one sample per measured tuple");
+        assert!(hist.p99_micros() >= hist.p50_micros());
+        assert!(hist.max_micros() >= hist.p999_micros());
+    }
+
     /// Domain-edge keys under the partitioned store: key clusters at
     /// `Key::MIN` and `Key::MAX` put partition boundaries (and probe ranges)
     /// at the integer domain edges, where the per-shard sub-range clipping
@@ -2556,6 +3043,81 @@ mod tests {
                 prop_assert_eq!(stats.migration.epochs, 1);
                 // No unexpired tuple dropped (or duplicated): per side the
                 // live census equals the unexpired suffix of the stream.
+                let r_count = tuples.iter().filter(|t| t.side == StreamSide::R).count();
+                let s_count = tuples.len() - r_count;
+                prop_assert_eq!(live_census[0], r_count.min(w), "side R census");
+                prop_assert_eq!(live_census[1], s_count.min(w), "side S census");
+            }
+
+            /// The incremental counterpart: the same randomly placed forced
+            /// migration applied as a budgeted handoff — interrupted and
+            /// resumed at every sub-range boundary by design, possibly cut
+            /// short by input exhaustion and finished by the run-end
+            /// completion path — equals the shared-store oracle across both
+            /// backends and merge policies, leaves nothing dual-owned, and
+            /// drops/duplicates no unexpired tuple.
+            #[test]
+            fn incremental_handoff_matches_oracle_and_drops_no_live_tuple(
+                seed in 1_000u64..2_000,
+                n in 1_000usize..2_500,
+                at_pct in 0usize..101,
+                shards in 2usize..5,
+                budget in 1usize..97,
+                blocking in prop::bool::ANY,
+                bw in prop::bool::ANY,
+                skew in prop::bool::ANY,
+            ) {
+                let tuples = random_tuples(n, 300, seed);
+                let predicate = BandPredicate::new(2);
+                let w = 64usize;
+                let expected = canonical(&reference_join(&tuples, predicate, w, w, false));
+                let at = n * at_pct / 100;
+                let forced = if skew {
+                    RangePartitioner::from_key_sample(shards, &[])
+                } else {
+                    let sample: Vec<Key> = tuples[at.min(n - 1)..].iter().map(|t| t.key).collect();
+                    RangePartitioner::from_key_sample(shards, &sample)
+                };
+                let policy = if blocking {
+                    MergePolicy::Blocking
+                } else {
+                    MergePolicy::NonBlocking
+                };
+                let kind = if bw {
+                    SharedIndexKind::BwTree
+                } else {
+                    SharedIndexKind::PimTree
+                };
+                let cfg = config(w, 4, 4, 0.5, policy)
+                    .with_shard(
+                        ShardConfig::default()
+                            .with_shards(shards)
+                            .with_partition_index(true),
+                    )
+                    .with_drift(
+                        pimtree_common::DriftConfig::default()
+                            .with_migration_mode(MigrationMode::Incremental)
+                            .with_handoff_budget(budget),
+                    );
+                let op = ParallelIbwj::new(cfg, predicate, kind, false)
+                    .with_forced_repartition(at, forced)
+                    .with_collected_results(true);
+                let mut live_census = [0usize; 2];
+                let mut dual = None;
+                let (stats, results) = op.run_with_store_inspector(&tuples, 0, |store| {
+                    dual = store.handoff_dual();
+                    for fp in store.shard_footprints() {
+                        for (side, counts) in fp.sides.iter().zip(live_census.iter_mut()) {
+                            *counts += side.window_live;
+                        }
+                    }
+                });
+                prop_assert_eq!(canonical(&results), expected);
+                prop_assert_eq!(stats.migration.epochs, 1);
+                prop_assert!(dual.is_none(), "handoff fully finalized");
+                if stats.migration.window_tuples_moved > 0 {
+                    prop_assert!(stats.migration.handoff_steps >= 1);
+                }
                 let r_count = tuples.iter().filter(|t| t.side == StreamSide::R).count();
                 let s_count = tuples.len() - r_count;
                 prop_assert_eq!(live_census[0], r_count.min(w), "side R census");

@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use pimtree_common::{CostBreakdown, LatencyRecorder, ProbeCounters};
+use pimtree_common::{CostBreakdown, LatencyHistogram, LatencyRecorder, ProbeCounters};
 
 /// Statistics of one join run over a tuple sequence.
 #[derive(Debug, Clone, Default)]
@@ -52,6 +52,12 @@ pub struct JoinRunStats {
     /// epochs, moved entries, quiesce stall). All zero when `--repartition`
     /// is off and no forced adoption was requested — the pre-PR-5 behavior.
     pub migration: MigrationCounters,
+    /// End-to-end arrival → propagation latency histogram of the open-loop
+    /// harness: per tuple, drain time minus scheduled (virtual) arrival
+    /// time, so queueing delay behind a stalled or saturated engine counts
+    /// toward the tail — closed-loop task latency cannot see it
+    /// (coordinated omission). `None` unless an arrival rate was armed.
+    pub arrival_latency: Option<LatencyHistogram>,
 }
 
 /// Counters of the drift-driven live repartitioning: how many observations
@@ -67,8 +73,13 @@ pub struct MigrationCounters {
     pub enabled: u64,
     /// `(key, match count)` observations fed into the drift monitor.
     pub observations: u64,
-    /// Repartition plans adopted — each one migration epoch.
+    /// Repartition plans adopted — one wholesale migration epoch each in
+    /// epoch mode, one completed incremental handoff each in incremental
+    /// mode.
     pub epochs: u64,
+    /// Incremental handoff quiesce steps executed (0 in epoch mode). Each
+    /// step moved at most the configured handoff budget of window tuples.
+    pub handoff_steps: u64,
     /// Plans whose moved-weight fraction failed the cost gate (or that were
     /// no-ops against the current partitioner) and were not adopted.
     pub plans_rejected: u64,
@@ -82,8 +93,15 @@ pub struct MigrationCounters {
     /// NUMA topology (remote-access cost per moved entry).
     pub simulated_move_cost: u64,
     /// Wall-clock nanoseconds the engine spent quiesced for migrations
-    /// (gate close through gate reopen), summed over epochs.
+    /// (gate close through gate reopen), summed over all epochs and handoff
+    /// steps.
     pub stall_nanos: u64,
+    /// Longest single quiesce in nanoseconds — the per-epoch stall in epoch
+    /// mode, the per-step stall in incremental mode. This is the number SLO
+    /// gates assert on: the cumulative `stall_nanos` can be identical
+    /// between the modes while the worst-case pause differs by orders of
+    /// magnitude (`max`-merged, not summed).
+    pub max_stall_nanos: u64,
 }
 
 impl MigrationCounters {
@@ -92,11 +110,13 @@ impl MigrationCounters {
         self.enabled = self.enabled.max(other.enabled);
         self.observations += other.observations;
         self.epochs += other.epochs;
+        self.handoff_steps += other.handoff_steps;
         self.plans_rejected += other.plans_rejected;
         self.index_entries_moved += other.index_entries_moved;
         self.window_tuples_moved += other.window_tuples_moved;
         self.simulated_move_cost += other.simulated_move_cost;
         self.stall_nanos += other.stall_nanos;
+        self.max_stall_nanos = self.max_stall_nanos.max(other.max_stall_nanos);
     }
 
     /// Total entries (index plus window) the migrations re-homed.
@@ -107,6 +127,18 @@ impl MigrationCounters {
     /// Total migration stall in microseconds.
     pub fn stall_micros(&self) -> f64 {
         self.stall_nanos as f64 / 1_000.0
+    }
+
+    /// Longest single migration quiesce in microseconds.
+    pub fn max_stall_micros(&self) -> f64 {
+        self.max_stall_nanos as f64 / 1_000.0
+    }
+
+    /// Records one quiesce of `nanos` nanoseconds into both the cumulative
+    /// and the worst-case stall.
+    pub fn record_stall(&mut self, nanos: u64) {
+        self.stall_nanos += nanos;
+        self.max_stall_nanos = self.max_stall_nanos.max(nanos);
     }
 }
 
@@ -567,21 +599,28 @@ mod tests {
         a.migration.epochs = 1;
         a.migration.index_entries_moved = 30;
         a.migration.window_tuples_moved = 20;
-        a.migration.stall_nanos = 5_000;
+        a.migration.record_stall(3_000);
+        a.migration.record_stall(2_000);
         let mut b = JoinRunStats::default();
         b.migration.enabled = 1;
         b.migration.epochs = 2;
+        b.migration.handoff_steps = 5;
         b.migration.plans_rejected = 1;
         b.migration.window_tuples_moved = 10;
         b.migration.simulated_move_cost = 1500;
+        b.migration.record_stall(4_000);
         a.absorb(&b);
         assert_eq!(a.migration.enabled, 1, "max, not sum");
         assert_eq!(a.migration.epochs, 3);
+        assert_eq!(a.migration.handoff_steps, 5);
         assert_eq!(a.migration.plans_rejected, 1);
         assert_eq!(a.migration.tuples_moved(), 60);
-        assert!((a.migration.stall_micros() - 5.0).abs() < 1e-9);
+        assert!((a.migration.stall_micros() - 9.0).abs() < 1e-9);
+        assert_eq!(a.migration.max_stall_nanos, 4_000, "max, not sum");
+        assert!((a.migration.max_stall_micros() - 4.0).abs() < 1e-9);
         assert_eq!(MigrationCounters::default().tuples_moved(), 0);
         assert_eq!(MigrationCounters::default().stall_micros(), 0.0);
+        assert_eq!(MigrationCounters::default().max_stall_micros(), 0.0);
     }
 
     #[test]
