@@ -19,11 +19,22 @@
 //! drift-driven repartitioning and reports the migration columns (mode,
 //! epochs, handoff steps, worst stall); `--arrival-rate=` paces ingestion
 //! open-loop and reports the arrival-latency tail (p99).
+//!
+//! The engine flight recorder is always armed here (at least `counters`
+//! mode; `--telemetry=full` adds phase histograms). After each CSV row the
+//! binary renders the recorder's per-phase table (events, time, percent of
+//! recorded time, mean) and a per-shard gauge table from the final sample
+//! of a short-interval JSONL trace — ring occupancy per shard, unindexed
+//! suffix and window sizes, drift imbalance — as `#`-prefixed comment lines
+//! so CSV consumers are unaffected. `--telemetry-out=PATH` keeps the traces
+//! (one per swept thread count, at `PATH.<threads>t`); without it the trace
+//! goes to a scratch file that is removed after rendering.
 
 use pimtree_bench::harness::*;
-use pimtree_common::{IndexKind, JoinConfig, MigrationMode};
+use pimtree_common::{IndexKind, JoinConfig, MigrationMode, TelemetryMode};
 use pimtree_join::{ParallelIbwj, SharedIndexKind};
 use pimtree_numa::RangePartitioner;
+use pimtree_telemetry::{EnginePhase, TelemetryReport};
 use pimtree_workload::KeyDistribution;
 
 fn main() {
@@ -62,8 +73,7 @@ fn main() {
             "merge_ms",
             "mean_latency_us",
             "loaded_mb",
-            "search_ns_per_tuple",
-            "scan_ns_per_tuple",
+            "recorder_events",
             "claim_retries_per_task",
             "mean_task_size",
             "ingest_contended",
@@ -105,6 +115,14 @@ fn main() {
         let sample: Vec<i64> = tuples.iter().step_by(step).map(|t| t.key).collect();
         RangePartitioner::from_key_sample(opts.shards, &sample)
     });
+    // The profiler's whole point is attribution, so the flight recorder is
+    // always at least in `counters` mode here; `--telemetry=full` upgrades.
+    let telemetry_mode = if opts.telemetry == TelemetryMode::Off {
+        TelemetryMode::Counters
+    } else {
+        opts.telemetry
+    };
+    let trace_base = telemetry_out_from_args();
     for threads in sweep {
         let mut config = JoinConfig::symmetric(w, IndexKind::PimTree)
             .with_threads(threads)
@@ -113,10 +131,19 @@ fn main() {
             .with_ring(opts.ring())
             .with_probe(opts.probe())
             .with_shard(opts.shard())
-            .with_drift(opts.drift());
+            .with_drift(opts.drift())
+            .with_telemetry(opts.telemetry().with_mode(telemetry_mode));
         config.window_r = w;
         config.window_s = w;
-        let mut op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false);
+        let trace_path = match &trace_base {
+            Some(base) => format!("{base}.{threads}t"),
+            None => std::env::temp_dir()
+                .join(format!("engine_profile_trace_{threads}t.jsonl"))
+                .to_string_lossy()
+                .into_owned(),
+        };
+        let mut op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false)
+            .with_telemetry_out(&trace_path);
         if let Some(p) = &partitioner {
             op = op.with_partitioner(p.clone());
         }
@@ -138,19 +165,11 @@ fn main() {
             format!("{:.1}", stats.merge_time.as_secs_f64() * 1e3),
             format!("{:.1}", stats.latency.mean_micros()),
             format!("{:.1}", stats.bytes_loaded as f64 / 1e6),
-            format!(
-                "{:.0}",
-                stats
-                    .breakdown
-                    .total(pimtree_common::Step::Search)
-                    .as_nanos() as f64
-                    / stats.tuples.max(1) as f64
-            ),
-            format!(
-                "{:.0}",
-                stats.breakdown.total(pimtree_common::Step::Scan).as_nanos() as f64
-                    / stats.tuples.max(1) as f64
-            ),
+            stats
+                .telemetry
+                .as_ref()
+                .map_or(0, |r| r.totals.events)
+                .to_string(),
             format!("{:.3}", stats.ring.claim_contention()),
             format!("{:.2}", stats.ring.mean_task_size()),
             stats.ring.ingest_token_contended.to_string(),
@@ -189,5 +208,97 @@ fn main() {
                     .map_or(0.0, |h| h.p99_micros())
             ),
         ]);
+        if let Some(report) = &stats.telemetry {
+            render_phase_table(report, threads);
+        }
+        render_gauge_table(&trace_path);
+        if trace_base.is_none() {
+            let _ = std::fs::remove_file(&trace_path);
+            let _ = std::fs::remove_file(format!("{trace_path}.prom"));
+        }
+    }
+}
+
+/// Renders the flight recorder's per-phase totals as `#`-prefixed comment
+/// lines (CSV consumers skip them).
+fn render_phase_table(report: &TelemetryReport, threads: usize) {
+    let total = report.totals.total_nanos().max(1);
+    println!(
+        "# flight recorder ({threads} threads, mode {}): phase count time_ms pct mean_us",
+        report.mode
+    );
+    for phase in EnginePhase::ALL {
+        let nanos = report.totals.nanos(phase);
+        let count = report.totals.count(phase);
+        let mean_us = if count == 0 {
+            0.0
+        } else {
+            nanos as f64 / count as f64 / 1_000.0
+        };
+        println!(
+            "#   {:<6} {:>12} {:>10.2} {:>5.1} {:>9.3}",
+            phase.label(),
+            count,
+            nanos as f64 / 1e6,
+            100.0 * nanos as f64 / total as f64,
+            mean_us
+        );
+    }
+}
+
+/// Renders the per-shard gauge table from the final sample of the run's
+/// JSONL trace. The trace format is the flat one-line-per-sample JSON that
+/// `pimtree_telemetry::GaugeSample::to_json` emits, so scalar fields can be
+/// sliced out positionally without a JSON parser.
+fn render_gauge_table(trace_path: &str) {
+    let Ok(trace) = std::fs::read_to_string(trace_path) else {
+        return;
+    };
+    let Some(last) = trace.lines().rev().find(|l| !l.trim().is_empty()) else {
+        return;
+    };
+    let field = |key: &str| -> String {
+        let pat = format!("\"{key}\": ");
+        let Some(start) = last.find(&pat).map(|i| i + pat.len()) else {
+            return "?".to_string();
+        };
+        let rest = &last[start..];
+        match rest.find([',', '}']) {
+            Some(end) => rest[..end].trim().to_string(),
+            None => "?".to_string(),
+        }
+    };
+    let occupancy: Vec<String> = last
+        .find("\"shard_occupancy\": [")
+        .and_then(|i| {
+            let rest = &last[i + "\"shard_occupancy\": [".len()..];
+            let close = rest.find(']')?;
+            Some(
+                rest[..close]
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect(),
+            )
+        })
+        .unwrap_or_default();
+    println!(
+        "# final gauges (sample {} at {}us): in_flight {}, unindexed r/s {}/{}, \
+         window r/s {}/{}, claims local/stolen {}/{}, drift imbalance {}, handoff {}/{}",
+        field("seq"),
+        field("elapsed_us"),
+        field("in_flight"),
+        field("unindexed_r"),
+        field("unindexed_s"),
+        field("window_r"),
+        field("window_s"),
+        field("local_claims"),
+        field("stolen_claims"),
+        field("drift_imbalance"),
+        field("handoff_steps_done"),
+        field("handoff_steps_total"),
+    );
+    for (shard, occ) in occupancy.iter().enumerate() {
+        println!("#   shard {shard}: ring occupancy {occ}");
     }
 }

@@ -20,17 +20,24 @@
 //!
 //! Both runs produce identical joins (the differential suites pin that);
 //! what differs is the stall profile. The harness writes per-phase
-//! p50/p99/p999/max arrival latencies plus the migration stall counters to
+//! p50/p99/p999/max arrival latencies plus the migration stall counters —
+//! including the per-cause `stall_causes_us` decomposition, which is
+//! asserted to sum to the total stall within 1% on every leg — to
 //! `BENCH_latency.json` and asserts the tentpole SLO: the incremental
 //! protocol's **worst single stall** stays an order of magnitude below the
-//! wholesale epoch's on the same workload.
+//! wholesale epoch's on the same workload. `--telemetry=` arms the engine
+//! flight recorder per leg and `--telemetry-out=PATH` streams gauge samples
+//! to `PATH.<shards>shards.<mode>.<rate>tps` (one trace per leg).
 
 use std::io::Write;
 
-use pimtree_bench::harness::{pim_config, print_header, two_way_workload, RunOpts};
+use pimtree_bench::harness::{
+    pim_config, print_header, telemetry_out_from_args, two_way_workload, RunOpts,
+};
 use pimtree_common::{IndexKind, JoinConfig, MigrationMode, ShardConfig, Tuple};
 use pimtree_join::{JoinRunStats, ParallelIbwj, SharedIndexKind};
 use pimtree_numa::RangePartitioner;
+use pimtree_telemetry::StallCause;
 use pimtree_workload::KeyDistribution;
 
 /// Offered load as a fraction of the calibrated closed-loop throughput:
@@ -92,12 +99,21 @@ fn run_leg(
             opts.drift()
                 .with_migration_mode(mode)
                 .with_handoff_budget(budget),
-        );
+        )
+        .with_telemetry(opts.telemetry());
     config.window_r = w;
     config.window_s = w;
     let mut op = ParallelIbwj::new(config, predicate, SharedIndexKind::PimTree, false)
         .with_partitioner(initial.clone())
         .with_forced_repartition(tuples.len() / 2, target.clone());
+    if let Some(path) = telemetry_out_from_args() {
+        // One trace per leg would clobber the file; suffix by configuration.
+        op = op.with_telemetry_out(format!(
+            "{path}.{shards}shards.{}.{}tps",
+            mode_name(mode),
+            arrival_rate as u64
+        ));
+    }
     if arrival_rate > 0.0 {
         op = op.with_open_loop(arrival_rate);
     }
@@ -223,6 +239,19 @@ fn main() {
                 MigrationMode::Epoch => assert_eq!(stats.migration.handoff_steps, 0),
                 MigrationMode::Incremental => assert!(stats.migration.handoff_steps >= 1),
             }
+            // Per-cause stall attribution must reproduce the total stall
+            // (within 1%) under both protocols.
+            let cause_sum: u64 = StallCause::ALL
+                .iter()
+                .map(|&c| stats.migration.stall_cause_nanos(c))
+                .sum();
+            assert!(
+                (cause_sum as f64 - stats.migration.stall_nanos as f64).abs()
+                    <= stats.migration.stall_nanos as f64 * 0.01,
+                "stall causes must sum to the total stall ({} shards, {} mode)",
+                shards,
+                mode_name(mode)
+            );
             println!(
                 "{shards},{},{:.1},{:.1},{:.1},{:.1},{:.1},{},{},{:.1},{:.1}",
                 mode_name(mode),
@@ -289,7 +318,11 @@ fn main() {
                     "\"p50_us\": {:.2}, \"p99_us\": {:.2}, \"p999_us\": {:.2}, ",
                     "\"max_us\": {:.2}, \"migration_epochs\": {}, ",
                     "\"migration_handoff_steps\": {}, \"migrated_tuples\": {}, ",
-                    "\"migration_stall_us\": {:.2}, \"migration_max_stall_us\": {:.2}}}"
+                    "\"migration_stall_us\": {:.2}, \"migration_max_stall_us\": {:.2}, ",
+                    "\"stall_causes_us\": {{\"gate_close\": {:.2}, ",
+                    "\"in_flight_drain\": {:.2}, \"window_snapshot\": {:.2}, ",
+                    "\"rebuild\": {:.2}, \"index_swap\": {:.2}, ",
+                    "\"router_swap\": {:.2}}}}}"
                 ),
                 l.shards,
                 mode_name(l.mode),
@@ -304,6 +337,18 @@ fn main() {
                 l.stats.migration.tuples_moved(),
                 l.stats.migration.stall_micros(),
                 l.stats.migration.max_stall_micros(),
+                l.stats.migration.stall_cause_nanos(StallCause::GateClose) as f64 / 1_000.0,
+                l.stats
+                    .migration
+                    .stall_cause_nanos(StallCause::InFlightDrain) as f64
+                    / 1_000.0,
+                l.stats
+                    .migration
+                    .stall_cause_nanos(StallCause::WindowSnapshot) as f64
+                    / 1_000.0,
+                l.stats.migration.stall_cause_nanos(StallCause::Rebuild) as f64 / 1_000.0,
+                l.stats.migration.stall_cause_nanos(StallCause::IndexSwap) as f64 / 1_000.0,
+                l.stats.migration.stall_cause_nanos(StallCause::RouterSwap) as f64 / 1_000.0,
             )
         })
         .collect();

@@ -2,7 +2,7 @@
 
 use pimtree_common::{
     BandPredicate, DriftConfig, IndexKind, JoinConfig, MigrationMode, PimConfig, ProbeConfig,
-    RingConfig, ShardConfig, Tuple,
+    RingConfig, ShardConfig, TelemetryConfig, TelemetryMode, Tuple,
 };
 use pimtree_join::{
     build_single_threaded, HandshakeJoin, HandshakeMode, JoinRunStats, ParallelIbwj,
@@ -74,6 +74,10 @@ pub struct RunOpts {
     /// Open-loop arrival rate in tuples per second for the latency harness;
     /// 0 runs closed-loop (ingest as fast as the engine admits).
     pub arrival_rate: f64,
+    /// Engine flight-recorder mode (`off`, `counters` or `full`).
+    pub telemetry: TelemetryMode,
+    /// Gauge sampler period in milliseconds for `--telemetry-out` traces.
+    pub telemetry_interval_ms: u64,
 }
 
 impl RunOpts {
@@ -81,8 +85,11 @@ impl RunOpts {
     /// --seed= --ring-cap= --ingest-target= --spin= --yield= --park-us=
     /// --probe-batch=on|off --prefetch-dist= --shards= --steal-batch=
     /// --steal-threshold= --partition-index=on|off --repartition=on|off
-    /// --drift-window= --drift-trigger= --drift-cost-gate=` from the
-    /// command line, with figure-specific defaults.
+    /// --drift-window= --drift-trigger= --drift-cost-gate=
+    /// --telemetry=off|counters|full --telemetry-interval=ms` from the
+    /// command line, with figure-specific defaults. The `--telemetry-out=`
+    /// path is a separate string-valued option read via
+    /// [`telemetry_out_from_args`].
     pub fn parse(default_min: u32, default_max: u32) -> Self {
         let defaults = RingConfig::default();
         let probe_defaults = ProbeConfig::default();
@@ -116,6 +123,8 @@ impl RunOpts {
             migration_mode: drift_defaults.migration_mode,
             handoff_budget: drift_defaults.handoff_budget,
             arrival_rate: 0.0,
+            telemetry: TelemetryConfig::default().mode,
+            telemetry_interval_ms: TelemetryConfig::default().sample_interval_ms,
         };
         for arg in std::env::args().skip(1) {
             let mut split = arg.splitn(2, '=');
@@ -191,6 +200,14 @@ impl RunOpts {
                         .parse::<f64>()
                         .unwrap_or_else(|_| panic!("bad value for {key}: {value}"))
                 }
+                "--telemetry" => {
+                    opts.telemetry = value.parse::<TelemetryMode>().unwrap_or_else(|_| {
+                        panic!("bad value for --telemetry: {value} (use off/counters/full)")
+                    })
+                }
+                "--telemetry-interval" => opts.telemetry_interval_ms = parse_usize() as u64,
+                // String-valued; consumed by `telemetry_out_from_args`.
+                "--telemetry-out" => {}
                 other => eprintln!("note: ignoring unknown argument '{other}'"),
             }
         }
@@ -253,6 +270,23 @@ impl RunOpts {
             .with_migration_mode(self.migration_mode)
             .with_handoff_budget(self.handoff_budget)
     }
+
+    /// The engine flight-recorder configuration selected on the command line.
+    pub fn telemetry(&self) -> TelemetryConfig {
+        TelemetryConfig::default()
+            .with_mode(self.telemetry)
+            .with_sample_interval_ms(self.telemetry_interval_ms)
+    }
+}
+
+/// Reads the `--telemetry-out=PATH` option from the command line. Kept out of
+/// [`RunOpts`] (which is `Copy`) because the value is an owned path string;
+/// `None` when the option is absent or empty.
+pub fn telemetry_out_from_args() -> Option<String> {
+    std::env::args().skip(1).find_map(|arg| {
+        let path = arg.strip_prefix("--telemetry-out=")?;
+        (!path.is_empty()).then(|| path.to_string())
+    })
 }
 
 /// The paper's default PIM/IM-Tree configuration for a window of `w` tuples:
@@ -457,6 +491,52 @@ pub fn run_parallel_paced(
     tuples: &[Tuple],
     self_join: bool,
 ) -> JoinRunStats {
+    run_parallel_instrumented(
+        kind,
+        window_r,
+        window_s,
+        threads,
+        task_size,
+        pim,
+        ring,
+        probe,
+        shard,
+        drift,
+        partitioner,
+        arrival_rate,
+        TelemetryConfig::default(),
+        None,
+        predicate,
+        tuples,
+        self_join,
+    )
+}
+
+/// Runs the parallel engine like [`run_parallel_paced`] with the engine
+/// flight recorder armed: `telemetry` selects the recorder mode and gauge
+/// sampler period, and `telemetry_out` (when set) streams JSONL gauge
+/// samples to that path during the measured phase plus a Prometheus-style
+/// text dump to `PATH.prom` at drain.
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel_instrumented(
+    kind: SharedIndexKind,
+    window_r: usize,
+    window_s: usize,
+    threads: usize,
+    task_size: usize,
+    pim: PimConfig,
+    ring: RingConfig,
+    probe: ProbeConfig,
+    shard: ShardConfig,
+    drift: DriftConfig,
+    partitioner: Option<RangePartitioner>,
+    arrival_rate: f64,
+    telemetry: TelemetryConfig,
+    telemetry_out: Option<&str>,
+    predicate: BandPredicate,
+    tuples: &[Tuple],
+    self_join: bool,
+) -> JoinRunStats {
     let mut config = JoinConfig::symmetric(window_r.max(window_s), IndexKind::PimTree)
         .with_threads(threads)
         .with_task_size(task_size)
@@ -464,10 +544,14 @@ pub fn run_parallel_paced(
         .with_ring(ring)
         .with_probe(probe)
         .with_shard(shard)
-        .with_drift(drift);
+        .with_drift(drift)
+        .with_telemetry(telemetry);
     config.window_r = window_r;
     config.window_s = window_s;
     let mut op = ParallelIbwj::new(config, predicate, kind, self_join);
+    if let Some(path) = telemetry_out {
+        op = op.with_telemetry_out(path);
+    }
     if arrival_rate > 0.0 {
         op = op.with_open_loop(arrival_rate);
     }
@@ -547,6 +631,8 @@ mod tests {
             migration_mode: MigrationMode::Epoch,
             handoff_budget: 0,
             arrival_rate: 0.0,
+            telemetry: TelemetryMode::Off,
+            telemetry_interval_ms: 50,
         };
         assert_eq!(opts.tuples_for(1 << 10), 1 << 16);
         assert_eq!(opts.tuples_for(1 << 18), 1 << 20);
@@ -606,6 +692,15 @@ mod tests {
         assert_eq!(drift.migration_mode, MigrationMode::Incremental);
         assert_eq!(drift.effective_handoff_budget(), 32);
         drift.validate().unwrap();
+        let telemetry = RunOpts {
+            telemetry: TelemetryMode::Full,
+            telemetry_interval_ms: 10,
+            ..opts
+        }
+        .telemetry();
+        assert_eq!(telemetry.mode, TelemetryMode::Full);
+        assert_eq!(telemetry.sample_interval_ms, 10);
+        telemetry.validate().unwrap();
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod types;
 
 pub use config::{
     DriftConfig, IndexKind, JoinConfig, MergePolicy, MigrationMode, PimConfig, ProbeConfig,
-    RingConfig, ShardConfig,
+    RingConfig, ShardConfig, TelemetryConfig,
 };
 pub use error::{Error, Result};
 pub use memtraffic::MemTraffic;
@@ -33,5 +33,6 @@ pub use metrics::{
     CostBreakdown, LatencyHistogram, LatencyRecorder, ProbeCounters, Step, StepTimer,
     ThroughputMeter,
 };
+pub use pimtree_telemetry::TelemetryMode;
 pub use prefetch::{prefetch_read, prefetch_slice, CACHE_LINE_BYTES};
 pub use types::{BandPredicate, JoinResult, Key, KeyRange, Seq, StreamSide, Tuple};

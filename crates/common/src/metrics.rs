@@ -359,159 +359,11 @@ impl LatencyRecorder {
     }
 }
 
-/// Sub-bucket resolution of [`LatencyHistogram`]: every power-of-two octave
-/// is split into `2^SUB_BITS` linear sub-buckets, bounding the relative
-/// quantization error at `2^-SUB_BITS` (~6 %).
-const SUB_BITS: u32 = 4;
-const SUB_BUCKETS: u64 = 1 << SUB_BITS;
-/// Sub-linear region (values below `SUB_BUCKETS` are exact) plus one group of
-/// sub-buckets per remaining octave of the `u64` nanosecond range.
-const HIST_BUCKETS: usize = (SUB_BUCKETS + (64 - SUB_BITS as u64) * SUB_BUCKETS) as usize;
-
-/// Fixed-footprint log-bucketed latency histogram.
-///
-/// [`LatencyRecorder`] keeps every sample, which is exact but unbounded — an
-/// open-loop run at a sustained arrival rate records one sample per tuple and
-/// would grow without limit. The histogram instead spreads nanosecond values
-/// over power-of-two octaves with `2^SUB_BITS` linear sub-buckets each
-/// (HdrHistogram's bucketing), so recording is O(1), the footprint is a few
-/// kilobytes regardless of run length, and quantiles are accurate to ~6 %
-/// relative error — plenty for p50/p99/p999 tail reporting. The maximum is
-/// tracked exactly so the worst observed latency is never quantized away.
-#[derive(Debug, Clone)]
-pub struct LatencyHistogram {
-    buckets: Vec<u64>,
-    count: u64,
-    sum_nanos: u128,
-    max_nanos: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: vec![0; HIST_BUCKETS],
-            count: 0,
-            sum_nanos: 0,
-            max_nanos: 0,
-        }
-    }
-
-    #[inline]
-    fn bucket_of(nanos: u64) -> usize {
-        if nanos < SUB_BUCKETS {
-            nanos as usize
-        } else {
-            let exp = 63 - nanos.leading_zeros(); // >= SUB_BITS
-            let octave = (exp - SUB_BITS) as u64;
-            let sub = (nanos >> octave) - SUB_BUCKETS; // in [0, SUB_BUCKETS)
-            (SUB_BUCKETS + octave * SUB_BUCKETS + sub) as usize
-        }
-    }
-
-    /// Midpoint of a bucket's value interval (the quantile estimate).
-    fn bucket_mid(idx: usize) -> u64 {
-        let idx = idx as u64;
-        if idx < SUB_BUCKETS {
-            idx
-        } else {
-            let octave = (idx - SUB_BUCKETS) / SUB_BUCKETS;
-            let sub = (idx - SUB_BUCKETS) % SUB_BUCKETS;
-            let lo = (SUB_BUCKETS + sub) << octave;
-            lo + ((1u64 << octave) >> 1)
-        }
-    }
-
-    /// Records one latency sample.
-    #[inline]
-    pub fn record(&mut self, d: Duration) {
-        self.record_nanos(d.as_nanos().min(u64::MAX as u128) as u64);
-    }
-
-    /// Records one latency sample given in nanoseconds.
-    #[inline]
-    pub fn record_nanos(&mut self, nanos: u64) {
-        self.buckets[Self::bucket_of(nanos)] += 1;
-        self.count += 1;
-        self.sum_nanos += nanos as u128;
-        self.max_nanos = self.max_nanos.max(nanos);
-    }
-
-    /// Number of samples recorded.
-    pub fn len(&self) -> u64 {
-        self.count
-    }
-
-    /// Whether no samples have been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.count == 0
-    }
-
-    /// Merges another histogram's samples into this one.
-    pub fn merge_from(&mut self, other: &LatencyHistogram) {
-        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
-            *mine += theirs;
-        }
-        self.count += other.count;
-        self.sum_nanos += other.sum_nanos;
-        self.max_nanos = self.max_nanos.max(other.max_nanos);
-    }
-
-    /// Mean latency in microseconds.
-    pub fn mean_micros(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum_nanos as f64 / self.count as f64 / 1.0e3
-        }
-    }
-
-    /// Latency quantile (`q` in `[0, 1]`) in microseconds, estimated at the
-    /// covering bucket's midpoint and clamped to the exact maximum.
-    pub fn percentile_micros(&self, q: f64) -> f64 {
-        if self.count == 0 {
-            return 0.0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        // Rank of the requested order statistic, matching LatencyRecorder's
-        // nearest-rank convention over the sorted sample.
-        let rank = ((self.count - 1) as f64 * q).round() as u64;
-        let mut seen = 0u64;
-        for (idx, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen > rank {
-                return Self::bucket_mid(idx).min(self.max_nanos) as f64 / 1.0e3;
-            }
-        }
-        self.max_micros()
-    }
-
-    /// Median latency in microseconds.
-    pub fn p50_micros(&self) -> f64 {
-        self.percentile_micros(0.50)
-    }
-
-    /// 99th-percentile latency in microseconds.
-    pub fn p99_micros(&self) -> f64 {
-        self.percentile_micros(0.99)
-    }
-
-    /// 99.9th-percentile latency in microseconds.
-    pub fn p999_micros(&self) -> f64 {
-        self.percentile_micros(0.999)
-    }
-
-    /// Maximum observed latency in microseconds (exact, not quantized).
-    pub fn max_micros(&self) -> f64 {
-        self.max_nanos as f64 / 1.0e3
-    }
-}
+/// Fixed-footprint log-bucketed latency histogram, promoted into
+/// `pimtree-telemetry` (the engine flight recorder) and re-exported here so
+/// existing `pimtree_common::LatencyHistogram` imports keep working. See the
+/// telemetry crate for the bucketing scheme and its pinning tests.
+pub use pimtree_telemetry::LatencyHistogram;
 
 #[cfg(test)]
 mod tests {
@@ -609,41 +461,12 @@ mod tests {
     }
 
     #[test]
-    fn histogram_buckets_partition_the_value_range() {
-        // Every value maps into exactly one bucket whose interval contains
-        // it, and bucket indices are monotone in the value.
-        let mut values: Vec<u64> = Vec::new();
-        for exp in 0..64u32 {
-            for off in [0u64, 1, 7] {
-                values.push((1u64 << exp).saturating_add(off << exp.saturating_sub(5)));
-            }
-        }
-        values.sort_unstable();
-        let mut last = 0usize;
-        for &v in &values {
-            let idx = LatencyHistogram::bucket_of(v);
-            assert!(idx < HIST_BUCKETS, "value {v} -> bucket {idx}");
-            assert!(idx >= last, "bucketing must be monotone at {v}");
-            last = idx;
-        }
-        assert_eq!(LatencyHistogram::bucket_of(0), 0);
-        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
-        // Sub-linear region is exact; midpoints stay within their octave's
-        // ~6 % relative error above it.
-        for v in [3u64, 100, 1_000, 65_537, 1 << 40] {
-            let mid = LatencyHistogram::bucket_mid(LatencyHistogram::bucket_of(v));
-            let err = (mid as f64 - v as f64).abs() / v as f64;
-            assert!(err <= 0.07, "value {v}: midpoint {mid}, error {err}");
-        }
-    }
-
-    #[test]
-    fn histogram_quantiles_track_the_exact_recorder() {
+    fn histogram_reexport_still_tracks_the_exact_recorder() {
+        // The histogram now lives in pimtree-telemetry (where its bucketing
+        // is pinned); this keeps the re-exported type interoperating with
+        // the exact recorder it approximates.
         let mut exact = LatencyRecorder::new();
         let mut hist = LatencyHistogram::new();
-        assert!(hist.is_empty());
-        assert_eq!(hist.percentile_micros(0.99), 0.0);
-        // A long-tailed sample: mostly microseconds, a few milliseconds.
         for i in 1..=1000u64 {
             let nanos = if i % 100 == 0 { i * 10_000 } else { i * 10 };
             exact.record(Duration::from_nanos(nanos));
@@ -658,35 +481,7 @@ mod tests {
                 "q={q}: exact {e}, histogram {h}"
             );
         }
-        assert!((hist.mean_micros() - exact.mean_micros()).abs() < 1e-6);
         assert_eq!(hist.max_micros(), exact.max_micros(), "max is exact");
-        assert_eq!(hist.percentile_micros(1.0), hist.max_micros());
-        // p-helpers agree with the generic quantile.
-        assert_eq!(hist.p50_micros(), hist.percentile_micros(0.5));
-        assert_eq!(hist.p99_micros(), hist.percentile_micros(0.99));
-        assert_eq!(hist.p999_micros(), hist.percentile_micros(0.999));
-    }
-
-    #[test]
-    fn histogram_merge_matches_recording_into_one() {
-        let mut all = LatencyHistogram::new();
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        for i in 0..500u64 {
-            let nanos = i * 997;
-            all.record_nanos(nanos);
-            if i % 2 == 0 {
-                a.record_nanos(nanos);
-            } else {
-                b.record_nanos(nanos);
-            }
-        }
-        a.merge_from(&b);
-        assert_eq!(a.len(), all.len());
-        assert_eq!(a.max_micros(), all.max_micros());
-        for q in [0.5, 0.99, 0.999] {
-            assert_eq!(a.percentile_micros(q), all.percentile_micros(q));
-        }
     }
 
     #[test]

@@ -97,6 +97,10 @@ use pimtree_common::{
     LatencyRecorder, MergePolicy, MigrationMode, ProbeConfig, Seq, StreamSide, Tuple,
 };
 use pimtree_numa::{handoff_steps, DriftMonitor, HandoffStep, RangePartitioner};
+use pimtree_telemetry::{
+    EnginePhase, GaugeSample, JsonlSink, StallCause, StallLap, TelemetryMode, TelemetryRegistry,
+    WorkerRecorder,
+};
 use pimtree_window::WindowBounds;
 
 use crate::ring::{Backoff, ClaimedTask, IdleKind};
@@ -294,6 +298,11 @@ struct Shared<'a> {
     /// protects the cursor, so the two can never disagree.
     sink: Mutex<(u64, Vec<JoinResult>)>,
     worker_stats: Mutex<Vec<JoinRunStats>>,
+    /// The engine flight recorder: per-worker phase recorders, the
+    /// stall-cause totals and (in full mode) their histograms, plus the
+    /// aggregate event counter the live sampler reads. In `off` mode every
+    /// instrumentation point degrades to one relaxed counter increment.
+    telemetry: TelemetryRegistry,
 }
 
 impl<'a> Shared<'a> {
@@ -336,6 +345,7 @@ pub struct ParallelIbwj {
     partitioner: Option<RangePartitioner>,
     forced_repartition: Option<(usize, RangePartitioner)>,
     open_loop_rate: Option<f64>,
+    telemetry_out: Option<String>,
 }
 
 impl ParallelIbwj {
@@ -359,7 +369,20 @@ impl ParallelIbwj {
             partitioner: None,
             forced_repartition: None,
             open_loop_rate: None,
+            telemetry_out: None,
         }
+    }
+
+    /// Streams periodic gauge samples (ring occupancy per shard, in-flight
+    /// count, window sizes, steal counters, drift imbalance, handoff
+    /// frontier) as JSON Lines to `path` during the measured phase, sampled
+    /// every `config.telemetry.sample_interval_ms`, and dumps the end-of-run
+    /// telemetry report in the Prometheus text format to `path` + `.prom`.
+    /// Requires a telemetry mode other than `off` to be useful, but works in
+    /// every mode (gauges do not depend on phase timing).
+    pub fn with_telemetry_out(mut self, path: impl Into<String>) -> Self {
+        self.telemetry_out = Some(path.into());
+        self
     }
 
     /// Selects how an adopted repartition plan is applied: one wholesale
@@ -611,6 +634,7 @@ impl ParallelIbwj {
             arrival_latency: Mutex::new(LatencyHistogram::new()),
             sink: Mutex::new((0, Vec::new())),
             worker_stats: Mutex::new(Vec::new()),
+            telemetry: TelemetryRegistry::new(self.config.telemetry.mode, threads),
         };
 
         // Warmup phase: process the prefix with the same engine state, then
@@ -635,6 +659,7 @@ impl ParallelIbwj {
                 st.observations = 0;
                 st.plans_rejected = 0;
             }
+            shared.telemetry.reset();
             let (_, results) = std::mem::take(&mut *shared.sink.lock());
             warmup_results = results;
             shared.ingest_limit = tuples.len();
@@ -661,10 +686,32 @@ impl ParallelIbwj {
             nanos_per_tuple: (1.0e9 / rate).round().max(0.0) as u64,
             measured_from: warmup,
         });
+        // Live gauge export: a sampler thread runs alongside the measured
+        // phase, appending one JSONL record per interval; the stop flag is
+        // raised once every worker has exited so the sampler never outlives
+        // the engine state it reads.
+        let sampler_stop = AtomicBool::new(false);
+        let sampler_sink = self.telemetry_out.as_deref().and_then(|path| {
+            JsonlSink::create(path)
+                .map_err(|e| eprintln!("telemetry: cannot create {path}: {e}"))
+                .ok()
+        });
         std::thread::scope(|scope| {
             let shared = &shared;
-            for worker in 0..threads {
-                scope.spawn(move || worker_loop(shared, worker));
+            let workers: Vec<_> = (0..threads)
+                .map(|worker| scope.spawn(move || worker_loop(shared, worker)))
+                .collect();
+            let sampler = sampler_sink.map(|sink| {
+                let stop = &sampler_stop;
+                let interval = Duration::from_millis(self.config.telemetry.sample_interval_ms);
+                scope.spawn(move || run_sampler(shared, sink, interval, start, stop))
+            });
+            for handle in workers {
+                handle.join().expect("worker thread panicked");
+            }
+            sampler_stop.store(true, Ordering::Release);
+            if let Some(handle) = sampler {
+                handle.join().expect("telemetry sampler panicked");
             }
         });
         let elapsed = start.elapsed();
@@ -717,6 +764,18 @@ impl ParallelIbwj {
         }
         stats.migration.enabled =
             (shared.drift.is_some() || shared.forced_repartition.is_some()) as u64;
+        let report = shared.telemetry.report();
+        if let Some(path) = self.telemetry_out.as_deref() {
+            // The Prometheus text dump rides on the JSONL path: one scrape-
+            // style snapshot at drain, next to the live samples.
+            let prom_path = format!("{path}.prom");
+            if let Err(e) = std::fs::write(&prom_path, report.to_prometheus()) {
+                eprintln!("telemetry: cannot write {prom_path}: {e}");
+            }
+        }
+        if shared.telemetry.mode() != TelemetryMode::Off {
+            stats.telemetry = Some(report);
+        }
         if let Some(inspect) = inspect {
             inspect(&shared.store);
         }
@@ -784,16 +843,19 @@ fn worker_loop(shared: &Shared<'_>, worker: usize) {
     let mut latency = LatencyRecorder::new();
     let mut scratch = WorkerScratch::new();
     let mut backoff = Backoff::new(&shared.backoff);
+    let mut recorder = shared.telemetry.recorder(worker);
     // Workers are pinned round-robin to a home shard; on a real NUMA host
     // this is where the worker's thread would also be pinned to the shard's
     // socket.
     let home = worker % shared.ring.shards();
     loop {
         maybe_repartition(shared);
-        maybe_merge(shared, home, &mut local);
+        maybe_merge(shared, home, &mut local, &mut recorder);
         let acquire_start = Instant::now();
-        let acquired = acquire_task(shared, home, &mut scratch, &mut local);
-        local.phase.acquire += acquire_start.elapsed();
+        let acquired = acquire_task(shared, home, &mut scratch, &mut local, &mut recorder);
+        let acquire_span = acquire_start.elapsed();
+        local.phase.acquire += acquire_span;
+        recorder.record_nanos(EnginePhase::Claim, acquire_span.as_nanos() as u64);
         if acquired {
             let acquired_at = Instant::now();
             process_task(
@@ -803,6 +865,7 @@ fn worker_loop(shared: &Shared<'_>, worker: usize) {
                 &mut scratch,
                 &mut local,
                 &mut latency,
+                &mut recorder,
             );
             shared.in_flight.fetch_sub(1, Ordering::SeqCst);
             backoff.reset();
@@ -835,12 +898,89 @@ fn worker_loop(shared: &Shared<'_>, worker: usize) {
             local.phase.idle += idle_start.elapsed();
         }
     }
+    recorder.finish();
     local.latency = latency;
     shared.worker_stats.lock().push(local);
 }
 
 fn is_finished(shared: &Shared<'_>) -> bool {
     shared.next_ingest.load(Ordering::Acquire) == shared.ingest_limit && shared.ring.is_empty()
+}
+
+// --------------------------------------------------------------- telemetry
+
+/// The live gauge sampler: snapshots the engine's observable state every
+/// `interval` and appends one JSON line per snapshot (the schema is pinned
+/// by `docs/telemetry-schema.json`). Reads are relaxed loads and try-locks
+/// only — the sampler never blocks a worker; a contended drift or handoff
+/// lock simply reports the idle value for that round. One final sample is
+/// taken after the stop flag rises, so the drained end state is always in
+/// the trace.
+fn run_sampler(
+    shared: &Shared<'_>,
+    mut sink: JsonlSink,
+    interval: Duration,
+    start: Instant,
+    stop: &AtomicBool,
+) {
+    let mut seq = 0u64;
+    loop {
+        let stopping = stop.load(Ordering::Acquire);
+        let sample = gauge_sample(shared, seq, start);
+        if let Err(e) = sink.append(&sample) {
+            eprintln!("telemetry: sample write failed: {e}");
+            return;
+        }
+        seq += 1;
+        if stopping {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
+    if let Err(e) = sink.finish() {
+        eprintln!("telemetry: sink flush failed: {e}");
+    }
+}
+
+/// Snapshots the engine gauges for one sampler round. Counters read here are
+/// individually monotone but not mutually consistent — the sample is a
+/// statistical observation, not a transaction.
+fn gauge_sample(shared: &Shared<'_>, seq: u64, start: Instant) -> GaugeSample {
+    let window = |side: usize| {
+        let b = shared.store.bounds(side);
+        b.latest_exclusive.saturating_sub(b.earliest)
+    };
+    let drift_imbalance = shared
+        .drift
+        .as_ref()
+        .and_then(|d| d.try_lock().map(|st| st.monitor.imbalance(&st.partitioner)))
+        .unwrap_or(0.0);
+    let (handoff_steps_done, handoff_steps_total) = shared
+        .handoff
+        .try_lock()
+        .and_then(|slot| {
+            slot.as_ref()
+                .map(|st| (st.next as u64, st.steps.len() as u64))
+        })
+        .unwrap_or((0, 0));
+    GaugeSample {
+        seq,
+        elapsed_us: start.elapsed().as_micros() as u64,
+        in_flight: shared.in_flight.load(Ordering::Relaxed) as u64,
+        shard_occupancy: (0..shared.ring.shards())
+            .map(|s| shared.ring.shard_available(s) as u64)
+            .collect(),
+        unindexed_r: shared.store.unindexed_len(0),
+        unindexed_s: shared.store.unindexed_len(1),
+        window_r: window(0),
+        window_s: window(1),
+        local_claims: shared.ring.traffic().local(),
+        stolen_claims: shared.ring.traffic().remote(),
+        drift_imbalance,
+        handoff_steps_done,
+        handoff_steps_total,
+        events: shared.telemetry.events(),
+    }
 }
 
 /// Tries to acquire a task from the ring, topping the ring up through the
@@ -856,6 +996,7 @@ fn acquire_task(
     home: usize,
     scratch: &mut WorkerScratch,
     local: &mut JoinRunStats,
+    recorder: &mut WorkerRecorder,
 ) -> bool {
     shared.in_flight.fetch_add(1, Ordering::SeqCst);
     if shared.gate.load(Ordering::SeqCst) {
@@ -863,7 +1004,9 @@ fn acquire_task(
         return false;
     }
     if shared.ring.available() < shared.ingest_target {
+        let clock = recorder.clock();
         try_ingest(shared, local);
+        recorder.commit(EnginePhase::Ingest, clock);
     }
     scratch.items.clear();
     let Some(claim) = shared.ring.claim(
@@ -966,6 +1109,7 @@ fn process_task(
     scratch: &mut WorkerScratch,
     local: &mut JoinRunStats,
     latency: &mut LatencyRecorder,
+    recorder: &mut WorkerRecorder,
 ) {
     let entry_bytes = std::mem::size_of::<Entry>() as u64;
     // Step 2: result generation. Each tuple's results are published to its
@@ -974,7 +1118,9 @@ fn process_task(
     // is still working on its remaining tuples.
     let generate_start = Instant::now();
     generate(shared, home, scratch, local);
-    local.phase.generate += generate_start.elapsed();
+    let generate_span = generate_start.elapsed();
+    local.phase.generate += generate_span;
+    recorder.record_nanos(EnginePhase::Probe, generate_span.as_nanos() as u64);
     // Feed the drift monitor with this task's `(key, match count)` pairs —
     // the paper's combined insert+output load signal per key interval.
     if shared.drift.is_some() {
@@ -1010,7 +1156,9 @@ fn process_task(
             .insert_batch(own, &scratch.inserts[own], home, local);
         local.bytes_stored += scratch.inserts[own].len() as u64 * entry_bytes;
     }
-    local.phase.update += update_start.elapsed();
+    let update_span = update_start.elapsed();
+    local.phase.update += update_span;
+    recorder.record_nanos(EnginePhase::Expiry, update_span.as_nanos() as u64);
 }
 
 /// Result generation: the whole task's probes are gathered per probe side and
@@ -1247,8 +1395,8 @@ fn maybe_repartition(shared: &Shared<'_>) {
     if shared.merge_claimed.swap(true, Ordering::AcqRel) {
         return; // a merge or another epoch is in progress; retry later
     }
-    let stall_start = Instant::now();
-    close_gate_and_wait(shared);
+    let mut lap = StallLap::start();
+    close_gate_and_wait_attributed(shared, &mut lap);
     // Re-resolve the plan under the claim: the forced flag and the pending
     // plan may have been consumed by a racing epoch between the peek above
     // and the claim.
@@ -1267,7 +1415,23 @@ fn maybe_repartition(shared: &Shared<'_>) {
         return;
     };
     shared.ring.set_partitioner(new_partitioner.clone());
+    lap.lap(StallCause::RouterSwap);
     let migrated = shared.store.adopt_partitioner(&new_partitioner);
+    // Split the wholesale migration over its measured sub-phases; any
+    // bookkeeping slack between the outer lap and the store's inner clocks
+    // is attributed to the dominant rebuild phase.
+    if let Some(m) = &migrated {
+        lap.lap_split(
+            &[
+                (StallCause::WindowSnapshot, m.snapshot_nanos),
+                (StallCause::Rebuild, m.rebuild_nanos),
+                (StallCause::IndexSwap, m.swap_nanos),
+            ],
+            StallCause::Rebuild,
+        );
+    } else {
+        lap.lap(StallCause::Rebuild);
+    }
     if let Some(drift) = &shared.drift {
         let mut st = drift.lock();
         st.partitioner = new_partitioner;
@@ -1287,7 +1451,11 @@ fn maybe_repartition(shared: &Shared<'_>) {
     }
     open_gate(shared);
     shared.merge_claimed.store(false, Ordering::Release);
-    let stall = stall_start.elapsed();
+    // The tail (drift bookkeeping + gate reopen) rides on the gate cause:
+    // it is the cost of operating the gate, not of moving state.
+    lap.lap(StallCause::GateClose);
+    let breakdown = lap.finish();
+    shared.telemetry.record_stall(&breakdown);
     let remote_cost = shared
         .store
         .topology()
@@ -1295,7 +1463,7 @@ fn maybe_repartition(shared: &Shared<'_>) {
         .remote_cost;
     let mut totals = shared.migration_totals.lock();
     totals.epochs += 1;
-    totals.record_stall(stall.as_nanos() as u64);
+    totals.record_stall_breakdown(&breakdown);
     if let Some(m) = migrated {
         totals.index_entries_moved += m.index_entries_moved;
         totals.window_tuples_moved += m.window_tuples_moved;
@@ -1326,20 +1494,23 @@ fn handoff_visit(shared: &Shared<'_>, forced: Option<RangePartitioner>) {
     if shared.merge_claimed.swap(true, Ordering::AcqRel) {
         return; // a merge or another maintenance visit is in progress
     }
-    let stall_start = Instant::now();
-    close_gate_and_wait(shared);
-    let outcome = handoff_transition(shared, forced);
+    let mut lap = StallLap::start();
+    close_gate_and_wait_attributed(shared, &mut lap);
+    let outcome = handoff_transition(shared, forced, &mut lap);
     open_gate(shared);
     shared.merge_claimed.store(false, Ordering::Release);
+    // Residual transition bookkeeping + gate reopen, as in the epoch path.
+    lap.lap(StallCause::GateClose);
     let Some(outcome) = outcome else { return };
-    let stall = stall_start.elapsed();
+    let breakdown = lap.finish();
+    shared.telemetry.record_stall(&breakdown);
     let remote_cost = shared
         .store
         .topology()
         .unwrap_or_else(|| shared.ring.topology())
         .remote_cost;
     let mut totals = shared.migration_totals.lock();
-    totals.record_stall(stall.as_nanos() as u64);
+    totals.record_stall_breakdown(&breakdown);
     match outcome {
         HandoffTransition::Begun => {}
         HandoffTransition::Advanced(m) => {
@@ -1360,6 +1531,7 @@ fn handoff_visit(shared: &Shared<'_>, forced: Option<RangePartitioner>) {
 fn handoff_transition(
     shared: &Shared<'_>,
     forced: Option<RangePartitioner>,
+    lap: &mut StallLap,
 ) -> Option<HandoffTransition> {
     let mut slot = shared.handoff.lock();
     if slot.is_none() {
@@ -1408,6 +1580,16 @@ fn handoff_transition(
             st.step_active = false;
             st.next += 1;
         }
+        // Split the budgeted chunk move over the store's measured sub-phases
+        // (cut selection counts as the snapshot share).
+        lap.lap_split(
+            &[
+                (StallCause::WindowSnapshot, adv.migration.snapshot_nanos),
+                (StallCause::Rebuild, adv.migration.rebuild_nanos),
+                (StallCause::IndexSwap, adv.migration.swap_nanos),
+            ],
+            StallCause::Rebuild,
+        );
         return Some(HandoffTransition::Advanced(adv.migration));
     }
     if let Some(&step) = st.steps.get(st.next) {
@@ -1419,6 +1601,9 @@ fn handoff_transition(
         // stops accumulating state at the source while it drains.
         shared.ring.add_route_override(step.lo, step.hi, step.dst);
         st.step_active = true;
+        // Beginning a step is a routing change: the override install is the
+        // whole cost of this quiesce.
+        lap.lap(StallCause::RouterSwap);
         return Some(HandoffTransition::Begun);
     }
     // Every sub-range is fully moved: swap the routing wholesale (this
@@ -1437,6 +1622,8 @@ fn handoff_transition(
     }
     *slot = None;
     shared.handoff_active.store(false, Ordering::Release);
+    // Finalization swaps the wholesale routing: a router change end to end.
+    lap.lap(StallCause::RouterSwap);
     Some(HandoffTransition::Finalized)
 }
 
@@ -1445,6 +1632,21 @@ fn handoff_transition(
 /// back to back on the coordinating thread; resumability from the frontier
 /// is exactly what makes this a plain loop.
 fn complete_handoff(shared: &Shared<'_>) {
+    // The forced-repartition hook is a deterministic contract: once its
+    // trigger point has been ingested, the plan is adopted. Workers check
+    // the trigger on their loop, but when the trigger sits in the input's
+    // tail every worker can drain its remaining tasks and exit between the
+    // final ingest and its next maintenance visit — so an armed,
+    // unconsumed trigger is consumed here (epoch adoption runs inline;
+    // incremental begins the handoff the loop below then drains).
+    let forced_armed = matches!(
+        &shared.forced_repartition,
+        Some((at, _)) if !shared.forced_done.load(Ordering::Acquire)
+            && shared.next_ingest.load(Ordering::Acquire) >= *at
+    );
+    if forced_armed {
+        maybe_repartition(shared);
+    }
     while shared.handoff_active.load(Ordering::Acquire) {
         handoff_visit(shared, None);
     }
@@ -1457,6 +1659,18 @@ fn close_gate_and_wait(shared: &Shared<'_>) {
     while shared.in_flight.load(Ordering::SeqCst) > 0 {
         std::thread::yield_now();
     }
+}
+
+/// [`close_gate_and_wait`] with stall-cause attribution: the gate store and
+/// the in-flight drain spin become the first two laps of the quiesce, so the
+/// per-cause segments tile the stall exactly from its first instruction.
+fn close_gate_and_wait_attributed(shared: &Shared<'_>, lap: &mut StallLap) {
+    shared.gate.store(true, Ordering::SeqCst);
+    lap.lap(StallCause::GateClose);
+    while shared.in_flight.load(Ordering::SeqCst) > 0 {
+        std::thread::yield_now();
+    }
+    lap.lap(StallCause::InFlightDrain);
 }
 
 fn open_gate(shared: &Shared<'_>) {
@@ -1489,7 +1703,12 @@ fn merge_horizon(shared: &Shared<'_>, side: usize) -> Seq {
     horizon
 }
 
-fn maybe_merge(shared: &Shared<'_>, home: usize, local: &mut JoinRunStats) {
+fn maybe_merge(
+    shared: &Shared<'_>,
+    home: usize,
+    local: &mut JoinRunStats,
+    recorder: &mut WorkerRecorder,
+) {
     for side in 0..if shared.self_join { 1 } else { 2 } {
         if shared.store.merge_candidate(side).is_none() {
             continue;
@@ -1549,6 +1768,7 @@ fn maybe_merge(shared: &Shared<'_>, home: usize, local: &mut JoinRunStats) {
             pimtree_common::Step::Merge,
             report.duration.as_nanos() as u64,
         );
+        recorder.record_nanos(EnginePhase::Merge, report.duration.as_nanos() as u64);
         {
             let mut ms = shared.merge_stats.lock();
             ms.0 += 1;
@@ -3153,5 +3373,172 @@ mod tests {
         let (stats, results) = op.run(&tuples);
         assert_eq!(canonical(&results), expected);
         assert_eq!(stats.ring.idle_parks, 0, "park_micros = 0 never parks");
+    }
+
+    /// With the flight recorder in `full` mode, a forced mid-run migration's
+    /// stall decomposes into named causes whose sum reproduces the engine's
+    /// total migration stall within 1% (exactly, by lap-timer construction) —
+    /// under both the wholesale epoch and the incremental handoff protocol —
+    /// and the end-of-run report carries per-phase time for every worker.
+    #[test]
+    fn telemetry_full_attributes_stalls_and_phases() {
+        let tuples = drifting_tuples(6000, 400, 10_000, 131);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        for mode in [MigrationMode::Epoch, MigrationMode::Incremental] {
+            let first: Vec<Key> = tuples[..tuples.len() / 2].iter().map(|t| t.key).collect();
+            let cfg = config(128, 4, 4, 0.5, MergePolicy::NonBlocking)
+                .with_shard(
+                    ShardConfig::default()
+                        .with_shards(2)
+                        .with_partition_index(true),
+                )
+                .with_drift(
+                    pimtree_common::DriftConfig::default()
+                        .with_migration_mode(mode)
+                        .with_handoff_budget(64),
+                )
+                .with_telemetry(
+                    pimtree_common::TelemetryConfig::default().with_mode(TelemetryMode::Full),
+                );
+            let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+                .with_partitioner(RangePartitioner::from_key_sample(2, &first))
+                .with_forced_repartition(
+                    tuples.len() / 2,
+                    RangePartitioner::from_key_sample(2, &[]),
+                )
+                .with_collected_results(true);
+            let (stats, results) = op.run(&tuples);
+            assert_eq!(canonical(&results), expected, "{mode:?}");
+            assert!(stats.migration.epochs >= 1, "{mode:?}");
+            assert!(stats.migration.stall_nanos > 0, "{mode:?}");
+            let cause_sum = stats.migration.stall_causes.total_nanos();
+            let total = stats.migration.stall_nanos;
+            assert!(
+                (cause_sum as f64 - total as f64).abs() <= total as f64 * 0.01,
+                "{mode:?}: causes sum {cause_sum} vs total {total}"
+            );
+            // Both protocols quiesce through the gate, so the gate causes
+            // must carry weight; a migration must attribute state movement.
+            assert!(
+                stats.migration.stall_cause_nanos(StallCause::GateClose) > 0,
+                "{mode:?}"
+            );
+            if stats.migration.window_tuples_moved > 0 {
+                let moved = stats
+                    .migration
+                    .stall_cause_nanos(StallCause::WindowSnapshot)
+                    + stats.migration.stall_cause_nanos(StallCause::Rebuild)
+                    + stats.migration.stall_cause_nanos(StallCause::IndexSwap);
+                assert!(moved > 0, "{mode:?}: moved state must attribute sub-phases");
+            }
+            let report = stats
+                .telemetry
+                .as_ref()
+                .expect("full mode fills the report");
+            assert_eq!(report.mode, TelemetryMode::Full);
+            assert_eq!(report.per_worker.len(), 4);
+            assert_eq!(report.stall.total_nanos(), total, "{mode:?}");
+            for phase in [EnginePhase::Claim, EnginePhase::Probe, EnginePhase::Expiry] {
+                assert!(report.totals.nanos(phase) > 0, "{mode:?} {phase:?}");
+            }
+            assert!(
+                report.phase_histograms.is_some() && report.stall_histograms.is_some(),
+                "{mode:?}: full mode records histograms"
+            );
+            assert!(report.to_prometheus().contains("pimtree_phase_nanos"));
+        }
+    }
+
+    /// The default (off) mode leaves the report unset and the results exact —
+    /// the recorder's hot path is a single relaxed counter bump.
+    #[test]
+    fn telemetry_off_leaves_report_unset() {
+        let tuples = random_tuples(3000, 300, 132);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 64, 64, false));
+        let cfg = config(64, 2, 4, 1.0, MergePolicy::NonBlocking);
+        let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+            .with_collected_results(true);
+        let (stats, results) = op.run(&tuples);
+        assert_eq!(canonical(&results), expected);
+        assert!(stats.telemetry.is_none(), "off mode reports nothing");
+    }
+
+    /// `with_telemetry_out` streams gauge samples as JSONL during the
+    /// measured phase and leaves a Prometheus-style dump at drain: every
+    /// line is one flat JSON object with the schema's required keys and a
+    /// strictly increasing `seq`.
+    #[test]
+    fn telemetry_out_writes_jsonl_trace_and_prometheus_dump() {
+        let tuples = random_tuples(4000, 300, 133);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 64, 64, false));
+        let dir = std::env::temp_dir();
+        let path = dir
+            .join(format!(
+                "pimtree_telemetry_test_{}.jsonl",
+                std::process::id()
+            ))
+            .to_string_lossy()
+            .into_owned();
+        let cfg = config(64, 2, 4, 1.0, MergePolicy::NonBlocking).with_telemetry(
+            pimtree_common::TelemetryConfig::default()
+                .with_mode(TelemetryMode::Counters)
+                .with_sample_interval_ms(1),
+        );
+        let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, false)
+            .with_telemetry_out(&path)
+            .with_collected_results(true);
+        let (_, results) = op.run(&tuples);
+        assert_eq!(canonical(&results), expected);
+        let trace = std::fs::read_to_string(&path).expect("trace written");
+        let mut last_seq = None;
+        let mut lines = 0usize;
+        for line in trace.lines().filter(|l| !l.trim().is_empty()) {
+            lines += 1;
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "flat JSON: {line}"
+            );
+            for key in [
+                "\"seq\":",
+                "\"elapsed_us\":",
+                "\"in_flight\":",
+                "\"shard_occupancy\":",
+                "\"unindexed_r\":",
+                "\"unindexed_s\":",
+                "\"window_r\":",
+                "\"window_s\":",
+                "\"local_claims\":",
+                "\"stolen_claims\":",
+                "\"drift_imbalance\":",
+                "\"handoff_steps_done\":",
+                "\"handoff_steps_total\":",
+                "\"events\":",
+            ] {
+                assert!(line.contains(key), "missing {key} in {line}");
+            }
+            let seq: u64 = line["{\"seq\": ".len()..]
+                .split(',')
+                .next()
+                .unwrap()
+                .trim()
+                .parse()
+                .expect("numeric seq");
+            if let Some(prev) = last_seq {
+                assert!(seq > prev, "seq must increase");
+            }
+            last_seq = Some(seq);
+        }
+        assert!(lines >= 1, "the sampler takes at least the final sample");
+        let prom = std::fs::read_to_string(format!("{path}.prom")).expect("prom dump");
+        assert!(
+            prom.contains("pimtree_phase_nanos"),
+            "prom dump has metrics"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(format!("{path}.prom"));
     }
 }

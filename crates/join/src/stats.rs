@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use pimtree_common::{CostBreakdown, LatencyHistogram, LatencyRecorder, ProbeCounters};
+use pimtree_telemetry::{StallBreakdown, StallCause, TelemetryReport};
 
 /// Statistics of one join run over a tuple sequence.
 #[derive(Debug, Clone, Default)]
@@ -58,6 +59,11 @@ pub struct JoinRunStats {
     /// toward the tail — closed-loop task latency cannot see it
     /// (coordinated omission). `None` unless an arrival rate was armed.
     pub arrival_latency: Option<LatencyHistogram>,
+    /// End-of-run telemetry report (per-worker phase totals, stall-cause
+    /// breakdown and histograms, Prometheus rendering). `None` for operators
+    /// without the flight recorder; filled once per run by the parallel
+    /// engine, so [`JoinRunStats::absorb`] leaves it untouched.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Counters of the drift-driven live repartitioning: how many observations
@@ -102,6 +108,10 @@ pub struct MigrationCounters {
     /// between the modes while the worst-case pause differs by orders of
     /// magnitude (`max`-merged, not summed).
     pub max_stall_nanos: u64,
+    /// Per-cause decomposition of `stall_nanos`: every quiesce interval is
+    /// tiled into gate-close / in-flight-drain / snapshot / rebuild / swap
+    /// segments by a lap timer, so the causes sum to the total exactly.
+    pub stall_causes: StallBreakdown,
 }
 
 impl MigrationCounters {
@@ -117,6 +127,7 @@ impl MigrationCounters {
         self.simulated_move_cost += other.simulated_move_cost;
         self.stall_nanos += other.stall_nanos;
         self.max_stall_nanos = self.max_stall_nanos.max(other.max_stall_nanos);
+        self.stall_causes.merge_from(&other.stall_causes);
     }
 
     /// Total entries (index plus window) the migrations re-homed.
@@ -139,6 +150,20 @@ impl MigrationCounters {
     pub fn record_stall(&mut self, nanos: u64) {
         self.stall_nanos += nanos;
         self.max_stall_nanos = self.max_stall_nanos.max(nanos);
+    }
+
+    /// Records one quiesce with its per-cause lap breakdown. The breakdown's
+    /// segments tile the quiesce interval, so `stall_nanos` advances by
+    /// exactly the breakdown total and the per-cause sum stays equal to the
+    /// cumulative stall.
+    pub fn record_stall_breakdown(&mut self, breakdown: &StallBreakdown) {
+        self.record_stall(breakdown.total_nanos());
+        self.stall_causes.merge_from(breakdown);
+    }
+
+    /// Nanoseconds of migration stall attributed to `cause`.
+    pub fn stall_cause_nanos(&self, cause: StallCause) -> u64 {
+        self.stall_causes.nanos(cause)
     }
 }
 

@@ -528,6 +528,14 @@ pub(crate) struct StoreMigration {
     pub index_entries_moved: u64,
     /// Window tuples re-homed to a different shard (both sides).
     pub window_tuples_moved: u64,
+    /// Nanoseconds spent snapshotting window/index state (stall-cause
+    /// attribution: the quiesce interval's window-snapshot share).
+    pub snapshot_nanos: u64,
+    /// Nanoseconds spent re-splitting and rebuilding shard windows/indexes.
+    pub rebuild_nanos: u64,
+    /// Nanoseconds spent swapping the rebuilt state in (shard table /
+    /// overlay / traffic bookkeeping).
+    pub swap_nanos: u64,
 }
 
 /// Report of one bounded advance of the in-flight incremental handoff step.
@@ -1241,6 +1249,7 @@ impl ShardStore {
         // (old, new) moved-entry counts for the traffic charge.
         let mut pair_moves = vec![0u64; nodes * nodes];
         let mut report = StoreMigration::default();
+        let clock = std::time::Instant::now();
 
         // Windows: snapshot → keep-horizon filter → re-split → rebuild.
         let mut window_entries: Vec<[Vec<(Seq, Key, bool)>; 2]> =
@@ -1298,6 +1307,8 @@ impl ShardStore {
             }
         }
 
+        report.snapshot_nanos = clock.elapsed().as_nanos() as u64;
+
         // Rebuild the shard table against the new partitioner.
         let new_shards: Vec<StoreShard> = window_entries
             .into_iter()
@@ -1323,6 +1334,8 @@ impl ShardStore {
                 }
             })
             .collect();
+        report.rebuild_nanos =
+            (clock.elapsed().as_nanos() as u64).saturating_sub(report.snapshot_nanos);
         inner.shards = new_shards;
         inner.partitioner = new.clone();
         // Re-inserted entries land in the mutable components: re-raise the
@@ -1343,6 +1356,8 @@ impl ShardStore {
             }
         }
         p.epoch.fetch_add(1, Ordering::AcqRel);
+        report.swap_nanos = (clock.elapsed().as_nanos() as u64)
+            .saturating_sub(report.snapshot_nanos + report.rebuild_nanos);
         Some(report)
     }
 
@@ -1431,6 +1446,7 @@ impl ShardStore {
         let d = inner.overlay.dual.expect("no handoff step in flight");
         let budget = budget.max(1);
         let mut report = StoreMigration::default();
+        let clock = std::time::Instant::now();
 
         // Snapshot the source once per side, keep-horizon filtered — the
         // set any in-flight reader can still reach, as in adopt_partitioner.
@@ -1458,6 +1474,7 @@ impl ShardStore {
             // Only the budget-th smallest key matters, not the full order.
             *cand_keys.select_nth_unstable(budget - 1).1
         };
+        report.snapshot_nanos = clock.elapsed().as_nanos() as u64;
 
         for (side, snap) in snaps.into_iter().enumerate() {
             let head = p.heads[side].load(Ordering::Acquire);
@@ -1512,6 +1529,9 @@ impl ShardStore {
             report.window_tuples_moved += moving.len() as u64;
         }
 
+        report.rebuild_nanos =
+            (clock.elapsed().as_nanos() as u64).saturating_sub(report.snapshot_nanos);
+
         // The moved prefix leaves its index entries behind at the source.
         inner.shards[d.src].push_stale(d.lo, cut);
         inner.overlay.push_rerouted(d.lo, cut, d.dst);
@@ -1522,6 +1542,8 @@ impl ShardStore {
         if moved > 0 {
             p.traffic.record(d.src, d.dst, moved);
         }
+        report.swap_nanos = (clock.elapsed().as_nanos() as u64)
+            .saturating_sub(report.snapshot_nanos + report.rebuild_nanos);
         HandoffAdvance {
             migration: report,
             cut,
