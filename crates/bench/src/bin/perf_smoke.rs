@@ -2,8 +2,10 @@
 //! thread scaling that machines (CI, future PRs) can diff.
 //!
 //! Runs the uniform two-way workload through the parallel IBWJ at 1/2/4/8
-//! worker threads — the PIM-Tree backend with both the batched CSS group
-//! probe and the scalar probe path, and the Bw-Tree backend for reference —
+//! worker threads — the PIM-Tree backend with the batched CSS group probe,
+//! the scalar probe path and the AMAC interleaved descent ring (widths 4
+//! and 8 by default; `--interleave=` pins one), and the Bw-Tree backend for
+//! reference —
 //! plus a sharded-ring sweep (key-range routed shards with cross-shard
 //! stealing), a partitioned-store sweep (the same shard counts with the
 //! per-shard index/window store on, against the shared-store arm as its
@@ -14,7 +16,8 @@
 //! writes the results as JSON to `BENCH_parallel.json` (and stdout), so
 //! every PR leaves a comparable throughput trajectory behind.
 //! The JSON records its provenance (host core count, the simulated NUMA node
-//! count of the sharded arm, architecture, OS, and the full
+//! count of the sharded arm, architecture, OS, the detected SIMD level of
+//! the intra-node search, and the full
 //! engine/ring/probe/shard configuration), so trajectories from different
 //! hosts — in particular the 1-core build container versus a real multicore
 //! box — are never silently compared as equals.
@@ -42,7 +45,7 @@
 use std::io::Write;
 
 use pimtree_bench::harness::*;
-use pimtree_common::{DriftConfig, ProbeConfig, Step, TelemetryConfig, TelemetryMode, Tuple};
+use pimtree_common::{simd, DriftConfig, ProbeConfig, Step, TelemetryConfig, TelemetryMode, Tuple};
 use pimtree_join::{JoinRunStats, SharedIndexKind};
 use pimtree_numa::RangePartitioner;
 use pimtree_telemetry::StallCause;
@@ -52,10 +55,13 @@ fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRun
     format!(
         concat!(
             "    {{\"backend\": \"{}\", \"probe_batch\": {}, \"prefetch_dist\": {}, ",
+            "\"interleave\": {}, ",
             "\"threads\": {}, \"shards\": {}, \"mtps\": {:.4}, \"results\": {}, ",
             "\"mean_latency_us\": {:.2}, \"claim_retries_per_task\": {:.4}, ",
             "\"merges\": {}, \"probe_batches\": {}, \"mean_probe_batch\": {:.2}, ",
             "\"probe_dedup_rate\": {:.4}, \"nodes_prefetched\": {}, ",
+            "\"interleaved_batches\": {}, \"mean_descent_steps\": {:.2}, ",
+            "\"simd_node_searches\": {}, ",
             "\"scalar_probes\": {}, \"steals\": {}, \"stolen_tuples\": {}, ",
             "\"steal_fraction\": {:.4}, \"shard_remote_fraction\": {:.4}, ",
             "\"simulated_numa_cost\": {}, ",
@@ -76,6 +82,7 @@ fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRun
         backend,
         probe.batch,
         probe.prefetch_dist,
+        probe.interleave,
         threads,
         stats.shard.shards.max(1),
         stats.million_tuples_per_second(),
@@ -87,6 +94,9 @@ fn entry_json(backend: &str, probe: ProbeConfig, threads: usize, stats: &JoinRun
         stats.probe.mean_batch_size(),
         stats.probe.dedup_rate(),
         stats.probe.nodes_prefetched,
+        stats.probe.interleaved_batches,
+        stats.probe.mean_descent_steps(),
+        stats.probe.simd_node_searches,
         stats.probe.scalar_probes,
         stats.shard.steal_tasks,
         stats.shard.stolen_tuples,
@@ -147,12 +157,32 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    let batched = opts.probe().with_batch(true);
+    let batched = opts.probe().with_batch(true).with_interleave(0);
     let scalar = ProbeConfig::scalar();
+    // `--interleave=` pins the AMAC ring-width sweep to one value (the way
+    // `--shards=` pins the shard sweep); the automatic default (0) sweeps a
+    // narrow and a deep ring against the level-synchronous batched descent.
+    let interleave_widths: Vec<usize> = if opts.interleave >= 2 {
+        vec![opts.interleave]
+    } else {
+        vec![4, 8]
+    };
+    let mut probe_arms: Vec<(String, ProbeConfig)> = vec![
+        ("batched".to_string(), batched),
+        ("scalar".to_string(), scalar),
+    ];
+    for &k in &interleave_widths {
+        probe_arms.push((format!("interleaved{k}"), batched.with_interleave(k)));
+    }
     let mut entries = Vec::new();
-    let mut mtps_1t = [0.0f64, 0.0]; // [batched, scalar] PIM-Tree at 1 thread
-                                     // PIM-Tree backend: batched group probe versus the scalar probe path.
-    for (mode, probe) in [(0usize, batched), (1usize, scalar)] {
+    // 1-thread Mtps per probe arm; [0] = batched, [1] = scalar, then the
+    // interleaved ring widths in sweep order.
+    let mut mtps_1t = vec![0.0f64; probe_arms.len()];
+    let mut best_interleaved_1t = 0.0f64;
+    // PIM-Tree backend: batched group probe versus the scalar probe path
+    // versus the AMAC interleaved descent ring.
+    for (mode, (name, probe)) in probe_arms.iter().enumerate() {
+        let probe = *probe;
         for threads in [1usize, 2, 4, 8] {
             let stats = run_parallel_ring(
                 SharedIndexKind::PimTree,
@@ -169,10 +199,12 @@ fn main() {
             );
             if threads == 1 {
                 mtps_1t[mode] = stats.million_tuples_per_second();
+                if probe.interleave >= 2 {
+                    best_interleaved_1t = best_interleaved_1t.max(mtps_1t[mode]);
+                }
             }
             println!(
-                "perf_smoke pim_tree probe={} threads={threads}: {:.4} Mtps",
-                if probe.batch { "batched" } else { "scalar" },
+                "perf_smoke pim_tree probe={name} threads={threads}: {:.4} Mtps",
                 stats.million_tuples_per_second()
             );
             entries.push(entry_json("pim_tree", probe, threads, &stats));
@@ -415,6 +447,16 @@ fn main() {
         0.0
     };
     println!("perf_smoke pim_tree batched/scalar speedup at 1T: {speedup_1t:.3}x");
+    let interleaved_vs_batched_1t = if mtps_1t[0] > 0.0 {
+        best_interleaved_1t / mtps_1t[0]
+    } else {
+        0.0
+    };
+    println!(
+        "perf_smoke pim_tree interleaved/batched speedup at 1T: \
+         {interleaved_vs_batched_1t:.3}x (simd {})",
+        simd::active_level().label()
+    );
 
     let ring = opts.ring();
     let shard = opts.shard();
@@ -427,16 +469,22 @@ fn main() {
             "  \"tuples\": {},\n",
             "  \"task_size\": {},\n",
             "  \"host\": {{\"cores\": {}, \"numa_nodes_simulated\": {}, ",
-            "\"arch\": \"{}\", \"os\": \"{}\"}},\n",
+            "\"arch\": \"{}\", \"os\": \"{}\", \"simd\": \"{}\"}},\n",
             "  \"engine\": {{\"merge_policy\": \"non_blocking\", ",
             "\"ring\": {{\"capacity\": {}, \"ingest_target\": {}, \"spin\": {}, ",
             "\"yield\": {}, \"park_us\": {}}}, ",
-            "\"probe\": {{\"batch\": {}, \"prefetch_dist\": {}}}, ",
+            "\"probe\": {{\"batch\": {}, \"prefetch_dist\": {}, ",
+            "\"interleave_swept\": {:?}}}, ",
             "\"shard\": {{\"shards_swept\": {:?}, \"steal_batch\": {}, ",
             "\"steal_threshold\": {}, \"partition_index_swept\": true}}, ",
             "\"drift\": {{\"repartition_swept\": {}, \"window\": {}, ",
             "\"imbalance_trigger\": {:.2}, \"cost_gate\": {:.2}}}}},\n",
             "  \"batched_vs_scalar_1t_speedup\": {:.4},\n",
+            "  \"interleaved_vs_batched_1t_speedup\": {:.4},\n",
+            "  \"interleave_caveat\": \"best interleaved ring width at 1 thread ",
+            "vs the batched descent; AMAC gains come from overlapping cache ",
+            "misses, so re-measure on a multicore host whose index spills ",
+            "past LLC before reading this as the paper's figure\",\n",
             "  \"telemetry_overhead\": {{\"counters_vs_off\": {:.4}, ",
             "\"full_vs_off\": {:.4}, \"rounds\": {}}},\n",
             "  \"results\": [\n{}\n  ]\n",
@@ -449,6 +497,7 @@ fn main() {
         numa_nodes_simulated,
         std::env::consts::ARCH,
         std::env::consts::OS,
+        simd::active_level().label(),
         ring.capacity,
         ring.ingest_target,
         ring.spin_limit,
@@ -456,6 +505,7 @@ fn main() {
         ring.park_micros,
         batched.batch,
         batched.prefetch_dist,
+        interleave_widths,
         shard_counts,
         shard.steal_batch,
         shard.steal_threshold,
@@ -464,6 +514,7 @@ fn main() {
         drift.imbalance_trigger,
         drift.cost_gate,
         speedup_1t,
+        interleaved_vs_batched_1t,
         counters_vs_off,
         full_vs_off,
         overhead_rounds,

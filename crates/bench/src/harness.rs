@@ -43,6 +43,9 @@ pub struct RunOpts {
     pub probe_batch: bool,
     /// Prefetch distance of the batched probe (keys of lookahead per level).
     pub prefetch_dist: usize,
+    /// AMAC interleave width: in-flight descents per worker (0 = off, use
+    /// the level-synchronous batched descent).
+    pub interleave: usize,
     /// Ring shards (simulated NUMA nodes) for the parallel engine. `0` means
     /// automatic (the single-ring engine; `perf_smoke` additionally sweeps
     /// its default shard counts); an explicit value — including 1 — pins the
@@ -83,7 +86,8 @@ pub struct RunOpts {
 impl RunOpts {
     /// Parses `--min-exp= --max-exp= --tuples= --threads= --task-size=
     /// --seed= --ring-cap= --ingest-target= --spin= --yield= --park-us=
-    /// --probe-batch=on|off --prefetch-dist= --shards= --steal-batch=
+    /// --probe-batch=on|off --prefetch-dist= --interleave= --shards=
+    /// --steal-batch=
     /// --steal-threshold= --partition-index=on|off --repartition=on|off
     /// --drift-window= --drift-trigger= --drift-cost-gate=
     /// --telemetry=off|counters|full --telemetry-interval=ms` from the
@@ -112,6 +116,7 @@ impl RunOpts {
             park_micros: defaults.park_micros,
             probe_batch: probe_defaults.batch,
             prefetch_dist: probe_defaults.prefetch_dist,
+            interleave: probe_defaults.interleave,
             shards: 0,
             steal_batch: shard_defaults.steal_batch,
             steal_threshold: shard_defaults.steal_threshold,
@@ -155,6 +160,7 @@ impl RunOpts {
                     }
                 }
                 "--prefetch-dist" => opts.prefetch_dist = parse_usize(),
+                "--interleave" => opts.interleave = parse_usize(),
                 "--shards" => opts.shards = parse_usize(),
                 "--steal-batch" => opts.steal_batch = parse_usize(),
                 "--steal-threshold" => opts.steal_threshold = parse_usize(),
@@ -246,6 +252,7 @@ impl RunOpts {
         ProbeConfig::default()
             .with_batch(self.probe_batch)
             .with_prefetch_dist(self.prefetch_dist)
+            .with_interleave(self.interleave)
     }
 
     /// The sharded-ring configuration selected on the command line
@@ -620,6 +627,7 @@ mod tests {
             park_micros: 50,
             probe_batch: true,
             prefetch_dist: 4,
+            interleave: 0,
             shards: 1,
             steal_batch: 0,
             steal_threshold: 1,
@@ -655,11 +663,13 @@ mod tests {
         let probe = RunOpts {
             probe_batch: false,
             prefetch_dist: 16,
+            interleave: 8,
             ..opts
         }
         .probe();
         assert!(!probe.batch);
         assert_eq!(probe.prefetch_dist, 16);
+        assert_eq!(probe.interleave, 8);
         probe.validate().unwrap();
         let shard = RunOpts {
             shards: 4,

@@ -8,6 +8,11 @@ use pimtree_common::{Key, Seq};
 /// Entries are totally ordered by `(key, seq)`. The sequence number breaks
 /// ties between duplicate keys so that deleting an expired tuple removes
 /// exactly one entry.
+///
+/// The `repr(C)` layout guarantee (`key` at offset 0, `seq` at offset 8) is
+/// relied upon by the CSS-Tree's SIMD intra-node search, which reinterprets
+/// sorted entry blocks as `[i64; 2]` pairs to compare keys at stride 16.
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Entry {
     /// Join attribute.

@@ -607,6 +607,14 @@ pub struct ProbeConfig {
     /// next node's key block is prefetched, within each level of the group
     /// descent. `0` disables prefetching while keeping the batch descent.
     pub prefetch_dist: usize,
+    /// Number of in-flight descents per worker for the AMAC-style
+    /// interleaved CSS-Tree descent (see `pimtree-cssbtree`): a ring of
+    /// `interleave` independent root-to-leaf descents is advanced
+    /// round-robin, one node visit at a time, so each descent's cache miss
+    /// overlaps the other descents' compares. `0` (and `1`) disable
+    /// interleaving and keep the level-wise group descent (batched path) or
+    /// the plain per-key descent (scalar path).
+    pub interleave: usize,
 }
 
 impl Default for ProbeConfig {
@@ -614,6 +622,7 @@ impl Default for ProbeConfig {
         ProbeConfig {
             batch: true,
             prefetch_dist: 4,
+            interleave: 0,
         }
     }
 }
@@ -640,6 +649,12 @@ impl ProbeConfig {
         self
     }
 
+    /// Sets the number of interleaved in-flight descents (0 = off).
+    pub fn with_interleave(mut self, interleave: usize) -> Self {
+        self.interleave = interleave;
+        self
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<()> {
         if self.prefetch_dist > 1024 {
@@ -647,6 +662,13 @@ impl ProbeConfig {
                 "prefetch_dist {} is unreasonably large (max 1024): batches \
                  never exceed the task size",
                 self.prefetch_dist
+            )));
+        }
+        if self.interleave > 64 {
+            return Err(Error::InvalidConfig(format!(
+                "interleave {} is unreasonably large (max 64): the in-flight \
+                 descent ring should stay within the L1 miss-queue depth",
+                self.interleave
             )));
         }
         Ok(())
@@ -943,6 +965,11 @@ mod tests {
     fn probe_config_rejects_bad_values() {
         assert!(ProbeConfig::default()
             .with_prefetch_dist(2048)
+            .validate()
+            .is_err());
+        assert!(ProbeConfig::default().with_interleave(8).validate().is_ok());
+        assert!(ProbeConfig::default()
+            .with_interleave(65)
             .validate()
             .is_err());
         let mut c = JoinConfig::symmetric(16, IndexKind::PimTree);

@@ -9,6 +9,8 @@
 //!   (used to reproduce Figure 9b and Figure 10d of the paper);
 //! * [`memtraffic`] — logical load/store byte accounting, the software
 //!   substitute for the hardware memory-bandwidth counters of Figure 11d;
+//! * [`simd`] — runtime-detected SIMD lower-bound kernels for intra-node
+//!   search, with a guaranteed scalar fallback;
 //! * [`error`] — the shared error type.
 //!
 //! The paper this workspace reproduces is *"Parallel Index-based Stream Join on
@@ -21,6 +23,7 @@ pub mod error;
 pub mod memtraffic;
 pub mod metrics;
 pub mod prefetch;
+pub mod simd;
 pub mod types;
 
 pub use config::{
@@ -35,4 +38,5 @@ pub use metrics::{
 };
 pub use pimtree_telemetry::TelemetryMode;
 pub use prefetch::{prefetch_read, prefetch_slice, CACHE_LINE_BYTES};
+pub use simd::SimdLevel;
 pub use types::{BandPredicate, JoinResult, Key, KeyRange, Seq, StreamSide, Tuple};

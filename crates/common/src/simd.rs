@@ -1,0 +1,250 @@
+//! Runtime-detected SIMD lower-bound kernels for intra-node search.
+//!
+//! A CSS-Tree node is a small sorted block of 16-byte `(key, seq)` entries
+//! (or, for plain sorted key arrays, of `u64` values). The hot probe loop
+//! answers one lower bound per node visit, so the per-node compare cost sits
+//! directly on the critical path once prefetching has hidden the memory
+//! latency. These kernels replace the scalar binary search with a
+//! branch-free compare-mask count: because the block is sorted, the number
+//! of elements strictly below the target *is* the lower bound, and that
+//! count can be taken eight 64-bit lanes at a time with AVX2 compares plus
+//! a move-mask popcount.
+//!
+//! The AVX2 path is selected at runtime via `is_x86_feature_detected!` and
+//! cached process-wide; everything degrades to the scalar
+//! `slice::partition_point` on other architectures, on x86-64 parts without
+//! AVX2, and when the [`SIMD_ENV`] environment variable force-disables it
+//! (used by CI to keep the fallback covered on AVX2-capable runners). Both
+//! paths return bit-identical results — the property-based tests pin
+//! SIMD == scalar on arbitrary sorted blocks, including the
+//! `Key::MAX`-padded sentinel slots CSS inner nodes carry.
+
+use std::sync::OnceLock;
+
+/// Environment variable consulted once (first use) to force the scalar
+/// fallback: set to `off`, `scalar`, `0` or `false` to disable the SIMD
+/// kernels regardless of what the CPU supports. Any other value — or the
+/// variable being unset — leaves runtime feature detection in charge.
+pub const SIMD_ENV: &str = "PIMTREE_SIMD";
+
+/// The instruction-set level the lower-bound kernels dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar fallback (`slice::partition_point`).
+    Scalar,
+    /// AVX2 64-bit compare-mask kernels (x86-64 only).
+    Avx2,
+}
+
+impl SimdLevel {
+    /// Stable label for logs and benchmark provenance.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimdLevel::Scalar => "scalar",
+            SimdLevel::Avx2 => "avx2",
+        }
+    }
+}
+
+fn detect_level() -> SimdLevel {
+    if let Ok(v) = std::env::var(SIMD_ENV) {
+        let v = v.to_ascii_lowercase();
+        if v == "off" || v == "scalar" || v == "0" || v == "false" {
+            return SimdLevel::Scalar;
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// The instruction-set level in effect for this process (detected once,
+/// then cached).
+pub fn active_level() -> SimdLevel {
+    static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+    *LEVEL.get_or_init(detect_level)
+}
+
+/// Whether the SIMD kernels (rather than the scalar fallback) answer
+/// lower-bound calls in this process.
+#[inline]
+pub fn simd_active() -> bool {
+    active_level() == SimdLevel::Avx2
+}
+
+/// Position of the first value `>= target` in a sorted `u64` slice —
+/// identical to `values.partition_point(|&v| v < target)`.
+///
+/// The AVX2 path counts lanes `< target` eight at a time (two 256-bit
+/// vectors per iteration), biasing both sides by `1 << 63` so the signed
+/// `cmpgt` instruction implements the unsigned order, and early-exits on the
+/// first vector that contains the boundary.
+#[inline]
+pub fn lower_bound_u64(values: &[u64], target: u64) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_active() {
+            // SAFETY: `simd_active()` is true only after runtime AVX2
+            // detection succeeded.
+            return unsafe { lower_bound_u64_avx2(values, target) };
+        }
+    }
+    values.partition_point(|&v| v < target)
+}
+
+/// Number of leading pairs whose first lane (the key) is `< key`, in a
+/// slice of `[key, payload]` pairs sorted by key — identical to
+/// `pairs.partition_point(|p| p[0] < key)`.
+///
+/// This is the strided variant the CSS-Tree node search uses: entries are
+/// 16-byte `(key, seq)` records, so each iteration loads four entries as
+/// two 256-bit vectors and gathers the four keys with an in-register
+/// unpack. The unpack scrambles lane order, which is harmless — only the
+/// *count* of keys below the target matters in a sorted block.
+#[inline]
+pub fn count_keys_below(pairs: &[[i64; 2]], key: i64) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if simd_active() {
+            // SAFETY: `simd_active()` is true only after runtime AVX2
+            // detection succeeded.
+            return unsafe { count_keys_below_avx2(pairs, key) };
+        }
+    }
+    pairs.partition_point(|p| p[0] < key)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn lower_bound_u64_avx2(values: &[u64], target: u64) -> usize {
+    use core::arch::x86_64::*;
+    const BIAS: i64 = i64::MIN; // 1 << 63: maps unsigned order onto signed
+    let t = _mm256_set1_epi64x((target as i64) ^ BIAS);
+    let bias = _mm256_set1_epi64x(BIAS);
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i + 8 <= values.len() {
+        // SAFETY: `i + 8 <= len`, so both unaligned 4-lane loads stay inside
+        // the slice.
+        let a = unsafe { _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i) };
+        let b = unsafe { _mm256_loadu_si256(values.as_ptr().add(i + 4) as *const __m256i) };
+        let a = _mm256_xor_si256(a, bias);
+        let b = _mm256_xor_si256(b, bias);
+        // A lane is all-ones iff value < target (biased signed compare).
+        let ma = _mm256_cmpgt_epi64(t, a);
+        let mb = _mm256_cmpgt_epi64(t, b);
+        let bits = (_mm256_movemask_pd(_mm256_castsi256_pd(ma)) as u32)
+            | ((_mm256_movemask_pd(_mm256_castsi256_pd(mb)) as u32) << 4);
+        count += bits.count_ones() as usize;
+        if bits != 0xff {
+            // The block contains the boundary: in a sorted slice the set
+            // lanes are exactly the values below the target, so the running
+            // count is final.
+            return count;
+        }
+        i += 8;
+    }
+    count + values[i..].partition_point(|&v| v < target)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn count_keys_below_avx2(pairs: &[[i64; 2]], key: i64) -> usize {
+    use core::arch::x86_64::*;
+    let t = _mm256_set1_epi64x(key);
+    let ptr = pairs.as_ptr() as *const i64;
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i + 4 <= pairs.len() {
+        // SAFETY: `i + 4 <= len`, so the two loads cover exactly pairs
+        // `i..i + 4` (eight i64 lanes) inside the slice.
+        let a = unsafe { _mm256_loadu_si256(ptr.add(2 * i) as *const __m256i) };
+        let b = unsafe { _mm256_loadu_si256(ptr.add(2 * i + 4) as *const __m256i) };
+        // a = [k0 s0 k1 s1], b = [k2 s2 k3 s3]; the per-128-bit-lane unpack
+        // yields [k0 k2 k1 k3] — scrambled, but counting is order-blind.
+        let keys = _mm256_unpacklo_epi64(a, b);
+        let m = _mm256_cmpgt_epi64(t, keys);
+        let bits = _mm256_movemask_pd(_mm256_castsi256_pd(m)) as u32;
+        count += bits.count_ones() as usize;
+        if bits != 0xf {
+            return count;
+        }
+        i += 4;
+    }
+    count + pairs[i..].partition_point(|p| p[0] < key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_level_is_cached_and_consistent() {
+        let first = active_level();
+        assert_eq!(active_level(), first);
+        assert_eq!(simd_active(), first == SimdLevel::Avx2);
+        assert!(!first.label().is_empty());
+    }
+
+    #[test]
+    fn u64_lower_bound_matches_partition_point() {
+        // Boundary at every index, duplicates, unsigned extremes, and
+        // lengths straddling the 8-lane vector width.
+        for len in 0..40usize {
+            let values: Vec<u64> = (0..len as u64).map(|i| i * 3).collect();
+            for t in 0..(len as u64 * 3 + 2) {
+                assert_eq!(
+                    lower_bound_u64(&values, t),
+                    values.partition_point(|&v| v < t),
+                    "len={len} target={t}"
+                );
+            }
+        }
+        let extremes = [0u64, 1, u64::MAX - 1, u64::MAX, u64::MAX, u64::MAX];
+        for t in [0, 1, 2, u64::MAX - 1, u64::MAX] {
+            assert_eq!(
+                lower_bound_u64(&extremes, t),
+                extremes.partition_point(|&v| v < t)
+            );
+        }
+        assert_eq!(lower_bound_u64(&[], 7), 0);
+    }
+
+    #[test]
+    fn key_count_matches_partition_point_with_sentinel_padding() {
+        // A CSS inner node: real keys followed by Key::MAX padding slots.
+        for real in 0..20usize {
+            let mut pairs: Vec<[i64; 2]> = (0..real as i64).map(|i| [i * 2 - 5, i]).collect();
+            while pairs.len() < 24 {
+                pairs.push([i64::MAX, u64::MAX as i64]);
+            }
+            for key in -8..(real as i64 * 2 + 2) {
+                assert_eq!(
+                    count_keys_below(&pairs, key),
+                    pairs.partition_point(|p| p[0] < key),
+                    "real={real} key={key}"
+                );
+            }
+            assert_eq!(
+                count_keys_below(&pairs, i64::MAX),
+                pairs.partition_point(|p| p[0] < i64::MAX)
+            );
+        }
+        assert_eq!(count_keys_below(&[], 0), 0);
+    }
+
+    #[test]
+    fn negative_keys_order_correctly() {
+        let pairs: Vec<[i64; 2]> = vec![[i64::MIN, 0], [-7, 1], [-7, 2], [0, 3], [42, 4]];
+        for key in [i64::MIN, -8, -7, -6, 0, 1, 42, 43, i64::MAX] {
+            assert_eq!(
+                count_keys_below(&pairs, key),
+                pairs.partition_point(|p| p[0] < key)
+            );
+        }
+    }
+}

@@ -6,7 +6,9 @@ use std::time::Instant;
 
 use parking_lot::{Mutex, RwLock};
 use pimtree_btree::{BTreeIndex, Entry};
-use pimtree_common::{CostBreakdown, Key, KeyRange, PimConfig, ProbeCounters, Seq, Step};
+use pimtree_common::{
+    CostBreakdown, Key, KeyRange, PimConfig, ProbeConfig, ProbeCounters, Seq, Step,
+};
 use pimtree_css::CssTree;
 
 use crate::footprint::PimFootprint;
@@ -275,17 +277,22 @@ impl PimTree {
     /// an ancestor of it — no second root-to-leaf walk), and the partitions
     /// are then visited partition-major, so a partition overlapped by many
     /// ranges is locked once per batch instead of once per range.
-    /// `prefetch_dist` is the per-level prefetch lookahead (0 = no
-    /// prefetching); `counters` records batch sizes, dedup hits, nodes
-    /// prefetched and the mutable-side lock grouping. A batch of one
-    /// degenerates to the scalar descent (there is nothing to group, dedup or
-    /// prefetch ahead of), skipping the batch bookkeeping entirely; the
-    /// sort/dedup/cursor buffers of larger batches are reused through a
-    /// per-thread scratch, so the steady state allocates nothing.
+    /// `probe.prefetch_dist` is the per-level prefetch lookahead (0 = no
+    /// prefetching); with `probe.interleave >= 2` the level-wise group
+    /// descent is replaced by the AMAC-style interleaved descent ring
+    /// (`CssTree::lower_bound_interleaved`), which overlaps each descent's
+    /// cache miss with the other in-flight descents' compares instead of
+    /// prefetching ahead within a level. `counters` records batch sizes,
+    /// dedup hits, nodes prefetched, interleave/SIMD work and the
+    /// mutable-side lock grouping. A batch of one degenerates to the scalar
+    /// descent (there is nothing to group, dedup or prefetch ahead of),
+    /// skipping the batch bookkeeping entirely; the sort/dedup/cursor
+    /// buffers of larger batches are reused through a per-thread scratch, so
+    /// the steady state allocates nothing.
     pub fn probe_batch<F: FnMut(usize, Entry)>(
         &self,
         ranges: &[KeyRange],
-        prefetch_dist: usize,
+        probe: &ProbeConfig,
         counters: &mut ProbeCounters,
         mut f: F,
     ) {
@@ -334,12 +341,23 @@ impl PimTree {
             s.targets.clear();
             s.targets
                 .extend(s.uniq.iter().map(|r| Entry::min_for_key(r.lo)));
-            counters.nodes_prefetched += gen.ts.lower_bound_batch_groups(
-                &s.targets,
-                prefetch_dist,
-                &mut s.positions,
-                &mut s.groups,
-            );
+            if probe.interleave >= 2 {
+                gen.ts.lower_bound_interleaved(
+                    &s.targets,
+                    probe.interleave,
+                    &mut s.positions,
+                    Some(&mut s.groups),
+                    counters,
+                );
+            } else {
+                gen.ts.lower_bound_batch_groups_counted(
+                    &s.targets,
+                    probe.prefetch_dist,
+                    &mut s.positions,
+                    &mut s.groups,
+                    counters,
+                );
+            }
         }
         let ti_populated = gen.ti_len.load(Ordering::Relaxed) > 0;
 
@@ -439,9 +457,17 @@ impl PimTree {
     /// component's entries in ascending order, then the overlapping mutable
     /// partitions in ascending partition order. A batch of one degenerates to
     /// the scalar probe (there is nothing to group).
+    ///
+    /// With `probe.interleave >= 2` the per-range root-to-leaf descents are
+    /// replaced by one pass of the AMAC-style interleaved descent ring
+    /// (`CssTree::lower_bound_interleaved`) — ranges stay unsorted and
+    /// undeduplicated (this is still the scalar path), but their start
+    /// positions resolve with overlapped cache misses; emission order per
+    /// range is unchanged.
     pub fn probe_ranges_scalar<F: FnMut(usize, Entry)>(
         &self,
         ranges: &[KeyRange],
+        probe: &ProbeConfig,
         counters: &mut ProbeCounters,
         mut f: F,
     ) {
@@ -455,9 +481,36 @@ impl PimTree {
             return;
         }
         // Immutable component first, per range, exactly like the scalar
-        // probe delivers it (one scalar descent per range, by design).
-        for (j, &range) in ranges.iter().enumerate() {
-            gen.ts.range_for_each(range, &mut |e| f(j, e));
+        // probe delivers it (one scalar descent per range, by design —
+        // unless interleaving resolves the range starts as a ring).
+        if probe.interleave >= 2 && !gen.ts.is_empty() {
+            let mut s = PROBE_SCRATCH.with(|cell| cell.take());
+            s.targets.clear();
+            s.targets
+                .extend(ranges.iter().map(|r| Entry::min_for_key(r.lo)));
+            gen.ts.lower_bound_interleaved(
+                &s.targets,
+                probe.interleave,
+                &mut s.positions,
+                None,
+                counters,
+            );
+            for (j, &range) in ranges.iter().enumerate() {
+                let mut pos = s.positions[j];
+                while pos < gen.ts.len() {
+                    let e = gen.ts.entry_at(pos);
+                    if e.key > range.hi {
+                        break;
+                    }
+                    f(j, e);
+                    pos += 1;
+                }
+            }
+            PROBE_SCRATCH.with(|cell| cell.replace(s));
+        } else {
+            for (j, &range) in ranges.iter().enumerate() {
+                gen.ts.range_for_each(range, &mut |e| f(j, e));
+            }
         }
         if gen.ti_len.load(Ordering::Relaxed) == 0 {
             return;
@@ -919,7 +972,8 @@ mod tests {
             for v in batched.iter_mut() {
                 v.clear();
             }
-            t.probe_batch(&ranges, dist, &mut counters, |i, e| batched[i].push(e));
+            let probe = ProbeConfig::default().with_prefetch_dist(dist);
+            t.probe_batch(&ranges, &probe, &mut counters, |i, e| batched[i].push(e));
             for (range, got) in ranges.iter().zip(&batched) {
                 let mut scalar = Vec::new();
                 t.range_for_each(*range, |e| scalar.push(e));
@@ -934,6 +988,37 @@ mod tests {
             counters.nodes_prefetched > 0,
             "distances > 0 must prefetch nodes of the populated TS"
         );
+        assert_eq!(
+            counters.interleaved_batches, 0,
+            "interleave 0 never takes the ring"
+        );
+        // Interleaved descents answer the same batch identically on both
+        // components, and record their work.
+        for interleave in [2usize, 4, 8] {
+            let mut counters = ProbeCounters::default();
+            for v in batched.iter_mut() {
+                v.clear();
+            }
+            let probe = ProbeConfig::default().with_interleave(interleave);
+            t.probe_batch(&ranges, &probe, &mut counters, |i, e| batched[i].push(e));
+            for (range, got) in ranges.iter().zip(&batched) {
+                let mut scalar = Vec::new();
+                t.range_for_each(*range, |e| scalar.push(e));
+                assert_eq!(got, &scalar, "range {range:?}, interleave {interleave}");
+            }
+            assert_eq!(counters.interleaved_batches, 1);
+            assert_eq!(
+                counters.interleaved_descents,
+                ranges.len() as u64 - 1,
+                "the duplicate range shares one descent"
+            );
+            assert!(counters.interleave_steps >= counters.interleaved_descents);
+            assert_eq!(
+                counters.simd_node_searches + counters.scalar_node_searches,
+                counters.interleave_steps,
+                "each ring step performs exactly one node search"
+            );
+        }
     }
 
     #[test]
@@ -960,7 +1045,9 @@ mod tests {
         ];
         let mut counters = ProbeCounters::default();
         let mut batched: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
-        t.probe_batch(&ranges, 4, &mut counters, |i, e| batched[i].push(e));
+        t.probe_batch(&ranges, &ProbeConfig::default(), &mut counters, |i, e| {
+            batched[i].push(e)
+        });
         for (range, got) in ranges.iter().zip(&batched) {
             let mut scalar = Vec::new();
             t.range_for_each(*range, |e| scalar.push(e));
@@ -1005,11 +1092,24 @@ mod tests {
         ];
         let mut counters = ProbeCounters::default();
         let mut got: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
-        t.probe_ranges_scalar(&ranges, &mut counters, |i, e| got[i].push(e));
+        t.probe_ranges_scalar(&ranges, &ProbeConfig::scalar(), &mut counters, |i, e| {
+            got[i].push(e)
+        });
         for (range, entries) in ranges.iter().zip(&got) {
             let mut scalar = Vec::new();
             t.range_for_each(*range, |e| scalar.push(e));
             assert_eq!(entries, &scalar, "range {range:?}");
+        }
+        // Interleaved start resolution answers the scalar path identically,
+        // range for range, in the same emission order.
+        for interleave in [2usize, 8] {
+            let mut il_counters = ProbeCounters::default();
+            let mut il: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
+            let probe = ProbeConfig::scalar().with_interleave(interleave);
+            t.probe_ranges_scalar(&ranges, &probe, &mut il_counters, |i, e| il[i].push(e));
+            assert_eq!(il, got, "interleave {interleave}");
+            assert_eq!(il_counters.interleaved_batches, 1);
+            assert_eq!(il_counters.interleaved_descents, ranges.len() as u64);
         }
         assert!(
             counters.ti_partition_locks <= t.partition_count() as u64,
@@ -1033,15 +1133,20 @@ mod tests {
             t.insert(i, i as Seq);
         }
         let mut counters = ProbeCounters::default();
-        t.probe_ranges_scalar(&[], &mut counters, |_, _| {
+        t.probe_ranges_scalar(&[], &ProbeConfig::scalar(), &mut counters, |_, _| {
             panic!("empty batch must not call back")
         });
         // A batch of one takes the plain scalar probe (nothing to batch).
         let mut single = Vec::new();
-        t.probe_ranges_scalar(&[KeyRange::new(10, 20)], &mut counters, |i, e| {
-            assert_eq!(i, 0);
-            single.push(e);
-        });
+        t.probe_ranges_scalar(
+            &[KeyRange::new(10, 20)],
+            &ProbeConfig::scalar(),
+            &mut counters,
+            |i, e| {
+                assert_eq!(i, 0);
+                single.push(e);
+            },
+        );
         assert_eq!(single.len(), 11);
         assert_eq!(counters.ti_partition_locks, 0, "batch of one is unbatched");
     }
@@ -1050,13 +1155,16 @@ mod tests {
     fn batched_probe_on_empty_tree_and_empty_batch() {
         let t = PimTree::new(config(64, 1.0, 2));
         let mut counters = ProbeCounters::default();
-        t.probe_batch(&[], 4, &mut counters, |_, _| {
+        t.probe_batch(&[], &ProbeConfig::default(), &mut counters, |_, _| {
             panic!("empty batch must not call back")
         });
         assert_eq!(counters.batches, 0, "empty batches are not counted");
-        t.probe_batch(&[KeyRange::new(0, 100)], 4, &mut counters, |_, _| {
-            panic!("empty tree must not call back")
-        });
+        t.probe_batch(
+            &[KeyRange::new(0, 100)],
+            &ProbeConfig::default(),
+            &mut counters,
+            |_, _| panic!("empty tree must not call back"),
+        );
         assert_eq!(counters.batches, 1);
         assert_eq!(counters.nodes_prefetched, 0);
     }
@@ -1071,7 +1179,9 @@ mod tests {
         let ranges = [KeyRange::new(10, 20), KeyRange::new(95, 200)];
         let mut counters = ProbeCounters::default();
         let mut got: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
-        t.probe_batch(&ranges, 4, &mut counters, |i, e| got[i].push(e));
+        t.probe_batch(&ranges, &ProbeConfig::default(), &mut counters, |i, e| {
+            got[i].push(e)
+        });
         assert_eq!(got[0].len(), 11);
         assert_eq!(got[1].len(), 5);
         for (range, entries) in ranges.iter().zip(&got) {

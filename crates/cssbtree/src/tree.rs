@@ -1,7 +1,51 @@
 //! The immutable CSS-Tree structure and its search operations.
 
 use pimtree_btree::Entry;
-use pimtree_common::{prefetch_slice, Key, KeyRange};
+use pimtree_common::{prefetch_slice, simd, Key, KeyRange, ProbeCounters};
+
+/// Lower bound of `target` inside one sorted entry block: a SIMD
+/// compare-mask count over the keys (see `pimtree_common::simd`), then a
+/// scalar walk over the (usually empty) equal-key run to honor the `seq`
+/// tie-break. Returns exactly `block.partition_point(|&e| e < target)`.
+#[inline]
+fn node_lower_bound(block: &[Entry], target: Entry) -> usize {
+    // SAFETY: `Entry` is `#[repr(C)] { key: i64, seq: u64 }` — 16 bytes with
+    // 8-byte alignment, layout-identical to `[i64; 2]`; the second lane is
+    // never interpreted as a value by the kernel.
+    let pairs: &[[i64; 2]] =
+        unsafe { core::slice::from_raw_parts(block.as_ptr().cast(), block.len()) };
+    let mut i = simd::count_keys_below(pairs, target.key);
+    while i < block.len() && block[i].key == target.key && block[i].seq < target.seq {
+        i += 1;
+    }
+    i
+}
+
+/// Attributes `searches` intra-node lower bounds to the kernel that answered
+/// them (the dispatch level is fixed process-wide).
+#[inline]
+fn count_node_searches(counters: &mut ProbeCounters, searches: u64) {
+    if simd::simd_active() {
+        counters.simd_node_searches += searches;
+    } else {
+        counters.scalar_node_searches += searches;
+    }
+}
+
+/// One in-flight root-to-leaf descent of the interleaved probe engine:
+/// which node of which level it sits at, what it searches for, and which
+/// output slot (target index) it resolves.
+#[derive(Debug, Clone, Copy)]
+struct DescentState {
+    node: usize,
+    level: usize,
+    target: Entry,
+    slot: usize,
+}
+
+/// Sentinel `slot` marking a retired ring entry with no descent left to
+/// refill it.
+const RETIRED: usize = usize::MAX;
 
 /// Structural statistics of a [`CssTree`], used for the memory-footprint
 /// comparison of Figure 11a.
@@ -162,7 +206,7 @@ impl CssTree {
         let mut node = 0usize;
         for level in 0..depth {
             let keys = self.keys_of(level, node);
-            let mut k = keys.partition_point(|&e| e < target);
+            let mut k = node_lower_bound(keys, target);
             let real = self.real_children(level, node);
             if k >= real {
                 k = real - 1;
@@ -179,12 +223,12 @@ impl CssTree {
             return 0;
         }
         if self.level_sizes.is_empty() {
-            return self.leaves.partition_point(|&e| e < target);
+            return node_lower_bound(&self.leaves, target);
         }
         let group = self.descend_to_depth(target, self.level_sizes.len());
         let start = group * self.leaf_size;
         let end = (start + self.leaf_size).min(self.leaves.len());
-        start + self.leaves[start..end].partition_point(|&e| e < target)
+        start + node_lower_bound(&self.leaves[start..end], target)
     }
 
     /// Position of the first entry with key `>= key`.
@@ -227,7 +271,8 @@ impl CssTree {
         prefetch_dist: usize,
         positions: &mut Vec<usize>,
     ) -> u64 {
-        self.lower_bound_batch_inner(targets, prefetch_dist, positions, None)
+        let mut scratch = ProbeCounters::default();
+        self.lower_bound_batch_inner(targets, prefetch_dist, positions, None, &mut scratch)
     }
 
     /// [`CssTree::lower_bound_batch`] that additionally records, per target,
@@ -245,7 +290,164 @@ impl CssTree {
         positions: &mut Vec<usize>,
         groups: &mut Vec<usize>,
     ) -> u64 {
-        self.lower_bound_batch_inner(targets, prefetch_dist, positions, Some(groups))
+        let mut scratch = ProbeCounters::default();
+        self.lower_bound_batch_inner(
+            targets,
+            prefetch_dist,
+            positions,
+            Some(groups),
+            &mut scratch,
+        )
+    }
+
+    /// [`CssTree::lower_bound_batch_groups`] that records its work —
+    /// prefetched node blocks and SIMD/scalar intra-node searches — straight
+    /// into `counters` instead of returning a bare prefetch count.
+    pub fn lower_bound_batch_groups_counted(
+        &self,
+        targets: &[Entry],
+        prefetch_dist: usize,
+        positions: &mut Vec<usize>,
+        groups: &mut Vec<usize>,
+        counters: &mut ProbeCounters,
+    ) {
+        let prefetched =
+            self.lower_bound_batch_inner(targets, prefetch_dist, positions, Some(groups), counters);
+        counters.nodes_prefetched += prefetched;
+    }
+
+    /// Interleaved (AMAC-style) [`CssTree::lower_bound_batch_groups`]: the
+    /// same outputs — one leaf position per target in `positions`, the
+    /// descent's leaf group in `groups` — resolved by a fixed ring of
+    /// `interleave` in-flight descents advanced round-robin.
+    ///
+    /// Where the level-wise group descent hides latency *across* a batch by
+    /// prefetching `prefetch_dist` keys ahead within each level, the
+    /// interleaved engine hides it *within* the ring: each step performs one
+    /// node's lower-bound compare for one descent, issues the prefetch for
+    /// the block that same descent will visit next, and immediately switches
+    /// to the next ring slot. By the time the ring wraps around, the
+    /// prefetched block has had `interleave - 1` other node searches' worth
+    /// of time to arrive, so no descent blocks the pipeline on its own cache
+    /// miss. Finished descents are refilled from the remaining targets until
+    /// the batch is drained.
+    ///
+    /// `interleave` values below 2 are clamped to 2 (a single-slot ring
+    /// cannot overlap anything); callers disable interleaving by calling the
+    /// batch or scalar paths instead. Work is recorded into `counters`
+    /// (descents, steps, the per-descent step histogram, prefetched blocks
+    /// and SIMD/scalar searches).
+    pub fn lower_bound_interleaved(
+        &self,
+        targets: &[Entry],
+        interleave: usize,
+        positions: &mut Vec<usize>,
+        mut groups: Option<&mut Vec<usize>>,
+        counters: &mut ProbeCounters,
+    ) {
+        positions.clear();
+        if let Some(groups) = groups.as_deref_mut() {
+            groups.clear();
+        }
+        let n = targets.len();
+        if n == 0 {
+            return;
+        }
+        counters.interleaved_batches += 1;
+        counters.interleaved_descents += n as u64;
+        if self.leaves.is_empty() || self.level_sizes.is_empty() {
+            // Same degenerate handling as the batch descent: nothing to
+            // interleave — an empty tree answers 0 everywhere, a single leaf
+            // level is one direct search per target.
+            if self.leaves.is_empty() {
+                positions.resize(n, 0);
+            } else {
+                positions.extend(targets.iter().map(|&t| node_lower_bound(&self.leaves, t)));
+                counters.interleave_steps += n as u64;
+                counters.record_descent_steps(1, n as u64);
+                count_node_searches(counters, n as u64);
+            }
+            if let Some(groups) = groups.as_deref_mut() {
+                groups.resize(n, 0);
+            }
+            return;
+        }
+        positions.resize(n, 0);
+        if let Some(groups) = groups.as_deref_mut() {
+            groups.resize(n, 0);
+        }
+        let levels = self.level_sizes.len();
+        let width = interleave.max(2).min(n);
+        let mut ring: Vec<DescentState> = (0..width)
+            .map(|slot| DescentState {
+                node: 0,
+                level: 0,
+                target: targets[slot],
+                slot,
+            })
+            .collect();
+        let mut next = width; // next target to feed into a freed slot
+        let mut live = width;
+        let mut searches = 0u64;
+        let mut r = 0usize;
+        while live > 0 {
+            let state = &mut ring[r];
+            if state.slot != RETIRED {
+                if state.level < levels {
+                    // One inner-node step: search, compute the child, then
+                    // prefetch the block this descent touches next and yield
+                    // the pipeline to the other ring slots.
+                    let keys = self.keys_of(state.level, state.node);
+                    let mut k = node_lower_bound(keys, state.target);
+                    searches += 1;
+                    let real = self.real_children(state.level, state.node);
+                    if k >= real {
+                        k = real - 1;
+                    }
+                    let child = state.node * self.fanout + k;
+                    state.node = child;
+                    state.level += 1;
+                    if state.level < levels {
+                        prefetch_slice(self.keys_of(state.level, child));
+                    } else {
+                        prefetch_slice(self.leaf_group_slice(child));
+                    }
+                    counters.nodes_prefetched += 1;
+                    counters.interleave_steps += 1;
+                } else {
+                    // Final leaf step: the cursor holds the leaf group.
+                    let group = state.node;
+                    if let Some(groups) = groups.as_deref_mut() {
+                        groups[state.slot] = group;
+                    }
+                    let start = group * self.leaf_size;
+                    positions[state.slot] =
+                        start + node_lower_bound(self.leaf_group_slice(group), state.target);
+                    searches += 1;
+                    counters.interleave_steps += 1;
+                    if next < n {
+                        *state = DescentState {
+                            node: 0,
+                            level: 0,
+                            target: targets[next],
+                            slot: next,
+                        };
+                        next += 1;
+                    } else {
+                        state.slot = RETIRED;
+                        live -= 1;
+                    }
+                }
+            }
+            r += 1;
+            if r == width {
+                r = 0;
+            }
+        }
+        // Every descent in a balanced CSS-Tree takes `levels` inner visits
+        // plus the leaf search.
+        counters.record_descent_steps(levels + 1, n as u64);
+        count_node_searches(counters, searches);
     }
 
     /// The ancestor node index at `depth` of a leaf group's descent path
@@ -273,6 +475,7 @@ impl CssTree {
         prefetch_dist: usize,
         positions: &mut Vec<usize>,
         groups: Option<&mut Vec<usize>>,
+        counters: &mut ProbeCounters,
     ) -> u64 {
         positions.clear();
         let n = targets.len();
@@ -288,11 +491,8 @@ impl CssTree {
             if self.leaves.is_empty() {
                 positions.resize(n, 0);
             } else {
-                positions.extend(
-                    targets
-                        .iter()
-                        .map(|&t| self.leaves.partition_point(|&e| e < t)),
-                );
+                positions.extend(targets.iter().map(|&t| node_lower_bound(&self.leaves, t)));
+                count_node_searches(counters, n as u64);
             }
             if let Some(groups) = groups {
                 groups.clear();
@@ -305,6 +505,7 @@ impl CssTree {
         let d = prefetch_dist;
         let levels = self.level_sizes.len();
         let mut prefetched = 0u64;
+        let mut searches = 0u64;
         for level in 0..levels {
             for i in 0..n {
                 // Rolling lookahead within the level (skipped at the root,
@@ -314,7 +515,8 @@ impl CssTree {
                     prefetched += 1;
                 }
                 let keys = self.keys_of(level, positions[i]);
-                let mut k = keys.partition_point(|&e| e < targets[i]);
+                let mut k = node_lower_bound(keys, targets[i]);
+                searches += 1;
                 let real = self.real_children(level, positions[i]);
                 if k >= real {
                     k = real - 1;
@@ -347,8 +549,10 @@ impl CssTree {
             }
             let group = self.leaf_group_slice(positions[i]);
             let start = positions[i] * self.leaf_size;
-            positions[i] = start + group.partition_point(|&e| e < targets[i]);
+            positions[i] = start + node_lower_bound(group, targets[i]);
+            searches += 1;
         }
+        count_node_searches(counters, searches);
         prefetched
     }
 
@@ -605,6 +809,30 @@ mod tests {
             t.lower_bound_batch(probes, d, &mut got);
             assert_eq!(got, expected, "prefetch_dist = {d}");
         }
+        // The interleaved engine must agree position-for-position and
+        // group-for-group with the batch descent at every ring width.
+        let mut batch_pos = Vec::new();
+        let mut batch_groups = Vec::new();
+        t.lower_bound_batch_groups(probes, 4, &mut batch_pos, &mut batch_groups);
+        for k in [0, 1, 2, 3, 4, 8, 16, 64] {
+            let mut pos = Vec::new();
+            let mut groups = Vec::new();
+            let mut counters = ProbeCounters::default();
+            t.lower_bound_interleaved(probes, k, &mut pos, Some(&mut groups), &mut counters);
+            assert_eq!(pos, expected, "interleave = {k}");
+            assert_eq!(groups, batch_groups, "interleave = {k}");
+            if !probes.is_empty() {
+                assert_eq!(counters.interleaved_batches, 1);
+                assert_eq!(counters.interleaved_descents, probes.len() as u64);
+                if !t.is_empty() {
+                    assert_eq!(
+                        counters.descent_steps.iter().sum::<u64>(),
+                        probes.len() as u64,
+                        "every descent lands in exactly one histogram bucket"
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -764,6 +992,61 @@ mod tests {
         }
         let _ = t.lower_bound_batch_groups(&[], 4, &mut positions, &mut groups);
         assert!(positions.is_empty() && groups.is_empty());
+    }
+
+    #[test]
+    fn interleaved_descent_edge_cases_and_counter_accounting() {
+        // Empty tree: every position and group is 0, nothing is stepped.
+        let empty = CssTree::empty();
+        let probes = [Entry::min_for_key(0), Entry::min_for_key(100)];
+        let mut pos = Vec::new();
+        let mut groups = Vec::new();
+        let mut c = ProbeCounters::default();
+        empty.lower_bound_interleaved(&probes, 8, &mut pos, Some(&mut groups), &mut c);
+        assert_eq!(pos, vec![0, 0]);
+        assert_eq!(groups, vec![0, 0]);
+        assert_eq!((c.interleaved_batches, c.interleaved_descents), (1, 2));
+        assert_eq!(c.interleave_steps, 0);
+
+        // Empty batch: outputs cleared, nothing counted.
+        let t = tree(4096, 8, 32);
+        let mut c = ProbeCounters::default();
+        t.lower_bound_interleaved(&[], 8, &mut pos, Some(&mut groups), &mut c);
+        assert!(pos.is_empty() && groups.is_empty());
+        assert_eq!(c, ProbeCounters::default());
+
+        // Multi-level tree: exact step/prefetch/search accounting. Every
+        // descent takes `levels` inner visits plus one leaf search.
+        let levels = t.inner_levels() as u64;
+        assert!(levels >= 2, "test tree must be multi-level");
+        let targets: Vec<Entry> = (-3..61).map(|k| Entry::min_for_key(k * 131)).collect();
+        let n = targets.len() as u64;
+        for k in [1usize, 2, 5, 8, 64] {
+            let mut c = ProbeCounters::default();
+            t.lower_bound_interleaved(&targets, k, &mut pos, Some(&mut groups), &mut c);
+            assert_eq!(c.interleave_steps, n * (levels + 1), "interleave {k}");
+            assert_eq!(c.nodes_prefetched, n * levels, "interleave {k}");
+            assert_eq!(
+                c.simd_node_searches + c.scalar_node_searches,
+                c.interleave_steps,
+                "each step performs exactly one node search"
+            );
+            let bucket = (levels as usize).min(ProbeCounters::DESCENT_STEP_BUCKETS - 1);
+            assert_eq!(c.descent_steps[bucket], n, "interleave {k}");
+            assert_eq!(c.mean_descent_steps(), (levels + 1) as f64);
+        }
+
+        // The counted batch descent records the same prefetch count the
+        // plain one returns, and positions/groups stay identical.
+        let mut plain_pos = Vec::new();
+        let mut plain_groups = Vec::new();
+        let prefetched = t.lower_bound_batch_groups(&targets, 4, &mut plain_pos, &mut plain_groups);
+        let mut c = ProbeCounters::default();
+        t.lower_bound_batch_groups_counted(&targets, 4, &mut pos, &mut groups, &mut c);
+        assert_eq!(pos, plain_pos);
+        assert_eq!(groups, plain_groups);
+        assert_eq!(c.nodes_prefetched, prefetched);
+        assert!(c.simd_node_searches + c.scalar_node_searches > 0);
     }
 
     #[test]

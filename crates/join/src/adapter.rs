@@ -19,7 +19,7 @@ use pimtree_btree::{BTreeIndex, Entry};
 use pimtree_bwtree::BwTreeIndex;
 use pimtree_chained::{ChainVariant, ChainedIndex};
 use pimtree_common::{
-    CostBreakdown, Key, KeyRange, PimConfig, ProbeCounters, Seq, Step, StepTimer,
+    CostBreakdown, Key, KeyRange, PimConfig, ProbeConfig, ProbeCounters, Seq, Step, StepTimer,
 };
 use pimtree_core::{ImTree, MergeReport, PimTree};
 
@@ -47,15 +47,16 @@ pub trait WindowIndexAdapter {
     /// The default implementation answers each range through the scalar
     /// probe (recorded in `counters.scalar_probes`); indexes with a genuine
     /// group probe — the PIM-Tree's prefetched CSS-Tree descent — override
-    /// it. `prefetch_dist` is the per-level prefetch lookahead.
+    /// it. `probe` carries the per-level prefetch lookahead and the
+    /// interleaved-descent ring width.
     fn probe_batch(
         &self,
         ranges: &[KeyRange],
-        prefetch_dist: usize,
+        probe: &ProbeConfig,
         counters: &mut ProbeCounters,
         f: &mut dyn FnMut(usize, Entry),
     ) {
-        let _ = prefetch_dist;
+        let _ = probe;
         for (i, &range) in ranges.iter().enumerate() {
             counters.scalar_probes += 1;
             self.probe(range, &mut |e| f(i, e));
@@ -72,14 +73,15 @@ pub trait WindowIndexAdapter {
     /// to batch the *partition routing* (one mutable-partition lock per
     /// unique partition per call instead of one per range, recorded in
     /// `counters.ti_partition_locks`) while keeping the per-range descents
-    /// scalar.
+    /// scalar (or interleaving them when `probe.interleave >= 2`).
     fn probe_ranges_scalar(
         &self,
         ranges: &[KeyRange],
+        probe: &ProbeConfig,
         counters: &mut ProbeCounters,
         f: &mut dyn FnMut(usize, Entry),
     ) {
-        let _ = counters;
+        let _ = (probe, counters);
         for (i, &range) in ranges.iter().enumerate() {
             self.probe(range, &mut |e| f(i, e));
         }
@@ -340,20 +342,21 @@ impl WindowIndexAdapter for PimTreeAdapter {
     fn probe_batch(
         &self,
         ranges: &[KeyRange],
-        prefetch_dist: usize,
+        probe: &ProbeConfig,
         counters: &mut ProbeCounters,
         f: &mut dyn FnMut(usize, Entry),
     ) {
-        self.tree.probe_batch(ranges, prefetch_dist, counters, f);
+        self.tree.probe_batch(ranges, probe, counters, f);
     }
 
     fn probe_ranges_scalar(
         &self,
         ranges: &[KeyRange],
+        probe: &ProbeConfig,
         counters: &mut ProbeCounters,
         f: &mut dyn FnMut(usize, Entry),
     ) {
-        self.tree.probe_ranges_scalar(ranges, counters, f);
+        self.tree.probe_ranges_scalar(ranges, probe, counters, f);
     }
 
     fn maintain(&mut self, earliest_live: Seq) -> Option<MergeReport> {
@@ -577,25 +580,47 @@ mod tests {
             KeyRange::new(290, 400),
         ];
         for a in adapters.iter() {
-            let mut counters = ProbeCounters::default();
-            let mut batched: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
-            a.probe_batch(&ranges, 4, &mut counters, &mut |i, e| batched[i].push(e));
-            for (range, got) in ranges.iter().zip(&batched) {
-                let mut scalar = Vec::new();
-                a.probe(*range, &mut |e| scalar.push(e));
-                assert_eq!(got, &scalar, "{} range {range:?}", a.name());
+            // Every adapter must answer identically at every ring width,
+            // interleaved or not (non-PIM backends simply ignore the knob).
+            for interleave in [0usize, 4, 8] {
+                let probe = ProbeConfig::default().with_interleave(interleave);
+                let mut counters = ProbeCounters::default();
+                let mut batched: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
+                a.probe_batch(&ranges, &probe, &mut counters, &mut |i, e| {
+                    batched[i].push(e)
+                });
+                for (range, got) in ranges.iter().zip(&batched) {
+                    let mut scalar = Vec::new();
+                    a.probe(*range, &mut |e| scalar.push(e));
+                    assert_eq!(
+                        got,
+                        &scalar,
+                        "{} range {range:?} interleave {interleave}",
+                        a.name()
+                    );
+                }
             }
         }
         // The PIM-Tree adapter routes the batch through the real group probe.
         let pim = PimTreeAdapter::new(pim_cfg);
         let mut counters = ProbeCounters::default();
-        pim.probe_batch(&ranges, 4, &mut counters, &mut |_, _| {});
+        pim.probe_batch(
+            &ranges,
+            &ProbeConfig::default(),
+            &mut counters,
+            &mut |_, _| {},
+        );
         assert_eq!(counters.batches, 1);
         assert_eq!(counters.scalar_probes, 0);
         // The B+-Tree adapter falls back to scalar probes.
         let bt = BTreeAdapter::new();
         let mut counters = ProbeCounters::default();
-        bt.probe_batch(&ranges, 4, &mut counters, &mut |_, _| {});
+        bt.probe_batch(
+            &ranges,
+            &ProbeConfig::default(),
+            &mut counters,
+            &mut |_, _| {},
+        );
         assert_eq!(counters.scalar_probes, ranges.len() as u64);
     }
 
@@ -625,20 +650,30 @@ mod tests {
             KeyRange::new(290, 400),
         ];
         for a in adapters.iter() {
-            let mut counters = ProbeCounters::default();
-            let mut batched: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
-            a.probe_ranges_scalar(&ranges, &mut counters, &mut |i, e| batched[i].push(e));
-            for (range, got) in ranges.iter().zip(&batched) {
-                let mut scalar = Vec::new();
-                a.probe(*range, &mut |e| scalar.push(e));
-                assert_eq!(got, &scalar, "{} range {range:?}", a.name());
+            for interleave in [0usize, 8] {
+                let probe = ProbeConfig::scalar().with_interleave(interleave);
+                let mut counters = ProbeCounters::default();
+                let mut batched: Vec<Vec<Entry>> = vec![Vec::new(); ranges.len()];
+                a.probe_ranges_scalar(&ranges, &probe, &mut counters, &mut |i, e| {
+                    batched[i].push(e)
+                });
+                for (range, got) in ranges.iter().zip(&batched) {
+                    let mut scalar = Vec::new();
+                    a.probe(*range, &mut |e| scalar.push(e));
+                    assert_eq!(
+                        got,
+                        &scalar,
+                        "{} range {range:?} interleave {interleave}",
+                        a.name()
+                    );
+                }
+                assert_eq!(
+                    counters.batches,
+                    0,
+                    "{}: the scalar path never group-descends",
+                    a.name()
+                );
             }
-            assert_eq!(
-                counters.batches,
-                0,
-                "{}: the scalar path never group-descends",
-                a.name()
-            );
         }
         // The PIM-Tree adapter batches the mutable-side partition locks; the
         // overlapping ranges above must share at least one acquisition.
@@ -651,7 +686,12 @@ mod tests {
             pim.tree().insert(((i * 7) % 300) as Key, i);
         }
         let mut counters = ProbeCounters::default();
-        pim.probe_ranges_scalar(&ranges, &mut counters, &mut |_, _| {});
+        pim.probe_ranges_scalar(
+            &ranges,
+            &ProbeConfig::scalar(),
+            &mut counters,
+            &mut |_, _| {},
+        );
         assert!(counters.ti_range_visits > 0);
         assert!(counters.ti_partition_locks <= counters.ti_range_visits);
     }

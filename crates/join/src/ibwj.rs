@@ -219,7 +219,7 @@ impl<A: WindowIndexAdapter> SingleThreadJoin for IbwjOperator<A> {
             let indexes = &self.indexes;
             indexes[probe_idx].probe_batch(
                 std::slice::from_ref(&range),
-                self.probe.prefetch_dist,
+                &self.probe,
                 &mut self.probe_counters,
                 &mut |_, e| {
                     if probe_bounds.contains(e.seq) {
@@ -239,6 +239,7 @@ impl<A: WindowIndexAdapter> SingleThreadJoin for IbwjOperator<A> {
             let indexes = &self.indexes;
             indexes[probe_idx].probe_ranges_scalar(
                 std::slice::from_ref(&range),
+                &self.probe,
                 &mut self.probe_counters,
                 &mut |_, e| {
                     if probe_bounds.contains(e.seq) {

@@ -2151,7 +2151,12 @@ mod tests {
         let predicate = BandPredicate::new(100); // ranges always overflow the domain
         for w in [1usize, 4096] {
             let expected = canonical(&reference_join(&tuples, predicate, w, w, false));
-            for probe in [ProbeConfig::default(), ProbeConfig::scalar()] {
+            for probe in [
+                ProbeConfig::default(),
+                ProbeConfig::default().with_interleave(8),
+                ProbeConfig::scalar(),
+                ProbeConfig::scalar().with_interleave(8),
+            ] {
                 let op = ParallelIbwj::new(
                     config(w, 2, 4, 1.0, MergePolicy::NonBlocking).with_probe(probe),
                     predicate,
@@ -2301,6 +2306,93 @@ mod tests {
         {
             Some(n) => vec![n],
             None => vec![1, 2, 4],
+        }
+    }
+
+    /// The interleave widths the AMAC differential tests sweep. CI's
+    /// interleave leg pins a single ring width via `PIMTREE_TEST_INTERLEAVE`;
+    /// local runs sweep a narrow and a deep ring.
+    fn interleave_sweep() -> Vec<usize> {
+        match std::env::var("PIMTREE_TEST_INTERLEAVE")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+        {
+            Some(n) => vec![n],
+            None => vec![2, 8],
+        }
+    }
+
+    /// AMAC differential: the interleaved descent ring must produce the
+    /// exact same result set as the batched group probe, the scalar probe
+    /// and the brute-force oracle, under both merge policies and both
+    /// shared-index backends.
+    #[test]
+    fn interleaved_probe_matches_batched_scalar_and_reference() {
+        let tuples = random_tuples(5000, 400, 116);
+        let predicate = BandPredicate::new(2);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, false));
+        assert!(!expected.is_empty());
+        for policy in [MergePolicy::NonBlocking, MergePolicy::Blocking] {
+            for kind in [SharedIndexKind::PimTree, SharedIndexKind::BwTree] {
+                for k in interleave_sweep() {
+                    let cfg = config(128, 4, 4, 0.5, policy)
+                        .with_probe(ProbeConfig::default().with_interleave(k));
+                    let op =
+                        ParallelIbwj::new(cfg, predicate, kind, false).with_collected_results(true);
+                    let (stats, results) = op.run(&tuples);
+                    let label = format!("{policy:?}/{kind:?}/K={k}");
+                    assert_eq!(canonical(&results), expected, "{label}");
+                    if kind == SharedIndexKind::PimTree && k >= 2 {
+                        assert!(stats.probe.interleaved_batches > 0, "{label}");
+                        assert!(
+                            stats.probe.interleaved_descents >= stats.probe.interleaved_batches,
+                            "{label}"
+                        );
+                        assert!(
+                            stats.probe.interleave_steps >= stats.probe.interleaved_descents,
+                            "{label}"
+                        );
+                        assert_eq!(stats.probe.scalar_probes, 0, "{label}");
+                    } else {
+                        // The Bw-Tree backend has no batched descent at all;
+                        // an interleave-off run uses the batched group probe.
+                        assert_eq!(stats.probe.interleaved_batches, 0, "{label}");
+                        assert_eq!(stats.probe.interleave_steps, 0, "{label}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// AMAC differential across shard counts and both store modes: the
+    /// interleaved ring must survive sub-range splitting (partitioned
+    /// stores probe per-shard segments) without changing a single result.
+    #[test]
+    fn interleaved_probe_sharded_both_store_modes_matches_reference() {
+        let tuples = self_join_tuples(4000, 250, 117);
+        let predicate = BandPredicate::new(1);
+        let expected = canonical(&reference_join(&tuples, predicate, 128, 128, true));
+        assert!(!expected.is_empty());
+        for shards in shard_sweep() {
+            for partition_index in [false, true] {
+                for k in interleave_sweep() {
+                    let cfg = config(128, 6, 2, 0.5, MergePolicy::NonBlocking)
+                        .with_probe(ProbeConfig::default().with_interleave(k))
+                        .with_shard(
+                            ShardConfig::default()
+                                .with_shards(shards)
+                                .with_partition_index(partition_index),
+                        );
+                    let op = ParallelIbwj::new(cfg, predicate, SharedIndexKind::PimTree, true)
+                        .with_collected_results(true);
+                    let (stats, results) = op.run(&tuples);
+                    let label = format!("shards {shards}, partitioned {partition_index}, K={k}");
+                    assert_eq!(canonical(&results), expected, "{label}");
+                    if k >= 2 {
+                        assert!(stats.probe.interleaved_batches > 0, "{label}");
+                    }
+                }
+            }
         }
     }
 
@@ -2683,7 +2775,12 @@ mod tests {
         let expected = canonical(&reference_join(&tuples, predicate, 128, 128, true));
         assert!(!expected.is_empty());
         for shards in shard_sweep() {
-            for probe in [ProbeConfig::default(), ProbeConfig::scalar()] {
+            for probe in [
+                ProbeConfig::default(),
+                ProbeConfig::default().with_interleave(8),
+                ProbeConfig::scalar(),
+                ProbeConfig::scalar().with_interleave(8),
+            ] {
                 let cfg = config(128, 6, 2, 0.5, MergePolicy::NonBlocking)
                     .with_probe(probe)
                     .with_ring(

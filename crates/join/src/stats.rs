@@ -560,6 +560,55 @@ mod tests {
     }
 
     #[test]
+    fn per_worker_probe_counters_are_summed_not_overwritten() {
+        // Several workers report distinct counters; the run total must be
+        // the field-wise sum (max for `max_batch`), no matter how many
+        // workers fold in or in which order — a later worker must never
+        // overwrite an earlier one's contribution.
+        let mut workers = Vec::new();
+        for w in 1..=3u64 {
+            let mut s = JoinRunStats::default();
+            s.probe.batches = w;
+            s.probe.batched_keys = 10 * w;
+            s.probe.max_batch = 4 + w;
+            s.probe.dedup_hits = w;
+            s.probe.nodes_prefetched = 100 * w;
+            s.probe.scalar_probes = w;
+            s.probe.ti_partition_locks = 2 * w;
+            s.probe.ti_range_visits = 3 * w;
+            s.probe.interleaved_batches = w;
+            s.probe.interleaved_descents = 5 * w;
+            s.probe.interleave_steps = 20 * w;
+            s.probe.record_descent_steps(4, 5 * w);
+            s.probe.simd_node_searches = 15 * w;
+            s.probe.scalar_node_searches = 5 * w;
+            workers.push(s);
+        }
+        let mut total = JoinRunStats::default();
+        for w in &workers {
+            total.absorb(w);
+        }
+        assert_eq!(total.probe.batches, 6);
+        assert_eq!(total.probe.batched_keys, 60);
+        assert_eq!(total.probe.max_batch, 7, "max, not sum");
+        assert_eq!(total.probe.dedup_hits, 6);
+        assert_eq!(total.probe.nodes_prefetched, 600);
+        assert_eq!(total.probe.scalar_probes, 6);
+        assert_eq!(total.probe.ti_partition_locks, 12);
+        assert_eq!(total.probe.ti_range_visits, 18);
+        assert_eq!(total.probe.interleaved_batches, 6);
+        assert_eq!(total.probe.interleaved_descents, 30);
+        assert_eq!(total.probe.interleave_steps, 120);
+        assert_eq!(total.probe.descent_steps[3], 30, "histogram buckets sum");
+        assert_eq!(total.probe.simd_node_searches, 90);
+        assert_eq!(total.probe.scalar_node_searches, 30);
+        assert!((total.probe.mean_descent_steps() - 4.0).abs() < 1e-9);
+        assert!((total.probe.simd_search_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(ProbeCounters::default().mean_descent_steps(), 0.0);
+        assert_eq!(ProbeCounters::default().simd_search_rate(), 0.0);
+    }
+
+    #[test]
     fn shard_counters_absorb_and_derive() {
         let mut a = JoinRunStats::default();
         a.shard.shards = 4;

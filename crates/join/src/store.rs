@@ -105,12 +105,12 @@ impl StoreIndex {
     fn probe_batch(
         &self,
         ranges: &[KeyRange],
-        prefetch_dist: usize,
+        probe: &ProbeConfig,
         counters: &mut pimtree_common::ProbeCounters,
         f: &mut dyn FnMut(usize, Entry),
     ) {
         match self {
-            StoreIndex::Pim(t) => t.probe_batch(ranges, prefetch_dist, counters, &mut *f),
+            StoreIndex::Pim(t) => t.probe_batch(ranges, probe, counters, &mut *f),
             StoreIndex::Bw(t) => {
                 for (i, &range) in ranges.iter().enumerate() {
                     counters.scalar_probes += 1;
@@ -126,11 +126,12 @@ impl StoreIndex {
     fn probe_ranges_scalar(
         &self,
         ranges: &[KeyRange],
+        probe: &ProbeConfig,
         counters: &mut pimtree_common::ProbeCounters,
         f: &mut dyn FnMut(usize, Entry),
     ) {
         match self {
-            StoreIndex::Pim(t) => t.probe_ranges_scalar(ranges, counters, &mut *f),
+            StoreIndex::Pim(t) => t.probe_ranges_scalar(ranges, probe, counters, &mut *f),
             StoreIndex::Bw(t) => {
                 for (i, &range) in ranges.iter().enumerate() {
                     t.range_for_each(range, &mut |e| f(i, e));
@@ -450,14 +451,9 @@ fn probe_shard_segments(
             }
         };
         if probe.batch {
-            shard.indexes[side].probe_batch(
-                sub_ranges,
-                probe.prefetch_dist,
-                probe_counters,
-                &mut cb,
-            );
+            shard.indexes[side].probe_batch(sub_ranges, probe, probe_counters, &mut cb);
         } else {
-            shard.indexes[side].probe_ranges_scalar(sub_ranges, probe_counters, &mut cb);
+            shard.indexes[side].probe_ranges_scalar(sub_ranges, probe, probe_counters, &mut cb);
         }
     }
     let search_nanos = search_start.elapsed().as_nanos() as u64;
@@ -960,14 +956,9 @@ impl ShardStore {
                 }
             };
             if probe.batch {
-                state.indexes[side].probe_batch(
-                    ranges,
-                    probe.prefetch_dist,
-                    &mut stats.probe,
-                    &mut cb,
-                );
+                state.indexes[side].probe_batch(ranges, probe, &mut stats.probe, &mut cb);
             } else {
-                state.indexes[side].probe_ranges_scalar(ranges, &mut stats.probe, &mut cb);
+                state.indexes[side].probe_ranges_scalar(ranges, probe, &mut stats.probe, &mut cb);
             }
         }
         stats

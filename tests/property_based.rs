@@ -8,6 +8,7 @@ use proptest::prelude::*;
 use pimtree::prelude::*;
 use pimtree_btree::{bulk, BTreeIndex, Entry};
 use pimtree_bwtree::BwTreeIndex;
+use pimtree_common::simd;
 
 /// A random `(key, seq)` operation sequence: inserts and deletes of previously
 /// inserted entries.
@@ -238,5 +239,52 @@ proptest! {
             let (_, results) = op.run(&tuples, true);
             prop_assert_eq!(pimtree_join::canonical(&results), expected.clone(), "kind {}", kind);
         }
+    }
+
+    /// The SIMD u64 lower bound must equal `partition_point` on arbitrary
+    /// sorted contents — including duplicates, extremes and targets probing
+    /// past both ends. (CI re-runs this with `PIMTREE_SIMD=off` so the
+    /// scalar fallback is pinned to the same oracle.)
+    #[test]
+    fn simd_u64_lower_bound_matches_partition_point(
+        values in prop::collection::vec(any::<u64>(), 0..80),
+        extra in prop::collection::vec(any::<u64>(), 0..4),
+        target in any::<u64>(),
+    ) {
+        let mut values = values;
+        values.extend([0, u64::MAX]); // always exercise both extremes
+        values.extend(extra.iter().copied()); // and some duplicates-to-be
+        values.extend(extra);
+        values.sort_unstable();
+        for t in [target, 0, u64::MAX, values[values.len() / 2]] {
+            let expected = values.partition_point(|&v| v < t);
+            prop_assert_eq!(simd::lower_bound_u64(&values, t), expected, "target {}", t);
+        }
+        prop_assert_eq!(simd::lower_bound_u64(&[], target), 0);
+    }
+
+    /// The SIMD entry-key count must equal `partition_point` on sorted
+    /// `[key, seq]` blocks padded with `i64::MAX` sentinel slots, the exact
+    /// shape of a CSS-Tree inner node after bulk load.
+    #[test]
+    fn simd_key_count_matches_partition_point_with_sentinel_padding(
+        keys in prop::collection::vec(-1000i64..1000, 0..64),
+        pad in 0usize..9,
+        target in -1100i64..1100,
+    ) {
+        let mut keys = keys;
+        keys.sort_unstable();
+        let mut pairs: Vec<[i64; 2]> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| [k, i as i64])
+            .collect();
+        pairs.extend(std::iter::repeat_n([i64::MAX, i64::MAX], pad));
+        for t in [target, i64::MIN, i64::MAX] {
+            let expected = pairs.partition_point(|p| p[0] < t);
+            prop_assert_eq!(simd::count_keys_below(&pairs, t), expected, "target {}", t);
+        }
+        // Sentinel padding is never counted below a real target.
+        prop_assert_eq!(simd::count_keys_below(&pairs, i64::MAX), keys.len());
     }
 }
