@@ -20,6 +20,8 @@
 //! * Deletion rebalances (borrow-from-sibling or merge) so long-running
 //!   sliding-window workloads do not degrade the tree shape.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod bulk;
 pub mod entry;
 pub mod node;

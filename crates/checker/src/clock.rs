@@ -1,0 +1,73 @@
+//! Vector clocks ordering the events of a model execution.
+//!
+//! Every model thread carries a [`VersionVec`]: slot `t` holds the number of
+//! store events by thread `t` that happen-before the owner's current point of
+//! execution. Release stores snapshot the storing thread's clock; acquire
+//! loads that read them join the snapshot into the loading thread's clock.
+//! "Thread `T` knows store `(t, n)`" — written `covers(t, n)` — is the
+//! happens-before test every visibility rule in the memory model reduces to.
+
+/// A vector clock over model-thread ids.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VersionVec {
+    slots: Vec<u64>,
+}
+
+impl VersionVec {
+    /// The empty clock (knows no events).
+    pub(crate) fn new() -> Self {
+        VersionVec { slots: Vec::new() }
+    }
+
+    /// The component for thread `t` (0 when never set).
+    #[inline]
+    pub(crate) fn get(&self, t: usize) -> u64 {
+        self.slots.get(t).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for thread `t`.
+    pub(crate) fn set(&mut self, t: usize, v: u64) {
+        if self.slots.len() <= t {
+            self.slots.resize(t + 1, 0);
+        }
+        self.slots[t] = v;
+    }
+
+    /// Pointwise maximum with `other` (the acquire-side join).
+    pub(crate) fn join(&mut self, other: &VersionVec) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Whether this clock knows the event `(t, time)` — i.e. the event
+    /// happens-before the clock owner's current point.
+    #[inline]
+    pub(crate) fn covers(&self, t: usize, time: u64) -> bool {
+        self.get(t) >= time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max_and_covers_follows() {
+        let mut a = VersionVec::new();
+        a.set(0, 3);
+        let mut b = VersionVec::new();
+        b.set(1, 5);
+        b.set(0, 1);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert!(a.covers(0, 3));
+        assert!(a.covers(1, 5));
+        assert!(!a.covers(1, 6));
+        assert!(a.covers(7, 0), "unknown threads sit at zero");
+    }
+}

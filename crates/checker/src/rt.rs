@@ -1,0 +1,1123 @@
+//! The model-checking runtime: a cooperative scheduler over real OS threads,
+//! a DFS explorer with bounded preemptions, and a simplified C11 memory model
+//! tracking acquire/release edges and legal visible-value sets.
+//!
+//! # Execution model
+//!
+//! One *execution* runs the user closure once under a fixed *schedule*: at
+//! every visible operation (atomic access, lock acquisition, yield) exactly
+//! one model thread is active; the arriving thread consults the explorer to
+//! decide which thread performs the next operation and parks itself if it is
+//! not chosen. Because only one thread ever runs between schedule points, an
+//! execution is a deterministic function of its branch choices — which is
+//! what makes replay exact.
+//!
+//! # Exploration
+//!
+//! Branch points are (a) scheduling choices with more than one runnable
+//! candidate and (b) loads with more than one legal visible value. The
+//! explorer walks the branch tree depth-first: each execution replays the
+//! recorded prefix, extends it with first choices, and on completion the
+//! deepest branch with untried alternatives is advanced. Context switches
+//! away from a still-runnable thread count as *preemptions* and are bounded
+//! (CHESS-style): most concurrency bugs need very few forced preemptions, and
+//! the bound collapses the schedule space from exponential to polynomial.
+//!
+//! # Memory model (simplified C11)
+//!
+//! Per atomic location the runtime keeps the full modification order as a
+//! store list; per thread a vector clock of known events. A load may read any
+//! store not superseded for the loading thread: stores it already knows via
+//! happens-before, its own reads (read coherence) and its own writes set a
+//! floor in the modification order, and everything at or above the floor is a
+//! legal candidate — each one a branch. Acquire loads join the release clock
+//! of the store they read. Read-modify-writes always read the latest store
+//! (C11 atomicity) and continue release sequences. `SeqCst` is approximated:
+//! a `SeqCst` load additionally may not read below the latest `SeqCst` store
+//! to the same location, which models store-then-load (Dekker) handshakes
+//! exactly when both sides use `SeqCst`, as the engine's gate does.
+//!
+//! Known simplifications (documented limits, not bugs): no load speculation
+//! (a load never reads a store that has not yet executed in the schedule), no
+//! spurious `compare_exchange_weak` failures, release sequences survive
+//! same-thread non-RMW stores, and `SeqCst` fences are not modeled (the
+//! engine uses none).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::clock::VersionVec;
+
+/// Unwind payload used to tear threads out of an aborted execution; never a
+/// user-visible failure by itself.
+pub(crate) struct ModelAbort;
+
+// ------------------------------------------------------------------ context
+
+/// Per-OS-thread binding to the runtime: which model thread this OS thread
+/// embodies.
+pub(crate) struct Ctx {
+    pub(crate) rt: Arc<Runtime>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with the current model context, or returns `None` when this
+/// thread is not part of a model execution.
+pub(crate) fn with_ctx<R>(f: impl FnOnce(&Ctx) -> R) -> Option<R> {
+    CTX.with(|c| c.borrow().as_ref().map(f))
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Binds this OS thread to model thread `tid` (spawned-thread preamble).
+pub(crate) fn bind_ctx(rt: Arc<Runtime>, tid: usize) {
+    set_ctx(Some(Ctx { rt, tid }));
+}
+
+/// Clears this OS thread's model binding (spawned-thread epilogue).
+pub(crate) fn bind_none() {
+    set_ctx(None);
+}
+
+/// Unwinds the current thread out of an aborting execution.
+pub(crate) fn raise_abort() -> ! {
+    abort_unwind()
+}
+
+// ------------------------------------------------------------ thread states
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Ready,
+    Blocked,
+    Finished,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Wait {
+    /// Blocked until the resource is released.
+    Resource(usize),
+    /// Blocked until the thread finishes.
+    Join(usize),
+}
+
+struct ThreadSt {
+    status: Status,
+    yielded: bool,
+    waiting: Option<Wait>,
+    view: VersionVec,
+    /// Logical clock: number of store events this thread has performed.
+    time: u64,
+}
+
+impl ThreadSt {
+    fn new(view: VersionVec) -> Self {
+        ThreadSt {
+            status: Status::Ready,
+            yielded: false,
+            waiting: None,
+            view,
+            time: 0,
+        }
+    }
+}
+
+// ------------------------------------------------------------- memory model
+
+struct StoreEvent {
+    value: u64,
+    thread: usize,
+    time: u64,
+    /// Release clock carried by release/`SeqCst` stores (and inherited along
+    /// release sequences by RMWs); `None` for relaxed stores.
+    release: Option<VersionVec>,
+}
+
+struct Location {
+    stores: Vec<StoreEvent>,
+    /// Index of the latest `SeqCst` store, the floor for `SeqCst` loads.
+    last_seqcst: Option<usize>,
+    /// Per-thread coherence floor: the modification-order index below which
+    /// this thread may no longer read (own writes, prior reads, stores known
+    /// via happens-before).
+    floors: Vec<usize>,
+    /// Per-thread `(index read, store-list length)` of the previous load;
+    /// drives the eventual-visibility rule that makes spin loops terminate.
+    last_reads: Vec<Option<(usize, usize)>>,
+    /// Set by `collapse` (`get_mut`): the next operation must re-import the
+    /// raw value mutated through the exclusive reference.
+    dirty: bool,
+}
+
+/// Lock resource: a mutex is a writer-only resource, an rwlock also counts
+/// readers. The resource clock accumulates every releasing holder's view, so
+/// lock handoff is an acquire/release edge.
+struct Resource {
+    writer: Option<usize>,
+    readers: usize,
+    clock: VersionVec,
+}
+
+// -------------------------------------------------------------- exploration
+
+#[derive(Clone, Copy, Debug)]
+struct Branch {
+    chosen: usize,
+    total: usize,
+}
+
+pub(crate) struct State {
+    // Exploration state, persistent across executions.
+    path: Vec<Branch>,
+    cursor: usize,
+    // Per-execution state.
+    threads: Vec<ThreadSt>,
+    active: usize,
+    live: usize,
+    locations: Vec<Location>,
+    resources: Vec<Resource>,
+    preemptions: usize,
+    steps: u64,
+    trace: Vec<String>,
+    failure: Option<String>,
+    abort: bool,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// The shared runtime of one [`Builder::check`] call.
+pub(crate) struct Runtime {
+    state: Mutex<State>,
+    cv: Condvar,
+    /// Current execution id; atomics stamp it at registration so a cell that
+    /// leaks across executions is caught instead of corrupting state.
+    exec: AtomicU32,
+    cfg: Builder,
+}
+
+fn payload_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn is_abort(p: &(dyn std::any::Any + Send)) -> bool {
+    p.downcast_ref::<ModelAbort>().is_some()
+}
+
+fn abort_unwind() -> ! {
+    panic::resume_unwind(Box::new(ModelAbort))
+}
+
+fn lock_state(rt: &Runtime) -> MutexGuard<'_, State> {
+    rt.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl Runtime {
+    fn new(cfg: Builder) -> Self {
+        Runtime {
+            state: Mutex::new(State {
+                path: Vec::new(),
+                cursor: 0,
+                threads: Vec::new(),
+                active: 0,
+                live: 0,
+                locations: Vec::new(),
+                resources: Vec::new(),
+                preemptions: 0,
+                steps: 0,
+                trace: Vec::new(),
+                failure: None,
+                abort: false,
+                handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            exec: AtomicU32::new(0),
+            cfg,
+        }
+    }
+
+    pub(crate) fn current_exec(&self) -> u32 {
+        self.exec.load(Ordering::Relaxed)
+    }
+
+    // ---------------------------------------------------------- exploration
+
+    /// Picks one of `total` alternatives, replaying the recorded path prefix
+    /// and extending it with first choices past the frontier. Single-option
+    /// decisions are not recorded, keeping seeds short.
+    fn choose(st: &mut State, total: usize, what: &str) -> usize {
+        debug_assert!(total >= 1);
+        if total == 1 {
+            return 0;
+        }
+        if st.cursor < st.path.len() {
+            let b = st.path[st.cursor];
+            assert_eq!(
+                b.total, total,
+                "nondeterministic replay at branch {}: recorded {} options, now {} ({})",
+                st.cursor, b.total, total, what
+            );
+            st.cursor += 1;
+            b.chosen
+        } else {
+            st.path.push(Branch { chosen: 0, total });
+            st.cursor += 1;
+            0
+        }
+    }
+
+    /// Advances the DFS to the next unexplored schedule; `false` when the
+    /// tree is exhausted.
+    fn advance_path(&self) -> bool {
+        let mut st = lock_state(self);
+        let cursor = st.cursor;
+        st.path.truncate(cursor);
+        while let Some(last) = st.path.last_mut() {
+            if last.chosen + 1 < last.total {
+                last.chosen += 1;
+                return true;
+            }
+            st.path.pop();
+        }
+        false
+    }
+
+    /// Seed string of the choices taken so far this execution.
+    fn seed_of(st: &State) -> String {
+        st.path[..st.cursor]
+            .iter()
+            .map(|b| format!("{}/{}", b.chosen, b.total))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    // ----------------------------------------------------------- scheduling
+
+    /// Runnable candidates in deterministic (thread-id) order. Yielded
+    /// threads are skipped unless nothing else can run, which is what makes
+    /// spin-wait loops terminate in every explored schedule.
+    fn candidates(st: &State) -> Vec<usize> {
+        let ready = |t: &ThreadSt| t.status == Status::Ready;
+        let eager: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| ready(t) && !t.yielded)
+            .map(|(i, _)| i)
+            .collect();
+        if !eager.is_empty() {
+            return eager;
+        }
+        st.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| ready(t))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The arrival half of a schedule point: `me` (still active) decides who
+    /// performs the next operation. Returns the chosen thread; the caller
+    /// parks if it was not chosen.
+    fn pick_next(&self, st: &mut State, me: usize) -> usize {
+        let mut cands = Self::candidates(st);
+        debug_assert!(!cands.is_empty(), "the arriving thread is runnable");
+        // A voluntarily yielding thread hands the baton over: it may not be
+        // re-picked while any other thread can run. Without this, two
+        // spin-waiting threads (both marked yielded) would let the DFS
+        // first-choice starve one of them forever and report a livelock.
+        if st.threads[me].yielded && cands.len() > 1 {
+            cands.retain(|&c| c != me);
+        }
+        let me_contending = st.threads[me].status == Status::Ready && !st.threads[me].yielded;
+        if me_contending {
+            let budget_left = self.cfg.preemption_bound.is_none_or(|b| st.preemptions < b);
+            if !budget_left {
+                return me;
+            }
+        }
+        let idx = Self::choose(st, cands.len(), "schedule");
+        let next = cands[idx];
+        if me_contending && next != me {
+            st.preemptions += 1;
+        }
+        next
+    }
+
+    /// Parks until this thread is granted the baton; unwinds on abort.
+    fn wait_grant<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        tid: usize,
+    ) -> MutexGuard<'a, State> {
+        while st.active != tid && !st.abort {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        st
+    }
+
+    /// Full schedule point: arrive, hand over if another thread is chosen,
+    /// and return with the state lock held once this thread is (re)granted.
+    /// `yielding` marks the thread as voluntarily deprioritised for this
+    /// decision (spin-wait back-off).
+    fn enter(&self, tid: usize, yielding: bool) -> MutexGuard<'_, State> {
+        let mut st = lock_state(self);
+        if st.abort {
+            drop(st);
+            abort_unwind();
+        }
+        debug_assert_eq!(st.active, tid, "only the active thread reaches ops");
+        st.threads[tid].yielded = yielding;
+        let next = self.pick_next(&mut st, tid);
+        if next != tid {
+            st.active = next;
+            self.cv.notify_all();
+            st = self.wait_grant(st, tid);
+        }
+        st.threads[tid].yielded = false;
+        st.steps += 1;
+        if st.steps > self.cfg.max_steps && st.failure.is_none() {
+            let msg = format!(
+                "livelock: execution exceeded {} steps without completing",
+                self.cfg.max_steps
+            );
+            self.fail_locked(st, tid, msg);
+        }
+        st
+    }
+
+    /// Records a failure, aborts every thread and unwinds the current one.
+    fn fail_locked(&self, mut st: MutexGuard<'_, State>, tid: usize, msg: String) -> ! {
+        if st.failure.is_none() {
+            st.trace.push(format!("t{tid}: FAILURE: {msg}"));
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+        drop(st);
+        abort_unwind();
+    }
+
+    fn trace_op(&self, st: &mut State, line: String) {
+        if st.trace.len() < 100_000 {
+            st.trace.push(line);
+        }
+    }
+
+    // -------------------------------------------------------------- threads
+
+    /// Registers a spawned model thread; its initial view inherits the
+    /// parent's (spawn is a happens-before edge).
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = lock_state(self);
+        let tid = st.threads.len();
+        let view = st.threads[parent].view.clone();
+        st.threads.push(ThreadSt::new(view));
+        st.live += 1;
+        let line = format!("t{parent}: spawn t{tid}");
+        self.trace_op(&mut st, line);
+        tid
+    }
+
+    pub(crate) fn store_handle(&self, h: std::thread::JoinHandle<()>) {
+        lock_state(self).handles.push(h);
+    }
+
+    /// First wait of a spawned thread: it runs no user code until granted.
+    pub(crate) fn start_wait(&self, tid: usize) {
+        let st = lock_state(self);
+        let st = self.wait_grant(st, tid);
+        drop(st);
+    }
+
+    /// Marks `tid` finished, wakes joiners and hands the baton over. Never
+    /// unwinds — it runs on teardown paths.
+    pub(crate) fn finish_thread(&self, tid: usize) {
+        let mut st = lock_state(self);
+        st.threads[tid].status = Status::Finished;
+        st.threads[tid].waiting = None;
+        st.live -= 1;
+        for t in st.threads.iter_mut() {
+            if t.status == Status::Blocked && t.waiting == Some(Wait::Join(tid)) {
+                t.status = Status::Ready;
+                t.waiting = None;
+            }
+        }
+        if st.live > 0 && !st.abort {
+            let cands = Self::candidates(&st);
+            if cands.is_empty() {
+                let blocked: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.status == Status::Blocked)
+                    .map(|(i, t)| format!("t{i} on {:?}", t.waiting))
+                    .collect();
+                let msg = format!(
+                    "deadlock: every live thread is blocked ({})",
+                    blocked.join(", ")
+                );
+                if st.failure.is_none() {
+                    st.trace.push(format!("t{tid}: FAILURE: {msg}"));
+                    st.failure = Some(msg);
+                }
+                st.abort = true;
+            } else {
+                let idx = Self::choose(&mut st, cands.len(), "finish handoff");
+                st.active = cands[idx];
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Records a non-abort panic of thread `tid` as the execution's failure.
+    pub(crate) fn thread_panicked(&self, tid: usize, payload: &(dyn std::any::Any + Send)) {
+        if is_abort(payload) {
+            return;
+        }
+        let mut st = lock_state(self);
+        if st.failure.is_none() {
+            let msg = format!("t{tid} panicked: {}", payload_message(payload));
+            st.trace.push(format!("t{tid}: FAILURE: {msg}"));
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    /// Voluntary yield: a schedule point at which this thread steps aside.
+    pub(crate) fn yield_now(&self, tid: usize) {
+        let mut st = self.enter(tid, true);
+        let line = format!("t{tid}: yield");
+        self.trace_op(&mut st, line);
+    }
+
+    /// Blocks until `target` finishes; joining is an acquire of the target's
+    /// final view.
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        let mut st = self.enter(tid, false);
+        loop {
+            if st.threads[target].status == Status::Finished {
+                let v = st.threads[target].view.clone();
+                st.threads[tid].view.join(&v);
+                let line = format!("t{tid}: join t{target}");
+                self.trace_op(&mut st, line);
+                return;
+            }
+            st = self.block_on(st, tid, Wait::Join(target));
+        }
+    }
+
+    /// Marks `tid` blocked on `wait`, hands the baton over (detecting
+    /// deadlock) and parks until woken *and* granted.
+    fn block_on<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        tid: usize,
+        wait: Wait,
+    ) -> MutexGuard<'a, State> {
+        st.threads[tid].status = Status::Blocked;
+        st.threads[tid].waiting = Some(wait);
+        let cands = Self::candidates(&st);
+        if cands.is_empty() {
+            let msg = format!("deadlock: t{tid} blocked on {wait:?} with no runnable thread left");
+            self.fail_locked(st, tid, msg);
+        }
+        let idx = Self::choose(&mut st, cands.len(), "block handoff");
+        st.active = cands[idx];
+        self.cv.notify_all();
+        self.wait_grant(st, tid)
+    }
+
+    // -------------------------------------------------------------- atomics
+
+    /// Registers an atomic cell, seeding its modification order with the
+    /// initial value as a store by the creating thread.
+    pub(crate) fn register_atomic(&self, tid: usize, init: u64) -> usize {
+        let mut st = lock_state(self);
+        let t = &mut st.threads[tid];
+        t.time += 1;
+        let time = t.time;
+        t.view.set(tid, time);
+        let loc = st.locations.len();
+        st.locations.push(Location {
+            stores: vec![StoreEvent {
+                value: init,
+                thread: tid,
+                time,
+                release: None,
+            }],
+            last_seqcst: None,
+            floors: Vec::new(),
+            last_reads: Vec::new(),
+            dirty: false,
+        });
+        loc
+    }
+
+    fn floor_of(st: &State, tid: usize, loc: usize, ord: Ordering) -> usize {
+        let l = &st.locations[loc];
+        let view = &st.threads[tid].view;
+        let mut floor = l.floors.get(tid).copied().unwrap_or(0);
+        for (i, s) in l.stores.iter().enumerate().skip(floor) {
+            if view.covers(s.thread, s.time) {
+                floor = i;
+            }
+        }
+        if matches!(ord, Ordering::SeqCst) {
+            if let Some(i) = l.last_seqcst {
+                floor = floor.max(i);
+            }
+        }
+        floor
+    }
+
+    fn set_floor(st: &mut State, tid: usize, loc: usize, idx: usize) {
+        let floors = &mut st.locations[loc].floors;
+        if floors.len() <= tid {
+            floors.resize(tid + 1, 0);
+        }
+        floors[tid] = floors[tid].max(idx);
+    }
+
+    /// Re-imports a value mutated through `get_mut` before the next op.
+    fn sync_dirty(st: &mut State, loc: usize, raw: u64) {
+        if st.locations[loc].dirty {
+            st.locations[loc].dirty = false;
+            if let Some(last) = st.locations[loc].stores.last_mut() {
+                last.value = raw;
+            }
+        }
+    }
+
+    fn is_acquire(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    fn is_release(ord: Ordering) -> bool {
+        matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+    }
+
+    /// An atomic load: branches over every legal visible value.
+    pub(crate) fn atomic_load(&self, tid: usize, loc: usize, ord: Ordering, raw: u64) -> u64 {
+        assert!(
+            !matches!(ord, Ordering::Release | Ordering::AcqRel),
+            "invalid load ordering {ord:?}"
+        );
+        let mut st = self.enter(tid, false);
+        Self::sync_dirty(&mut st, loc, raw);
+        let mut floor = Self::floor_of(&st, tid, loc, ord);
+        let len = st.locations[loc].stores.len();
+        // Eventual visibility (C11 guarantees stores become visible in
+        // finite time): a re-read of a location whose store list has not
+        // grown since this thread's previous read must move forward in
+        // modification order. Without this, a spin loop re-reading the same
+        // stale value would branch forever.
+        if let Some(Some((prev_idx, prev_len))) = st.locations[loc].last_reads.get(tid).copied() {
+            if prev_len == len {
+                floor = floor.max((prev_idx + 1).min(len - 1));
+            }
+        }
+        let total = len - floor;
+        let pick = floor + Self::choose(&mut st, total, "load value");
+        Self::set_floor(&mut st, tid, loc, pick);
+        {
+            let reads = &mut st.locations[loc].last_reads;
+            if reads.len() <= tid {
+                reads.resize(tid + 1, None);
+            }
+            reads[tid] = Some((pick, len));
+        }
+        let (value, release) = {
+            let s = &st.locations[loc].stores[pick];
+            (s.value, s.release.clone())
+        };
+        if Self::is_acquire(ord) {
+            if let Some(c) = &release {
+                st.threads[tid].view.join(c);
+            }
+        }
+        let line = format!(
+            "t{tid}: load a{loc} -> {value} ({ord:?}{})",
+            if total > 1 {
+                format!(", {total} visible")
+            } else {
+                String::new()
+            }
+        );
+        self.trace_op(&mut st, line);
+        value
+    }
+
+    /// Appends a store event; release orderings snapshot the thread's clock.
+    fn push_store(
+        st: &mut State,
+        tid: usize,
+        loc: usize,
+        value: u64,
+        ord: Ordering,
+        inherit: Option<VersionVec>,
+    ) {
+        let t = &mut st.threads[tid];
+        t.time += 1;
+        let time = t.time;
+        t.view.set(tid, time);
+        let mut release = if Self::is_release(ord) {
+            Some(t.view.clone())
+        } else {
+            None
+        };
+        // Release-sequence continuation: an RMW passes the clock of the store
+        // it read along, even when the RMW itself is relaxed.
+        if let Some(prev) = inherit {
+            match &mut release {
+                Some(r) => r.join(&prev),
+                None => release = Some(prev),
+            }
+        }
+        let l = &mut st.locations[loc];
+        l.stores.push(StoreEvent {
+            value,
+            thread: tid,
+            time,
+            release,
+        });
+        let idx = l.stores.len() - 1;
+        if matches!(ord, Ordering::SeqCst) {
+            l.last_seqcst = Some(idx);
+        }
+        Self::set_floor(st, tid, loc, idx);
+    }
+
+    pub(crate) fn atomic_store(&self, tid: usize, loc: usize, value: u64, ord: Ordering, raw: u64) {
+        assert!(
+            !matches!(ord, Ordering::Acquire | Ordering::AcqRel),
+            "invalid store ordering {ord:?}"
+        );
+        let mut st = self.enter(tid, false);
+        Self::sync_dirty(&mut st, loc, raw);
+        Self::push_store(&mut st, tid, loc, value, ord, None);
+        let line = format!("t{tid}: store a{loc} = {value} ({ord:?})");
+        self.trace_op(&mut st, line);
+    }
+
+    /// A read-modify-write: reads the latest store in modification order
+    /// (C11 atomicity), applies `f`, appends the result.
+    pub(crate) fn atomic_rmw(
+        &self,
+        tid: usize,
+        loc: usize,
+        ord: Ordering,
+        raw: u64,
+        f: impl FnOnce(u64) -> u64,
+    ) -> u64 {
+        let mut st = self.enter(tid, false);
+        Self::sync_dirty(&mut st, loc, raw);
+        let idx = st.locations[loc].stores.len() - 1;
+        let (old, prev_release) = {
+            let s = &st.locations[loc].stores[idx];
+            (s.value, s.release.clone())
+        };
+        if Self::is_acquire(ord) {
+            if let Some(c) = &prev_release {
+                st.threads[tid].view.join(c);
+            }
+        }
+        Self::set_floor(&mut st, tid, loc, idx);
+        let new = f(old);
+        Self::push_store(&mut st, tid, loc, new, ord, prev_release);
+        let line = format!("t{tid}: rmw a{loc} {old} -> {new} ({ord:?})");
+        self.trace_op(&mut st, line);
+        old
+    }
+
+    /// Compare-exchange; the failure path is a load of the latest value with
+    /// the failure ordering (a documented strengthening: C11 lets a failed
+    /// CAS read older visible stores, and weak CAS may fail spuriously).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn atomic_cas(
+        &self,
+        tid: usize,
+        loc: usize,
+        expected: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+        raw: u64,
+    ) -> Result<u64, u64> {
+        let mut st = self.enter(tid, false);
+        Self::sync_dirty(&mut st, loc, raw);
+        let idx = st.locations[loc].stores.len() - 1;
+        let (old, prev_release) = {
+            let s = &st.locations[loc].stores[idx];
+            (s.value, s.release.clone())
+        };
+        Self::set_floor(&mut st, tid, loc, idx);
+        if old == expected {
+            if Self::is_acquire(success) {
+                if let Some(c) = &prev_release {
+                    st.threads[tid].view.join(c);
+                }
+            }
+            Self::push_store(&mut st, tid, loc, new, success, prev_release);
+            let line = format!("t{tid}: cas a{loc} {old} -> {new} ok ({success:?})");
+            self.trace_op(&mut st, line);
+            Ok(old)
+        } else {
+            if Self::is_acquire(failure) {
+                if let Some(c) = &prev_release {
+                    st.threads[tid].view.join(c);
+                }
+            }
+            let line = format!("t{tid}: cas a{loc} expected {expected}, found {old} (failed)");
+            self.trace_op(&mut st, line);
+            Err(old)
+        }
+    }
+
+    /// `get_mut`-style exclusive access: collapses the location to a single
+    /// store of the current value and marks it dirty so the next op imports
+    /// whatever the `&mut` holder wrote.
+    pub(crate) fn atomic_collapse(&self, tid: usize, loc: usize) -> u64 {
+        let mut st = lock_state(self);
+        let value = st.locations[loc]
+            .stores
+            .last()
+            .map(|s| s.value)
+            .unwrap_or(0);
+        let t = &mut st.threads[tid];
+        t.time += 1;
+        let time = t.time;
+        t.view.set(tid, time);
+        let release = Some(t.view.clone());
+        let l = &mut st.locations[loc];
+        l.stores = vec![StoreEvent {
+            value,
+            thread: tid,
+            time,
+            release,
+        }];
+        l.last_seqcst = None;
+        l.floors.clear();
+        l.last_reads.clear();
+        l.dirty = true;
+        value
+    }
+
+    // ------------------------------------------------------------ resources
+
+    pub(crate) fn register_resource(&self) -> usize {
+        let mut st = lock_state(self);
+        let id = st.resources.len();
+        st.resources.push(Resource {
+            writer: None,
+            readers: 0,
+            clock: VersionVec::new(),
+        });
+        id
+    }
+
+    /// Acquires `res` (write = exclusive, read = shared), blocking through
+    /// the scheduler until available.
+    pub(crate) fn res_acquire(&self, tid: usize, res: usize, write: bool) {
+        let mut st = self.enter(tid, false);
+        loop {
+            let free = {
+                let r = &st.resources[res];
+                if write {
+                    r.writer.is_none() && r.readers == 0
+                } else {
+                    r.writer.is_none()
+                }
+            };
+            if free {
+                let clock = st.resources[res].clock.clone();
+                st.threads[tid].view.join(&clock);
+                let r = &mut st.resources[res];
+                if write {
+                    r.writer = Some(tid);
+                } else {
+                    r.readers += 1;
+                }
+                let line = format!(
+                    "t{tid}: {} m{res}",
+                    if write { "lock" } else { "read-lock" }
+                );
+                self.trace_op(&mut st, line);
+                return;
+            }
+            st = self.block_on(st, tid, Wait::Resource(res));
+        }
+    }
+
+    /// Non-blocking acquire attempt; still a schedule point.
+    pub(crate) fn res_try_acquire(&self, tid: usize, res: usize, write: bool) -> bool {
+        let mut st = self.enter(tid, false);
+        let free = {
+            let r = &st.resources[res];
+            if write {
+                r.writer.is_none() && r.readers == 0
+            } else {
+                r.writer.is_none()
+            }
+        };
+        if free {
+            let clock = st.resources[res].clock.clone();
+            st.threads[tid].view.join(&clock);
+            let r = &mut st.resources[res];
+            if write {
+                r.writer = Some(tid);
+            } else {
+                r.readers += 1;
+            }
+        }
+        let line = format!(
+            "t{tid}: try-{} m{res} -> {}",
+            if write { "lock" } else { "read-lock" },
+            if free { "acquired" } else { "busy" }
+        );
+        self.trace_op(&mut st, line);
+        free
+    }
+
+    /// Releases `res`. Deliberately not a schedule point and never unwinds:
+    /// it runs from guard `Drop` impls, including during abort unwinding.
+    pub(crate) fn res_release(&self, tid: usize, res: usize, write: bool) {
+        let mut st = lock_state(self);
+        let view = st.threads[tid].view.clone();
+        let r = &mut st.resources[res];
+        if write {
+            debug_assert_eq!(r.writer, Some(tid));
+            r.writer = None;
+        } else {
+            debug_assert!(r.readers > 0);
+            r.readers -= 1;
+        }
+        r.clock.join(&view);
+        for t in st.threads.iter_mut() {
+            if t.status == Status::Blocked && t.waiting == Some(Wait::Resource(res)) {
+                t.status = Status::Ready;
+                t.waiting = None;
+            }
+        }
+        let line = format!("t{tid}: unlock m{res}");
+        self.trace_op(&mut st, line);
+        self.cv.notify_all();
+    }
+}
+
+// ------------------------------------------------------------------ builder
+
+/// Exploration configuration and entry points.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum forced context switches away from a runnable thread per
+    /// execution (CHESS-style); `None` removes the bound.
+    pub preemption_bound: Option<usize>,
+    /// Stop after exploring this many schedules (the report's `complete`
+    /// flag records whether the tree was exhausted first).
+    pub max_schedules: u64,
+    /// Per-execution step limit; exceeding it is reported as a livelock.
+    pub max_steps: u64,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(2),
+            max_schedules: 100_000,
+            max_steps: 20_000,
+        }
+    }
+}
+
+/// Outcome of an exhausted (or capped) exploration with no violation.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Number of schedules (executions) explored.
+    pub schedules: u64,
+    /// Whether the branch tree was exhausted (`false`: `max_schedules` hit).
+    pub complete: bool,
+}
+
+/// A violation found by the explorer: what failed, the exact failing
+/// schedule as a replayable seed, and the operation trace of that execution.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The panic/assertion message of the violation.
+    pub message: String,
+    /// Replayable schedule seed (`chosen/total` branch list); feed it to
+    /// [`Builder::replay`] to reproduce this exact execution.
+    pub seed: String,
+    /// The per-operation trace of the failing execution.
+    pub trace: Vec<String>,
+    /// Schedules explored up to and including the failing one.
+    pub schedules_explored: u64,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "model checking failed: {}", self.message)?;
+        writeln!(
+            f,
+            "after {} schedule(s); failing schedule seed: [{}]",
+            self.schedules_explored, self.seed
+        )?;
+        writeln!(f, "failing schedule ({} ops):", self.trace.len())?;
+        for (i, line) in self.trace.iter().enumerate() {
+            writeln!(f, "  {i:4}  {line}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Builder {
+    /// Explores `f` and panics with the printed failing schedule on any
+    /// violation; returns the exploration report otherwise.
+    pub fn check<F: Fn()>(&self, f: F) -> Report {
+        match self.check_report(f) {
+            Ok(report) => report,
+            Err(failure) => panic!("{failure}"),
+        }
+    }
+
+    /// Explores `f`, returning the failure (with seed and trace) instead of
+    /// panicking — the mutation harness's entry point.
+    pub fn check_report<F: Fn()>(&self, f: F) -> Result<Report, Failure> {
+        self.run(f, None)
+    }
+
+    /// Replays exactly one schedule from a recorded `seed` (as produced in
+    /// [`Failure::seed`]), returning its outcome. Replaying the same seed
+    /// twice yields byte-identical traces.
+    pub fn replay<F: Fn()>(&self, seed: &str, f: F) -> Result<Report, Failure> {
+        self.run(f, Some(seed))
+    }
+
+    fn run<F: Fn()>(&self, f: F, replay_seed: Option<&str>) -> Result<Report, Failure> {
+        let rt = Arc::new(Runtime::new(self.clone()));
+        if let Some(seed) = replay_seed {
+            let mut st = lock_state(&rt);
+            st.path = parse_seed(seed);
+        }
+        let mut schedules = 0u64;
+        loop {
+            rt.begin_execution();
+            set_ctx(Some(Ctx {
+                rt: rt.clone(),
+                tid: 0,
+            }));
+            let result = panic::catch_unwind(AssertUnwindSafe(&f));
+            if let Err(payload) = result {
+                rt.thread_panicked(0, payload.as_ref());
+            }
+            rt.finish_thread(0);
+            rt.wait_all_done();
+            set_ctx(None);
+            rt.join_handles();
+            schedules += 1;
+            if let Some(failure) = rt.take_failure(schedules) {
+                return Err(failure);
+            }
+            if replay_seed.is_some() {
+                return Ok(Report {
+                    schedules,
+                    complete: false,
+                });
+            }
+            if !rt.advance_path() {
+                return Ok(Report {
+                    schedules,
+                    complete: true,
+                });
+            }
+            if schedules >= self.max_schedules {
+                return Ok(Report {
+                    schedules,
+                    complete: false,
+                });
+            }
+        }
+    }
+}
+
+fn parse_seed(seed: &str) -> Vec<Branch> {
+    seed.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|pair| {
+            let (c, t) = pair
+                .trim()
+                .split_once('/')
+                .expect("seed entries are chosen/total pairs");
+            Branch {
+                chosen: c.parse().expect("seed chosen index"),
+                total: t.parse().expect("seed option count"),
+            }
+        })
+        .collect()
+}
+
+impl Runtime {
+    fn begin_execution(&self) {
+        let mut st = lock_state(self);
+        self.exec.fetch_add(1, Ordering::Relaxed);
+        st.cursor = 0;
+        st.threads = vec![ThreadSt::new(VersionVec::new())];
+        st.active = 0;
+        st.live = 1;
+        st.locations.clear();
+        st.resources.clear();
+        st.preemptions = 0;
+        st.steps = 0;
+        st.trace.clear();
+        st.failure = None;
+        st.abort = false;
+    }
+
+    fn wait_all_done(&self) {
+        let mut st = lock_state(self);
+        while st.live > 0 {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn join_handles(&self) {
+        let handles = std::mem::take(&mut lock_state(self).handles);
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn take_failure(&self, schedules: u64) -> Option<Failure> {
+        let st = lock_state(self);
+        st.failure.as_ref().map(|message| Failure {
+            message: message.clone(),
+            seed: Self::seed_of(&st),
+            trace: st.trace.clone(),
+            schedules_explored: schedules,
+        })
+    }
+}
+
+/// Checks `f` under the default [`Builder`], panicking with the printed
+/// failing schedule on any violation.
+pub fn model<F: Fn()>(f: F) -> Report {
+    Builder::default().check(f)
+}

@@ -1,0 +1,701 @@
+//! Instrumented drop-in replacements for `std::sync::atomic` and
+//! `parking_lot` locks.
+//!
+//! Every cell keeps a *raw* standard atomic mirror next to its model
+//! location id. Cells created while a model execution is running on the
+//! current OS thread register with the runtime and route every operation
+//! through the scheduler and memory model; cells created outside a model
+//! (statics, setup code, production builds that still link this crate)
+//! behave exactly like the standard types. A cell that leaks from one model
+//! execution into the next is detected by an execution-id stamp and
+//! panics instead of corrupting exploration state.
+//!
+//! Locks follow the same pattern, with one extra rule: a *raw* lock used
+//! inside a model execution is acquired with a `try_lock` + model-yield
+//! loop, never an OS block — blocking the OS thread would deadlock the
+//! scheduler if the holder is a parked model thread.
+
+use std::sync::atomic::AtomicU64 as StdAtomicU64;
+use std::sync::atomic::Ordering as StdOrdering;
+use std::sync::Arc;
+
+use crate::rt::{self, Runtime};
+
+pub(crate) fn pack_loc(exec: u32, idx: usize) -> u64 {
+    ((exec as u64) << 32) | (idx as u64 + 1)
+}
+
+/// Resolves a packed location stamp to `(runtime, current thread, index)`,
+/// or `None` when the operation should fall through to the raw mirror.
+pub(crate) fn resolve_loc(loc: &StdAtomicU64) -> Option<(Arc<Runtime>, usize, usize)> {
+    let packed = loc.load(StdOrdering::Relaxed);
+    if packed == 0 {
+        return None;
+    }
+    rt::with_ctx(|ctx| {
+        let exec = (packed >> 32) as u32;
+        assert_eq!(
+            exec,
+            ctx.rt.current_exec(),
+            "model cell created in a previous execution used again; \
+             create all shared state inside the model closure"
+        );
+        (ctx.rt.clone(), ctx.tid, (packed & 0xffff_ffff) as usize - 1)
+    })
+}
+
+fn register_atomic(init: u64) -> u64 {
+    rt::with_ctx(|ctx| {
+        let idx = ctx.rt.register_atomic(ctx.tid, init);
+        pack_loc(ctx.rt.current_exec(), idx)
+    })
+    .unwrap_or(0)
+}
+
+fn register_resource() -> u64 {
+    rt::with_ctx(|ctx| {
+        let idx = ctx.rt.register_resource();
+        pack_loc(ctx.rt.current_exec(), idx)
+    })
+    .unwrap_or(0)
+}
+
+/// Model atomics; mirrors the `std::sync::atomic` module layout.
+pub mod atomic {
+    use super::*;
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! model_atomic_base {
+        ($name:ident, $std:ident, $ty:ty, $to:expr, $from:expr) => {
+            /// Instrumented counterpart of the same-named standard atomic.
+            pub struct $name {
+                raw: std::sync::atomic::$std,
+                loc: StdAtomicU64,
+            }
+
+            impl $name {
+                const TO: fn($ty) -> u64 = $to;
+                const FROM: fn(u64) -> $ty = $from;
+
+                pub fn new(v: $ty) -> Self {
+                    $name {
+                        raw: std::sync::atomic::$std::new(v),
+                        loc: StdAtomicU64::new(register_atomic(($to)(v))),
+                    }
+                }
+
+                fn resolve(&self) -> Option<(Arc<Runtime>, usize, usize)> {
+                    resolve_loc(&self.loc)
+                }
+
+                fn raw_now(&self) -> u64 {
+                    Self::TO(self.raw.load(Ordering::Relaxed))
+                }
+
+                pub fn load(&self, ord: Ordering) -> $ty {
+                    match self.resolve() {
+                        None => self.raw.load(ord),
+                        Some((rt, tid, loc)) => {
+                            Self::FROM(rt.atomic_load(tid, loc, ord, self.raw_now()))
+                        }
+                    }
+                }
+
+                pub fn store(&self, v: $ty, ord: Ordering) {
+                    match self.resolve() {
+                        None => self.raw.store(v, ord),
+                        Some((rt, tid, loc)) => {
+                            rt.atomic_store(tid, loc, Self::TO(v), ord, self.raw_now());
+                            self.raw.store(v, Ordering::Relaxed);
+                        }
+                    }
+                }
+
+                pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                    match self.resolve() {
+                        None => self.raw.swap(v, ord),
+                        Some((rt, tid, loc)) => {
+                            let old = rt.atomic_rmw(tid, loc, ord, self.raw_now(), |_| Self::TO(v));
+                            self.raw.store(v, Ordering::Relaxed);
+                            Self::FROM(old)
+                        }
+                    }
+                }
+
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    match self.resolve() {
+                        None => self.raw.compare_exchange(current, new, success, failure),
+                        Some((rt, tid, loc)) => {
+                            let r = rt.atomic_cas(
+                                tid,
+                                loc,
+                                Self::TO(current),
+                                Self::TO(new),
+                                success,
+                                failure,
+                                self.raw_now(),
+                            );
+                            if r.is_ok() {
+                                self.raw.store(new, Ordering::Relaxed);
+                            }
+                            r.map(Self::FROM).map_err(Self::FROM)
+                        }
+                    }
+                }
+
+                /// Identical to [`Self::compare_exchange`]: the model does not
+                /// generate spurious failures (a documented simplification).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                pub fn get_mut(&mut self) -> &mut $ty {
+                    if let Some((rt, tid, loc)) = self.resolve() {
+                        rt.atomic_collapse(tid, loc);
+                    }
+                    self.raw.get_mut()
+                }
+
+                pub fn into_inner(self) -> $ty {
+                    self.raw.into_inner()
+                }
+
+                fn fetch_op(&self, ord: Ordering, f: impl Fn($ty) -> $ty) -> $ty {
+                    let (rt, tid, loc) = self
+                        .resolve()
+                        .expect("fetch_op is only routed here for model cells");
+                    let old = rt.atomic_rmw(tid, loc, ord, self.raw_now(), |old| {
+                        Self::TO(f(Self::FROM(old)))
+                    });
+                    let old = Self::FROM(old);
+                    self.raw.store(f(old), Ordering::Relaxed);
+                    old
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    std::fmt::Debug::fmt(&self.raw, f)
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+
+            impl From<$ty> for $name {
+                fn from(v: $ty) -> Self {
+                    Self::new(v)
+                }
+            }
+        };
+    }
+
+    macro_rules! model_atomic_arith {
+        ($name:ident, $ty:ty) => {
+            impl $name {
+                pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                    match self.resolve() {
+                        None => self.raw.fetch_add(v, ord),
+                        Some(_) => self.fetch_op(ord, |old| old.wrapping_add(v)),
+                    }
+                }
+
+                pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                    match self.resolve() {
+                        None => self.raw.fetch_sub(v, ord),
+                        Some(_) => self.fetch_op(ord, |old| old.wrapping_sub(v)),
+                    }
+                }
+
+                pub fn fetch_or(&self, v: $ty, ord: Ordering) -> $ty {
+                    match self.resolve() {
+                        None => self.raw.fetch_or(v, ord),
+                        Some(_) => self.fetch_op(ord, |old| old | v),
+                    }
+                }
+
+                pub fn fetch_and(&self, v: $ty, ord: Ordering) -> $ty {
+                    match self.resolve() {
+                        None => self.raw.fetch_and(v, ord),
+                        Some(_) => self.fetch_op(ord, |old| old & v),
+                    }
+                }
+
+                pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                    match self.resolve() {
+                        None => self.raw.fetch_max(v, ord),
+                        Some(_) => self.fetch_op(ord, |old| old.max(v)),
+                    }
+                }
+
+                pub fn fetch_min(&self, v: $ty, ord: Ordering) -> $ty {
+                    match self.resolve() {
+                        None => self.raw.fetch_min(v, ord),
+                        Some(_) => self.fetch_op(ord, |old| old.min(v)),
+                    }
+                }
+            }
+        };
+    }
+
+    model_atomic_base!(AtomicU64, AtomicU64, u64, |v| v, |v| v);
+    model_atomic_base!(AtomicUsize, AtomicUsize, usize, |v| v as u64, |v| v
+        as usize);
+    model_atomic_base!(AtomicU8, AtomicU8, u8, |v| v as u64, |v| v as u8);
+    model_atomic_base!(AtomicU32, AtomicU32, u32, |v| v as u64, |v| v as u32);
+    model_atomic_base!(AtomicI64, AtomicI64, i64, |v| v as u64, |v| v as i64);
+    model_atomic_arith!(AtomicU64, u64);
+    model_atomic_arith!(AtomicUsize, usize);
+    model_atomic_arith!(AtomicU8, u8);
+    model_atomic_arith!(AtomicU32, u32);
+    model_atomic_arith!(AtomicI64, i64);
+
+    model_atomic_base!(AtomicBool, AtomicBool, bool, |v| v as u64, |v| v != 0);
+
+    impl AtomicBool {
+        pub fn fetch_or(&self, v: bool, ord: Ordering) -> bool {
+            match self.resolve() {
+                None => self.raw.fetch_or(v, ord),
+                Some(_) => self.fetch_op(ord, |old| old | v),
+            }
+        }
+
+        pub fn fetch_and(&self, v: bool, ord: Ordering) -> bool {
+            match self.resolve() {
+                None => self.raw.fetch_and(v, ord),
+                Some(_) => self.fetch_op(ord, |old| old & v),
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------- locks
+
+use std::sync::TryLockError;
+
+/// Acquires the std data lock that the model scheduler has just granted
+/// exclusively; poison from an aborted execution is discarded.
+fn owned_mutex<'a, T: ?Sized>(m: &'a std::sync::Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    match m.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            unreachable!("model resource held, so the data lock must be free")
+        }
+    }
+}
+
+/// Instrumented counterpart of `parking_lot::Mutex` (no poisoning).
+pub struct Mutex<T: ?Sized> {
+    res: StdAtomicU64,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(t: T) -> Self {
+        Mutex {
+            res: StdAtomicU64::new(register_resource()),
+            inner: std::sync::Mutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn resolve(&self) -> Option<(Arc<Runtime>, usize, usize)> {
+        resolve_loc(&self.res)
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.resolve() {
+            Some((rt, tid, res)) => {
+                rt.res_acquire(tid, res, true);
+                MutexGuard {
+                    inner: Some(owned_mutex(&self.inner)),
+                    model: Some((rt, tid, res)),
+                }
+            }
+            None => {
+                if rt::with_ctx(|_| ()).is_some() {
+                    // Raw lock inside a model execution: spin through the
+                    // scheduler so a parked holder can still be run.
+                    loop {
+                        match self.inner.try_lock() {
+                            Ok(g) => {
+                                return MutexGuard {
+                                    inner: Some(g),
+                                    model: None,
+                                }
+                            }
+                            Err(TryLockError::Poisoned(e)) => {
+                                return MutexGuard {
+                                    inner: Some(e.into_inner()),
+                                    model: None,
+                                }
+                            }
+                            Err(TryLockError::WouldBlock) => crate::thread::yield_now(),
+                        }
+                    }
+                }
+                MutexGuard {
+                    inner: Some(
+                        self.inner
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    ),
+                    model: None,
+                }
+            }
+        }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.resolve() {
+            Some((rt, tid, res)) => {
+                if rt.res_try_acquire(tid, res, true) {
+                    Some(MutexGuard {
+                        inner: Some(owned_mutex(&self.inner)),
+                        model: Some((rt, tid, res)),
+                    })
+                } else {
+                    None
+                }
+            }
+            None => match self.inner.try_lock() {
+                Ok(g) => Some(MutexGuard {
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(TryLockError::Poisoned(e)) => Some(MutexGuard {
+                    inner: Some(e.into_inner()),
+                    model: None,
+                }),
+                Err(TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// Guard for [`Mutex`]; releases the model resource after the data lock.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<Runtime>, usize, usize)>,
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Order matters: free the std lock before the model resource, so the
+        // next granted owner's `try_lock` cannot observe it still held.
+        self.inner.take();
+        if let Some((rt, tid, res)) = self.model.take() {
+            rt.res_release(tid, res, true);
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not yet dropped")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard not yet dropped")
+    }
+}
+
+/// Instrumented counterpart of `parking_lot::RwLock` (no poisoning).
+pub struct RwLock<T: ?Sized> {
+    res: StdAtomicU64,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub fn new(t: T) -> Self {
+        RwLock {
+            res: StdAtomicU64::new(register_resource()),
+            inner: std::sync::RwLock::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+fn owned_read<'a, T: ?Sized>(l: &'a std::sync::RwLock<T>) -> std::sync::RwLockReadGuard<'a, T> {
+    match l.try_read() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            unreachable!("model resource shared, so a read lock must be available")
+        }
+    }
+}
+
+fn owned_write<'a, T: ?Sized>(l: &'a std::sync::RwLock<T>) -> std::sync::RwLockWriteGuard<'a, T> {
+    match l.try_write() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            unreachable!("model resource exclusive, so the write lock must be free")
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn resolve(&self) -> Option<(Arc<Runtime>, usize, usize)> {
+        resolve_loc(&self.res)
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.resolve() {
+            Some((rt, tid, res)) => {
+                rt.res_acquire(tid, res, false);
+                RwLockReadGuard {
+                    inner: Some(owned_read(&self.inner)),
+                    model: Some((rt, tid, res)),
+                }
+            }
+            None => {
+                if rt::with_ctx(|_| ()).is_some() {
+                    loop {
+                        match self.inner.try_read() {
+                            Ok(g) => {
+                                return RwLockReadGuard {
+                                    inner: Some(g),
+                                    model: None,
+                                }
+                            }
+                            Err(TryLockError::Poisoned(e)) => {
+                                return RwLockReadGuard {
+                                    inner: Some(e.into_inner()),
+                                    model: None,
+                                }
+                            }
+                            Err(TryLockError::WouldBlock) => crate::thread::yield_now(),
+                        }
+                    }
+                }
+                RwLockReadGuard {
+                    inner: Some(
+                        self.inner
+                            .read()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    ),
+                    model: None,
+                }
+            }
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.resolve() {
+            Some((rt, tid, res)) => {
+                rt.res_acquire(tid, res, true);
+                RwLockWriteGuard {
+                    inner: Some(owned_write(&self.inner)),
+                    model: Some((rt, tid, res)),
+                }
+            }
+            None => {
+                if rt::with_ctx(|_| ()).is_some() {
+                    loop {
+                        match self.inner.try_write() {
+                            Ok(g) => {
+                                return RwLockWriteGuard {
+                                    inner: Some(g),
+                                    model: None,
+                                }
+                            }
+                            Err(TryLockError::Poisoned(e)) => {
+                                return RwLockWriteGuard {
+                                    inner: Some(e.into_inner()),
+                                    model: None,
+                                }
+                            }
+                            Err(TryLockError::WouldBlock) => crate::thread::yield_now(),
+                        }
+                    }
+                }
+                RwLockWriteGuard {
+                    inner: Some(
+                        self.inner
+                            .write()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner),
+                    ),
+                    model: None,
+                }
+            }
+        }
+    }
+
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.resolve() {
+            Some((rt, tid, res)) => {
+                if rt.res_try_acquire(tid, res, false) {
+                    Some(RwLockReadGuard {
+                        inner: Some(owned_read(&self.inner)),
+                        model: Some((rt, tid, res)),
+                    })
+                } else {
+                    None
+                }
+            }
+            None => match self.inner.try_read() {
+                Ok(g) => Some(RwLockReadGuard {
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
+                    inner: Some(e.into_inner()),
+                    model: None,
+                }),
+                Err(TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.resolve() {
+            Some((rt, tid, res)) => {
+                if rt.res_try_acquire(tid, res, true) {
+                    Some(RwLockWriteGuard {
+                        inner: Some(owned_write(&self.inner)),
+                        model: Some((rt, tid, res)),
+                    })
+                } else {
+                    None
+                }
+            }
+            None => match self.inner.try_write() {
+                Ok(g) => Some(RwLockWriteGuard {
+                    inner: Some(g),
+                    model: None,
+                }),
+                Err(TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
+                    inner: Some(e.into_inner()),
+                    model: None,
+                }),
+                Err(TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.try_read() {
+            Some(g) => f.debug_struct("RwLock").field("data", &*g).finish(),
+            None => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// Shared guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    model: Option<(Arc<Runtime>, usize, usize)>,
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((rt, tid, res)) = self.model.take() {
+            rt.res_release(tid, res, false);
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not yet dropped")
+    }
+}
+
+/// Exclusive guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    model: Option<(Arc<Runtime>, usize, usize)>,
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner.take();
+        if let Some((rt, tid, res)) = self.model.take() {
+            rt.res_release(tid, res, true);
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not yet dropped")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard not yet dropped")
+    }
+}

@@ -1,0 +1,105 @@
+//! Model threads: `spawn`/`join`/`yield_now` that route through the
+//! scheduler inside a model execution and fall back to `std::thread`
+//! outside one.
+//!
+//! Each model thread is backed by a real OS thread, but the scheduler's
+//! baton guarantees at most one of them executes user code at a time, so
+//! executions stay deterministic.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::rt::{self, Runtime};
+
+/// Handle to a spawned thread; mirrors [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    model: Option<(Arc<Runtime>, usize)>,
+    result: Option<Arc<StdMutex<Option<T>>>>,
+    std: Option<std::thread::JoinHandle<T>>,
+}
+
+/// Spawns a thread. Inside a model execution the child starts parked and
+/// only runs when the explorer grants it the baton; its first view of
+/// memory is the parent's view at the spawn point (spawn happens-before
+/// everything the child does).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let ctx = rt::with_ctx(|c| (c.rt.clone(), c.tid));
+    match ctx {
+        None => JoinHandle {
+            model: None,
+            result: None,
+            std: Some(std::thread::spawn(f)),
+        },
+        Some((rt, parent)) => {
+            let tid = rt.register_thread(parent);
+            let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+            let slot2 = Arc::clone(&slot);
+            let rt2 = Arc::clone(&rt);
+            let os = std::thread::Builder::new()
+                .name(format!("model-t{tid}"))
+                .spawn(move || {
+                    rt::bind_ctx(Arc::clone(&rt2), tid);
+                    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+                        rt2.start_wait(tid);
+                        f()
+                    }));
+                    match outcome {
+                        Ok(v) => {
+                            *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                        }
+                        Err(p) => rt2.thread_panicked(tid, p.as_ref()),
+                    }
+                    rt2.finish_thread(tid);
+                    rt::bind_none();
+                })
+                .expect("OS thread spawn");
+            rt.store_handle(os);
+            JoinHandle {
+                model: Some((rt, tid)),
+                result: Some(slot),
+                std: None,
+            }
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its value. Joining a
+    /// model thread acquires its final memory view.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.model {
+            None => self.std.expect("raw handle").join(),
+            Some((rt, target)) => {
+                let me = rt::with_ctx(|c| c.tid)
+                    .expect("a model thread can only be joined from inside the model");
+                rt.join_thread(me, target);
+                let v = self
+                    .result
+                    .expect("model handle")
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take();
+                match v {
+                    Some(v) => Ok(v),
+                    // The target panicked; the execution is aborting and this
+                    // thread unwinds with it.
+                    None => rt::raise_abort(),
+                }
+            }
+        }
+    }
+}
+
+/// Voluntarily steps aside. Inside the model this deprioritises the
+/// calling thread for the next scheduling decision, which is what lets
+/// spin-wait loops terminate in every explored schedule.
+pub fn yield_now() {
+    match rt::with_ctx(|c| (c.rt.clone(), c.tid)) {
+        Some((rt, tid)) => rt.yield_now(tid),
+        None => std::thread::yield_now(),
+    }
+}

@@ -11,12 +11,16 @@
 //!   substitute for the hardware memory-bandwidth counters of Figure 11d;
 //! * [`simd`] — runtime-detected SIMD lower-bound kernels for intra-node
 //!   search, with a guaranteed scalar fallback;
+//! * [`sync`] — the synchronization facade every lock-free file imports:
+//!   standard atomics and `parking_lot` locks normally, the `pimtree-check`
+//!   model checker's instrumented types under `--cfg pimtree_model`;
 //! * [`error`] — the shared error type.
 //!
 //! The paper this workspace reproduces is *"Parallel Index-based Stream Join on
 //! a Multicore CPU"* (Shahvarani & Jacobsen, SIGMOD 2020).
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod config;
 pub mod error;
@@ -24,6 +28,7 @@ pub mod memtraffic;
 pub mod metrics;
 pub mod prefetch;
 pub mod simd;
+pub mod sync;
 pub mod types;
 
 pub use config::{

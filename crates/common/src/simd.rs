@@ -131,6 +131,7 @@ unsafe fn lower_bound_u64_avx2(values: &[u64], target: u64) -> usize {
         // SAFETY: `i + 8 <= len`, so both unaligned 4-lane loads stay inside
         // the slice.
         let a = unsafe { _mm256_loadu_si256(values.as_ptr().add(i) as *const __m256i) };
+        // SAFETY: same bound — lanes `i + 4..i + 8` are still inside the slice.
         let b = unsafe { _mm256_loadu_si256(values.as_ptr().add(i + 4) as *const __m256i) };
         let a = _mm256_xor_si256(a, bias);
         let b = _mm256_xor_si256(b, bias);
@@ -163,6 +164,8 @@ unsafe fn count_keys_below_avx2(pairs: &[[i64; 2]], key: i64) -> usize {
         // SAFETY: `i + 4 <= len`, so the two loads cover exactly pairs
         // `i..i + 4` (eight i64 lanes) inside the slice.
         let a = unsafe { _mm256_loadu_si256(ptr.add(2 * i) as *const __m256i) };
+        // SAFETY: same bound — lanes `2 * i + 4..2 * i + 8` are the second
+        // half of pairs `i..i + 4`, still inside the slice.
         let b = unsafe { _mm256_loadu_si256(ptr.add(2 * i + 4) as *const __m256i) };
         // a = [k0 s0 k1 s1], b = [k2 s2 k3 s3]; the per-128-bit-lane unpack
         // yields [k0 k2 k1 k3] — scrambled, but counting is order-blind.

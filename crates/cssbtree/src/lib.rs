@@ -20,6 +20,7 @@
 //! the join engines use to answer a whole task's probes at once.
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod build;
 pub mod tree;

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod adapter;
+pub mod gate;
 pub mod handshake;
 pub mod ibwj;
 pub mod nlwj;
@@ -59,6 +60,7 @@ pub mod timejoin;
 pub use adapter::{
     BTreeAdapter, BwTreeAdapter, ChainedAdapter, ImTreeAdapter, PimTreeAdapter, WindowIndexAdapter,
 };
+pub use gate::QuiesceGate;
 pub use handshake::{HandshakeJoin, HandshakeMode};
 pub use ibwj::{build_single_threaded, IbwjOperator, SingleThreadJoin};
 pub use nlwj::NlwjOperator;

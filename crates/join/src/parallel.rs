@@ -103,6 +103,7 @@ use pimtree_telemetry::{
 };
 use pimtree_window::WindowBounds;
 
+use crate::gate::QuiesceGate;
 use crate::ring::{Backoff, ClaimedTask, IdleKind};
 use crate::shard::ShardedRing;
 use crate::stats::{JoinRunStats, MigrationCounters};
@@ -246,13 +247,10 @@ struct Shared<'a> {
     /// that shard's unclaimed bounds even though claims across shards are
     /// not globally ordered.
     claim_meta: Vec<[ClaimMeta; 2]>,
-    /// Blocks new task acquisition while a merge phase transition is pending.
-    gate: AtomicBool,
-    /// Number of tasks currently being processed (acquired, not yet done with
-    /// their index updates) — transiently also counts acquisition attempts,
-    /// which is what makes the gate handshake race-free (see
-    /// [`acquire_task`]).
-    in_flight: AtomicUsize,
+    /// The migration quiesce gate: stops task acquisition while a merge
+    /// phase transition or repartition is pending and drains the in-flight
+    /// count (see [`QuiesceGate`] for the handshake).
+    gate: QuiesceGate,
     /// Set per side while a non-blocking merge is in phase 1: workers buffer
     /// their index updates instead of applying them.
     no_index_updates: [AtomicBool; 2],
@@ -599,8 +597,7 @@ impl ParallelIbwj {
             ring,
             next_ingest: AtomicUsize::new(0),
             claim_meta: (0..shards).map(|_| Default::default()).collect(),
-            gate: AtomicBool::new(false),
-            in_flight: AtomicUsize::new(0),
+            gate: QuiesceGate::new(),
             no_index_updates: [AtomicBool::new(false), AtomicBool::new(false)],
             pending: [Mutex::new(Vec::new()), Mutex::new(Vec::new())],
             merge_claimed: AtomicBool::new(false),
@@ -867,7 +864,7 @@ fn worker_loop(shared: &Shared<'_>, worker: usize) {
                 &mut latency,
                 &mut recorder,
             );
-            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            shared.gate.exit();
             backoff.reset();
             let propagate_start = Instant::now();
             propagate(shared, &mut local);
@@ -966,7 +963,7 @@ fn gauge_sample(shared: &Shared<'_>, seq: u64, start: Instant) -> GaugeSample {
     GaugeSample {
         seq,
         elapsed_us: start.elapsed().as_micros() as u64,
-        in_flight: shared.in_flight.load(Ordering::Relaxed) as u64,
+        in_flight: shared.gate.in_flight() as u64,
         shard_occupancy: (0..shared.ring.shards())
             .map(|s| shared.ring.shard_available(s) as u64)
             .collect(),
@@ -998,9 +995,7 @@ fn acquire_task(
     local: &mut JoinRunStats,
     recorder: &mut WorkerRecorder,
 ) -> bool {
-    shared.in_flight.fetch_add(1, Ordering::SeqCst);
-    if shared.gate.load(Ordering::SeqCst) {
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+    if !shared.gate.try_enter() {
         return false;
     }
     if shared.ring.available() < shared.ingest_target {
@@ -1016,7 +1011,7 @@ fn acquire_task(
         &mut local.ring,
         &mut local.shard,
     ) else {
-        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        shared.gate.exit();
         return false;
     };
     scratch.task_shard = claim.shard;
@@ -1655,26 +1650,22 @@ fn complete_handoff(shared: &Shared<'_>) {
 // ------------------------------------------------------------------- merge
 
 fn close_gate_and_wait(shared: &Shared<'_>) {
-    shared.gate.store(true, Ordering::SeqCst);
-    while shared.in_flight.load(Ordering::SeqCst) > 0 {
-        std::thread::yield_now();
-    }
+    shared.gate.close();
+    shared.gate.await_quiesce();
 }
 
 /// [`close_gate_and_wait`] with stall-cause attribution: the gate store and
 /// the in-flight drain spin become the first two laps of the quiesce, so the
 /// per-cause segments tile the stall exactly from its first instruction.
 fn close_gate_and_wait_attributed(shared: &Shared<'_>, lap: &mut StallLap) {
-    shared.gate.store(true, Ordering::SeqCst);
+    shared.gate.close();
     lap.lap(StallCause::GateClose);
-    while shared.in_flight.load(Ordering::SeqCst) > 0 {
-        std::thread::yield_now();
-    }
+    shared.gate.await_quiesce();
     lap.lap(StallCause::InFlightDrain);
 }
 
 fn open_gate(shared: &Shared<'_>) {
-    shared.gate.store(false, Ordering::SeqCst);
+    shared.gate.open();
 }
 
 /// The oldest sequence number (per merged side) that any queued or future

@@ -55,11 +55,11 @@
 //!   routing, arrival counter under round-robin), so `can_push`/`push` pairs
 //!   always target the same shard.
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crossbeam::utils::CachePadded;
-use parking_lot::RwLock;
+use pimtree_common::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use pimtree_common::sync::RwLock;
 use pimtree_common::{JoinResult, Key, ShardConfig, Tuple};
 use pimtree_numa::{NumaTopology, RangePartitioner, TrafficAccount};
 use pimtree_window::WindowBounds;
@@ -859,6 +859,9 @@ mod tests {
     }
 
     #[test]
+    // Multi-threaded spin-wait stress: impractically slow under Miri's
+    // interpreter; the model checker covers the interleavings instead.
+    #[cfg_attr(miri, ignore)]
     fn concurrent_sharded_claims_and_drains_account_every_tuple() {
         use std::sync::atomic::AtomicU64 as Counter;
         let ring = std::sync::Arc::new(ShardedRing::new(

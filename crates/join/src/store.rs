@@ -42,14 +42,14 @@
 //! numbers, so a per-shard PIM-Tree merge never drops an entry an in-flight
 //! task may still probe.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::utils::CachePadded;
-use parking_lot::RwLock;
 use pimtree_btree::Entry;
 use pimtree_bwtree::BwTreeIndex;
+use pimtree_common::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use pimtree_common::sync::RwLock;
 use pimtree_common::{Key, KeyRange, PimConfig, ProbeConfig, Result, Seq, Step};
 use pimtree_core::PimTree;
 use pimtree_numa::{NumaTopology, RangePartitioner, TrafficAccount};

@@ -27,10 +27,9 @@
 //! indexed-flag updates and edge advancement run concurrently from any number
 //! of worker threads.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
-
 use crossbeam::utils::CachePadded;
-use parking_lot::Mutex;
+use pimtree_common::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
+use pimtree_common::sync::Mutex;
 use pimtree_common::{Error, Key, KeyRange, Result, Seq};
 
 const FLAG_INDEXED: u8 = 0b1;
